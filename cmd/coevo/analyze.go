@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"coevo/internal/corpus"
+	"coevo/internal/report"
+	"coevo/internal/study"
+)
+
+// runAnalyze deep-dives one project of the corpus: the Section 3.3
+// case-study view with the joint progress diagram and the full measure
+// suite.
+func runAnalyze(args []string) error {
+	fs := newFlagSet("analyze")
+	seed := fs.Int64("seed", 2023, "corpus generation seed")
+	which := fs.String("project", "0", "project index (0-194) or name substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	projects, err := corpus.Generate(corpus.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	target, err := pickProject(projects, *which)
+	if err != nil {
+		return err
+	}
+	res, err := study.AnalyzeRepository(target.Repo, target.DDLPath, study.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	return printCaseStudy(os.Stdout, res)
+}
+
+func pickProject(projects []*corpus.Project, which string) (*corpus.Project, error) {
+	if idx, err := strconv.Atoi(which); err == nil {
+		if idx < 0 || idx >= len(projects) {
+			return nil, fmt.Errorf("project index %d out of range [0, %d)", idx, len(projects))
+		}
+		return projects[idx], nil
+	}
+	for _, p := range projects {
+		if strings.Contains(p.Name, which) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("no project matches %q", which)
+}
+
+func printCaseStudy(w *os.File, res *study.ProjectResult) error {
+	m := res.Measures
+	fmt.Fprintf(w, "project   %s (ddl: %s)\n", res.Name, res.DDLPath)
+	fmt.Fprintf(w, "taxon     %s\n", res.Taxon)
+	fmt.Fprintf(w, "duration  %d months\n", res.DurationMonths)
+	fmt.Fprintf(w, "commits   %d total, %d touching the schema (%d active)\n",
+		res.ProjectCommits, res.SchemaCommits, res.ActiveSchemaCommits)
+	fmt.Fprintf(w, "activity  %d file updates, %d schema change units\n\n",
+		res.FileUpdates, res.TotalSchemaActivity)
+
+	if err := report.WriteJointProgress(w, "joint cumulative fractional progress", res.Joint); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nmeasures:\n")
+	fmt.Fprintf(w, "  5%%-synchronicity   %.2f\n", m.Sync5)
+	fmt.Fprintf(w, "  10%%-synchronicity  %.2f\n", m.Sync10)
+	if m.AdvanceDefined {
+		fmt.Fprintf(w, "  advance over time    %.2f  (always: %v)\n", m.AdvanceTime, m.AlwaysAheadOfTime)
+		fmt.Fprintf(w, "  advance over source  %.2f  (always: %v)\n", m.AdvanceSource, m.AlwaysAheadOfSource)
+	} else {
+		fmt.Fprintf(w, "  advance measures undefined (single-month project)\n")
+	}
+	fmt.Fprintf(w, "  attainment: 50%% @ %.2f of life, 75%% @ %.2f, 80%% @ %.2f, 100%% @ %.2f\n",
+		m.Attain50, m.Attain75, m.Attain80, m.Attain100)
+	if v, month, err := res.Joint.MaxDivergence(); err == nil {
+		fmt.Fprintf(w, "  max divergence %.2f at month %d of %d\n", v, month, res.DurationMonths)
+	}
+	return nil
+}

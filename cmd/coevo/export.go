@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"coevo/internal/corpus"
+	"coevo/internal/dataset"
+	"coevo/internal/history"
+	"coevo/internal/taxa"
+)
+
+// runExport writes the per-history aggregate statistics (the reproduction's
+// analogue of the published Schema_Evo data set files) as JSON.
+func runExport(args []string) error {
+	fs := newFlagSet("export")
+	seed := fs.Int64("seed", 2023, "corpus generation seed")
+	out := fs.String("out", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	projects, err := corpus.Generate(corpus.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	records := make([]*dataset.HistoryStats, 0, len(projects))
+	for _, p := range projects {
+		st, err := dataset.CollectRepository(p.Repo, p.DDLPath, history.DefaultOptions(), taxa.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		records = append(records, st)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteJSON(w, records); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(records), *out)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"coevo/internal/corpus"
+	"coevo/internal/report"
+	"coevo/internal/taxa"
+)
+
+// runGen generates the corpus and summarizes it per taxon.
+func runGen(args []string) error {
+	fs := newFlagSet("gen")
+	seed := fs.Int64("seed", 2023, "corpus generation seed")
+	list := fs.Bool("list", false, "list every generated project")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	projects, err := corpus.Generate(corpus.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+
+	type agg struct {
+		projects, commits, schemaVersions int
+	}
+	perTaxon := map[taxa.Taxon]*agg{}
+	for _, taxon := range taxa.All() {
+		perTaxon[taxon] = &agg{}
+	}
+	for _, p := range projects {
+		a := perTaxon[p.Taxon]
+		a.projects++
+		a.commits += p.Repo.CommitCount()
+		a.schemaVersions += len(p.Repo.FileVersions(p.DDLPath))
+		if *list {
+			fmt.Printf("%-24s %-22s %4d commits  ddl=%s\n",
+				p.Name, p.Taxon, p.Repo.CommitCount(), p.DDLPath)
+		}
+	}
+
+	tbl := &report.Table{
+		Title:  fmt.Sprintf("Corpus summary (seed %d, %d projects)", *seed, len(projects)),
+		Header: []string{"Taxon", "Projects", "Commits", "Schema versions"},
+	}
+	totals := agg{}
+	for _, taxon := range taxa.All() {
+		a := perTaxon[taxon]
+		tbl.AddRow(taxon.String(), strconv.Itoa(a.projects), strconv.Itoa(a.commits), strconv.Itoa(a.schemaVersions))
+		totals.projects += a.projects
+		totals.commits += a.commits
+		totals.schemaVersions += a.schemaVersions
+	}
+	tbl.AddRow("TOTAL", strconv.Itoa(totals.projects), strconv.Itoa(totals.commits), strconv.Itoa(totals.schemaVersions))
+	return tbl.Render(os.Stdout)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"coevo/internal/corpus"
+	"coevo/internal/history"
+	"coevo/internal/impact"
+	"coevo/internal/report"
+	"coevo/internal/schemadiff"
+)
+
+// runImpact performs the windowed co-change analysis on the corpus: per
+// change kind, the average amount of source churn landing around schema
+// commits — the automated version of the paper's §3.3 manual inspection.
+func runImpact(args []string) error {
+	fs := newFlagSet("impact")
+	seed := fs.Int64("seed", 2023, "corpus generation seed")
+	window := fs.Int("window", 2, "co-change window (commits on each side)")
+	project := fs.String("project", "", "restrict to one project (index or name substring)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	projects, err := corpus.Generate(corpus.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	if *project != "" {
+		p, err := pickProject(projects, *project)
+		if err != nil {
+			return err
+		}
+		projects = []*corpus.Project{p}
+	}
+
+	perKind := map[schemadiff.ChangeKind]*impact.KindImpact{}
+	activeCommits, sameCommit := 0, 0.0
+	for _, p := range projects {
+		sh, err := history.ExtractSchemaHistory(p.Repo, p.DDLPath, history.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		stats, err := impact.CoChange(p.Repo, sh, *window)
+		if err != nil {
+			return err
+		}
+		for kind, ki := range stats.PerKind {
+			agg := perKind[kind]
+			if agg == nil {
+				agg = &impact.KindImpact{}
+				perKind[kind] = agg
+			}
+			agg.Changes += ki.Changes
+			agg.SourceFileUpdates += ki.SourceFileUpdates
+		}
+		activeCommits += stats.ActiveSchemaCommits
+		sameCommit += stats.SameCommitShare * float64(stats.ActiveSchemaCommits)
+	}
+
+	tbl := &report.Table{
+		Title: fmt.Sprintf("Co-change around schema commits (%d projects, window ±%d commits)",
+			len(projects), *window),
+		Header: []string{"Change kind", "Changes", "Source churn", "Avg churn/change"},
+	}
+	kinds := make([]schemadiff.ChangeKind, 0, len(perKind))
+	for kind := range perKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, kind := range kinds {
+		ki := perKind[kind]
+		tbl.AddRow(kind.String(), strconv.Itoa(ki.Changes), strconv.Itoa(ki.SourceFileUpdates),
+			fmt.Sprintf("%.1f", ki.Avg()))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	if activeCommits > 0 {
+		fmt.Printf("\nactive schema commits: %d; share also touching source in the same revision: %.0f%%\n",
+			activeCommits, 100*sameCommit/float64(activeCommits))
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"coevo/internal/gitlog"
+	"coevo/internal/history"
+	"coevo/internal/study"
+)
+
+// runIngest analyzes a real project from its textual git log — produced by
+//
+//	git log --name-status --no-merges --date=iso > project.log
+//
+// and, when -ddl-dir points at a directory of dated DDL version files
+// (YYYY-MM-DD.sql, exported with `git show <commit>:<path>`), computes the
+// full co-evolution measure suite.
+func runIngest(args []string) error {
+	fs := newFlagSet("ingest")
+	logPath := fs.String("log", "", "path to the git log file (required)")
+	ddlDir := fs.String("ddl-dir", "", "directory of dated DDL versions (YYYY-MM-DD[.n].sql)")
+	name := fs.String("name", "", "project name for the report (default: log file name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("ingest: -log is required")
+	}
+	if *name == "" {
+		*name = strings.TrimSuffix(filepath.Base(*logPath), filepath.Ext(*logPath))
+	}
+
+	f, err := os.Open(*logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := gitlog.Parse(f)
+	if err != nil {
+		return err
+	}
+	ph, err := history.ProjectHistoryFromLog(entries)
+	if err != nil {
+		return err
+	}
+
+	if *ddlDir == "" {
+		return printProjectOnly(*name, ph, entries)
+	}
+
+	versions, err := loadDatedDDLVersions(*ddlDir)
+	if err != nil {
+		return err
+	}
+	sh, err := history.SchemaHistoryFromContents("schema.sql", versions, history.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	res, err := study.AnalyzeHistories(*name, "schema.sql", sh, ph, study.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	return printCaseStudy(os.Stdout, res)
+}
+
+// printProjectOnly reports project-activity statistics when no schema
+// versions are available.
+func printProjectOnly(name string, ph *history.ProjectHistory, entries []gitlog.Entry) error {
+	first, last := ph.Span()
+	fmt.Printf("project   %s\n", name)
+	fmt.Printf("commits   %d (non-merge)\n", ph.CommitCount())
+	fmt.Printf("files     %d updates\n", ph.TotalFileUpdates())
+	fmt.Printf("span      %s .. %s (%d months)\n\n",
+		first.Format("2006-01-02"), last.Format("2006-01-02"), ph.DurationMonths())
+
+	counts := gitlog.MonthlyFileUpdates(entries)
+	fmt.Println("monthly file updates (the Project Heartbeat):")
+	for _, month := range gitlog.SortedMonths(counts) {
+		fmt.Printf("  %s  %d\n", month, counts[month])
+	}
+	fmt.Println("\nprovide -ddl-dir with dated schema versions for the full co-evolution measures")
+	return nil
+}
+
+// loadDatedDDLVersions reads *.sql files named by ISO date from dir.
+func loadDatedDDLVersions(dir string) ([]history.DatedContent, error) {
+	glob, err := filepath.Glob(filepath.Join(dir, "*.sql"))
+	if err != nil {
+		return nil, err
+	}
+	if len(glob) == 0 {
+		return nil, fmt.Errorf("ingest: no .sql files in %s", dir)
+	}
+	type datedFile struct {
+		path string
+		when time.Time
+		seq  int
+	}
+	files := make([]datedFile, 0, len(glob))
+	for _, path := range glob {
+		stem := strings.TrimSuffix(filepath.Base(path), ".sql")
+		// Allow a .N disambiguator for multiple versions on one day; the
+		// plain file is sequence 0.
+		datePart, seq := stem, 0
+		if dot := strings.IndexByte(stem, '.'); dot > 0 {
+			datePart = stem[:dot]
+			n, err := strconv.Atoi(stem[dot+1:])
+			if err != nil {
+				return nil, fmt.Errorf("ingest: %s: disambiguator must be numeric (YYYY-MM-DD.N.sql)", path)
+			}
+			seq = n
+		}
+		when, err := time.Parse("2006-01-02", datePart)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %s: file name must start with YYYY-MM-DD: %w", path, err)
+		}
+		files = append(files, datedFile{path: path, when: when, seq: seq})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].when.Equal(files[j].when) {
+			return files[i].when.Before(files[j].when)
+		}
+		return files[i].seq < files[j].seq
+	})
+	versions := make([]history.DatedContent, 0, len(files))
+	for i, f := range files {
+		content, err := os.ReadFile(f.path)
+		if err != nil {
+			return nil, err
+		}
+		versions = append(versions, history.DatedContent{
+			When:    f.when.Add(time.Duration(i) * time.Minute),
+			Content: content,
+		})
+	}
+	return versions, nil
+}

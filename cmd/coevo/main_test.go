@@ -1,0 +1,146 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coevo/internal/corpus"
+	"coevo/internal/dataset"
+	"coevo/internal/history"
+	"coevo/internal/study"
+	"coevo/internal/taxa"
+)
+
+// smallProjects generates a few corpus projects for CLI helpers.
+func smallProjects(t *testing.T) []*corpus.Project {
+	t.Helper()
+	cfg := corpus.DefaultConfig(3)
+	profiles := corpus.DefaultProfiles()
+	for i := range profiles {
+		profiles[i].Count = 1
+		if profiles[i].DurationMonths[1] > 24 {
+			profiles[i].DurationMonths[1] = 24
+		}
+	}
+	cfg.Profiles = profiles
+	projects, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return projects
+}
+
+func TestPickProject(t *testing.T) {
+	projects := smallProjects(t)
+
+	byIndex, err := pickProject(projects, "2")
+	if err != nil || byIndex != projects[2] {
+		t.Errorf("pick by index: %v, %v", byIndex, err)
+	}
+	byName, err := pickProject(projects, projects[3].Name)
+	if err != nil || byName != projects[3] {
+		t.Errorf("pick by name: %v, %v", byName, err)
+	}
+	if _, err := pickProject(projects, "999"); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := pickProject(projects, "no-such-project"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestWriteFileCreatesDirectories(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "deeper", "out.txt")
+	err := writeFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "content")
+		return err
+	})
+	if err != nil {
+		t.Fatalf("writeFile: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "content" {
+		t.Errorf("read back %q, %v", got, err)
+	}
+}
+
+func TestLoadDatedDDLVersions(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"2016-01-05.sql":   "CREATE TABLE a (x INT);",
+		"2016-03-10.sql":   "CREATE TABLE a (x INT, y INT);",
+		"2016-03-10.2.sql": "CREATE TABLE a (x INT, y INT, z INT);",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	versions, err := loadDatedDDLVersions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 3 {
+		t.Fatalf("versions = %d", len(versions))
+	}
+	for i := 1; i < len(versions); i++ {
+		if !versions[i].When.After(versions[i-1].When) {
+			t.Errorf("versions not strictly ordered: %v", versions[i].When)
+		}
+	}
+	if !strings.Contains(string(versions[2].Content), "z INT") {
+		t.Errorf("intra-day ordering wrong: %q", versions[2].Content)
+	}
+
+	if _, err := loadDatedDDLVersions(t.TempDir()); err == nil {
+		t.Error("empty dir should fail")
+	}
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "not-a-date.sql"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDatedDDLVersions(bad); err == nil {
+		t.Error("undated file name should fail")
+	}
+}
+
+func TestCollectRepositoryForExport(t *testing.T) {
+	// The export path must work for every generated taxon.
+	for _, p := range smallProjects(t) {
+		st, err := dataset.CollectRepository(p.Repo, p.DDLPath, history.DefaultOptions(), taxa.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if st.Project != p.Repo.Name() {
+			t.Errorf("project name mismatch: %s", st.Project)
+		}
+	}
+}
+
+func TestPrintCaseStudyRuns(t *testing.T) {
+	projects := smallProjects(t)
+	res, err := analyzeForTest(projects[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.CreateTemp(t.TempDir(), "case-*.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := printCaseStudy(tmp, res); err != nil {
+		t.Fatalf("printCaseStudy: %v", err)
+	}
+	if st, _ := tmp.Stat(); st.Size() == 0 {
+		t.Error("case study output empty")
+	}
+}
+
+// analyzeForTest runs the study analysis on a corpus project.
+func analyzeForTest(p *corpus.Project) (*study.ProjectResult, error) {
+	return study.AnalyzeRepository(p.Repo, p.DDLPath, study.DefaultOptions())
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"coevo/internal/corpus"
+	"coevo/internal/history"
+	"coevo/internal/smo"
+)
+
+// runSMO derives the Schema Modification Operation sequence between two
+// versions of a corpus project's DDL file and prints it both as algebra
+// and as an executable migration script.
+func runSMO(args []string) error {
+	fs := newFlagSet("smo")
+	seed := fs.Int64("seed", 2023, "corpus generation seed")
+	project := fs.String("project", "0", "project index or name substring")
+	from := fs.Int("from", 0, "older version index")
+	to := fs.Int("to", -1, "newer version index (default: last)")
+	invert := fs.Bool("invert", false, "also print the inverse (rollback) sequence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	projects, err := corpus.Generate(corpus.DefaultConfig(*seed))
+	if err != nil {
+		return err
+	}
+	p, err := pickProject(projects, *project)
+	if err != nil {
+		return err
+	}
+	sh, err := history.ExtractSchemaHistory(p.Repo, p.DDLPath, history.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	if *to < 0 {
+		*to = sh.CommitCount() - 1
+	}
+	if *from < 0 || *from >= sh.CommitCount() || *to < 0 || *to >= sh.CommitCount() {
+		return fmt.Errorf("smo: version indices out of range [0, %d)", sh.CommitCount())
+	}
+
+	seq := smo.Derive(sh.Versions[*from].Schema, sh.Versions[*to].Schema)
+	fmt.Printf("%s: %s, versions %d -> %d (%d ops, %d activity units)\n\n",
+		p.Name, p.DDLPath, *from, *to, len(seq), seq.Activity())
+	if len(seq) == 0 {
+		fmt.Println("(no logical change between the versions)")
+		return nil
+	}
+	fmt.Println("operation sequence:")
+	fmt.Println(seq)
+	fmt.Println("\nmigration script:")
+	fmt.Println(seq.SQL())
+	if *invert {
+		fmt.Fprintln(os.Stdout, "\nrollback script:")
+		fmt.Println(seq.Invert().SQL())
+	}
+	return nil
+}

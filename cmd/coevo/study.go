@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"coevo/internal/report"
+	"coevo/internal/study"
+)
+
+// runStudy executes the full pipeline and renders every evaluation
+// artifact, optionally writing the per-project CSV data set.
+func runStudy(args []string) error {
+	fs := newFlagSet("study")
+	seed := fs.Int64("seed", 2023, "corpus generation seed")
+	csvPath := fs.String("csv", "", "write the per-project data set to this CSV file")
+	outDir := fs.String("out", "", "also write each figure to a file in this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "generating and analyzing the 195-project corpus (seed %d)...\n", *seed)
+	d, err := study.RunDefault(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analyzed %d projects\n\n", d.Size())
+
+	sections := []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		{"figure4.txt", func(w io.Writer) error {
+			return report.WriteSyncHistogram(w, d.SynchronicityHistogram(0.10, 5))
+		}},
+		{"figure4.svg", func(w io.Writer) error {
+			return report.WriteSyncHistogramSVG(w, d.SynchronicityHistogram(0.10, 5))
+		}},
+		{"figure5.svg", func(w io.Writer) error {
+			return report.WriteScatterSVG(w, d.DurationSynchronicityScatter())
+		}},
+		{"figure5.txt", func(w io.Writer) error {
+			if err := report.WriteScatter(w, d.DurationSynchronicityScatter()); err != nil {
+				return err
+			}
+			in, out := d.LongProjectSyncBand(60, 0.2, 0.8)
+			_, err := fmt.Fprintf(w, "projects older than 60 months: %d in the (0.2, 0.8) band, %d outside\n", in, out)
+			return err
+		}},
+		{"figure6.txt", func(w io.Writer) error {
+			return report.WriteAdvanceTable(w, d.AdvanceBreakdown())
+		}},
+		{"figure7.txt", func(w io.Writer) error {
+			return report.WriteAlwaysAdvance(w, d.AlwaysAdvance())
+		}},
+		{"figure8.txt", func(w io.Writer) error {
+			return report.WriteAttainment(w, d.Attainment())
+		}},
+		{"section7.txt", func(w io.Writer) error {
+			st, err := d.Statistics(*seed)
+			if err != nil {
+				return err
+			}
+			return report.WriteStatsReport(w, st)
+		}},
+	}
+	for _, s := range sections {
+		if !strings.HasSuffix(s.name, ".svg") {
+			if err := s.write(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if *outDir != "" {
+			if err := writeFile(filepath.Join(*outDir, s.name), s.write); err != nil {
+				return err
+			}
+		}
+	}
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w io.Writer) error {
+			return report.WriteDatasetCSV(w, d)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote data set to %s\n", *csvPath)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,148 @@
+// Package coevo is the public facade of the joint source and schema
+// evolution study toolkit — a from-scratch reproduction of "Joint Source
+// and Schema Evolution: Insights from a Study of 195 FOSS Projects"
+// (EDBT 2023).
+//
+// The toolkit measures, for a software project carrying a single-file SQL
+// schema, how the schema's evolution relates to the evolution of the
+// surrounding source code:
+//
+//   - θ-synchronicity: how often the two cumulative progressions move
+//     hand-in-hand (RQ1);
+//   - life percentage of schema advance over time and over source (RQ2);
+//   - α-attainment fractional timepoints: how early the schema collects a
+//     given share of its lifetime evolution (RQ3).
+//
+// The typical flow is:
+//
+//	projects, _ := coevo.GenerateCorpus(coevo.DefaultCorpusConfig(seed))
+//	dataset, _ := coevo.AnalyzeCorpus(projects, coevo.DefaultOptions())
+//	hist := dataset.SynchronicityHistogram(0.10, 5)   // Figure 4
+//	table := dataset.AdvanceBreakdown()               // Figure 6
+//	stats, _ := dataset.Statistics(seed)              // Section 7
+//
+// or, for a single repository (including ones reconstructed from real
+// `git log --name-status` output via the gitlog ingestion path):
+//
+//	result, _ := coevo.AnalyzeRepository(repo, "db/schema.sql", coevo.DefaultOptions())
+//	fmt.Println(result.Measures.Sync10)
+package coevo
+
+import (
+	"io"
+
+	"coevo/internal/coevolution"
+	"coevo/internal/corpus"
+	"coevo/internal/report"
+	"coevo/internal/study"
+	"coevo/internal/vcs"
+)
+
+// Aliases of the core result and configuration types, so downstream code
+// can consume the toolkit through this single import.
+type (
+	// Dataset is the per-project result collection of one study run.
+	Dataset = study.Dataset
+	// ProjectResult carries every measured quantity for one project.
+	ProjectResult = study.ProjectResult
+	// Options configures history extraction and taxon classification.
+	Options = study.Options
+	// CorpusConfig parameterizes synthetic corpus generation.
+	CorpusConfig = corpus.Config
+	// CorpusProject is one synthesized repository with its intended taxon.
+	CorpusProject = corpus.Project
+	// Repository is the in-memory git-like repository substrate.
+	Repository = vcs.Repository
+	// Signature names a commit author at a point in time.
+	Signature = vcs.Signature
+	// StatsReport is the Section 7 statistical analysis.
+	StatsReport = study.StatsReport
+)
+
+// DefaultOptions returns the paper's analysis configuration (month
+// chronon, birth counting, published taxon thresholds).
+func DefaultOptions() Options { return study.DefaultOptions() }
+
+// DefaultCorpusConfig returns the 195-project corpus configuration with
+// the given deterministic seed.
+func DefaultCorpusConfig(seed int64) CorpusConfig { return corpus.DefaultConfig(seed) }
+
+// NewRepository creates an empty in-memory repository.
+func NewRepository(name string) *Repository { return vcs.NewRepository(name) }
+
+// GenerateCorpus synthesizes a study corpus.
+func GenerateCorpus(cfg CorpusConfig) ([]*CorpusProject, error) { return corpus.Generate(cfg) }
+
+// AnalyzeCorpus measures every project of a corpus.
+func AnalyzeCorpus(projects []*CorpusProject, opts Options) (*Dataset, error) {
+	return study.AnalyzeCorpus(projects, opts)
+}
+
+// AnalyzeRepository measures one repository; pass an empty ddlPath to
+// locate the schema file automatically.
+func AnalyzeRepository(repo *Repository, ddlPath string, opts Options) (*ProjectResult, error) {
+	return study.AnalyzeRepository(repo, ddlPath, opts)
+}
+
+// RunStudy generates the default 195-project corpus and analyzes it — the
+// one-call reproduction of the paper's full pipeline.
+func RunStudy(seed int64) (*Dataset, error) { return study.RunDefault(seed) }
+
+// Rendering helpers re-exported from the report package, so examples and
+// downstream tools can produce the paper's figures through the facade.
+
+// WriteJointProgress renders a Figure 1/3-style joint cumulative progress
+// diagram.
+func WriteJointProgress(w io.Writer, title string, j *coevolution.JointProgress) error {
+	return report.WriteJointProgress(w, title, j)
+}
+
+// WriteSyncHistogram renders the Figure 4 synchronicity histogram.
+func WriteSyncHistogram(w io.Writer, h *study.SyncHistogram) error {
+	return report.WriteSyncHistogram(w, h)
+}
+
+// WriteScatter renders the Figure 5 duration-vs-synchronicity plot.
+func WriteScatter(w io.Writer, points []study.ScatterPoint) error {
+	return report.WriteScatter(w, points)
+}
+
+// WriteAdvanceTable renders the Figure 6 advance table.
+func WriteAdvanceTable(w io.Writer, t *study.AdvanceTable) error {
+	return report.WriteAdvanceTable(w, t)
+}
+
+// WriteAlwaysAdvance renders the Figure 7 per-taxon counts.
+func WriteAlwaysAdvance(w io.Writer, s *study.AlwaysAdvanceSummary) error {
+	return report.WriteAlwaysAdvance(w, s)
+}
+
+// WriteAttainment renders the Figure 8 attainment breakdown.
+func WriteAttainment(w io.Writer, b *study.AttainmentBreakdown) error {
+	return report.WriteAttainment(w, b)
+}
+
+// WriteStatsReport renders the Section 7 statistics.
+func WriteStatsReport(w io.Writer, r *StatsReport) error {
+	return report.WriteStatsReport(w, r)
+}
+
+// WriteDatasetCSV exports the per-project measurements as CSV.
+func WriteDatasetCSV(w io.Writer, d *Dataset) error {
+	return report.WriteDatasetCSV(w, d)
+}
+
+// WriteJointProgressSVG renders a joint progress diagram as SVG.
+func WriteJointProgressSVG(w io.Writer, title string, j *coevolution.JointProgress) error {
+	return report.WriteJointProgressSVG(w, title, j)
+}
+
+// WriteScatterSVG renders the Figure 5 scatter as SVG.
+func WriteScatterSVG(w io.Writer, points []study.ScatterPoint) error {
+	return report.WriteScatterSVG(w, points)
+}
+
+// WriteSyncHistogramSVG renders the Figure 4 histogram as SVG.
+func WriteSyncHistogramSVG(w io.Writer, h *study.SyncHistogram) error {
+	return report.WriteSyncHistogramSVG(w, h)
+}

@@ -1,0 +1,45 @@
+package coevo_test
+
+import (
+	"fmt"
+	"time"
+
+	"coevo"
+)
+
+// Example demonstrates the README's minimal flow: build a repository,
+// analyze it, read the co-evolution measures.
+func Example() {
+	repo := coevo.NewRepository("example/app")
+	at := func(m int) coevo.Signature {
+		return coevo.Signature{Name: "dev", Email: "dev@example.org",
+			When: time.Date(2021, 1, 10, 0, 0, 0, 0, time.UTC).AddDate(0, m, 0)}
+	}
+	repo.StageString("schema.sql", "CREATE TABLE notes (id INT PRIMARY KEY, body TEXT);")
+	repo.StageString("app.go", "package app")
+	if _, err := repo.Commit("init", at(0)); err != nil {
+		panic(err)
+	}
+	repo.StageString("schema.sql", "CREATE TABLE notes (id INT PRIMARY KEY, body TEXT, created_at TIMESTAMP);")
+	if _, err := repo.Commit("track creation time", at(2)); err != nil {
+		panic(err)
+	}
+	repo.StageString("app.go", "package app // v2")
+	if _, err := repo.Commit("late feature work", at(8)); err != nil {
+		panic(err)
+	}
+
+	result, err := coevo.AnalyzeRepository(repo, "", coevo.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("taxon: %s\n", result.Taxon)
+	fmt.Printf("duration: %d months, schema activity: %d units\n",
+		result.DurationMonths, result.TotalSchemaActivity)
+	fmt.Printf("75%% of schema evolution attained at %.0f%% of life\n",
+		100*result.Measures.Attain75)
+	// Output:
+	// taxon: ALMOST FROZEN
+	// duration: 8 months, schema activity: 3 units
+	// 75% of schema evolution attained at 25% of life
+}

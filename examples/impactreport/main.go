@@ -1,0 +1,124 @@
+// Impactreport demonstrates the co-change and blast-radius analyses: the
+// automated version of the manual commit-window inspection the paper
+// performs in its case study, and the "which code does this schema change
+// affect" tooling its implications section calls for.
+//
+// Run with:
+//
+//	go run ./examples/impactreport
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"coevo"
+	"coevo/internal/history"
+	"coevo/internal/impact"
+	"coevo/internal/schemadiff"
+)
+
+func main() {
+	repo := buildShop()
+
+	sh, err := history.ExtractSchemaHistory(repo, "db/schema.sql", history.DefaultOptions())
+	if err != nil {
+		log.Fatalf("schema history: %v", err)
+	}
+
+	// 1. Blast radius: which source files reference the schema elements a
+	// given change touches?
+	index, err := impact.ScanRepository(repo, "db/schema.sql", sh.FinalSchema(), impact.DefaultOptions())
+	if err != nil {
+		log.Fatalf("scan: %v", err)
+	}
+	fmt.Println("schema-element references at HEAD:")
+	for _, element := range []string{"orders", "customers", "discount"} {
+		fmt.Printf("  %-10s -> %v\n", element, index.FilesReferencing(element))
+	}
+
+	fmt.Println("\nper-version blast radius (files referencing changed elements):")
+	for i, d := range sh.Deltas {
+		if d.TotalActivity() == 0 {
+			continue
+		}
+		fmt.Printf("  version %d (%s): %v\n", i, d, index.AffectedFiles(d))
+	}
+
+	// 2. Windowed co-change: how much source churn lands around each kind
+	// of schema change?
+	stats, err := impact.CoChange(repo, sh, 1)
+	if err != nil {
+		log.Fatalf("co-change: %v", err)
+	}
+	fmt.Printf("\nco-change within ±%d commits of schema commits:\n", stats.WindowCommits)
+	for _, kind := range []schemadiff.ChangeKind{
+		schemadiff.AttrBornWithTable, schemadiff.AttrInjected,
+		schemadiff.AttrEjected, schemadiff.AttrTypeChanged,
+	} {
+		if ki, ok := stats.PerKind[kind]; ok {
+			fmt.Printf("  %-20s %d changes, avg %.1f source files each\n", kind, ki.Changes, ki.Avg())
+		}
+	}
+	fmt.Printf("schema commits also touching source in the same revision: %.0f%%\n",
+		100*stats.SameCommitShare)
+}
+
+// buildShop materializes a small web-shop project whose code references
+// its schema elements by name.
+func buildShop() *coevo.Repository {
+	repo := coevo.NewRepository("example/webshop")
+	seq := 0
+	commit := func(month int, msg string) {
+		seq++
+		sig := coevo.Signature{
+			Name: "dev", Email: "dev@example.org",
+			When: time.Date(2021, 2, 1, 0, 0, 0, 0, time.UTC).AddDate(0, month, 0).Add(time.Duration(seq) * time.Minute),
+		}
+		if _, err := repo.Commit(msg, sig); err != nil {
+			log.Fatalf("commit: %v", err)
+		}
+	}
+
+	repo.StageString("db/schema.sql", `
+		CREATE TABLE orders (id INT PRIMARY KEY, total DECIMAL(10,2), placed_at TIMESTAMP);
+		CREATE TABLE customers (id INT PRIMARY KEY, email VARCHAR(255));`)
+	repo.StageString("app/orders.go", `package app
+// Order persistence: INSERT INTO orders (total, placed_at) VALUES (?, ?)
+func SaveOrder() { query("orders", "total", "placed_at") }`)
+	repo.StageString("app/customers.go", `package app
+// SELECT email FROM customers WHERE id = ?
+func LoadCustomer() { query("customers", "email") }`)
+	repo.StageString("app/router.go", "package app\n// no database access here\n")
+	commit(0, "initial import")
+
+	repo.StageString("app/router.go", "package app\n// v2: more routes\n")
+	commit(1, "routing work")
+
+	repo.StageString("db/schema.sql", `
+		CREATE TABLE orders (id INT PRIMARY KEY, total DECIMAL(10,2), placed_at TIMESTAMP, discount DECIMAL(10,2));
+		CREATE TABLE customers (id INT PRIMARY KEY, email VARCHAR(255));`)
+	repo.StageString("app/orders.go", `package app
+// Order persistence now with discount:
+// INSERT INTO orders (total, placed_at, discount) VALUES (?, ?, ?)
+func SaveOrder() { query("orders", "total", "placed_at", "discount") }`)
+	commit(2, "discounts: schema + adaptation")
+
+	repo.StageString("app/orders.go", `package app
+// follow-up: validate discount against orders total
+func SaveOrder() { query("orders", "total", "placed_at", "discount") }`)
+	commit(2, "discount validation follow-up")
+
+	repo.StageString("db/schema.sql", `
+		CREATE TABLE orders (id INT PRIMARY KEY, total DECIMAL(10,2), placed_at TIMESTAMP, discount DECIMAL(10,2));
+		CREATE TABLE customers (id INT PRIMARY KEY, email VARCHAR(255), phone VARCHAR(32));`)
+	commit(4, "customer phone numbers (no code yet)")
+
+	repo.StageString("app/customers.go", `package app
+// late adaptation: SELECT email, phone FROM customers
+func LoadCustomer() { query("customers", "email", "phone") }`)
+	commit(5, "use customer phone in code")
+
+	return repo
+}

@@ -1,0 +1,3 @@
+module coevo
+
+go 1.22

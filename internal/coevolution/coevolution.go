@@ -1,0 +1,267 @@
+// Package coevolution implements the paper's measurement framework for
+// joint source and schema evolution:
+//
+//   - θ-synchronicity (RQ1): for which fraction of the project's monthly
+//     timepoints were the cumulative fractional progressions of schema and
+//     project within an acceptance band θ of each other;
+//   - life percentage of schema advance over time and over source (RQ2):
+//     for which fraction of the months after creation was the schema's
+//     cumulative progression ahead of time progress (resp. project
+//     progress);
+//   - α-attainment fractional timepoints (RQ3): how far into the project's
+//     life the schema first reached α percent of its total evolution.
+//
+// All measures operate on a JointProgress — the three aligned cumulative
+// fractional series of Figure 1's joint progress diagram.
+package coevolution
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"coevo/internal/heartbeat"
+)
+
+// Errors returned by the measures.
+var (
+	ErrEmptySeries = errors.New("coevolution: empty series")
+	ErrUndefined   = errors.New("coevolution: measure undefined for this history")
+	ErrBadTheta    = errors.New("coevolution: theta must be in [0, 1]")
+	ErrBadAlpha    = errors.New("coevolution: alpha must be in (0, 1]")
+)
+
+// JointProgress bundles the three cumulative fractional series of a
+// project over its monthly lifetime axis: project activity, schema
+// activity, and time.
+type JointProgress struct {
+	Start   heartbeat.Month
+	Project []float64
+	Schema  []float64
+	Time    []float64
+}
+
+// New builds a JointProgress from the two heartbeats (project activity and
+// schema activity), aligning them over the project's lifetime.
+func New(project, schema *heartbeat.Heartbeat) (*JointProgress, error) {
+	a, err := heartbeat.Align(project, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &JointProgress{Start: a.Start, Project: a.Project, Schema: a.Schema, Time: a.Time}, nil
+}
+
+// FromAligned wraps an already aligned triple.
+func FromAligned(a *heartbeat.Aligned) *JointProgress {
+	return &JointProgress{Start: a.Start, Project: a.Project, Schema: a.Schema, Time: a.Time}
+}
+
+// Len returns the number of monthly timepoints.
+func (j *JointProgress) Len() int { return len(j.Project) }
+
+// validate checks series consistency.
+func (j *JointProgress) validate() error {
+	if j.Len() == 0 {
+		return ErrEmptySeries
+	}
+	if len(j.Schema) != j.Len() || len(j.Time) != j.Len() {
+		return fmt.Errorf("%w: project %d, schema %d, time %d points",
+			heartbeat.ErrMisjoined, len(j.Project), len(j.Schema), len(j.Time))
+	}
+	return nil
+}
+
+// Synchronicity returns the θ-synchronicity of the project and schema
+// progressions: the fraction of timepoints t where |project(t) − schema(t)|
+// ≤ θ. θ is an acceptance band for "hand-in-hand" co-evolution, not a lag
+// measure; the paper reports θ = 10% (with θ = 5% as a robustness check).
+func (j *JointProgress) Synchronicity(theta float64) (float64, error) {
+	if err := j.validate(); err != nil {
+		return 0, err
+	}
+	if theta < 0 || theta > 1 {
+		return 0, fmt.Errorf("%w: %v", ErrBadTheta, theta)
+	}
+	inBand := 0
+	for i := range j.Project {
+		if math.Abs(j.Project[i]-j.Schema[i]) <= theta+1e-12 {
+			inBand++
+		}
+	}
+	return float64(inBand) / float64(j.Len()), nil
+}
+
+// AdvanceOverSource returns the life percentage of schema advance over
+// source: the fraction of months after the project's creation where the
+// schema's cumulative fractional activity was greater than or equal to the
+// project's. It is undefined (ErrUndefined) for single-month projects,
+// which have no months after creation — the "(blank)" rows of Figure 6.
+func (j *JointProgress) AdvanceOverSource() (float64, error) {
+	return j.advanceOver(j.Project)
+}
+
+// AdvanceOverTime returns the life percentage of schema advance over time:
+// the fraction of months after creation where the schema's cumulative
+// fractional activity was greater than or equal to the time progression.
+func (j *JointProgress) AdvanceOverTime() (float64, error) {
+	return j.advanceOver(j.Time)
+}
+
+func (j *JointProgress) advanceOver(other []float64) (float64, error) {
+	if err := j.validate(); err != nil {
+		return 0, err
+	}
+	n := j.Len() - 1 // months after creation
+	if n == 0 {
+		return 0, fmt.Errorf("%w: single-month project", ErrUndefined)
+	}
+	ahead := 0
+	for i := 1; i < j.Len(); i++ {
+		if j.Schema[i]-other[i] >= -1e-12 {
+			ahead++
+		}
+	}
+	return float64(ahead) / float64(n), nil
+}
+
+// AlwaysAdvance reports whether the schema was in advance of time, of
+// source, and of both, for every month after creation. Projects where the
+// measures are undefined report false on all three.
+func (j *JointProgress) AlwaysAdvance() (overTime, overSource, overBoth bool) {
+	t, errT := j.AdvanceOverTime()
+	s, errS := j.AdvanceOverSource()
+	overTime = errT == nil && t >= 1
+	overSource = errS == nil && s >= 1
+	overBoth = overTime && overSource
+	return overTime, overSource, overBoth
+}
+
+// Attainment returns the index of the first timepoint at which the
+// schema's cumulative fractional activity reached or exceeded alpha.
+func (j *JointProgress) Attainment(alpha float64) (int, error) {
+	if err := j.validate(); err != nil {
+		return 0, err
+	}
+	if alpha <= 0 || alpha > 1 {
+		return 0, fmt.Errorf("%w: %v", ErrBadAlpha, alpha)
+	}
+	for i, v := range j.Schema {
+		if v >= alpha-1e-12 {
+			return i, nil
+		}
+	}
+	// The schema series terminates at 1, so alpha ≤ 1 is always attained;
+	// reaching here means the series was malformed.
+	return 0, fmt.Errorf("%w: schema series never reaches %v", ErrUndefined, alpha)
+}
+
+// AttainmentFraction returns the α-attainment fractional timepoint: the
+// attainment month index divided by the project's duration in months. A
+// single-month project attains everything at fraction 0.
+func (j *JointProgress) AttainmentFraction(alpha float64) (float64, error) {
+	idx, err := j.Attainment(alpha)
+	if err != nil {
+		return 0, err
+	}
+	n := j.Len() - 1
+	if n == 0 {
+		return 0, nil
+	}
+	return float64(idx) / float64(n), nil
+}
+
+// Measures aggregates every per-project quantity the study reports. Values
+// whose measure is undefined for the project carry NaN and a false flag.
+type Measures struct {
+	// DurationMonths is the project's lifetime in months (timepoints - 1).
+	DurationMonths int
+
+	// Sync5 and Sync10 are the 5%- and 10%-synchronicity.
+	Sync5, Sync10 float64
+
+	// AdvanceTime and AdvanceSource are the life percentages of schema
+	// advance; Defined reports whether they exist (multi-month project).
+	AdvanceTime, AdvanceSource float64
+	AdvanceDefined             bool
+
+	// AlwaysAheadOfTime/Source/Both are the Figure 7 flags.
+	AlwaysAheadOfTime   bool
+	AlwaysAheadOfSource bool
+	AlwaysAheadOfBoth   bool
+
+	// Attain50..Attain100 are the α-attainment fractional timepoints.
+	Attain50, Attain75, Attain80, Attain100 float64
+}
+
+// ComputeMeasures evaluates the full measure suite on one joint progress.
+func ComputeMeasures(j *JointProgress) (*Measures, error) {
+	if err := j.validate(); err != nil {
+		return nil, err
+	}
+	m := &Measures{DurationMonths: j.Len() - 1}
+	var err error
+	if m.Sync5, err = j.Synchronicity(0.05); err != nil {
+		return nil, err
+	}
+	if m.Sync10, err = j.Synchronicity(0.10); err != nil {
+		return nil, err
+	}
+	at, errT := j.AdvanceOverTime()
+	as, errS := j.AdvanceOverSource()
+	switch {
+	case errT == nil && errS == nil:
+		m.AdvanceTime, m.AdvanceSource, m.AdvanceDefined = at, as, true
+	case errors.Is(errT, ErrUndefined) || errors.Is(errS, ErrUndefined):
+		m.AdvanceTime, m.AdvanceSource = math.NaN(), math.NaN()
+	default:
+		if errT != nil {
+			return nil, errT
+		}
+		return nil, errS
+	}
+	m.AlwaysAheadOfTime, m.AlwaysAheadOfSource, m.AlwaysAheadOfBoth = j.AlwaysAdvance()
+	for _, a := range []struct {
+		alpha float64
+		dst   *float64
+	}{
+		{0.50, &m.Attain50}, {0.75, &m.Attain75}, {0.80, &m.Attain80}, {1.00, &m.Attain100},
+	} {
+		v, err := j.AttainmentFraction(a.alpha)
+		if err != nil {
+			return nil, err
+		}
+		*a.dst = v
+	}
+	return m, nil
+}
+
+// Gap returns the per-month difference series project − schema. Positive
+// values mean the source's cumulative progression is ahead of the
+// schema's; negative values mean the schema leads. This is the lag curve
+// underneath both the θ-synchronicity band and the advance measures.
+func (j *JointProgress) Gap() ([]float64, error) {
+	if err := j.validate(); err != nil {
+		return nil, err
+	}
+	gap := make([]float64, j.Len())
+	for i := range gap {
+		gap[i] = j.Project[i] - j.Schema[i]
+	}
+	return gap, nil
+}
+
+// MaxDivergence returns the largest absolute project/schema gap and the
+// timepoint index where it occurs — "how far out of sync did this project
+// ever get".
+func (j *JointProgress) MaxDivergence() (value float64, month int, err error) {
+	gap, err := j.Gap()
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, g := range gap {
+		if a := math.Abs(g); a > value {
+			value, month = a, i
+		}
+	}
+	return value, month, nil
+}

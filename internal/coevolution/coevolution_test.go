@@ -1,0 +1,378 @@
+package coevolution
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coevo/internal/heartbeat"
+)
+
+// jp builds a JointProgress directly from series (all must share a length).
+func jp(project, schema, timeSeries []float64) *JointProgress {
+	return &JointProgress{Project: project, Schema: schema, Time: timeSeries}
+}
+
+// mk builds a JointProgress from raw monthly activity via the real
+// alignment path.
+func mk(t *testing.T, projectActivity, schemaActivity []float64) *JointProgress {
+	t.Helper()
+	p := heartbeat.New(0, len(projectActivity))
+	copy(p.Values, projectActivity)
+	s := heartbeat.New(0, len(schemaActivity))
+	copy(s.Values, schemaActivity)
+	j, err := New(p, s)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return j
+}
+
+func TestSynchronicityPerfect(t *testing.T) {
+	j := mk(t, []float64{10, 10, 10, 10}, []float64{1, 1, 1, 1})
+	sync, err := j.Synchronicity(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync != 1 {
+		t.Errorf("identical progressions: sync = %v, want 1", sync)
+	}
+}
+
+func TestSynchronicityDiverged(t *testing.T) {
+	// Schema completes everything at month 0; project grows linearly over
+	// 10 months. The progressions only meet inside the band near the end.
+	j := mk(t, []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, []float64{5, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	sync, err := j.Synchronicity(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// project cum: .1,.2,...,1.0; schema cum: 1 everywhere. |diff|<=0.1 at
+	// the last two points (0.9 and 1.0).
+	if math.Abs(sync-0.2) > 1e-9 {
+		t.Errorf("sync = %v, want 0.2", sync)
+	}
+}
+
+func TestSynchronicityThetaMonotone(t *testing.T) {
+	j := mk(t, []float64{3, 1, 4, 1, 5, 9, 2, 6}, []float64{2, 7, 1, 8, 2, 8, 1, 8})
+	s5, _ := j.Synchronicity(0.05)
+	s10, _ := j.Synchronicity(0.10)
+	s100, _ := j.Synchronicity(1.0)
+	if s5 > s10 || s10 > s100 {
+		t.Errorf("synchronicity must grow with theta: %v %v %v", s5, s10, s100)
+	}
+	if s100 != 1 {
+		t.Errorf("theta=1 must accept everything, got %v", s100)
+	}
+}
+
+func TestSynchronicityErrors(t *testing.T) {
+	j := mk(t, []float64{1, 1}, []float64{1, 1})
+	if _, err := j.Synchronicity(-0.1); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("negative theta err = %v", err)
+	}
+	if _, err := j.Synchronicity(1.5); !errors.Is(err, ErrBadTheta) {
+		t.Errorf("theta > 1 err = %v", err)
+	}
+	empty := jp(nil, nil, nil)
+	if _, err := empty.Synchronicity(0.1); !errors.Is(err, ErrEmptySeries) {
+		t.Errorf("empty err = %v", err)
+	}
+}
+
+func TestAdvanceEarlySchema(t *testing.T) {
+	// Schema finishes at month 0; it is ahead of both time and source for
+	// every subsequent month.
+	j := mk(t, []float64{1, 1, 1, 1, 1}, []float64{7, 0, 0, 0, 0})
+	at, err := j.AdvanceOverTime()
+	if err != nil || at != 1 {
+		t.Errorf("AdvanceOverTime = %v, %v; want 1", at, err)
+	}
+	as, err := j.AdvanceOverSource()
+	if err != nil || as != 1 {
+		t.Errorf("AdvanceOverSource = %v, %v; want 1", as, err)
+	}
+	ot, os, ob := j.AlwaysAdvance()
+	if !ot || !os || !ob {
+		t.Errorf("AlwaysAdvance = %v %v %v, want all true", ot, os, ob)
+	}
+}
+
+func TestAdvanceLateSchema(t *testing.T) {
+	// Schema changes only in the final month; it lags everywhere except
+	// the terminal point where all series converge at 1.
+	j := mk(t, []float64{1, 1, 1, 1, 1}, []float64{0, 0, 0, 0, 3})
+	at, err := j.AdvanceOverTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(at-0.25) > 1e-9 { // only the last of 4 post-creation months
+		t.Errorf("AdvanceOverTime = %v, want 0.25", at)
+	}
+	ot, os, ob := j.AlwaysAdvance()
+	if ot || os || ob {
+		t.Errorf("late schema should never be always-ahead: %v %v %v", ot, os, ob)
+	}
+}
+
+func TestAdvanceUndefinedForSingleMonth(t *testing.T) {
+	j := mk(t, []float64{5}, []float64{2})
+	if _, err := j.AdvanceOverTime(); !errors.Is(err, ErrUndefined) {
+		t.Errorf("single-month advance err = %v", err)
+	}
+	ot, os, ob := j.AlwaysAdvance()
+	if ot || os || ob {
+		t.Error("undefined advance must not report always-ahead")
+	}
+}
+
+func TestAttainment(t *testing.T) {
+	// The paper's worked example: cumulative fractional schema activity
+	// [20%, 47%, 85%, 95%, 100%, 100%, 100%] over months M0..M6. The
+	// 45%-attainment timepoint is M1 and the fractional timepoint 1/6.
+	schemaCum := []float64{0.20, 0.47, 0.85, 0.95, 1.00, 1.00, 1.00}
+	n := len(schemaCum)
+	j := jp(make([]float64, n), schemaCum, heartbeat.TimeProgress(n))
+	for i := range j.Project {
+		j.Project[i] = float64(i+1) / float64(n)
+	}
+	idx, err := j.Attainment(0.45)
+	if err != nil || idx != 1 {
+		t.Errorf("Attainment(45%%) = %d, %v; want 1", idx, err)
+	}
+	frac, err := j.AttainmentFraction(0.45)
+	if err != nil || math.Abs(frac-1.0/6.0) > 1e-9 {
+		t.Errorf("AttainmentFraction(45%%) = %v, %v; want 1/6", frac, err)
+	}
+	if idx, _ := j.Attainment(1.0); idx != 4 {
+		t.Errorf("Attainment(100%%) = %d, want 4", idx)
+	}
+}
+
+func TestAttainmentErrors(t *testing.T) {
+	j := mk(t, []float64{1, 1}, []float64{1, 1})
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, err := j.Attainment(alpha); !errors.Is(err, ErrBadAlpha) {
+			t.Errorf("alpha %v err = %v", alpha, err)
+		}
+	}
+}
+
+func TestAttainmentSingleMonth(t *testing.T) {
+	j := mk(t, []float64{5}, []float64{2})
+	frac, err := j.AttainmentFraction(0.75)
+	if err != nil || frac != 0 {
+		t.Errorf("single-month attainment = %v, %v; want 0", frac, err)
+	}
+}
+
+func TestComputeMeasures(t *testing.T) {
+	j := mk(t,
+		[]float64{10, 5, 5, 5, 5, 10}, // project
+		[]float64{8, 0, 2, 0, 0, 0},   // schema: early-heavy
+	)
+	m, err := ComputeMeasures(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DurationMonths != 5 {
+		t.Errorf("DurationMonths = %d, want 5", m.DurationMonths)
+	}
+	if !m.AdvanceDefined {
+		t.Error("advance should be defined")
+	}
+	// Schema cum: .8,.8,1,1,1,1 — ahead of time everywhere, and ahead of
+	// project cum (.25,.375,.5,.625,.75,1) everywhere.
+	if m.AdvanceTime != 1 || m.AdvanceSource != 1 {
+		t.Errorf("advance = %v/%v, want 1/1", m.AdvanceTime, m.AdvanceSource)
+	}
+	if !m.AlwaysAheadOfBoth {
+		t.Error("AlwaysAheadOfBoth should hold")
+	}
+	if m.Attain50 != 0 || m.Attain75 != 0 {
+		t.Errorf("early attainments = %v/%v, want 0/0", m.Attain50, m.Attain75)
+	}
+	if math.Abs(m.Attain100-0.4) > 1e-9 { // month 2 of 5
+		t.Errorf("Attain100 = %v, want 0.4", m.Attain100)
+	}
+	if m.Sync10 <= 0 || m.Sync10 > 1 {
+		t.Errorf("Sync10 = %v out of range", m.Sync10)
+	}
+}
+
+func TestComputeMeasuresSingleMonth(t *testing.T) {
+	j := mk(t, []float64{3}, []float64{2})
+	m, err := ComputeMeasures(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AdvanceDefined || !math.IsNaN(m.AdvanceTime) || !math.IsNaN(m.AdvanceSource) {
+		t.Errorf("single-month advance should be NaN/undefined: %+v", m)
+	}
+	if m.Sync10 != 1 { // both series are [1]
+		t.Errorf("Sync10 = %v, want 1", m.Sync10)
+	}
+}
+
+func TestFromAligned(t *testing.T) {
+	p := heartbeat.New(10, 3)
+	p.Values[0], p.Values[2] = 1, 1
+	s := heartbeat.New(10, 3)
+	s.Values[0] = 1
+	a, err := heartbeat.Align(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := FromAligned(a)
+	if j.Start != 10 || j.Len() != 3 {
+		t.Errorf("FromAligned = %+v", j)
+	}
+}
+
+// Property: for any non-degenerate progression pair, synchronicity is in
+// [0, 1], advance measures are in [0, 1], and attainment fractions are
+// non-decreasing in alpha.
+func TestQuickMeasureInvariants(t *testing.T) {
+	f := func(pRaw, sRaw []uint8) bool {
+		n := len(pRaw)
+		if n < 2 || len(sRaw) < n {
+			return true
+		}
+		p := heartbeat.New(0, n)
+		s := heartbeat.New(0, n)
+		pNonzero, sNonzero := false, false
+		for i := 0; i < n; i++ {
+			p.Values[i] = float64(pRaw[i])
+			s.Values[i] = float64(sRaw[i])
+			if pRaw[i] != 0 {
+				pNonzero = true
+			}
+			if sRaw[i] != 0 {
+				sNonzero = true
+			}
+		}
+		if !pNonzero || !sNonzero {
+			return true
+		}
+		j, err := New(p, s)
+		if err != nil {
+			return false
+		}
+		m, err := ComputeMeasures(j)
+		if err != nil {
+			return false
+		}
+		in01 := func(v float64) bool { return v >= 0 && v <= 1 }
+		if !in01(m.Sync5) || !in01(m.Sync10) || m.Sync5 > m.Sync10+1e-12 {
+			return false
+		}
+		if m.AdvanceDefined && (!in01(m.AdvanceTime) || !in01(m.AdvanceSource)) {
+			return false
+		}
+		return m.Attain50 <= m.Attain75+1e-12 &&
+			m.Attain75 <= m.Attain80+1e-12 &&
+			m.Attain80 <= m.Attain100+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: always-ahead-of-both implies both individual flags, and
+// always-ahead flags imply advance == 1.
+func TestQuickAlwaysAdvanceConsistency(t *testing.T) {
+	f := func(pRaw, sRaw []uint8) bool {
+		n := len(pRaw)
+		if n < 2 || len(sRaw) < n {
+			return true
+		}
+		p := heartbeat.New(0, n)
+		s := heartbeat.New(0, n)
+		ok := false
+		for i := 0; i < n; i++ {
+			p.Values[i] = float64(pRaw[i]%16) + 0.001 // ensure nonzero totals
+			s.Values[i] = float64(sRaw[i] % 16)
+			if sRaw[i]%16 != 0 {
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		j, err := New(p, s)
+		if err != nil {
+			return false
+		}
+		ot, os, ob := j.AlwaysAdvance()
+		if ob && (!ot || !os) {
+			return false
+		}
+		if ot {
+			if v, err := j.AdvanceOverTime(); err != nil || v < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPropagatesAlignmentErrors(t *testing.T) {
+	frozen := heartbeat.New(0, 3) // all-zero schema
+	project := heartbeat.New(0, 3)
+	project.Values[0] = 1
+	if _, err := New(project, frozen); err == nil {
+		t.Error("zero-total schema should fail")
+	}
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil heartbeats should fail")
+	}
+}
+
+func TestComputeMeasuresMismatchedSeries(t *testing.T) {
+	j := jp([]float64{0.5, 1}, []float64{1}, []float64{0, 1})
+	if _, err := ComputeMeasures(j); err == nil {
+		t.Error("mismatched series should fail")
+	}
+	if _, err := ComputeMeasures(jp(nil, nil, nil)); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestAttainmentMalformedSeries(t *testing.T) {
+	// A schema series that never reaches alpha (malformed: should end at
+	// 1) must report an error rather than a bogus index.
+	j := jp([]float64{0.5, 1}, []float64{0.1, 0.2}, []float64{0, 1})
+	if _, err := j.Attainment(0.9); !errors.Is(err, ErrUndefined) {
+		t.Errorf("err = %v, want ErrUndefined", err)
+	}
+}
+
+func TestGapAndMaxDivergence(t *testing.T) {
+	j := mk(t, []float64{1, 1, 1, 1}, []float64{3, 0, 0, 1})
+	gap, err := j.Gap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// schema cum: .75,.75,.75,1 ; project cum: .25,.5,.75,1
+	want := []float64{-0.5, -0.25, 0, 0}
+	for i := range want {
+		if math.Abs(gap[i]-want[i]) > 1e-9 {
+			t.Fatalf("gap = %v, want %v", gap, want)
+		}
+	}
+	v, m, err := j.MaxDivergence()
+	if err != nil || math.Abs(v-0.5) > 1e-9 || m != 0 {
+		t.Errorf("MaxDivergence = %v @ %d, %v; want 0.5 @ 0", v, m, err)
+	}
+	if _, err := jp(nil, nil, nil).Gap(); err == nil {
+		t.Error("empty gap should fail")
+	}
+	if _, _, err := jp(nil, nil, nil).MaxDivergence(); err == nil {
+		t.Error("empty divergence should fail")
+	}
+}

@@ -1,0 +1,27 @@
+package corpus
+
+import "testing"
+
+func BenchmarkGenerateProject(b *testing.B) {
+	cfg := DefaultConfig(1)
+	profiles := DefaultProfiles()
+	// One moderate project per iteration.
+	prof := profiles[3]
+	prof.Count = 1
+	cfg.Profiles = []Profile{prof}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateFullCorpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(DefaultConfig(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"coevo/internal/heartbeat"
+	"coevo/internal/vcs"
+)
+
+// sourcePool is the set of source files a generated project churns.
+var sourceDirs = []string{"src", "lib", "app", "parsers", "util", "handlers"}
+var sourceExts = []string{".js", ".go", ".py", ".rb", ".java"}
+
+// projectWriter emits the commits of one synthetic project with strictly
+// increasing timestamps.
+type projectWriter struct {
+	rng   *rand.Rand
+	repo  *vcs.Repository
+	start time.Time
+	dev   string
+	seq   int // global commit sequence for content uniqueness
+	pool  []string
+	ext   string
+}
+
+// filePool lazily builds the project's source file name pool.
+func (w *projectWriter) filePool() []string {
+	if w.pool == nil {
+		w.ext = sourceExts[w.rng.Intn(len(sourceExts))]
+		n := 12 + w.rng.Intn(30)
+		for i := 0; i < n; i++ {
+			dir := sourceDirs[w.rng.Intn(len(sourceDirs))]
+			w.pool = append(w.pool, fmt.Sprintf("%s/file_%02d%s", dir, i, w.ext))
+		}
+	}
+	return w.pool
+}
+
+// commitTime returns a timestamp inside the given project month. Hours
+// advance with the within-month commit index so ordering is guaranteed
+// (months are longer than any plausible commit count).
+func (w *projectWriter) commitTime(month, index int) time.Time {
+	base := (heartbeat.MonthOf(w.start) + heartbeat.Month(month)).Time()
+	return base.Add(time.Duration(index+1) * 45 * time.Minute)
+}
+
+// sig returns the author signature for a commit at the given time.
+func (w *projectWriter) sig(when time.Time) vcs.Signature {
+	return vcs.Signature{
+		Name:  w.dev,
+		Email: w.dev + "@example.org",
+		When:  when,
+	}
+}
+
+// emitMonth writes the commits of one project month: `commits` source
+// commits plus, when schemaUnits != 0 or cosmetic is set, a schema commit.
+// schemaUnits == -1 marks the birth commit (the DDL file's first version);
+// positive values apply that many change units; cosmetic emits a
+// comment-only edit (an inactive schema commit).
+func (w *projectWriter) emitMonth(month, commits, schemaUnits int, cosmetic bool, sb *schemaBuilder, prof Profile, ddlPath string) error {
+	index := 0
+	commitOnce := func(msg string) error {
+		when := w.commitTime(month, index)
+		index++
+		_, err := w.repo.Commit(msg, w.sig(when))
+		return err
+	}
+
+	if schemaUnits != 0 || cosmetic {
+		switch {
+		case schemaUnits > 0:
+			sb.applyUnits(schemaUnits)
+		case cosmetic:
+			sb.cosmeticEdit()
+		}
+		w.repo.StageString(ddlPath, sb.render())
+		// Schema commits usually ship with adjacent source changes — the
+		// co-change the study looks for.
+		w.stageSourceFiles(1 + w.rng.Intn(3))
+		msg := "update schema"
+		switch {
+		case schemaUnits < 0:
+			msg = "add database schema"
+		case cosmetic:
+			msg = "tidy schema comments"
+		}
+		if err := commitOnce(msg); err != nil {
+			return err
+		}
+	}
+
+	for c := 0; c < commits; c++ {
+		w.stageSourceFiles(randRange(w.rng, prof.FilesPerCommit))
+		if err := commitOnce(fmt.Sprintf("work: change %d", w.seq)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stageSourceFiles stages n distinct source files with fresh content.
+func (w *projectWriter) stageSourceFiles(n int) {
+	pool := w.filePool()
+	if n > len(pool) {
+		n = len(pool)
+	}
+	seen := map[int]bool{}
+	for len(seen) < n {
+		i := w.rng.Intn(len(pool))
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		w.seq++
+		w.repo.StageString(pool[i], fmt.Sprintf("// revision %d of %s\ncontent body %d\n", w.seq, pool[i], w.seq))
+	}
+}

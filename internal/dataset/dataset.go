@@ -1,0 +1,161 @@
+// Package dataset produces and serializes the per-history aggregate
+// measures of the upstream Schema_Evo data set that this study builds on:
+// timing (update periods), schema size at the endpoints (tables,
+// attributes), commit volumes, and the full attribute-level change
+// breakdown. One HistoryStats record corresponds to one row of the
+// published data set's detailed-measures files.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"coevo/internal/heartbeat"
+	"coevo/internal/history"
+	"coevo/internal/schemadiff"
+	"coevo/internal/taxa"
+	"coevo/internal/vcs"
+)
+
+// HistoryStats is the per-project aggregate record.
+type HistoryStats struct {
+	Project string `json:"project"`
+	DDLPath string `json:"ddl_path"`
+	Taxon   string `json:"taxon"`
+
+	// Timing: first/last month of each history and the update periods in
+	// months (the paper's Schema/Project Update Period).
+	SchemaStart         string `json:"schema_start"`
+	SchemaEnd           string `json:"schema_end"`
+	SchemaUpdatePeriod  int    `json:"schema_update_period_months"`
+	ProjectStart        string `json:"project_start"`
+	ProjectEnd          string `json:"project_end"`
+	ProjectUpdatePeriod int    `json:"project_update_period_months"`
+
+	// Volumes.
+	ProjectCommits      int `json:"project_commits"`
+	ProjectFileUpdates  int `json:"project_file_updates"`
+	SchemaCommits       int `json:"schema_commits"`
+	ActiveSchemaCommits int `json:"active_schema_commits"`
+
+	// Schema size at the endpoints.
+	TablesAtStart int `json:"tables_at_start"`
+	TablesAtEnd   int `json:"tables_at_end"`
+	AttrsAtStart  int `json:"attrs_at_start"`
+	AttrsAtEnd    int `json:"attrs_at_end"`
+
+	// Lifetime change breakdown, in the study's attribute units.
+	AttrsBornWithTable    int `json:"attrs_born_with_table"`
+	AttrsInjected         int `json:"attrs_injected"`
+	AttrsDeletedWithTable int `json:"attrs_deleted_with_table"`
+	AttrsEjected          int `json:"attrs_ejected"`
+	AttrsTypeChanged      int `json:"attrs_type_changed"`
+	AttrsPKChanged        int `json:"attrs_pk_changed"`
+	TablesCreated         int `json:"tables_created"`
+	TablesDropped         int `json:"tables_dropped"`
+	TotalActivity         int `json:"total_activity"`
+}
+
+// Collect aggregates one project's histories into a record.
+func Collect(name string, sh *history.SchemaHistory, ph *history.ProjectHistory, taxon taxa.Taxon) *HistoryStats {
+	st := &HistoryStats{
+		Project:             name,
+		DDLPath:             sh.Path,
+		Taxon:               taxon.String(),
+		ProjectCommits:      ph.CommitCount(),
+		ProjectFileUpdates:  ph.TotalFileUpdates(),
+		SchemaCommits:       sh.CommitCount(),
+		ActiveSchemaCommits: sh.ActiveCommits(),
+		TotalActivity:       sh.TotalActivity(),
+	}
+	if n := len(sh.Versions); n > 0 {
+		first, last := sh.Versions[0].When(), sh.Versions[n-1].When()
+		st.SchemaStart = heartbeat.MonthOf(first).String()
+		st.SchemaEnd = heartbeat.MonthOf(last).String()
+		st.SchemaUpdatePeriod = int(heartbeat.MonthOf(last) - heartbeat.MonthOf(first))
+		st.TablesAtStart = sh.Versions[0].Schema.TableCount()
+		st.AttrsAtStart = sh.Versions[0].Schema.AttributeCount()
+		final := sh.FinalSchema()
+		st.TablesAtEnd = final.TableCount()
+		st.AttrsAtEnd = final.AttributeCount()
+	}
+	if ph.CommitCount() > 0 {
+		first, last := ph.Span()
+		st.ProjectStart = heartbeat.MonthOf(first).String()
+		st.ProjectEnd = heartbeat.MonthOf(last).String()
+		st.ProjectUpdatePeriod = ph.DurationMonths()
+	}
+	for _, d := range sh.Deltas {
+		st.AttrsBornWithTable += d.AttrsBornWithTable
+		st.AttrsInjected += d.AttrsInjected
+		st.AttrsDeletedWithTable += d.AttrsDeletedWithTable
+		st.AttrsEjected += d.AttrsEjected
+		st.AttrsTypeChanged += d.AttrsTypeChanged
+		st.AttrsPKChanged += d.AttrsPKChanged
+		st.TablesCreated += d.TablesCreated
+		st.TablesDropped += d.TablesDropped
+	}
+	return st
+}
+
+// CollectRepository extracts both histories from a repository and
+// aggregates them, classifying the taxon on the way.
+func CollectRepository(repo *vcs.Repository, ddlPath string, opts history.Options, taxaCfg taxa.Config) (*HistoryStats, error) {
+	if ddlPath == "" {
+		found, err := history.FindDDLPath(repo)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", repo.Name(), err)
+		}
+		ddlPath = found
+	}
+	sh, err := history.ExtractSchemaHistory(repo, ddlPath, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", repo.Name(), err)
+	}
+	ph, err := history.ExtractProjectHistory(repo)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %s: %w", repo.Name(), err)
+	}
+	return Collect(repo.Name(), sh, ph, taxa.ClassifyHistory(sh, taxaCfg)), nil
+}
+
+// ActivityBreakdownConsistent verifies the internal invariant that the six
+// attribute counters sum to the total when birth counting is on — useful
+// as a data-quality check when loading external records.
+func (st *HistoryStats) ActivityBreakdownConsistent() bool {
+	sum := st.AttrsBornWithTable + st.AttrsInjected + st.AttrsDeletedWithTable +
+		st.AttrsEjected + st.AttrsTypeChanged + st.AttrsPKChanged
+	return sum == st.TotalActivity
+}
+
+// Delta reconstructs the aggregate delta counters of the record.
+func (st *HistoryStats) Delta() *schemadiff.Delta {
+	return &schemadiff.Delta{
+		TablesCreated:         st.TablesCreated,
+		TablesDropped:         st.TablesDropped,
+		AttrsBornWithTable:    st.AttrsBornWithTable,
+		AttrsInjected:         st.AttrsInjected,
+		AttrsDeletedWithTable: st.AttrsDeletedWithTable,
+		AttrsEjected:          st.AttrsEjected,
+		AttrsTypeChanged:      st.AttrsTypeChanged,
+		AttrsPKChanged:        st.AttrsPKChanged,
+	}
+}
+
+// WriteJSON serializes records as indented JSON.
+func WriteJSON(w io.Writer, records []*HistoryStats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// ReadJSON loads records written by WriteJSON.
+func ReadJSON(r io.Reader) ([]*HistoryStats, error) {
+	var records []*HistoryStats
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&records); err != nil {
+		return nil, fmt.Errorf("dataset: decoding: %w", err)
+	}
+	return records, nil
+}

@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"coevo/internal/corpus"
+	"coevo/internal/history"
+	"coevo/internal/taxa"
+	"coevo/internal/vcs"
+)
+
+func buildRepo(t *testing.T) *vcs.Repository {
+	t.Helper()
+	r := vcs.NewRepository("acme/app")
+	when := func(m int) vcs.Signature {
+		return vcs.Signature{Name: "d", Email: "d@e.f",
+			When: time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC).AddDate(0, m, 0)}
+	}
+	r.StageString("schema.sql", "CREATE TABLE a (x INT, y INT); CREATE TABLE b (z TEXT);")
+	r.StageString("main.go", "package main")
+	if _, err := r.Commit("init", when(0)); err != nil {
+		t.Fatal(err)
+	}
+	r.StageString("schema.sql", "CREATE TABLE a (x BIGINT, y INT, w INT); CREATE TABLE b (z TEXT);")
+	if _, err := r.Commit("grow", when(5)); err != nil {
+		t.Fatal(err)
+	}
+	r.StageString("main.go", "package main // v2")
+	if _, err := r.Commit("late work", when(9)); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCollectRepository(t *testing.T) {
+	r := buildRepo(t)
+	st, err := CollectRepository(r, "", history.DefaultOptions(), taxa.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Project != "acme/app" || st.DDLPath != "schema.sql" {
+		t.Errorf("identity = %q %q", st.Project, st.DDLPath)
+	}
+	if st.SchemaStart != "2016-03" || st.SchemaEnd != "2016-08" || st.SchemaUpdatePeriod != 5 {
+		t.Errorf("schema timing = %s..%s (%d)", st.SchemaStart, st.SchemaEnd, st.SchemaUpdatePeriod)
+	}
+	if st.ProjectUpdatePeriod != 9 {
+		t.Errorf("project period = %d", st.ProjectUpdatePeriod)
+	}
+	if st.TablesAtStart != 2 || st.AttrsAtStart != 3 {
+		t.Errorf("size at start = %d tables / %d attrs", st.TablesAtStart, st.AttrsAtStart)
+	}
+	if st.TablesAtEnd != 2 || st.AttrsAtEnd != 4 {
+		t.Errorf("size at end = %d tables / %d attrs", st.TablesAtEnd, st.AttrsAtEnd)
+	}
+	// Birth: 3 born; growth: 1 injected + 1 type change.
+	if st.AttrsBornWithTable != 3 || st.AttrsInjected != 1 || st.AttrsTypeChanged != 1 {
+		t.Errorf("breakdown = %+v", st)
+	}
+	if st.TotalActivity != 5 || !st.ActivityBreakdownConsistent() {
+		t.Errorf("total = %d consistent = %v", st.TotalActivity, st.ActivityBreakdownConsistent())
+	}
+	if st.Delta().TotalActivity() != 5 {
+		t.Errorf("Delta() total = %d", st.Delta().TotalActivity())
+	}
+	if st.Taxon != taxa.AlmostFrozen.String() {
+		t.Errorf("taxon = %s", st.Taxon)
+	}
+}
+
+func TestCollectRepositoryErrors(t *testing.T) {
+	empty := vcs.NewRepository("acme/empty")
+	if _, err := CollectRepository(empty, "", history.DefaultOptions(), taxa.DefaultConfig()); err == nil {
+		t.Error("empty repo should fail")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := buildRepo(t)
+	st, err := CollectRepository(r, "", history.DefaultOptions(), taxa.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := []*HistoryStats{st, st}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(records, loaded) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", records[0], loaded[0])
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestCollectCorpusConsistency(t *testing.T) {
+	cfg := corpus.DefaultConfig(17)
+	profiles := corpus.DefaultProfiles()
+	for i := range profiles {
+		profiles[i].Count = 2
+		if profiles[i].DurationMonths[1] > 36 {
+			profiles[i].DurationMonths[1] = 36
+		}
+	}
+	cfg.Profiles = profiles
+	projects, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range projects {
+		st, err := CollectRepository(p.Repo, p.DDLPath, history.DefaultOptions(), taxa.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !st.ActivityBreakdownConsistent() {
+			t.Errorf("%s: breakdown %d+... != total %d", p.Name,
+				st.AttrsBornWithTable, st.TotalActivity)
+		}
+		if st.SchemaUpdatePeriod > st.ProjectUpdatePeriod {
+			// The schema file cannot outlive the project in these corpora.
+			t.Errorf("%s: schema period %d > project period %d", p.Name,
+				st.SchemaUpdatePeriod, st.ProjectUpdatePeriod)
+		}
+		if st.ActiveSchemaCommits > st.SchemaCommits {
+			t.Errorf("%s: active %d > commits %d", p.Name, st.ActiveSchemaCommits, st.SchemaCommits)
+		}
+	}
+}

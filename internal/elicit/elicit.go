@@ -1,0 +1,267 @@
+// Package elicit reproduces the data-set construction methodology of
+// Section 3.1: the filters that reduce a raw crop of candidate
+// repositories to the study corpus. The published pipeline:
+//
+//  1. collection — candidate repositories carrying .sql files;
+//  2. elicitation — keep single-file schema-DDL projects, drop projects
+//     whose path contains 'example', 'demo', 'test' or 'migrate', and
+//     prefer MySQL over Postgres when several vendors are supported;
+//  3. post-processing — drop projects with fewer than two versions of the
+//     DDL file or with no CREATE TABLE statement in it.
+//
+// Applying these filters to a raw repository set yields the accepted
+// corpus plus a per-rejection audit trail, mirroring how the published
+// data set kept 195 of 327 candidate histories.
+package elicit
+
+import (
+	"fmt"
+	"strings"
+
+	"coevo/internal/history"
+	"coevo/internal/schema"
+	"coevo/internal/vcs"
+)
+
+// RejectReason classifies why a candidate was filtered out.
+type RejectReason int
+
+// The rejection reasons, in the order the pipeline applies them.
+const (
+	// RejectNoDDL: the repository has no .sql file at all.
+	RejectNoDDL RejectReason = iota
+	// RejectMultiFile: more than one candidate schema file and no way to
+	// pick a single one.
+	RejectMultiFile
+	// RejectPathTerm: the DDL path contains a disqualifying term
+	// (example, demo, test, migrate).
+	RejectPathTerm
+	// RejectSingleVersion: the DDL file has fewer than two versions.
+	RejectSingleVersion
+	// RejectNoCreate: no version of the DDL file declares a table.
+	RejectNoCreate
+)
+
+// String names the reason.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectNoDDL:
+		return "no DDL file"
+	case RejectMultiFile:
+		return "multiple schema files"
+	case RejectPathTerm:
+		return "disqualified path term"
+	case RejectSingleVersion:
+		return "fewer than two versions"
+	case RejectNoCreate:
+		return "no CREATE TABLE"
+	default:
+		return "unknown"
+	}
+}
+
+// Rejection records one filtered-out candidate.
+type Rejection struct {
+	Repo   *vcs.Repository
+	Reason RejectReason
+	Detail string
+}
+
+// Accepted records one candidate that passed all filters.
+type Accepted struct {
+	Repo    *vcs.Repository
+	DDLPath string
+	// Vendor is the detected dialect family of the DDL file ("mysql",
+	// "postgres" or "unknown"), used by the vendor-preference rule.
+	Vendor string
+}
+
+// Result is the outcome of running the elicitation pipeline.
+type Result struct {
+	Accepted []Accepted
+	Rejected []Rejection
+}
+
+// disqualifyingTerms are the paper's path filters.
+var disqualifyingTerms = []string{"example", "demo", "test", "migrate"}
+
+// Run applies the elicitation pipeline to the candidate repositories.
+func Run(candidates []*vcs.Repository) *Result {
+	res := &Result{}
+	for _, repo := range candidates {
+		acc, rej := elicitOne(repo)
+		if rej != nil {
+			res.Rejected = append(res.Rejected, *rej)
+			continue
+		}
+		res.Accepted = append(res.Accepted, *acc)
+	}
+	return res
+}
+
+func elicitOne(repo *vcs.Repository) (*Accepted, *Rejection) {
+	paths := sqlPaths(repo)
+	if len(paths) == 0 {
+		return nil, &Rejection{Repo: repo, Reason: RejectNoDDL}
+	}
+
+	// Vendor preference: when several schema files exist, prefer MySQL
+	// over Postgres (the paper's rule), and require a single winner.
+	candidates := schemaCandidates(repo, paths)
+	if len(candidates) == 0 {
+		return nil, &Rejection{Repo: repo, Reason: RejectNoCreate}
+	}
+	path := pickByVendor(candidates)
+	if path == "" {
+		return nil, &Rejection{Repo: repo, Reason: RejectMultiFile,
+			Detail: fmt.Sprintf("%d candidates", len(candidates))}
+	}
+
+	if term := disqualifiedTerm(path); term != "" {
+		return nil, &Rejection{Repo: repo, Reason: RejectPathTerm, Detail: term}
+	}
+
+	versions := repo.FileVersions(path)
+	live := 0
+	for _, v := range versions {
+		if !v.Deleted {
+			live++
+		}
+	}
+	if live < 2 {
+		return nil, &Rejection{Repo: repo, Reason: RejectSingleVersion,
+			Detail: fmt.Sprintf("%d version(s)", live)}
+	}
+
+	vendor := "unknown"
+	for _, c := range candidates {
+		if c.path == path {
+			vendor = c.vendor
+		}
+	}
+	return &Accepted{Repo: repo, DDLPath: path, Vendor: vendor}, nil
+}
+
+// sqlPaths lists every .sql path ever committed, following renames.
+func sqlPaths(repo *vcs.Repository) []string {
+	seen := map[string]bool{}
+	for _, e := range repo.Log(vcs.LogOptions{Reverse: true}) {
+		for _, ch := range e.Changes {
+			if strings.HasSuffix(strings.ToLower(ch.Path), ".sql") {
+				seen[ch.Path] = true
+				if ch.OldPath != "" {
+					delete(seen, ch.OldPath)
+				}
+			}
+		}
+	}
+	var out []string
+	for p := range seen {
+		out = append(out, p)
+	}
+	return out
+}
+
+type candidate struct {
+	path   string
+	vendor string
+}
+
+// schemaCandidates keeps the .sql files whose latest content declares at
+// least one table, detecting the vendor on the way.
+func schemaCandidates(repo *vcs.Repository, paths []string) []candidate {
+	var out []candidate
+	for _, p := range paths {
+		versions := repo.FileVersions(p)
+		var content []byte
+		for i := len(versions) - 1; i >= 0; i-- {
+			if !versions[i].Deleted {
+				content = versions[i].Content
+				break
+			}
+		}
+		if content == nil {
+			continue
+		}
+		s, _ := schema.ParseAndBuild(string(content))
+		if s.TableCount() == 0 {
+			continue
+		}
+		out = append(out, candidate{path: p, vendor: DetectVendor(content)})
+	}
+	return out
+}
+
+// pickByVendor returns the single winning path: a lone candidate, or the
+// lone MySQL file, or the lone Postgres file; "" when still ambiguous.
+func pickByVendor(cands []candidate) string {
+	if len(cands) == 1 {
+		return cands[0].path
+	}
+	for _, vendor := range []string{"mysql", "postgres"} {
+		var matches []string
+		for _, c := range cands {
+			if c.vendor == vendor {
+				matches = append(matches, c.path)
+			}
+		}
+		if len(matches) == 1 {
+			return matches[0]
+		}
+		if len(matches) > 1 {
+			return ""
+		}
+	}
+	return ""
+}
+
+// disqualifiedTerm returns the first disqualifying term found in the path
+// (case-insensitively), or "".
+func disqualifiedTerm(path string) string {
+	lower := strings.ToLower(path)
+	for _, term := range disqualifyingTerms {
+		if strings.Contains(lower, term) {
+			return term
+		}
+	}
+	return ""
+}
+
+// DetectVendor guesses the SQL dialect family of a DDL file from its
+// vendor-specific constructs.
+func DetectVendor(content []byte) string {
+	text := strings.ToLower(string(content))
+	mysqlScore, pgScore := 0, 0
+	for _, marker := range []string{"engine=", "auto_increment", "`", "unsigned", "tinyint", "mediumtext", "charset="} {
+		if strings.Contains(text, marker) {
+			mysqlScore++
+		}
+	}
+	for _, marker := range []string{"serial", "bigserial", " text[]", "to_tsvector", "::", "with time zone", "nextval(", "jsonb"} {
+		if strings.Contains(text, marker) {
+			pgScore++
+		}
+	}
+	switch {
+	case mysqlScore > pgScore:
+		return "mysql"
+	case pgScore > mysqlScore:
+		return "postgres"
+	default:
+		return "unknown"
+	}
+}
+
+// Histories extracts the schema and project histories of every accepted
+// project, the handoff into the study pipeline.
+func (r *Result) Histories(opts history.Options) (map[string]*history.SchemaHistory, error) {
+	out := make(map[string]*history.SchemaHistory, len(r.Accepted))
+	for _, a := range r.Accepted {
+		sh, err := history.ExtractSchemaHistory(a.Repo, a.DDLPath, opts)
+		if err != nil {
+			return nil, fmt.Errorf("elicit: %s: %w", a.Repo.Name(), err)
+		}
+		out[a.Repo.Name()] = sh
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package elicit
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coevo/internal/corpus"
+	"coevo/internal/history"
+	"coevo/internal/vcs"
+)
+
+func sig(day int) vcs.Signature {
+	return vcs.Signature{Name: "d", Email: "d@e.f",
+		When: time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, day)}
+}
+
+func mustCommit(t *testing.T, r *vcs.Repository, msg string, day int) {
+	t.Helper()
+	if _, err := r.Commit(msg, sig(day)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// repoWith builds a repo with the given DDL path and n schema versions.
+func repoWith(t *testing.T, name, path string, versions int) *vcs.Repository {
+	t.Helper()
+	r := vcs.NewRepository(name)
+	for v := 0; v < versions; v++ {
+		var ddl string
+		ddl = "CREATE TABLE t (a INT"
+		for i := 0; i < v; i++ {
+			ddl += fmt.Sprintf(", c%d INT", i)
+		}
+		ddl += ");"
+		r.StageString(path, ddl)
+		mustCommit(t, r, fmt.Sprintf("v%d", v), v*10)
+	}
+	return r
+}
+
+func TestRunAcceptsCleanProject(t *testing.T) {
+	good := repoWith(t, "org/good", "db/schema.sql", 3)
+	res := Run([]*vcs.Repository{good})
+	if len(res.Accepted) != 1 || len(res.Rejected) != 0 {
+		t.Fatalf("accepted %d rejected %d", len(res.Accepted), len(res.Rejected))
+	}
+	if res.Accepted[0].DDLPath != "db/schema.sql" {
+		t.Errorf("path = %q", res.Accepted[0].DDLPath)
+	}
+}
+
+func TestRunRejections(t *testing.T) {
+	noSQL := vcs.NewRepository("org/nosql")
+	noSQL.StageString("main.go", "package main")
+	mustCommit(t, noSQL, "init", 0)
+
+	demoPath := repoWith(t, "org/demo-path", "examples/schema.sql", 3)
+	testPath := repoWith(t, "org/test-path", "sql/test_fixtures.sql", 3)
+	migratePath := repoWith(t, "org/migrations", "db/migrate/001.sql", 3)
+	single := repoWith(t, "org/single", "schema.sql", 1)
+
+	noCreate := vcs.NewRepository("org/nocreate")
+	noCreate.StageString("notes.sql", "-- thoughts about SQL\nSET NAMES utf8;")
+	mustCommit(t, noCreate, "init", 0)
+	noCreate.StageString("notes.sql", "-- more thoughts")
+	mustCommit(t, noCreate, "more", 5)
+
+	res := Run([]*vcs.Repository{noSQL, demoPath, testPath, migratePath, single, noCreate})
+	if len(res.Accepted) != 0 {
+		t.Fatalf("accepted %d, want 0", len(res.Accepted))
+	}
+	reasons := map[string]RejectReason{}
+	for _, rej := range res.Rejected {
+		reasons[rej.Repo.Name()] = rej.Reason
+	}
+	want := map[string]RejectReason{
+		"org/nosql":      RejectNoDDL,
+		"org/demo-path":  RejectPathTerm,
+		"org/test-path":  RejectPathTerm,
+		"org/migrations": RejectPathTerm,
+		"org/single":     RejectSingleVersion,
+		"org/nocreate":   RejectNoCreate,
+	}
+	for name, reason := range want {
+		if reasons[name] != reason {
+			t.Errorf("%s: reason = %v, want %v", name, reasons[name], reason)
+		}
+	}
+}
+
+func TestVendorPreferenceMySQLOverPostgres(t *testing.T) {
+	r := vcs.NewRepository("org/dual-vendor")
+	r.StageString("db/mysql.sql", "CREATE TABLE `t` (`id` INT AUTO_INCREMENT, PRIMARY KEY(`id`)) ENGINE=InnoDB;")
+	r.StageString("db/pg.sql", "CREATE TABLE t (id SERIAL PRIMARY KEY, payload JSONB);")
+	mustCommit(t, r, "init", 0)
+	r.StageString("db/mysql.sql", "CREATE TABLE `t` (`id` INT AUTO_INCREMENT, `x` INT, PRIMARY KEY(`id`)) ENGINE=InnoDB;")
+	r.StageString("db/pg.sql", "CREATE TABLE t (id SERIAL PRIMARY KEY, payload JSONB, y INT);")
+	mustCommit(t, r, "grow", 10)
+
+	res := Run([]*vcs.Repository{r})
+	if len(res.Accepted) != 1 {
+		t.Fatalf("accepted = %d (%+v)", len(res.Accepted), res.Rejected)
+	}
+	if res.Accepted[0].DDLPath != "db/mysql.sql" || res.Accepted[0].Vendor != "mysql" {
+		t.Errorf("accepted = %+v, want the MySQL file", res.Accepted[0])
+	}
+}
+
+func TestAmbiguousMultiFileRejected(t *testing.T) {
+	r := vcs.NewRepository("org/two-mysql")
+	r.StageString("a.sql", "CREATE TABLE `a` (`id` INT) ENGINE=InnoDB;")
+	r.StageString("b.sql", "CREATE TABLE `b` (`id` INT) ENGINE=InnoDB;")
+	mustCommit(t, r, "init", 0)
+	res := Run([]*vcs.Repository{r})
+	if len(res.Rejected) != 1 || res.Rejected[0].Reason != RejectMultiFile {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestDetectVendor(t *testing.T) {
+	cases := []struct {
+		content string
+		want    string
+	}{
+		{"CREATE TABLE `t` (`a` INT UNSIGNED) ENGINE=InnoDB DEFAULT CHARSET=utf8;", "mysql"},
+		{"CREATE TABLE t (id BIGSERIAL, ts TIMESTAMP WITH TIME ZONE, doc JSONB);", "postgres"},
+		{"CREATE TABLE t (a INT);", "unknown"},
+	}
+	for _, tc := range cases {
+		if got := DetectVendor([]byte(tc.content)); got != tc.want {
+			t.Errorf("DetectVendor(%q) = %q, want %q", tc.content, got, tc.want)
+		}
+	}
+}
+
+func TestRejectReasonStrings(t *testing.T) {
+	reasons := []RejectReason{RejectNoDDL, RejectMultiFile, RejectPathTerm, RejectSingleVersion, RejectNoCreate}
+	seen := map[string]bool{}
+	for _, r := range reasons {
+		s := r.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Errorf("reason %d string %q", r, s)
+		}
+		seen[s] = true
+	}
+	if RejectReason(42).String() != "unknown" {
+		t.Error("out-of-range reason")
+	}
+}
+
+func TestElicitedCorpusFeedsHistories(t *testing.T) {
+	// The generated corpus passes elicitation end to end and the result
+	// hands off into history extraction.
+	cfg := corpus.DefaultConfig(19)
+	profiles := corpus.DefaultProfiles()
+	for i := range profiles {
+		profiles[i].Count = 2
+		// The ≥2-versions rule needs room for a post-birth cosmetic edit.
+		if profiles[i].DurationMonths[0] < 3 {
+			profiles[i].DurationMonths[0] = 3
+		}
+		if profiles[i].DurationMonths[1] > 24 {
+			profiles[i].DurationMonths[1] = 24
+		}
+	}
+	cfg.Profiles = profiles
+	projects, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repos := make([]*vcs.Repository, 0, len(projects))
+	for _, p := range projects {
+		repos = append(repos, p.Repo)
+	}
+	res := Run(repos)
+	if len(res.Accepted) != len(repos) {
+		t.Fatalf("accepted %d of %d: %+v", len(res.Accepted), len(repos), res.Rejected)
+	}
+	histories, err := res.Histories(history.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(histories) != len(repos) {
+		t.Errorf("histories = %d", len(histories))
+	}
+}

@@ -1,0 +1,37 @@
+package gitlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts that arbitrary log text never panics the parser, and
+// that whatever parses successfully survives an emit/parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    msg\n",
+		"commit abc\nMerge: a b\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n",
+		"commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nM\tfile\nR100\told\tnew\n",
+		"garbage before commit\n",
+		"commit \n",
+		"commit abc (HEAD -> main)\nAuthor: A <a@b.c>\nDate:   2020-01-01T00:00:00+02:00\n\n    m\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		entries, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		var buf bytes.Buffer
+		if err := Emit(&buf, entries); err != nil {
+			t.Fatalf("Emit after successful Parse: %v", err)
+		}
+		if _, err := Parse(&buf); err != nil {
+			t.Fatalf("re-Parse of emitted log failed: %v", err)
+		}
+	})
+}

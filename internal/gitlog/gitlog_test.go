@@ -1,0 +1,250 @@
+package gitlog
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"coevo/internal/vcs"
+)
+
+const sampleLog = `commit 8f3b2c1d4e5f6a7b8c9d0e1f2a3b4c5d6e7f8091
+Author: Jane Dev <jane@example.com>
+Date:   2016-02-03 10:20:30 +0000
+
+    Add notes table
+
+    Second paragraph of the message.
+
+M	schema.sql
+A	parsers/notes.js
+R100	lib/old.js	lib/new.js
+
+commit 1a2b3c4d5e6f708192a3b4c5d6e7f8091a2b3c4d
+Merge: 8f3b2c1 77aa88b
+Author: Bob Dev <bob@example.com>
+Date:   2016-01-15 08:00:00 +0100
+
+    Merge branch 'feature'
+
+commit 77aa88b99cc00dd11ee22ff33aa44bb55cc66dd7
+Author: Jane Dev <jane@example.com>
+Date:   2016-01-10 09:00:00 +0000
+
+    initial
+
+A	schema.sql
+A	package.json
+`
+
+func TestParseSample(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("len(entries) = %d, want 3", len(entries))
+	}
+
+	e := entries[0]
+	if e.Hash != "8f3b2c1d4e5f6a7b8c9d0e1f2a3b4c5d6e7f8091" {
+		t.Errorf("hash = %q", e.Hash)
+	}
+	if e.Author != "Jane Dev" || e.Email != "jane@example.com" {
+		t.Errorf("author = %q <%q>", e.Author, e.Email)
+	}
+	wantDate := time.Date(2016, 2, 3, 10, 20, 30, 0, time.UTC)
+	if !e.Date.Equal(wantDate) {
+		t.Errorf("date = %v, want %v", e.Date, wantDate)
+	}
+	if !strings.HasPrefix(e.Message, "Add notes table") || !strings.Contains(e.Message, "Second paragraph") {
+		t.Errorf("message = %q", e.Message)
+	}
+	wantChanges := []vcs.FileChange{
+		{Status: vcs.Modified, Path: "schema.sql"},
+		{Status: vcs.Added, Path: "parsers/notes.js"},
+		{Status: vcs.Renamed, OldPath: "lib/old.js", Path: "lib/new.js"},
+	}
+	if !reflect.DeepEqual(e.Changes, wantChanges) {
+		t.Errorf("changes = %+v, want %+v", e.Changes, wantChanges)
+	}
+
+	merge := entries[1]
+	if !merge.IsMerge() {
+		t.Error("second entry should be a merge")
+	}
+	if len(merge.Changes) != 0 {
+		t.Errorf("merge should carry no changes, has %v", merge.Changes)
+	}
+	// Timezone normalization: +0100 becomes 07:00 UTC.
+	if merge.Date.Hour() != 7 {
+		t.Errorf("merge date hour = %d, want 7 (UTC)", merge.Date.Hour())
+	}
+}
+
+func TestParseDecoratedCommitLine(t *testing.T) {
+	log := "commit abc123 (HEAD -> main, origin/main)\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    msg\n"
+	entries, err := Parse(strings.NewReader(log))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if entries[0].Hash != "abc123" {
+		t.Errorf("hash = %q, want abc123", entries[0].Hash)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"garbage before commit", "not a log\n"},
+		{"bad author", "commit abc\nAuthor: no-angle-brackets\n"},
+		{"bad date", "commit abc\nAuthor: A <a@b.c>\nDate:   yesterday\n"},
+		{"bad status", "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nZ\tfile\n"},
+		{"rename without dest", "commit abc\nAuthor: A <a@b.c>\nDate:   2020-01-01 00:00:00 +0000\n\n    m\n\nR100\tonly-one\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.input))
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("Parse(%q) err = %v, want *ParseError", tc.input, err)
+			}
+		})
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	entries, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatalf("Parse empty: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("empty input yielded %d entries", len(entries))
+	}
+}
+
+func TestEmitParseRoundTrip(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Emit(&buf, entries); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	again, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if !reflect.DeepEqual(entries, again) {
+		t.Errorf("round trip mismatch:\nfirst:  %+v\nsecond: %+v", entries, again)
+	}
+}
+
+func TestFromRepositoryMatchesVCSLog(t *testing.T) {
+	repo := vcs.NewRepository("acme/app")
+	when := func(d int) vcs.Signature {
+		return vcs.Signature{Name: "dev", Email: "d@e.f", When: time.Date(2015, 1, 1+d, 0, 0, 0, 0, time.UTC)}
+	}
+	repo.StageString("schema.sql", "CREATE TABLE a(x int);")
+	if _, err := repo.Commit("init", when(0)); err != nil {
+		t.Fatal(err)
+	}
+	repo.StageString("app.js", "x")
+	repo.StageString("schema.sql", "CREATE TABLE a(x int, y int);")
+	if _, err := repo.Commit("grow", when(40)); err != nil {
+		t.Fatal(err)
+	}
+
+	entries := FromRepository(repo, true)
+	if len(entries) != 2 {
+		t.Fatalf("len(entries) = %d, want 2", len(entries))
+	}
+	if entries[0].Message != "grow" {
+		t.Errorf("order should be newest-first, got %q", entries[0].Message)
+	}
+
+	var buf bytes.Buffer
+	if err := Emit(&buf, entries); err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse(emitted): %v", err)
+	}
+	if !reflect.DeepEqual(entries, parsed) {
+		t.Error("vcs-derived log does not round-trip through text format")
+	}
+}
+
+func TestMonthlyFileUpdates(t *testing.T) {
+	entries, err := Parse(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := MonthlyFileUpdates(entries)
+	// Jan 2016: initial (2 files); the merge is excluded. Feb 2016: 3 files.
+	if counts["2016-01"] != 2 {
+		t.Errorf("2016-01 = %d, want 2", counts["2016-01"])
+	}
+	if counts["2016-02"] != 3 {
+		t.Errorf("2016-02 = %d, want 3", counts["2016-02"])
+	}
+	months := SortedMonths(counts)
+	if !reflect.DeepEqual(months, []string{"2016-01", "2016-02"}) {
+		t.Errorf("SortedMonths = %v", months)
+	}
+}
+
+// Property: any entry list made of well-formed components survives an
+// Emit/Parse round trip unchanged.
+func TestQuickRoundTrip(t *testing.T) {
+	statuses := []vcs.ChangeStatus{vcs.Added, vcs.Modified, vcs.Deleted, vcs.Renamed}
+	f := func(n uint8, seed int64) bool {
+		count := int(n%5) + 1
+		entries := make([]Entry, 0, count)
+		for i := 0; i < count; i++ {
+			e := Entry{
+				Hash:    strings.Repeat("ab", 20),
+				Author:  "Dev Name",
+				Email:   "dev@example.com",
+				Date:    time.Date(2015, time.Month(1+i%12), 1+i%28, int(seed)%24&0x1f%24, 0, 0, 0, time.UTC),
+				Message: "line one\nline two",
+			}
+			if e.Date.Hour() < 0 {
+				e.Date = e.Date.Add(time.Hour)
+			}
+			nch := int(seed+int64(i)) % 4
+			if nch < 0 {
+				nch = -nch
+			}
+			for j := 0; j < nch; j++ {
+				st := statuses[(i+j)%len(statuses)]
+				ch := vcs.FileChange{Status: st, Path: "dir/file.go"}
+				if st == vcs.Renamed {
+					ch.OldPath = "dir/old.go"
+				}
+				e.Changes = append(e.Changes, ch)
+			}
+			entries = append(entries, e)
+		}
+		var buf bytes.Buffer
+		if err := Emit(&buf, entries); err != nil {
+			return false
+		}
+		parsed, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(entries, parsed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package heartbeat provides the monthly time-series machinery of the
+// study. Time is quantized into calendar months (the study's chronon); a
+// Heartbeat is the per-month activity series of a schema or a project, and
+// its cumulative fractional form (Eq. 1 of the paper) is the monotone
+// progression the co-evolution measures compare.
+package heartbeat
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Month is a calendar month, encoded as year*12 + (month-1) so that
+// arithmetic and ordering are plain integer operations. All conversions
+// use UTC.
+type Month int
+
+// MonthOf returns the Month containing t.
+func MonthOf(t time.Time) Month {
+	t = t.UTC()
+	return Month(t.Year()*12 + int(t.Month()) - 1)
+}
+
+// ParseMonth parses "YYYY-MM".
+func ParseMonth(s string) (Month, error) {
+	t, err := time.Parse("2006-01", s)
+	if err != nil {
+		return 0, fmt.Errorf("heartbeat: bad month %q: %w", s, err)
+	}
+	return MonthOf(t), nil
+}
+
+// Time returns midnight UTC on the first day of the month.
+func (m Month) Time() time.Time {
+	return time.Date(int(m)/12, time.Month(int(m)%12+1), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// String renders the month as "YYYY-MM".
+func (m Month) String() string { return m.Time().Format("2006-01") }
+
+// Add returns the month n months later.
+func (m Month) Add(n int) Month { return m + Month(n) }
+
+// Event is one dated quantum of activity (a commit's file-update count, or
+// a schema version's Total Activity).
+type Event struct {
+	When   time.Time
+	Amount float64
+}
+
+// Heartbeat is a dense monthly activity series starting at Start. Months
+// without activity hold zero, exactly as the study's heartbeats do.
+type Heartbeat struct {
+	Start  Month
+	Values []float64
+}
+
+// Errors returned by heartbeat constructors.
+var (
+	ErrNoEvents  = errors.New("heartbeat: no events")
+	ErrBadSpan   = errors.New("heartbeat: end month precedes start month")
+	ErrNoTotal   = errors.New("heartbeat: zero total activity")
+	ErrMisjoined = errors.New("heartbeat: series have different lengths")
+)
+
+// New creates a zero-filled heartbeat covering n months from start.
+func New(start Month, n int) *Heartbeat {
+	return &Heartbeat{Start: start, Values: make([]float64, n)}
+}
+
+// FromEvents buckets events into months, spanning from the earliest to the
+// latest event month.
+func FromEvents(events []Event) (*Heartbeat, error) {
+	if len(events) == 0 {
+		return nil, ErrNoEvents
+	}
+	lo, hi := MonthOf(events[0].When), MonthOf(events[0].When)
+	for _, e := range events[1:] {
+		m := MonthOf(e.When)
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	return FromEventsSpanning(events, lo, hi)
+}
+
+// FromEventsSpanning buckets events into months over an explicit [start,
+// end] span. Events outside the span are folded into the nearest edge
+// month, so no activity is ever silently lost.
+func FromEventsSpanning(events []Event, start, end Month) (*Heartbeat, error) {
+	if end < start {
+		return nil, fmt.Errorf("%w: %s..%s", ErrBadSpan, start, end)
+	}
+	h := New(start, int(end-start)+1)
+	for _, e := range events {
+		i := int(MonthOf(e.When) - start)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(h.Values) {
+			i = len(h.Values) - 1
+		}
+		h.Values[i] += e.Amount
+	}
+	return h, nil
+}
+
+// Len returns the number of months covered.
+func (h *Heartbeat) Len() int { return len(h.Values) }
+
+// End returns the last covered month.
+func (h *Heartbeat) End() Month { return h.Start.Add(len(h.Values) - 1) }
+
+// At returns the activity in month m (zero outside the span).
+func (h *Heartbeat) At(m Month) float64 {
+	i := int(m - h.Start)
+	if i < 0 || i >= len(h.Values) {
+		return 0
+	}
+	return h.Values[i]
+}
+
+// Total returns the lifetime activity.
+func (h *Heartbeat) Total() float64 {
+	t := 0.0
+	for _, v := range h.Values {
+		t += v
+	}
+	return t
+}
+
+// ActiveMonths counts the months with non-zero activity.
+func (h *Heartbeat) ActiveMonths() int {
+	n := 0
+	for _, v := range h.Values {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxMonth returns the largest monthly value and its index.
+func (h *Heartbeat) MaxMonth() (idx int, value float64) {
+	for i, v := range h.Values {
+		if v > value {
+			value, idx = v, i
+		}
+	}
+	return idx, value
+}
+
+// Respan returns a copy covering [start, end], zero-padding months outside
+// the original span and dropping months outside the new one.
+func (h *Heartbeat) Respan(start, end Month) (*Heartbeat, error) {
+	if end < start {
+		return nil, fmt.Errorf("%w: %s..%s", ErrBadSpan, start, end)
+	}
+	out := New(start, int(end-start)+1)
+	for i := range out.Values {
+		out.Values[i] = h.At(start.Add(i))
+	}
+	return out, nil
+}
+
+// CumulativeFraction returns the cumulative fractional activity series
+// (Eq. 1): cumPct[i] = sum(values[0..i]) / Total. The series is monotone
+// non-decreasing and ends at 1. It fails with ErrNoTotal for an all-zero
+// heartbeat (a completely frozen history has no defined progression —
+// these are the "(blank)" rows of the paper's Figure 6).
+func (h *Heartbeat) CumulativeFraction() ([]float64, error) {
+	total := h.Total()
+	if total == 0 {
+		return nil, ErrNoTotal
+	}
+	out := make([]float64, len(h.Values))
+	run := 0.0
+	for i, v := range h.Values {
+		run += v
+		out[i] = run / total
+	}
+	// Guard against floating-point drift at the terminal point.
+	out[len(out)-1] = 1
+	return out, nil
+}
+
+// TimeProgress returns the cumulative fractional time series for n monthly
+// timepoints: progress[i] = i/(n-1). A single-point series is complete at
+// its only point.
+func TimeProgress(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := range out {
+		out[i] = float64(i) / float64(n-1)
+	}
+	return out
+}
+
+// Aligned carries the three series of a joint progress diagram over a
+// common monthly axis: the project's lifetime.
+type Aligned struct {
+	Start Month
+	// Project, Schema and Time are cumulative fractional series of equal
+	// length (one point per month of the project's life).
+	Project []float64
+	Schema  []float64
+	Time    []float64
+}
+
+// Len returns the number of timepoints.
+func (a *Aligned) Len() int { return len(a.Project) }
+
+// Align joins a project heartbeat and a schema heartbeat over the project's
+// lifetime axis and returns their cumulative fractional series plus time
+// progress. The schema heartbeat is respanned onto the project axis: months
+// before the DDL file existed contribute zero, so the schema's cumulative
+// fraction stays at 0 until its birth.
+//
+// The project axis spans from the project's first month to the later of the
+// two series' ends (a schema commit after the last project commit would
+// otherwise be truncated; in practice the project log subsumes schema
+// commits, but the corpus generator and real ingestion must not rely on
+// it).
+func Align(project, schema *Heartbeat) (*Aligned, error) {
+	if project == nil || schema == nil {
+		return nil, ErrNoEvents
+	}
+	start := project.Start
+	end := project.End()
+	if schema.End() > end {
+		end = schema.End()
+	}
+	p, err := project.Respan(start, end)
+	if err != nil {
+		return nil, err
+	}
+	s, err := schema.Respan(start, end)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := p.CumulativeFraction()
+	if err != nil {
+		return nil, fmt.Errorf("project heartbeat: %w", err)
+	}
+	sc, err := s.CumulativeFraction()
+	if err != nil {
+		return nil, fmt.Errorf("schema heartbeat: %w", err)
+	}
+	return &Aligned{
+		Start:   start,
+		Project: pc,
+		Schema:  sc,
+		Time:    TimeProgress(p.Len()),
+	}, nil
+}

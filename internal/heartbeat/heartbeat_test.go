@@ -1,0 +1,295 @@
+package heartbeat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func date(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 12, 0, 0, 0, time.UTC)
+}
+
+func TestMonthRoundTrip(t *testing.T) {
+	cases := []time.Time{
+		date(2015, time.January, 1),
+		date(2015, time.December, 31),
+		date(1999, time.June, 15),
+		time.Date(2020, time.March, 1, 0, 0, 0, 0, time.UTC),
+	}
+	for _, ts := range cases {
+		m := MonthOf(ts)
+		if m.Time().Year() != ts.Year() || m.Time().Month() != ts.Month() {
+			t.Errorf("MonthOf(%v).Time() = %v", ts, m.Time())
+		}
+		parsed, err := ParseMonth(m.String())
+		if err != nil || parsed != m {
+			t.Errorf("ParseMonth(%q) = %v, %v", m.String(), parsed, err)
+		}
+	}
+	if _, err := ParseMonth("not-a-month"); err == nil {
+		t.Error("ParseMonth should reject garbage")
+	}
+}
+
+func TestMonthTimezoneNormalization(t *testing.T) {
+	// 2015-01-31 23:00 -05:00 is 2015-02-01 04:00 UTC: February.
+	loc := time.FixedZone("EST", -5*3600)
+	ts := time.Date(2015, time.January, 31, 23, 0, 0, 0, loc)
+	if MonthOf(ts).String() != "2015-02" {
+		t.Errorf("MonthOf = %s, want 2015-02", MonthOf(ts))
+	}
+}
+
+func TestMonthArithmetic(t *testing.T) {
+	m, _ := ParseMonth("2015-11")
+	if m.Add(2).String() != "2016-01" {
+		t.Errorf("Add crossed year badly: %s", m.Add(2))
+	}
+	if m.Add(-11).String() != "2014-12" {
+		t.Errorf("negative Add: %s", m.Add(-11))
+	}
+}
+
+func TestFromEvents(t *testing.T) {
+	events := []Event{
+		{date(2015, time.March, 10), 5},
+		{date(2015, time.March, 20), 3},
+		{date(2015, time.June, 1), 2},
+	}
+	h, err := FromEvents(events)
+	if err != nil {
+		t.Fatalf("FromEvents: %v", err)
+	}
+	if h.Len() != 4 { // Mar, Apr, May, Jun
+		t.Fatalf("Len = %d, want 4", h.Len())
+	}
+	if h.Values[0] != 8 || h.Values[1] != 0 || h.Values[2] != 0 || h.Values[3] != 2 {
+		t.Errorf("Values = %v", h.Values)
+	}
+	if h.Total() != 10 {
+		t.Errorf("Total = %v", h.Total())
+	}
+	if h.ActiveMonths() != 2 {
+		t.Errorf("ActiveMonths = %d", h.ActiveMonths())
+	}
+	idx, v := h.MaxMonth()
+	if idx != 0 || v != 8 {
+		t.Errorf("MaxMonth = %d, %v", idx, v)
+	}
+	if _, err := FromEvents(nil); !errors.Is(err, ErrNoEvents) {
+		t.Errorf("empty events err = %v", err)
+	}
+}
+
+func TestFromEventsSpanningFoldsOutliers(t *testing.T) {
+	start, _ := ParseMonth("2015-03")
+	end, _ := ParseMonth("2015-05")
+	events := []Event{
+		{date(2015, time.January, 1), 1}, // before span -> folded to March
+		{date(2015, time.April, 1), 2},
+		{date(2015, time.December, 1), 4}, // after span -> folded to May
+	}
+	h, err := FromEventsSpanning(events, start, end)
+	if err != nil {
+		t.Fatalf("FromEventsSpanning: %v", err)
+	}
+	if h.Values[0] != 1 || h.Values[1] != 2 || h.Values[2] != 4 {
+		t.Errorf("Values = %v", h.Values)
+	}
+	if h.Total() != 7 {
+		t.Errorf("no activity may be lost: total = %v", h.Total())
+	}
+	if _, err := FromEventsSpanning(events, end, start); !errors.Is(err, ErrBadSpan) {
+		t.Errorf("inverted span err = %v", err)
+	}
+}
+
+func TestAtOutsideSpanIsZero(t *testing.T) {
+	h := New(100, 3)
+	h.Values[1] = 5
+	if h.At(99) != 0 || h.At(103) != 0 || h.At(101) != 5 {
+		t.Error("At boundary behaviour wrong")
+	}
+}
+
+func TestRespan(t *testing.T) {
+	h := New(100, 3)
+	copy(h.Values, []float64{1, 2, 3})
+	wider, err := h.Respan(98, 104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0, 1, 2, 3, 0, 0}
+	for i, v := range want {
+		if wider.Values[i] != v {
+			t.Fatalf("wider = %v, want %v", wider.Values, want)
+		}
+	}
+	narrower, err := h.Respan(101, 101)
+	if err != nil || narrower.Len() != 1 || narrower.Values[0] != 2 {
+		t.Errorf("narrower = %+v, %v", narrower, err)
+	}
+}
+
+func TestCumulativeFraction(t *testing.T) {
+	h := New(0, 4)
+	copy(h.Values, []float64{40, 25, 20, 15})
+	cum, err := h.CumulativeFraction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.40, 0.65, 0.85, 1.00}
+	for i := range want {
+		if math.Abs(cum[i]-want[i]) > 1e-9 {
+			t.Errorf("cum = %v, want %v (the paper's Eq. 1 example)", cum, want)
+			break
+		}
+	}
+}
+
+func TestCumulativeFractionZeroTotal(t *testing.T) {
+	h := New(0, 5)
+	if _, err := h.CumulativeFraction(); !errors.Is(err, ErrNoTotal) {
+		t.Errorf("zero-total err = %v, want ErrNoTotal", err)
+	}
+}
+
+func TestTimeProgress(t *testing.T) {
+	if got := TimeProgress(0); got != nil {
+		t.Errorf("TimeProgress(0) = %v", got)
+	}
+	if got := TimeProgress(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("TimeProgress(1) = %v", got)
+	}
+	got := TimeProgress(5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("TimeProgress(5) = %v", got)
+			break
+		}
+	}
+}
+
+func TestAlign(t *testing.T) {
+	// Project active Jan..Jun 2015; schema file appears in March.
+	project, _ := FromEvents([]Event{
+		{date(2015, time.January, 5), 10},
+		{date(2015, time.June, 5), 10},
+	})
+	schemaHB, _ := FromEvents([]Event{
+		{date(2015, time.March, 5), 4},
+		{date(2015, time.April, 5), 4},
+	})
+	a, err := Align(project, schemaHB)
+	if err != nil {
+		t.Fatalf("Align: %v", err)
+	}
+	if a.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", a.Len())
+	}
+	// Schema cumulative stays 0 before its birth month.
+	if a.Schema[0] != 0 || a.Schema[1] != 0 {
+		t.Errorf("schema progression before birth = %v", a.Schema[:2])
+	}
+	if a.Schema[2] != 0.5 || a.Schema[3] != 1 {
+		t.Errorf("schema progression = %v", a.Schema)
+	}
+	if a.Project[0] != 0.5 || a.Project[5] != 1 {
+		t.Errorf("project progression = %v", a.Project)
+	}
+	if a.Time[0] != 0 || a.Time[5] != 1 {
+		t.Errorf("time progression = %v", a.Time)
+	}
+	if a.Start.String() != "2015-01" {
+		t.Errorf("Start = %s", a.Start)
+	}
+}
+
+func TestAlignSchemaOutlivesProjectAxis(t *testing.T) {
+	project, _ := FromEvents([]Event{{date(2015, time.January, 5), 1}})
+	schemaHB, _ := FromEvents([]Event{
+		{date(2015, time.January, 10), 1},
+		{date(2015, time.April, 10), 1},
+	})
+	a, err := Align(project, schemaHB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 4 {
+		t.Errorf("axis should extend to schema end: len = %d", a.Len())
+	}
+}
+
+func TestAlignErrors(t *testing.T) {
+	if _, err := Align(nil, nil); err == nil {
+		t.Error("nil heartbeats should fail")
+	}
+	frozen := New(0, 3) // all-zero schema
+	project := New(0, 3)
+	project.Values[0] = 1
+	if _, err := Align(project, frozen); !errors.Is(err, ErrNoTotal) {
+		t.Errorf("frozen schema err = %v", err)
+	}
+}
+
+// Property: cumulative fractions are monotone non-decreasing, within
+// [0, 1], and terminal at exactly 1 for any non-zero series.
+func TestQuickCumulativeInvariants(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := New(0, len(raw))
+		nonzero := false
+		for i, v := range raw {
+			h.Values[i] = float64(v)
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		cum, err := h.CumulativeFraction()
+		if !nonzero {
+			return errors.Is(err, ErrNoTotal)
+		}
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for _, c := range cum {
+			if c < prev-1e-12 || c < 0 || c > 1+1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return cum[len(cum)-1] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Respan never loses interior activity — the respanned total over
+// a superset span equals the original total.
+func TestQuickRespanPreservesTotal(t *testing.T) {
+	f := func(raw []uint8, padBefore, padAfter uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := New(1000, len(raw))
+		for i, v := range raw {
+			h.Values[i] = float64(v)
+		}
+		wider, err := h.Respan(h.Start.Add(-int(padBefore%10)), h.End().Add(int(padAfter%10)))
+		if err != nil {
+			return false
+		}
+		return wider.Total() == h.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

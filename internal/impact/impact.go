@@ -1,0 +1,343 @@
+// Package impact analyzes how schema change relates to the surrounding
+// source code — the two analyses the paper performs by hand in its case
+// study and calls for automating in its implications:
+//
+//   - reference scanning: which source files mention which schema elements
+//     (tables, attributes), so the blast radius of a schema change can be
+//     estimated ("the parts of the code affected by a schema change");
+//   - windowed co-change: around each active schema commit, how much
+//     source churn lands in the same commit and in a window of
+//     neighbouring commits, per change kind — the measurements prior work
+//     reports as "a table addition resulted in N changes in the source".
+package impact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"coevo/internal/history"
+	"coevo/internal/querydep"
+	"coevo/internal/schema"
+	"coevo/internal/schemadiff"
+	"coevo/internal/vcs"
+)
+
+// ElementKind distinguishes referenced schema element kinds.
+type ElementKind int
+
+// The element kinds.
+const (
+	TableElement ElementKind = iota
+	AttributeElement
+)
+
+// String names the kind.
+func (k ElementKind) String() string {
+	if k == TableElement {
+		return "table"
+	}
+	return "attribute"
+}
+
+// Reference counts the mentions of one schema element in one file.
+type Reference struct {
+	File    string
+	Element string // lower-cased element name
+	Kind    ElementKind
+	Count   int
+}
+
+// Options configures reference scanning.
+type Options struct {
+	// MinNameLength suppresses elements whose names are too short to match
+	// meaningfully ("id" would light up everywhere). Default 3.
+	MinNameLength int
+	// SkipPaths excludes files (the DDL file itself is always excluded).
+	SkipPaths map[string]bool
+}
+
+// DefaultOptions returns the scanning defaults.
+func DefaultOptions() Options { return Options{MinNameLength: 3} }
+
+// ErrNoSchema reports a scan against an empty schema.
+var ErrNoSchema = errors.New("impact: schema has no elements to scan for")
+
+// elementIndex maps lower-cased element names to their kind. Attribute
+// names shared with a table name resolve to the table (the coarser
+// element).
+func elementIndex(s *schema.Schema, minLen int) map[string]ElementKind {
+	idx := make(map[string]ElementKind)
+	for _, t := range s.Tables() {
+		for _, a := range t.Attributes() {
+			name := strings.ToLower(a.Name)
+			if len(name) >= minLen {
+				idx[name] = AttributeElement
+			}
+		}
+	}
+	for _, t := range s.Tables() {
+		name := strings.ToLower(t.Name)
+		if len(name) >= minLen {
+			idx[name] = TableElement
+		}
+	}
+	return idx
+}
+
+// ScanContent finds references to the schema's elements in one file's
+// content. Matching is token-based: identifiers are [A-Za-z0-9_]+ runs,
+// compared case-insensitively, so `SELECT * FROM users` and
+// `db.query("users")` both count while `trousers` does not.
+func ScanContent(file string, content []byte, s *schema.Schema, opts Options) ([]Reference, error) {
+	if opts.MinNameLength <= 0 {
+		opts.MinNameLength = 3
+	}
+	idx := elementIndex(s, opts.MinNameLength)
+	if len(idx) == 0 {
+		return nil, ErrNoSchema
+	}
+	counts := map[string]int{}
+	start := -1
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		token := strings.ToLower(string(content[start:end]))
+		if _, ok := idx[token]; ok {
+			counts[token]++
+		}
+		start = -1
+	}
+	for i, c := range content {
+		if isWordByte(c) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(content))
+
+	refs := make([]Reference, 0, len(counts))
+	for name, n := range counts {
+		refs = append(refs, Reference{File: file, Element: name, Kind: idx[name], Count: n})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Element < refs[j].Element })
+	return refs, nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// Index is the repository-wide reference index: element → files that
+// mention it.
+type Index struct {
+	// Refs lists every (file, element) reference.
+	Refs []Reference
+	// byElement maps element name to the referencing files.
+	byElement map[string][]string
+}
+
+// FilesReferencing returns the files mentioning the element.
+func (ix *Index) FilesReferencing(element string) []string {
+	return ix.byElement[strings.ToLower(element)]
+}
+
+// ScanRepository scans every file of the repository head (except the DDL
+// file and opts.SkipPaths) against the given schema.
+func ScanRepository(repo *vcs.Repository, ddlPath string, s *schema.Schema, opts Options) (*Index, error) {
+	head := repo.Head()
+	if head == nil {
+		return nil, fmt.Errorf("impact: %s: empty repository", repo.Name())
+	}
+	ix := &Index{byElement: map[string][]string{}}
+	paths := make([]string, 0, len(head.Tree))
+	for path := range head.Tree {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if path == ddlPath || opts.SkipPaths[path] {
+			continue
+		}
+		content, err := repo.FileAt(head.Hash, path)
+		if err != nil {
+			return nil, err
+		}
+		refs, err := ScanContent(path, content, s, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range refs {
+			ix.Refs = append(ix.Refs, r)
+			ix.byElement[r.Element] = append(ix.byElement[r.Element], r.File)
+		}
+	}
+	return ix, nil
+}
+
+// AffectedFiles estimates the blast radius of a schema delta: the distinct
+// files referencing any element the delta touches.
+func (ix *Index) AffectedFiles(delta *schemadiff.Delta) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(element string) {
+		for _, f := range ix.byElement[strings.ToLower(element)] {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	for _, ch := range delta.Changes {
+		add(ch.Attribute)
+		add(ch.Table)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KindImpact accumulates the windowed co-change volume for one change
+// kind.
+type KindImpact struct {
+	// Changes is the number of attribute-level changes of this kind.
+	Changes int
+	// SourceFileUpdates is the total source-file churn observed in the
+	// windows around those changes.
+	SourceFileUpdates int
+}
+
+// Avg returns source file updates per change, the unit of prior work's
+// "a table addition resulted in 19 changes in the surrounding code".
+func (k KindImpact) Avg() float64 {
+	if k.Changes == 0 {
+		return 0
+	}
+	return float64(k.SourceFileUpdates) / float64(k.Changes)
+}
+
+// CoChangeStats aggregates the windowed co-change analysis of one project.
+type CoChangeStats struct {
+	// PerKind breaks the impact down by change kind.
+	PerKind map[schemadiff.ChangeKind]*KindImpact
+	// ActiveSchemaCommits is the number of schema commits with logical
+	// change.
+	ActiveSchemaCommits int
+	// SameCommitShare is the fraction of active schema commits whose own
+	// commit also touches source files (prior work: only about half of
+	// code adaptations ship in the same revision).
+	SameCommitShare float64
+	// WindowCommits is the window radius used (commits on each side).
+	WindowCommits int
+}
+
+// CoChange measures source churn around each active schema commit: the
+// distinct source files updated by the schema commit itself plus the
+// `window` non-merge commits on each side. Every attribute-level change in
+// the commit's delta is attributed that churn.
+func CoChange(repo *vcs.Repository, sh *history.SchemaHistory, window int) (*CoChangeStats, error) {
+	if window < 0 {
+		return nil, fmt.Errorf("impact: negative window %d", window)
+	}
+	log := repo.Log(vcs.LogOptions{NoMerges: true, Reverse: true})
+	if len(log) == 0 {
+		return nil, fmt.Errorf("impact: %s: empty repository", repo.Name())
+	}
+	posByHash := make(map[vcs.Hash]int, len(log))
+	for i, e := range log {
+		posByHash[e.Commit.Hash] = i
+	}
+
+	stats := &CoChangeStats{
+		PerKind:       map[schemadiff.ChangeKind]*KindImpact{},
+		WindowCommits: window,
+	}
+	sameCommit := 0
+	for i, v := range sh.Versions {
+		delta := sh.Deltas[i]
+		if delta.TotalActivity() == 0 {
+			continue
+		}
+		stats.ActiveSchemaCommits++
+		pos, ok := posByHash[v.Commit.Hash]
+		if !ok {
+			// A schema commit that is a merge would be absent from the
+			// no-merges log; skip it, as the extraction pipeline does.
+			continue
+		}
+		files := map[string]bool{}
+		selfTouchesSource := false
+		lo, hi := pos-window, pos+window
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(log) {
+			hi = len(log) - 1
+		}
+		for w := lo; w <= hi; w++ {
+			for _, ch := range log[w].Changes {
+				if ch.Path == sh.Path {
+					continue
+				}
+				files[ch.Path] = true
+				if w == pos {
+					selfTouchesSource = true
+				}
+			}
+		}
+		if selfTouchesSource {
+			sameCommit++
+		}
+		for _, ch := range delta.Changes {
+			ki := stats.PerKind[ch.Kind]
+			if ki == nil {
+				ki = &KindImpact{}
+				stats.PerKind[ch.Kind] = ki
+			}
+			ki.Changes++
+			ki.SourceFileUpdates += len(files)
+		}
+	}
+	if stats.ActiveSchemaCommits > 0 {
+		stats.SameCommitShare = float64(sameCommit) / float64(stats.ActiveSchemaCommits)
+	}
+	return stats, nil
+}
+
+// ScanRepositoryQueries builds a reference index from embedded SQL queries
+// instead of bare token scanning: each source file's string literals are
+// parsed for SQL statements and their table references resolved against
+// the schema. Query-based references are table-granular but far more
+// precise — a file mentioning "users" in a comment does not count, a file
+// running `SELECT ... FROM users` does.
+func ScanRepositoryQueries(repo *vcs.Repository, ddlPath string, s *schema.Schema, opts Options) (*Index, error) {
+	head := repo.Head()
+	if head == nil {
+		return nil, fmt.Errorf("impact: %s: empty repository", repo.Name())
+	}
+	ix := &Index{byElement: map[string][]string{}}
+	paths := make([]string, 0, len(head.Tree))
+	for path := range head.Tree {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if path == ddlPath || opts.SkipPaths[path] {
+			continue
+		}
+		content, err := repo.FileAt(head.Hash, path)
+		if err != nil {
+			return nil, err
+		}
+		dep := querydep.Resolve(path, content, s)
+		for _, table := range dep.Tables {
+			ix.Refs = append(ix.Refs, Reference{File: path, Element: table, Kind: TableElement, Count: dep.Queries})
+			ix.byElement[table] = append(ix.byElement[table], path)
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,279 @@
+// Package querydep extracts embedded SQL queries from source code and
+// resolves which schema tables they depend on. The paper's implications
+// call for tooling that identifies "the parts of the code affected by a
+// schema change ... due to the heterogeneity of the application
+// architectures and programming languages, as well as due to the dynamic
+// nature of queries"; this package supplies the static half of that
+// analysis:
+//
+//  1. find string literals in source files that look like SQL statements;
+//  2. parse each statement's table references (FROM/JOIN/INTO/UPDATE/
+//     DELETE FROM targets);
+//  3. resolve the references against a logical schema, yielding a
+//     file → table dependency map that is more precise than bare
+//     token scanning.
+package querydep
+
+import (
+	"sort"
+	"strings"
+
+	"coevo/internal/schema"
+)
+
+// Query is one embedded SQL statement found in a source file.
+type Query struct {
+	File string
+	// Text is the literal SQL string.
+	Text string
+	// Verb is the upper-cased leading keyword (SELECT, INSERT, ...).
+	Verb string
+	// Tables lists the lower-cased table names the statement references.
+	Tables []string
+}
+
+// Dependency maps a source file to the schema tables its embedded queries
+// reference.
+type Dependency struct {
+	File   string
+	Tables []string
+	// Queries is the number of embedded statements found in the file.
+	Queries int
+}
+
+// sqlVerbs are the statement heads that identify an embedded query.
+var sqlVerbs = map[string]bool{
+	"SELECT": true, "INSERT": true, "UPDATE": true, "DELETE": true,
+	"REPLACE": true, "CREATE": true, "ALTER": true, "DROP": true, "TRUNCATE": true,
+}
+
+// ExtractQueries finds embedded SQL statements in source content. String
+// literals are detected for the common quote styles ('...', "...", `...`);
+// a literal qualifies when it starts with a SQL verb.
+func ExtractQueries(file string, content []byte) []Query {
+	var queries []Query
+	for _, lit := range stringLiterals(string(content)) {
+		trimmed := strings.TrimSpace(lit)
+		if trimmed == "" {
+			continue
+		}
+		verb := leadingWord(trimmed)
+		if !sqlVerbs[verb] {
+			continue
+		}
+		queries = append(queries, Query{
+			File:   file,
+			Text:   trimmed,
+			Verb:   verb,
+			Tables: TableRefs(trimmed),
+		})
+	}
+	return queries
+}
+
+// stringLiterals scans source text for quoted literals in the three common
+// styles. Escapes with backslash are honored for single and double quotes.
+func stringLiterals(src string) []string {
+	var out []string
+	for i := 0; i < len(src); i++ {
+		q := src[i]
+		if q != '\'' && q != '"' && q != '`' {
+			continue
+		}
+		j := i + 1
+		var b strings.Builder
+		closed := false
+		for j < len(src) {
+			c := src[j]
+			if c == '\\' && q != '`' && j+1 < len(src) {
+				b.WriteByte(src[j+1])
+				j += 2
+				continue
+			}
+			if c == q {
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+			j++
+		}
+		if closed {
+			out = append(out, b.String())
+			i = j
+		}
+	}
+	return out
+}
+
+func leadingWord(s string) string {
+	end := 0
+	for end < len(s) && isWord(s[end]) {
+		end++
+	}
+	return strings.ToUpper(s[:end])
+}
+
+func isWord(c byte) bool {
+	return c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// TableRefs parses the table names a SQL statement references: the targets
+// of FROM and JOIN clauses, INSERT INTO / REPLACE INTO, UPDATE, DELETE
+// FROM, and the DDL verbs' objects. Subqueries are handled by flat
+// scanning — every FROM/JOIN in the text contributes.
+func TableRefs(sql string) []string {
+	tokens := tokenize(sql)
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		name = strings.ToLower(name)
+		// Strip a qualifier: db.table -> table.
+		if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+			name = name[dot+1:]
+		}
+		if name == "" || seen[name] {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+
+	for i := 0; i < len(tokens); i++ {
+		switch strings.ToUpper(tokens[i]) {
+		case "FROM", "JOIN":
+			// FROM a, b JOIN c — collect the name list.
+			j := i + 1
+			for j < len(tokens) {
+				name, next := tableNameAt(tokens, j)
+				if name == "" {
+					break
+				}
+				add(name)
+				// Skip an alias (bare identifier right after the name).
+				if next < len(tokens) && isIdentToken(tokens[next]) && !isKeyword(tokens[next]) {
+					next++
+				}
+				if next < len(tokens) && tokens[next] == "," {
+					j = next + 1
+					continue
+				}
+				break
+			}
+		case "INTO":
+			if name, _ := tableNameAt(tokens, i+1); name != "" {
+				add(name)
+			}
+		case "UPDATE":
+			// UPDATE [LOW_PRIORITY|IGNORE] tbl
+			j := i + 1
+			for j < len(tokens) && (strings.EqualFold(tokens[j], "LOW_PRIORITY") || strings.EqualFold(tokens[j], "IGNORE")) {
+				j++
+			}
+			if name, _ := tableNameAt(tokens, j); name != "" {
+				add(name)
+			}
+		case "TABLE":
+			// CREATE/ALTER/DROP/TRUNCATE TABLE [IF [NOT] EXISTS] tbl
+			j := i + 1
+			for j < len(tokens) && (strings.EqualFold(tokens[j], "IF") || strings.EqualFold(tokens[j], "NOT") || strings.EqualFold(tokens[j], "EXISTS")) {
+				j++
+			}
+			if name, _ := tableNameAt(tokens, j); name != "" {
+				add(name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tableNameAt reads a possibly qualified table name starting at index i,
+// returning the full dotted name and the index after it ("" when the token
+// is not a name, e.g. a subquery parenthesis or placeholder).
+func tableNameAt(tokens []string, i int) (string, int) {
+	if i >= len(tokens) || !isIdentToken(tokens[i]) || isKeyword(tokens[i]) {
+		return "", i
+	}
+	name := tokens[i]
+	i++
+	for i+1 < len(tokens) && tokens[i] == "." && isIdentToken(tokens[i+1]) {
+		name += "." + tokens[i+1]
+		i += 2
+	}
+	return name, i
+}
+
+// keywords that must not be mistaken for table names after FROM/JOIN.
+var refKeywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "ON": true, "INNER": true, "LEFT": true,
+	"RIGHT": true, "OUTER": true, "FULL": true, "CROSS": true, "JOIN": true,
+	"GROUP": true, "ORDER": true, "LIMIT": true, "SET": true, "VALUES": true,
+	"AS": true, "USING": true, "UNION": true, "HAVING": true, "DUAL": true,
+}
+
+func isKeyword(tok string) bool { return refKeywords[strings.ToUpper(tok)] }
+
+func isIdentToken(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	c := tok[0]
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// tokenize splits SQL into identifier and punctuation tokens; quoted
+// identifiers are unwrapped, string literals and placeholders skipped.
+func tokenize(sql string) []string {
+	var tokens []string
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			continue
+		case c == '`' || c == '"':
+			end := strings.IndexByte(sql[i+1:], c)
+			if end < 0 {
+				return tokens
+			}
+			tokens = append(tokens, sql[i+1:i+1+end])
+			i += end + 1
+		case c == '\'':
+			end := strings.IndexByte(sql[i+1:], '\'')
+			if end < 0 {
+				return tokens
+			}
+			i += end + 1
+		case isWord(c):
+			j := i
+			for j < len(sql) && isWord(sql[j]) {
+				j++
+			}
+			tokens = append(tokens, sql[i:j])
+			i = j - 1
+		default:
+			tokens = append(tokens, string(c))
+		}
+	}
+	return tokens
+}
+
+// Resolve filters a file's query table references down to the tables that
+// exist in the schema, producing the dependency record.
+func Resolve(file string, content []byte, s *schema.Schema) Dependency {
+	queries := ExtractQueries(file, content)
+	seen := map[string]bool{}
+	var tables []string
+	for _, q := range queries {
+		for _, t := range q.Tables {
+			if seen[t] {
+				continue
+			}
+			if _, ok := s.Table(t); ok {
+				seen[t] = true
+				tables = append(tables, t)
+			}
+		}
+	}
+	sort.Strings(tables)
+	return Dependency{File: file, Tables: tables, Queries: len(queries)}
+}

@@ -1,0 +1,220 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"coevo/internal/coevolution"
+	"coevo/internal/study"
+	"coevo/internal/taxa"
+)
+
+// taxonMarkers assigns a stable plot marker to each taxon.
+var taxonMarkers = map[taxa.Taxon]byte{
+	taxa.Frozen:            'F',
+	taxa.AlmostFrozen:      'a',
+	taxa.FocusedShotFrozen: 's',
+	taxa.Moderate:          'm',
+	taxa.FocusedShotLow:    'l',
+	taxa.Active:            'A',
+}
+
+// TaxonMarker returns the scatter marker for a taxon.
+func TaxonMarker(t taxa.Taxon) byte {
+	if m, ok := taxonMarkers[t]; ok {
+		return m
+	}
+	return '?'
+}
+
+// WriteSyncHistogram renders the Figure 4 histogram.
+func WriteSyncHistogram(w io.Writer, h *study.SyncHistogram) error {
+	values := make([]float64, len(h.Buckets))
+	for i, c := range h.Buckets {
+		values[i] = float64(c)
+	}
+	chart := &BarChart{
+		Title:  fmt.Sprintf("Figure 4 — projects per %.0f%%-synchronicity range", h.Theta*100),
+		Labels: h.Labels,
+		Values: values,
+	}
+	return chart.Render(w)
+}
+
+// WriteScatter renders the Figure 5 duration-vs-synchronicity plot.
+func WriteScatter(w io.Writer, points []study.ScatterPoint) error {
+	plot := &ScatterPlot{
+		Title:  "Figure 5 — duration (months) vs 10%-synchronicity by taxon",
+		XLabel: "duration (months)",
+		YLabel: "10%-synchronicity",
+	}
+	for _, p := range points {
+		plot.Points = append(plot.Points, ScatterPoint{
+			X: float64(p.Duration), Y: p.Sync, Marker: TaxonMarker(p.Taxon),
+		})
+	}
+	if err := plot.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "        markers: F=FROZEN a=ALMOST FROZEN s=FS&FROZEN m=MODERATE l=FS&LOW A=ACTIVE\n")
+	return err
+}
+
+// WriteAdvanceTable renders the Figure 6 table.
+func WriteAdvanceTable(w io.Writer, t *study.AdvanceTable) error {
+	table := &Table{
+		Title:  "Figure 6 — life percentage of schema advance over source and time",
+		Header: []string{"Range", "# Source", "% Source", "% Cum", "# Time", "% Time", "% Cum"},
+	}
+	for _, r := range t.Rows {
+		table.AddRow(
+			r.Label,
+			strconv.Itoa(r.SourceCount), fmt.Sprintf("%.0f%%", r.SourcePct*100), fmt.Sprintf("%.0f%%", r.SourceCum*100),
+			strconv.Itoa(r.TimeCount), fmt.Sprintf("%.0f%%", r.TimePct*100), fmt.Sprintf("%.0f%%", r.TimeCum*100),
+		)
+	}
+	table.AddRow("(blank)",
+		strconv.Itoa(t.BlankSource), fmt.Sprintf("%.0f%%", pct(t.BlankSource, t.Total)), "",
+		strconv.Itoa(t.BlankTime), fmt.Sprintf("%.0f%%", pct(t.BlankTime, t.Total)), "")
+	table.AddRow("Grand Total", strconv.Itoa(t.Total), "100%", "", strconv.Itoa(t.Total), "100%", "")
+	return table.Render(w)
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// WriteAlwaysAdvance renders the Figure 7 per-taxon counts.
+func WriteAlwaysAdvance(w io.Writer, s *study.AlwaysAdvanceSummary) error {
+	table := &Table{
+		Title:  "Figure 7 — projects with schema always in advance, per taxon",
+		Header: []string{"Taxon", "Projects", "Of time", "Of source", "Of both"},
+	}
+	for _, cell := range s.PerTaxon {
+		table.AddRow(cell.Taxon.String(),
+			strconv.Itoa(cell.Projects), strconv.Itoa(cell.Time),
+			strconv.Itoa(cell.Source), strconv.Itoa(cell.Both))
+	}
+	table.AddRow("TOTAL", strconv.Itoa(s.Total), strconv.Itoa(s.Time), strconv.Itoa(s.Source), strconv.Itoa(s.Both))
+	if err := table.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "always ahead: time %d (%.0f%%), source %d (%.0f%%), both %d (%.0f%%)\n",
+		s.Time, pct(s.Time, s.Total), s.Source, pct(s.Source, s.Total), s.Both, pct(s.Both, s.Total))
+	return err
+}
+
+// WriteAttainment renders the Figure 8 grouped counts.
+func WriteAttainment(w io.Writer, b *study.AttainmentBreakdown) error {
+	table := &Table{
+		Title:  "Figure 8 — lifetime point of schema evolution attainment",
+		Header: []string{"Completed"},
+	}
+	prev := 0.0
+	for _, edge := range b.RangeEdges {
+		table.Header = append(table.Header, fmt.Sprintf("%.0f%%-%.0f%% of life", prev*100, edge*100))
+		prev = edge
+	}
+	for ai, alpha := range b.Alphas {
+		row := []string{fmt.Sprintf("%.0f%% of activity", alpha*100)}
+		for _, c := range b.Counts[ai] {
+			row = append(row, strconv.Itoa(c))
+		}
+		table.AddRow(row...)
+	}
+	return table.Render(w)
+}
+
+// WriteJointProgress renders a Figure 1/3-style joint cumulative progress
+// diagram for one project.
+func WriteJointProgress(w io.Writer, title string, j *coevolution.JointProgress) error {
+	chart := &LineChart{
+		Title: title,
+		Series: []Series{
+			{Name: "time", Marker: '.', Values: j.Time},
+			{Name: "project", Marker: 'p', Values: j.Project},
+			{Name: "schema", Marker: 'S', Values: j.Schema},
+		},
+	}
+	return chart.Render(w)
+}
+
+// WriteStatsReport renders the Section 7 statistics.
+func WriteStatsReport(w io.Writer, r *study.StatsReport) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("Section 7 — statistical analysis\n")
+	p("Normality (Shapiro-Wilk): max p across attributes = %.3g (paper: all < 0.007)\n", r.MaxNormalityP())
+	p("Kruskal-Wallis taxon × 10%%-synchronicity: H=%.2f df=%d p=%.4g (paper p=0.003)\n",
+		r.SyncByTaxon.H, r.SyncByTaxon.DF, r.SyncByTaxon.P)
+	for i, taxon := range r.TaxaOrder {
+		p("  median sync %-22s %.2f\n", taxon, r.SyncByTaxon.GroupMedians[i])
+	}
+	p("Kruskal-Wallis taxon × 75%%-attainment: H=%.2f df=%d p=%.4g (paper p=0.006)\n",
+		r.AttainByTaxon.H, r.AttainByTaxon.DF, r.AttainByTaxon.P)
+	for i, taxon := range r.TaxaOrder {
+		p("  median attain %-22s %.2f\n", taxon, r.AttainByTaxon.GroupMedians[i])
+	}
+	p("Lag tests (taxon × always-in-advance):\n")
+	p("  time:   chi2 p=%.3f, Fisher p=%.3f (paper: 0.07, n.s.)\n", r.TimeLagChi2.P, r.TimeLagFisher.P)
+	p("  source: chi2 p=%.3f, Fisher p=%.3f (paper: 0.02 / 0.01)\n", r.SourceLagChi2.P, r.SourceLagFisher.P)
+	p("  both:   chi2 p=%.3f, Fisher p=%.3f (paper: 0.02 / 0.01)\n", r.BothLagChi2.P, r.BothLagFisher.P)
+	p("Kendall τ(5%%-sync, 10%%-sync) = %.2f (paper 0.67)\n", r.SyncThetaCorr.Tau)
+	p("Kendall τ(advance-over-time, advance-over-source) = %.2f (paper 0.75)\n", r.AdvanceCorr.Tau)
+	return err
+}
+
+// csvHeader is the column layout of the per-project CSV export.
+var csvHeader = []string{
+	"name", "taxon", "intended_taxon", "duration_months",
+	"schema_commits", "active_schema_commits", "project_commits",
+	"file_updates", "total_schema_activity",
+	"sync_5", "sync_10", "advance_time", "advance_source",
+	"always_time", "always_source", "always_both",
+	"attain_50", "attain_75", "attain_80", "attain_100",
+}
+
+// WriteDatasetCSV exports the per-project measurements — the reproduction's
+// equivalent of the published Schema_Evo data set files.
+func WriteDatasetCSV(w io.Writer, d *study.Dataset) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	for _, p := range d.Projects {
+		intended := ""
+		if p.IntendedTaxon != nil {
+			intended = p.IntendedTaxon.String()
+		}
+		m := p.Measures
+		row := []string{
+			p.Name, p.Taxon.String(), intended, strconv.Itoa(p.DurationMonths),
+			strconv.Itoa(p.SchemaCommits), strconv.Itoa(p.ActiveSchemaCommits), strconv.Itoa(p.ProjectCommits),
+			strconv.Itoa(p.FileUpdates), strconv.Itoa(p.TotalSchemaActivity),
+			f(m.Sync5), f(m.Sync10), f(m.AdvanceTime), f(m.AdvanceSource),
+			b(m.AlwaysAheadOfTime), b(m.AlwaysAheadOfSource), b(m.AlwaysAheadOfBoth),
+			f(m.Attain50), f(m.Attain75), f(m.Attain80), f(m.Attain100),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,291 @@
+// Package report renders study results for terminals and files: aligned
+// text tables, horizontal bar charts, joint progress line charts (the
+// paper's Figure 1/3 diagrams), duration/synchronicity scatter plots
+// (Figure 5), and CSV export of the per-project data set.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders an aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+	// Title is printed above the table when non-empty.
+	Title string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// BarChart renders labeled horizontal bars scaled to a maximum width.
+type BarChart struct {
+	Title  string
+	Labels []string
+	Values []float64
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+}
+
+// Render writes the chart to w.
+func (c *BarChart) Render(w io.Writer) error {
+	if len(c.Labels) != len(c.Values) {
+		return fmt.Errorf("report: %d labels for %d values", len(c.Labels), len(c.Values))
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	labelWidth := 0
+	for i, v := range c.Values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(c.Labels[i]) > labelWidth {
+			labelWidth = len(c.Labels[i])
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, v := range c.Values {
+		bar := 0
+		if maxVal > 0 {
+			bar = int(v / maxVal * float64(width))
+		}
+		if v > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s | %s %g\n", labelWidth, c.Labels[i], strings.Repeat("#", bar), v)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// LineChart renders one or more series over a shared x axis as an ASCII
+// plot — the rendering of the paper's joint (cumulative fractional)
+// progress diagrams. Series values are expected in [0, 1].
+type LineChart struct {
+	Title  string
+	Series []Series
+	// Height is the number of plot rows (default 12); Width the number of
+	// columns (default: one per point, capped at 72).
+	Height int
+	Width  int
+}
+
+// Series is one named line of a LineChart.
+type Series struct {
+	Name   string
+	Marker byte
+	Values []float64
+}
+
+// Render writes the chart to w.
+func (c *LineChart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("report: line chart has no series")
+	}
+	n := 0
+	for _, s := range c.Series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("report: line chart series are empty")
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	width := c.Width
+	if width <= 0 {
+		width = n
+		if width > 72 {
+			width = 72
+		}
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range c.Series {
+		for x := 0; x < width; x++ {
+			// Sample the series at the column's fractional position.
+			pos := 0
+			if width > 1 {
+				pos = x * (len(s.Values) - 1) / (width - 1)
+			}
+			if pos >= len(s.Values) {
+				pos = len(s.Values) - 1
+			}
+			v := s.Values[pos]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			row := int((1 - v) * float64(height-1))
+			grid[row][x] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		axis := " "
+		switch i {
+		case 0:
+			axis = "1"
+		case height - 1:
+			axis = "0"
+		}
+		fmt.Fprintf(&b, "%s |%s\n", axis, string(row))
+	}
+	fmt.Fprintf(&b, "  +%s\n", strings.Repeat("-", width))
+	var legend []string
+	for _, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "   %s\n", strings.Join(legend, "  "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ScatterPlot renders an x/y point cloud with per-class markers — the
+// Figure 5 duration-vs-synchronicity view.
+type ScatterPlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []ScatterPoint
+	Height int
+	Width  int
+}
+
+// ScatterPoint is one plotted point; Marker distinguishes classes (taxa).
+type ScatterPoint struct {
+	X, Y   float64
+	Marker byte
+}
+
+// Render writes the plot to w.
+func (p *ScatterPlot) Render(w io.Writer) error {
+	if len(p.Points) == 0 {
+		return fmt.Errorf("report: scatter plot has no points")
+	}
+	height, width := p.Height, p.Width
+	if height <= 0 {
+		height = 16
+	}
+	if width <= 0 {
+		width = 64
+	}
+	minX, maxX := p.Points[0].X, p.Points[0].X
+	minY, maxY := p.Points[0].Y, p.Points[0].Y
+	for _, pt := range p.Points[1:] {
+		minX, maxX = minf(minX, pt.X), maxf(maxX, pt.X)
+		minY, maxY = minf(minY, pt.Y), maxf(maxY, pt.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, pt := range p.Points {
+		x := int((pt.X - minX) / (maxX - minX) * float64(width-1))
+		y := int((1 - (pt.Y-minY)/(maxY-minY)) * float64(height-1))
+		grid[y][x] = pt.Marker
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for i, row := range grid {
+		axis := "      "
+		switch i {
+		case 0:
+			axis = fmt.Sprintf("%6.2f", maxY)
+		case height - 1:
+			axis = fmt.Sprintf("%6.2f", minY)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", axis, string(row))
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-8.4g%*s\n", minX, width-8, fmt.Sprintf("%.4g", maxX))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "        x: %s, y: %s\n", p.XLabel, p.YLabel)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

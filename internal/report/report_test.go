@@ -1,0 +1,269 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"coevo/internal/coevolution"
+	"coevo/internal/corpus"
+	"coevo/internal/study"
+	"coevo/internal/taxa"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"Name", "Count"}}
+	tbl.AddRow("alpha", "3")
+	tbl.AddRow("a-much-longer-name", "42")
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "Name", "alpha", "a-much-longer-name", "42", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header and rows must align to equal widths.
+	if len(lines[1]) != len(lines[3]) {
+		t.Errorf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := &BarChart{Title: "bars", Labels: []string{"a", "bb"}, Values: []float64{10, 5}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "##") {
+		t.Errorf("no bars in output:\n%s", out)
+	}
+	aBar := strings.Count(strings.Split(out, "\n")[1], "#")
+	bBar := strings.Count(strings.Split(out, "\n")[2], "#")
+	if aBar != 2*bBar {
+		t.Errorf("bars not proportional: %d vs %d", aBar, bBar)
+	}
+}
+
+func TestBarChartMismatch(t *testing.T) {
+	c := &BarChart{Labels: []string{"a"}, Values: []float64{1, 2}}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Error("mismatched chart should fail")
+	}
+}
+
+func TestBarChartTinyValuesVisible(t *testing.T) {
+	c := &BarChart{Labels: []string{"big", "tiny"}, Values: []float64{1000, 1}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tinyLine := strings.Split(buf.String(), "\n")[1]
+	if !strings.Contains(tinyLine, "#") {
+		t.Errorf("non-zero value rendered with no bar: %q", tinyLine)
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := &LineChart{
+		Title: "joint progress",
+		Series: []Series{
+			{Name: "time", Marker: '.', Values: []float64{0, 0.25, 0.5, 0.75, 1}},
+			{Name: "schema", Marker: 'S', Values: []float64{0.8, 0.8, 1, 1, 1}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"joint progress", ".=time", "S=schema", "1 |", "0 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "S") || !strings.Contains(out, ".") {
+		t.Error("markers not plotted")
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	if err := (&LineChart{}).Render(&bytes.Buffer{}); err == nil {
+		t.Error("empty chart should fail")
+	}
+	c := &LineChart{Series: []Series{{Name: "x", Marker: 'x'}}}
+	if err := c.Render(&bytes.Buffer{}); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestScatterPlotRender(t *testing.T) {
+	p := &ScatterPlot{
+		Title:  "scatter",
+		XLabel: "months",
+		YLabel: "sync",
+		Points: []ScatterPoint{{X: 1, Y: 0.1, Marker: 'F'}, {X: 100, Y: 0.9, Marker: 'A'}},
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "F") || !strings.Contains(out, "A") {
+		t.Errorf("points not plotted:\n%s", out)
+	}
+	if !strings.Contains(out, "months") {
+		t.Error("axis labels missing")
+	}
+	if err := (&ScatterPlot{}).Render(&bytes.Buffer{}); err == nil {
+		t.Error("empty scatter should fail")
+	}
+}
+
+// dataset builds a small analyzed dataset for figure writers.
+func dataset(t *testing.T) *study.Dataset {
+	t.Helper()
+	cfg := corpus.DefaultConfig(3)
+	profiles := corpus.DefaultProfiles()
+	for i := range profiles {
+		profiles[i].Count = 2
+		if profiles[i].DurationMonths[1] > 36 {
+			profiles[i].DurationMonths[1] = 36
+		}
+	}
+	cfg.Profiles = profiles
+	projects, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := study.AnalyzeCorpus(projects, study.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFigureWriters(t *testing.T) {
+	d := dataset(t)
+	var buf bytes.Buffer
+
+	if err := WriteSyncHistogram(&buf, d.SynchronicityHistogram(0.10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 4") {
+		t.Error("Fig4 title missing")
+	}
+
+	buf.Reset()
+	if err := WriteScatter(&buf, d.DurationSynchronicityScatter()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 5") || !strings.Contains(buf.String(), "markers:") {
+		t.Error("Fig5 content missing")
+	}
+
+	buf.Reset()
+	if err := WriteAdvanceTable(&buf, d.AdvanceBreakdown()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "0.9-1.0") || !strings.Contains(out, "Grand Total") || !strings.Contains(out, "(blank)") {
+		t.Errorf("Fig6 table incomplete:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := WriteAlwaysAdvance(&buf, d.AlwaysAdvance()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FROZEN") || !strings.Contains(buf.String(), "TOTAL") {
+		t.Error("Fig7 table incomplete")
+	}
+
+	buf.Reset()
+	if err := WriteAttainment(&buf, d.Attainment()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "75% of activity") || !strings.Contains(buf.String(), "0%-20% of life") {
+		t.Errorf("Fig8 table incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteJointProgress(&buf, "project x", d.Projects[0].Joint); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "S=schema") {
+		t.Error("joint progress legend missing")
+	}
+}
+
+func TestWriteStatsReport(t *testing.T) {
+	d := dataset(t)
+	st, err := d.Statistics(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStatsReport(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Shapiro-Wilk", "Kruskal-Wallis", "Kendall", "Lag tests"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q", want)
+		}
+	}
+}
+
+func TestWriteDatasetCSV(t *testing.T) {
+	d := dataset(t)
+	var buf bytes.Buffer
+	if err := WriteDatasetCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != d.Size()+1 {
+		t.Fatalf("csv has %d lines, want %d", len(lines), d.Size()+1)
+	}
+	header := strings.Split(lines[0], ",")
+	record := strings.Split(lines[1], ",")
+	if len(header) != len(record) {
+		t.Errorf("header %d columns, record %d", len(header), len(record))
+	}
+	if header[0] != "name" || header[len(header)-1] != "attain_100" {
+		t.Errorf("unexpected header: %v", header)
+	}
+}
+
+func TestTaxonMarkersDistinct(t *testing.T) {
+	seen := map[byte]bool{}
+	for _, taxon := range taxa.All() {
+		m := TaxonMarker(taxon)
+		if m == '?' || seen[m] {
+			t.Errorf("marker for %v = %c not unique", taxon, m)
+		}
+		seen[m] = true
+	}
+	if TaxonMarker(taxa.Taxon(99)) != '?' {
+		t.Error("unknown taxon should map to ?")
+	}
+}
+
+func TestWriteJointProgressClampsValues(t *testing.T) {
+	j := &coevolution.JointProgress{
+		Project: []float64{-0.5, 2, 1},
+		Schema:  []float64{0, 0.5, 1},
+		Time:    []float64{0, 0.5, 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteJointProgress(&buf, "clamped", j); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(1.0) { // keep math import honest
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,213 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"coevo/internal/coevolution"
+	"coevo/internal/study"
+	"coevo/internal/taxa"
+)
+
+// SVG rendering of the study's figures: the joint progress diagram
+// (Figures 1/3), the synchronicity histogram (Figure 4) and the
+// duration-vs-synchronicity scatter (Figure 5), as self-contained SVG
+// documents suitable for papers and web pages.
+
+// svgPalette assigns a colour per taxon (and per joint-diagram series).
+var svgPalette = map[taxa.Taxon]string{
+	taxa.Frozen:            "#4575b4",
+	taxa.AlmostFrozen:      "#74add1",
+	taxa.FocusedShotFrozen: "#abd9e9",
+	taxa.Moderate:          "#fdae61",
+	taxa.FocusedShotLow:    "#f46d43",
+	taxa.Active:            "#d73027",
+}
+
+const (
+	svgSeriesTime    = "#999999"
+	svgSeriesProject = "#4575b4"
+	svgSeriesSchema  = "#d73027"
+)
+
+// svgCanvas accumulates SVG elements with a fixed plot area.
+type svgCanvas struct {
+	b                        strings.Builder
+	width, height            int
+	left, right, top, bottom int
+}
+
+func newSVGCanvas(width, height int) *svgCanvas {
+	c := &svgCanvas{width: width, height: height, left: 50, right: 16, top: 28, bottom: 36}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&c.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	return c
+}
+
+// plotWidth and plotHeight return the drawable area.
+func (c *svgCanvas) plotWidth() float64  { return float64(c.width - c.left - c.right) }
+func (c *svgCanvas) plotHeight() float64 { return float64(c.height - c.top - c.bottom) }
+
+// x and y map unit coordinates ([0,1]) into the plot area; y grows upward.
+func (c *svgCanvas) x(u float64) float64 { return float64(c.left) + u*c.plotWidth() }
+func (c *svgCanvas) y(u float64) float64 { return float64(c.top) + (1-u)*c.plotHeight() }
+
+func (c *svgCanvas) title(text string) {
+	fmt.Fprintf(&c.b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n",
+		c.left, escapeXML(text))
+}
+
+func (c *svgCanvas) axes(xLabel, yLabel string) {
+	fmt.Fprintf(&c.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		c.x(0), c.y(0), c.x(1), c.y(0))
+	fmt.Fprintf(&c.b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		c.x(0), c.y(0), c.x(0), c.y(1))
+	if xLabel != "" {
+		fmt.Fprintf(&c.b, `<text x="%g" y="%d" text-anchor="middle">%s</text>`+"\n",
+			c.x(0.5), c.height-8, escapeXML(xLabel))
+	}
+	if yLabel != "" {
+		fmt.Fprintf(&c.b, `<text x="12" y="%g" text-anchor="middle" transform="rotate(-90 12 %g)">%s</text>`+"\n",
+			c.y(0.5), c.y(0.5), escapeXML(yLabel))
+	}
+}
+
+func (c *svgCanvas) polyline(points []float64, color string) {
+	// points holds y values in [0,1] spread evenly over x.
+	var coords []string
+	n := len(points)
+	for i, v := range points {
+		u := 0.0
+		if n > 1 {
+			u = float64(i) / float64(n-1)
+		}
+		coords = append(coords, fmt.Sprintf("%.1f,%.1f", c.x(u), c.y(clamp01(v))))
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+		strings.Join(coords, " "), color)
+}
+
+func (c *svgCanvas) circle(ux, uy float64, color string) {
+	fmt.Fprintf(&c.b, `<circle cx="%.1f" cy="%.1f" r="3.2" fill="%s" fill-opacity="0.75"/>`+"\n",
+		c.x(ux), c.y(uy), color)
+}
+
+func (c *svgCanvas) bar(uxLo, uxHi, uy float64, color string) {
+	x0, x1 := c.x(uxLo), c.x(uxHi)
+	y0, y1 := c.y(0), c.y(clamp01(uy))
+	fmt.Fprintf(&c.b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+		x0, y1, x1-x0, y0-y1, color)
+}
+
+func (c *svgCanvas) label(ux, uy float64, anchor, text string) {
+	fmt.Fprintf(&c.b, `<text x="%.1f" y="%.1f" text-anchor="%s">%s</text>`+"\n",
+		c.x(ux), c.y(uy), anchor, escapeXML(text))
+}
+
+func (c *svgCanvas) legend(entries []struct{ Name, Color string }) {
+	x := c.left
+	for _, e := range entries {
+		fmt.Fprintf(&c.b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			x, c.height-22, e.Color)
+		fmt.Fprintf(&c.b, `<text x="%d" y="%d">%s</text>`+"\n", x+14, c.height-13, escapeXML(e.Name))
+		x += 14 + 8*len(e.Name) + 16
+	}
+}
+
+func (c *svgCanvas) finish(w io.Writer) error {
+	c.b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, c.b.String())
+	return err
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteJointProgressSVG renders a Figure 1/3-style joint cumulative
+// progress diagram as SVG.
+func WriteJointProgressSVG(w io.Writer, title string, j *coevolution.JointProgress) error {
+	if j.Len() == 0 {
+		return fmt.Errorf("report: empty joint progress")
+	}
+	c := newSVGCanvas(560, 320)
+	c.title(title)
+	c.axes("project lifetime (months)", "cumulative fraction")
+	c.polyline(j.Time, svgSeriesTime)
+	c.polyline(j.Project, svgSeriesProject)
+	c.polyline(j.Schema, svgSeriesSchema)
+	c.label(0, 1.02, "start", "1.0")
+	c.label(0, -0.02, "end", "0.0")
+	c.legend([]struct{ Name, Color string }{
+		{"time", svgSeriesTime}, {"project", svgSeriesProject}, {"schema", svgSeriesSchema},
+	})
+	return c.finish(w)
+}
+
+// WriteScatterSVG renders the Figure 5 duration-vs-synchronicity scatter
+// as SVG, colour-coded by taxon.
+func WriteScatterSVG(w io.Writer, points []study.ScatterPoint) error {
+	if len(points) == 0 {
+		return fmt.Errorf("report: no scatter points")
+	}
+	maxDur := 1
+	for _, p := range points {
+		if p.Duration > maxDur {
+			maxDur = p.Duration
+		}
+	}
+	c := newSVGCanvas(640, 400)
+	c.title("Duration vs 10%-synchronicity by taxon")
+	c.axes(fmt.Sprintf("duration (months, max %d)", maxDur), "10%-synchronicity")
+	for _, p := range points {
+		color, ok := svgPalette[p.Taxon]
+		if !ok {
+			color = "#888888"
+		}
+		c.circle(float64(p.Duration)/float64(maxDur), clamp01(p.Sync), color)
+	}
+	var legend []struct{ Name, Color string }
+	for _, taxon := range taxa.All() {
+		legend = append(legend, struct{ Name, Color string }{taxon.String(), svgPalette[taxon]})
+	}
+	c.legend(legend[:3]) // first row; the palette is documented in the doc comment
+	return c.finish(w)
+}
+
+// WriteSyncHistogramSVG renders the Figure 4 histogram as SVG.
+func WriteSyncHistogramSVG(w io.Writer, h *study.SyncHistogram) error {
+	if len(h.Buckets) == 0 {
+		return fmt.Errorf("report: empty histogram")
+	}
+	maxCount := 1
+	for _, count := range h.Buckets {
+		if count > maxCount {
+			maxCount = count
+		}
+	}
+	c := newSVGCanvas(560, 320)
+	c.title(fmt.Sprintf("Projects per %.0f%%-synchronicity range", h.Theta*100))
+	c.axes("", "projects")
+	n := len(h.Buckets)
+	for i, count := range h.Buckets {
+		lo := float64(i)/float64(n) + 0.02
+		hi := float64(i+1)/float64(n) - 0.02
+		c.bar(lo, hi, float64(count)/float64(maxCount), svgSeriesProject)
+		c.label((lo+hi)/2, -0.06, "middle", h.Labels[i])
+		c.label((lo+hi)/2, float64(count)/float64(maxCount)+0.02, "middle", fmt.Sprint(count))
+	}
+	return c.finish(w)
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"coevo/internal/coevolution"
+	"coevo/internal/study"
+	"coevo/internal/taxa"
+)
+
+// assertWellFormedSVG checks the output parses as XML and carries the svg
+// root element.
+func assertWellFormedSVG(t *testing.T, out []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(out))
+	sawSVG := false
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, out)
+		}
+		if se, ok := tok.(xml.StartElement); ok && se.Name.Local == "svg" {
+			sawSVG = true
+		}
+	}
+	if !sawSVG {
+		t.Fatalf("no <svg> root element:\n%s", out)
+	}
+}
+
+func TestWriteJointProgressSVG(t *testing.T) {
+	j := &coevolution.JointProgress{
+		Time:    []float64{0, 0.25, 0.5, 0.75, 1},
+		Project: []float64{0.2, 0.4, 0.6, 0.8, 1},
+		Schema:  []float64{0.8, 0.8, 1, 1, 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteJointProgressSVG(&buf, `a "titled" <project>`, j); err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, buf.Bytes())
+	out := buf.String()
+	if strings.Count(out, "<polyline") != 3 {
+		t.Errorf("want 3 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	if !strings.Contains(out, "&quot;titled&quot;") {
+		t.Error("title not escaped")
+	}
+	if err := WriteJointProgressSVG(&buf, "x", &coevolution.JointProgress{}); err == nil {
+		t.Error("empty joint progress should fail")
+	}
+}
+
+func TestWriteScatterSVG(t *testing.T) {
+	points := []study.ScatterPoint{
+		{Name: "a", Taxon: taxa.Frozen, Duration: 10, Sync: 0.4},
+		{Name: "b", Taxon: taxa.Active, Duration: 120, Sync: 0.9},
+		{Name: "c", Taxon: taxa.Moderate, Duration: 55, Sync: 0.1},
+	}
+	var buf bytes.Buffer
+	if err := WriteScatterSVG(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, buf.Bytes())
+	if got := strings.Count(buf.String(), "<circle"); got != 3 {
+		t.Errorf("want 3 circles, got %d", got)
+	}
+	if err := WriteScatterSVG(&buf, nil); err == nil {
+		t.Error("empty scatter should fail")
+	}
+}
+
+func TestWriteSyncHistogramSVG(t *testing.T) {
+	h := &study.SyncHistogram{
+		Theta:   0.10,
+		Buckets: []int{40, 30, 35, 30, 60},
+		Labels:  []string{"[0%-20%)", "[20%-40%)", "[40%-60%)", "[60%-80%)", "[80%-100%]"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSyncHistogramSVG(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, buf.Bytes())
+	out := buf.String()
+	// One bar per bucket plus the background rect.
+	if got := strings.Count(out, "<rect"); got != len(h.Buckets)+1 {
+		t.Errorf("want %d rects, got %d", len(h.Buckets)+1, got)
+	}
+	if !strings.Contains(out, "60") {
+		t.Error("bucket count labels missing")
+	}
+	if err := WriteSyncHistogramSVG(&buf, &study.SyncHistogram{}); err == nil {
+		t.Error("empty histogram should fail")
+	}
+}
+
+func TestSVGOnRealDataset(t *testing.T) {
+	d := dataset(t)
+	var buf bytes.Buffer
+	if err := WriteJointProgressSVG(&buf, d.Projects[0].Name, d.Projects[0].Joint); err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, buf.Bytes())
+	buf.Reset()
+	if err := WriteScatterSVG(&buf, d.DurationSynchronicityScatter()); err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, buf.Bytes())
+	buf.Reset()
+	if err := WriteSyncHistogramSVG(&buf, d.SynchronicityHistogram(0.10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	assertWellFormedSVG(t, buf.Bytes())
+}

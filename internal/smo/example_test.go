@@ -1,0 +1,28 @@
+package smo_test
+
+import (
+	"fmt"
+
+	"coevo/internal/schema"
+	"coevo/internal/smo"
+)
+
+// ExampleDerive turns a schema diff into an executable, invertible
+// migration.
+func ExampleDerive() {
+	old, _ := schema.ParseAndBuild("CREATE TABLE t (a INT, b VARCHAR(10));")
+	target, _ := schema.ParseAndBuild("CREATE TABLE t (a BIGINT, c TEXT);")
+
+	seq := smo.Derive(old, target)
+	fmt.Println(seq)
+	fmt.Println("--")
+	fmt.Println(seq.SQL())
+	// Output:
+	// RETYPE(t.a: INT -> BIGINT)
+	// ADD(t.c: TEXT)
+	// EJECT(t.b: VARCHAR(10))
+	// --
+	// ALTER TABLE t ALTER COLUMN a TYPE BIGINT;
+	// ALTER TABLE t ADD COLUMN c TEXT;
+	// ALTER TABLE t DROP COLUMN b;
+}

@@ -1,0 +1,424 @@
+// Package smo provides a Schema Modification Operation algebra over the
+// logical schema model: the diff between two schema versions expressed as
+// an explicit, invertible, SQL-renderable operation sequence.
+//
+// The paper's related-work section points at SMO algebras as the device
+// for describing change sequences in both forward- and reverse-engineering
+// settings; this package supplies that device for the reproduction's
+// schemata. A Sequence derived from two versions can be applied to the
+// older one to obtain the newer, inverted to roll back, rendered as ALTER
+// statements to produce a migration script, and measured in exactly the
+// study's Activity units.
+package smo
+
+import (
+	"fmt"
+	"strings"
+
+	"coevo/internal/schema"
+	"coevo/internal/schemadiff"
+	"coevo/internal/sqlddl"
+)
+
+// Column is the (name, canonical type) pair SMOs carry. Types use the
+// normalized comparison form of the schema package.
+type Column struct {
+	Name string
+	Type string
+}
+
+// Op is one schema modification operation.
+type Op interface {
+	// Invert returns the operation that undoes this one.
+	Invert() Op
+	// Statement renders the operation as a parsed DDL statement.
+	Statement() sqlddl.Statement
+	// Activity returns the operation's volume in the study's
+	// attribute-level units.
+	Activity() int
+	fmt.Stringer
+}
+
+// CreateTable creates a table with the given columns and primary key.
+type CreateTable struct {
+	Table      string
+	Columns    []Column
+	PrimaryKey []string
+}
+
+// DropTable drops a table; the columns and key are retained so the
+// operation stays invertible.
+type DropTable struct {
+	Table      string
+	Columns    []Column
+	PrimaryKey []string
+}
+
+// AddColumn injects a column into an existing table.
+type AddColumn struct {
+	Table  string
+	Column Column
+}
+
+// DropColumn ejects a column; the type is retained for invertibility.
+type DropColumn struct {
+	Table  string
+	Column Column
+}
+
+// ChangeType changes a column's data type.
+type ChangeType struct {
+	Table   string
+	Column  string
+	OldType string
+	NewType string
+}
+
+// SetPrimaryKey replaces a table's primary key.
+type SetPrimaryKey struct {
+	Table string
+	Old   []string
+	New   []string
+}
+
+// String renders each op in a compact algebra notation.
+
+func (op CreateTable) String() string {
+	return fmt.Sprintf("CREATE(%s: %d columns)", op.Table, len(op.Columns))
+}
+func (op DropTable) String() string {
+	return fmt.Sprintf("DROP(%s: %d columns)", op.Table, len(op.Columns))
+}
+func (op AddColumn) String() string {
+	return fmt.Sprintf("ADD(%s.%s: %s)", op.Table, op.Column.Name, op.Column.Type)
+}
+func (op DropColumn) String() string {
+	return fmt.Sprintf("EJECT(%s.%s: %s)", op.Table, op.Column.Name, op.Column.Type)
+}
+func (op ChangeType) String() string {
+	return fmt.Sprintf("RETYPE(%s.%s: %s -> %s)", op.Table, op.Column, op.OldType, op.NewType)
+}
+func (op SetPrimaryKey) String() string {
+	return fmt.Sprintf("REKEY(%s: (%s) -> (%s))", op.Table, strings.Join(op.Old, ","), strings.Join(op.New, ","))
+}
+
+// Invert implementations: every op's undo.
+
+func (op CreateTable) Invert() Op {
+	return DropTable{Table: op.Table, Columns: op.Columns, PrimaryKey: op.PrimaryKey}
+}
+func (op DropTable) Invert() Op {
+	return CreateTable{Table: op.Table, Columns: op.Columns, PrimaryKey: op.PrimaryKey}
+}
+func (op AddColumn) Invert() Op { return DropColumn{Table: op.Table, Column: op.Column} }
+func (op DropColumn) Invert() Op {
+	return AddColumn{Table: op.Table, Column: op.Column}
+}
+func (op ChangeType) Invert() Op {
+	return ChangeType{Table: op.Table, Column: op.Column, OldType: op.NewType, NewType: op.OldType}
+}
+func (op SetPrimaryKey) Invert() Op {
+	return SetPrimaryKey{Table: op.Table, Old: op.New, New: op.Old}
+}
+
+// Activity implementations: the study's attribute-level unit volumes.
+
+func (op CreateTable) Activity() int   { return len(op.Columns) }
+func (op DropTable) Activity() int     { return len(op.Columns) }
+func (op AddColumn) Activity() int     { return 1 }
+func (op DropColumn) Activity() int    { return 1 }
+func (op ChangeType) Activity() int    { return 1 }
+func (op SetPrimaryKey) Activity() int { return symmetricDiffLen(op.Old, op.New) }
+
+func symmetricDiffLen(a, b []string) int {
+	inA := map[string]bool{}
+	for _, s := range a {
+		inA[s] = true
+	}
+	n := 0
+	for _, s := range b {
+		if !inA[s] {
+			n++
+		}
+		delete(inA, s)
+	}
+	return n + len(inA)
+}
+
+// Statement implementations: every op as DDL.
+
+func (op CreateTable) Statement() sqlddl.Statement {
+	ct := &sqlddl.CreateTable{Name: sqlddl.TableName{Name: op.Table}}
+	for _, c := range op.Columns {
+		ct.Columns = append(ct.Columns, sqlddl.ColumnDef{Name: c.Name, Type: parseType(c.Type)})
+	}
+	if len(op.PrimaryKey) > 0 {
+		ct.Constraints = append(ct.Constraints, sqlddl.TableConstraint{
+			Kind: sqlddl.ConstraintPrimaryKey, Columns: op.PrimaryKey,
+		})
+	}
+	return ct
+}
+
+func (op DropTable) Statement() sqlddl.Statement {
+	return &sqlddl.DropTable{Names: []sqlddl.TableName{{Name: op.Table}}}
+}
+
+func (op AddColumn) Statement() sqlddl.Statement {
+	return &sqlddl.AlterTable{
+		Name: sqlddl.TableName{Name: op.Table},
+		Actions: []sqlddl.AlterAction{sqlddl.AddColumn{
+			Column: sqlddl.ColumnDef{Name: op.Column.Name, Type: parseType(op.Column.Type)},
+		}},
+	}
+}
+
+func (op DropColumn) Statement() sqlddl.Statement {
+	return &sqlddl.AlterTable{
+		Name:    sqlddl.TableName{Name: op.Table},
+		Actions: []sqlddl.AlterAction{sqlddl.DropColumn{Name: op.Column.Name}},
+	}
+}
+
+func (op ChangeType) Statement() sqlddl.Statement {
+	return &sqlddl.AlterTable{
+		Name: sqlddl.TableName{Name: op.Table},
+		Actions: []sqlddl.AlterAction{sqlddl.AlterColumnType{
+			Name: op.Column, Type: parseType(op.NewType),
+		}},
+	}
+}
+
+func (op SetPrimaryKey) Statement() sqlddl.Statement {
+	at := &sqlddl.AlterTable{Name: sqlddl.TableName{Name: op.Table}}
+	if len(op.New) == 0 {
+		at.Actions = []sqlddl.AlterAction{sqlddl.DropConstraint{Kind: sqlddl.ConstraintPrimaryKey}}
+	} else {
+		at.Actions = []sqlddl.AlterAction{sqlddl.AddConstraint{Constraint: sqlddl.TableConstraint{
+			Kind: sqlddl.ConstraintPrimaryKey, Columns: op.New,
+		}}}
+	}
+	return at
+}
+
+// parseType reconstructs a DataType from its canonical text by parsing a
+// tiny synthetic column definition. The canonical form always re-parses:
+// it was produced by DataType.String.
+func parseType(canon string) sqlddl.DataType {
+	script, err := sqlddl.Parse("CREATE TABLE _t (_c " + canon + ");")
+	if err == nil {
+		if cts := script.CreateTables(); len(cts) == 1 && len(cts[0].Columns) == 1 {
+			return cts[0].Columns[0].Type
+		}
+	}
+	return sqlddl.DataType{Name: canon}
+}
+
+// SQL renders the op as executable DDL text (MySQL-compatible spelling,
+// which the schema builder also accepts).
+func SQL(op Op) string {
+	switch o := op.(type) {
+	case CreateTable:
+		var b strings.Builder
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n", o.Table)
+		for i, c := range o.Columns {
+			if i > 0 {
+				b.WriteString(",\n")
+			}
+			fmt.Fprintf(&b, "  %s %s", c.Name, c.Type)
+		}
+		if len(o.PrimaryKey) > 0 {
+			fmt.Fprintf(&b, ",\n  PRIMARY KEY (%s)", strings.Join(o.PrimaryKey, ", "))
+		}
+		b.WriteString("\n);")
+		return b.String()
+	case DropTable:
+		return fmt.Sprintf("DROP TABLE %s;", o.Table)
+	case AddColumn:
+		return fmt.Sprintf("ALTER TABLE %s ADD COLUMN %s %s;", o.Table, o.Column.Name, o.Column.Type)
+	case DropColumn:
+		return fmt.Sprintf("ALTER TABLE %s DROP COLUMN %s;", o.Table, o.Column.Name)
+	case ChangeType:
+		return fmt.Sprintf("ALTER TABLE %s ALTER COLUMN %s TYPE %s;", o.Table, o.Column, o.NewType)
+	case SetPrimaryKey:
+		if len(o.New) == 0 {
+			return fmt.Sprintf("ALTER TABLE %s DROP PRIMARY KEY;", o.Table)
+		}
+		return fmt.Sprintf("ALTER TABLE %s ADD PRIMARY KEY (%s);", o.Table, strings.Join(o.New, ", "))
+	default:
+		return fmt.Sprintf("-- unknown op %T", op)
+	}
+}
+
+// Sequence is an ordered operation list.
+type Sequence []Op
+
+// String renders the sequence one op per line.
+func (seq Sequence) String() string {
+	parts := make([]string, len(seq))
+	for i, op := range seq {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// SQL renders the whole sequence as a migration script.
+func (seq Sequence) SQL() string {
+	parts := make([]string, len(seq))
+	for i, op := range seq {
+		parts[i] = SQL(op)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Activity sums the sequence's volume in the study's units.
+func (seq Sequence) Activity() int {
+	total := 0
+	for _, op := range seq {
+		total += op.Activity()
+	}
+	return total
+}
+
+// Invert returns the reversed sequence of inverted operations, so that
+// Apply(Apply(s, seq), seq.Invert()) restores s.
+func (seq Sequence) Invert() Sequence {
+	out := make(Sequence, len(seq))
+	for i, op := range seq {
+		out[len(seq)-1-i] = op.Invert()
+	}
+	return out
+}
+
+// Derive computes a Sequence transforming old into new. Both arguments may
+// be nil (treated as empty schemata). The derived sequence's Activity
+// equals the schemadiff TotalActivity of the same pair.
+func Derive(old, new *schema.Schema) Sequence {
+	if old == nil {
+		old = schema.New()
+	}
+	if new == nil {
+		new = schema.New()
+	}
+	var seq Sequence
+	seen := map[string]bool{}
+	for _, nt := range new.Tables() {
+		seen[strings.ToLower(nt.Name)] = true
+		ot, existed := old.Table(nt.Name)
+		if !existed {
+			seq = append(seq, CreateTable{
+				Table:      nt.Name,
+				Columns:    columnsOf(nt),
+				PrimaryKey: append([]string(nil), nt.PrimaryKey()...),
+			})
+			continue
+		}
+		seq = append(seq, deriveTable(ot, nt)...)
+	}
+	for _, ot := range old.Tables() {
+		if !seen[strings.ToLower(ot.Name)] {
+			seq = append(seq, DropTable{
+				Table:      ot.Name,
+				Columns:    columnsOf(ot),
+				PrimaryKey: append([]string(nil), ot.PrimaryKey()...),
+			})
+		}
+	}
+	return seq
+}
+
+func columnsOf(t *schema.Table) []Column {
+	cols := make([]Column, 0, len(t.Attributes()))
+	for _, a := range t.Attributes() {
+		cols = append(cols, Column{Name: a.Name, Type: a.Type})
+	}
+	return cols
+}
+
+func deriveTable(ot, nt *schema.Table) Sequence {
+	var seq Sequence
+	for _, na := range nt.Attributes() {
+		oa, existed := ot.Attribute(na.Name)
+		switch {
+		case !existed:
+			seq = append(seq, AddColumn{Table: nt.Name, Column: Column{Name: na.Name, Type: na.Type}})
+		case oa.Type != na.Type:
+			seq = append(seq, ChangeType{Table: nt.Name, Column: na.Name, OldType: oa.Type, NewType: na.Type})
+		}
+	}
+	for _, oa := range ot.Attributes() {
+		if _, survives := nt.Attribute(oa.Name); !survives {
+			seq = append(seq, DropColumn{Table: nt.Name, Column: Column{Name: oa.Name, Type: oa.Type}})
+		}
+	}
+	if !equalKeys(ot.PrimaryKey(), nt.PrimaryKey()) {
+		seq = append(seq, SetPrimaryKey{
+			Table: nt.Name,
+			Old:   append([]string(nil), ot.PrimaryKey()...),
+			New:   append([]string(nil), nt.PrimaryKey()...),
+		})
+	}
+	return seq
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply executes the sequence against a clone of s and returns the result.
+// The input schema is never mutated.
+func Apply(s *schema.Schema, seq Sequence) (*schema.Schema, error) {
+	if s == nil {
+		s = schema.New()
+	}
+	out := s.Clone()
+	for i, op := range seq {
+		if errs := out.Apply(op.Statement()); len(errs) > 0 {
+			return nil, fmt.Errorf("smo: op %d (%s): %w", i, op, errs[0])
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two schemata are logically identical — the diff
+// between them is empty.
+func Equal(a, b *schema.Schema) bool {
+	return schemadiff.Compare(a, b).IsEmpty() && samePrimaryKeys(a, b)
+}
+
+// samePrimaryKeys compares primary keys exactly; the Activity measure only
+// counts per-attribute membership changes, but SMO equality is stricter
+// (key column order matters for round-tripping).
+func samePrimaryKeys(a, b *schema.Schema) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	for _, ta := range a.Tables() {
+		tb, ok := b.Table(ta.Name)
+		if !ok {
+			return false
+		}
+		ka, kb := ta.PrimaryKey(), tb.PrimaryKey()
+		if len(ka) != len(kb) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, k := range ka {
+			seen[k] = true
+		}
+		for _, k := range kb {
+			if !seen[k] {
+				return false
+			}
+		}
+	}
+	return true
+}

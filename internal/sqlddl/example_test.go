@@ -1,0 +1,46 @@
+package sqlddl_test
+
+import (
+	"fmt"
+
+	"coevo/internal/sqlddl"
+)
+
+// ExampleParse shows the basic parse of a DDL script into typed
+// statements.
+func ExampleParse() {
+	script, err := sqlddl.Parse(`
+		CREATE TABLE users (
+			id INT NOT NULL AUTO_INCREMENT,
+			email VARCHAR(255) NOT NULL,
+			PRIMARY KEY (id)
+		);
+		ALTER TABLE users ADD COLUMN created_at TIMESTAMP;`)
+	if err != nil {
+		panic(err)
+	}
+	for _, stmt := range script.Statements {
+		switch st := stmt.(type) {
+		case *sqlddl.CreateTable:
+			fmt.Printf("create %s with %d columns\n", st.Name, len(st.Columns))
+		case *sqlddl.AlterTable:
+			fmt.Printf("alter %s with %d action(s)\n", st.Name, len(st.Actions))
+		}
+	}
+	// Output:
+	// create users with 2 columns
+	// alter users with 1 action(s)
+}
+
+// ExampleParseLenient shows how non-DDL statements are preserved instead
+// of failing the parse — the tolerance the mining pipeline requires.
+func ExampleParseLenient() {
+	script, diags := sqlddl.ParseLenient(`
+		SET NAMES utf8;
+		INSERT INTO t VALUES (1);
+		CREATE TABLE t2 (x INT);`)
+	fmt.Printf("%d statements, %d diagnostics, %d tables\n",
+		len(script.Statements), len(diags), len(script.CreateTables()))
+	// Output:
+	// 3 statements, 0 diagnostics, 1 tables
+}

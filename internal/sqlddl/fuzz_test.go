@@ -1,0 +1,37 @@
+package sqlddl
+
+import "testing"
+
+// FuzzParseLenient asserts the mining pipeline's hard requirement: no SQL
+// input — however garbled — may panic the lenient parser or return a nil
+// script. Run with `go test -fuzz=FuzzParseLenient ./internal/sqlddl`.
+func FuzzParseLenient(f *testing.F) {
+	seeds := []string{
+		"",
+		"CREATE TABLE t (a INT);",
+		"CREATE TABLE `weird``name` (a ENUM('x','y''z'), b INT UNSIGNED);",
+		"ALTER TABLE t ADD COLUMN c TEXT, DROP PRIMARY KEY;",
+		"INSERT INTO t VALUES ('a;b', \"c\");",
+		"/* unterminated",
+		"CREATE TABLE t (a int",
+		"'unterminated string",
+		"$tag$ body $tag$;",
+		"SELECT 1; CREATE TABLE x (y int); DROP TABLE x;",
+		"CREATE TABLE t (a TIMESTAMP WITH TIME ZONE DEFAULT now());",
+		"RENAME TABLE a TO b, c TO d;",
+		"\x00\x01\x02 CREATE TABLE t (a INT);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, _ := ParseLenient(src)
+		if script == nil {
+			t.Fatal("ParseLenient returned nil script")
+		}
+		// Statements the parser accepts must carry their raw text.
+		for _, stmt := range script.Statements {
+			_ = stmt.Raw()
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSample(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*5 + float64(i%7)
+	}
+	return xs
+}
+
+func BenchmarkShapiroWilk195(b *testing.B) {
+	xs := benchSample(195, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShapiroWilk(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKruskalWallis6Groups(b *testing.B) {
+	groups := make([][]float64, 6)
+	for i := range groups {
+		groups[i] = benchSample(33, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KruskalWallis(groups...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKendallTau195(b *testing.B) {
+	xs := benchSample(195, 3)
+	ys := benchSample(195, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KendallTau(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFisherExactMC6x2(b *testing.B) {
+	tbl := Table{{20, 13}, {40, 25}, {25, 5}, {10, 20}, {5, 12}, {8, 12}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FisherExactMC(tbl, 2000, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChiSquare6x2(b *testing.B) {
+	tbl := Table{{20, 13}, {40, 25}, {25, 5}, {10, 20}, {5, 12}, {8, 12}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChiSquareIndependence(tbl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

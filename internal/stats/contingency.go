@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Table is an R×C contingency table of non-negative counts.
+type Table [][]int
+
+// NewTable allocates an r×c table of zeros.
+func NewTable(r, c int) Table {
+	t := make(Table, r)
+	for i := range t {
+		t[i] = make([]int, c)
+	}
+	return t
+}
+
+// validate checks rectangularity, non-negativity and a positive total.
+func (t Table) validate() (rows, cols, total int, err error) {
+	rows = len(t)
+	if rows == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: empty table", ErrBadInput)
+	}
+	cols = len(t[0])
+	for _, row := range t {
+		if len(row) != cols {
+			return 0, 0, 0, fmt.Errorf("%w: ragged table", ErrBadInput)
+		}
+		for _, v := range row {
+			if v < 0 {
+				return 0, 0, 0, fmt.Errorf("%w: negative count", ErrBadInput)
+			}
+			total += v
+		}
+	}
+	if cols == 0 || total == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: table has no observations", ErrBadInput)
+	}
+	return rows, cols, total, nil
+}
+
+// margins returns row and column sums.
+func (t Table) margins() (rowSums, colSums []int) {
+	rowSums = make([]int, len(t))
+	colSums = make([]int, len(t[0]))
+	for i, row := range t {
+		for j, v := range row {
+			rowSums[i] += v
+			colSums[j] += v
+		}
+	}
+	return rowSums, colSums
+}
+
+// ChiSquareResult holds the test statistic, degrees of freedom and
+// p-value of a chi-square independence test.
+type ChiSquareResult struct {
+	Chi2 float64
+	DF   int
+	P    float64
+}
+
+// ChiSquareIndependence tests independence of rows and columns of an R×C
+// contingency table via Pearson's chi-square statistic. Rows or columns
+// whose margin is zero are dropped (they carry no information).
+func ChiSquareIndependence(t Table) (ChiSquareResult, error) {
+	if _, _, _, err := t.validate(); err != nil {
+		return ChiSquareResult{}, err
+	}
+	t = dropEmptyMargins(t)
+	rows, cols := len(t), len(t[0])
+	if rows < 2 || cols < 2 {
+		return ChiSquareResult{}, fmt.Errorf("%w: need >= 2 informative rows and columns", ErrBadInput)
+	}
+	rowSums, colSums := t.margins()
+	total := 0
+	for _, s := range rowSums {
+		total += s
+	}
+	chi2 := 0.0
+	for i := range t {
+		for j := range t[i] {
+			expected := float64(rowSums[i]) * float64(colSums[j]) / float64(total)
+			d := float64(t[i][j]) - expected
+			chi2 += d * d / expected
+		}
+	}
+	df := (rows - 1) * (cols - 1)
+	return ChiSquareResult{Chi2: chi2, DF: df, P: ChiSquareSF(chi2, df)}, nil
+}
+
+func dropEmptyMargins(t Table) Table {
+	rowSums, colSums := t.margins()
+	var out Table
+	for i, row := range t {
+		if rowSums[i] == 0 {
+			continue
+		}
+		var newRow []int
+		for j, v := range row {
+			if colSums[j] == 0 {
+				continue
+			}
+			newRow = append(newRow, v)
+		}
+		out = append(out, newRow)
+	}
+	return out
+}
+
+// FisherResult holds the two-sided p-value of a Fisher exact test.
+type FisherResult struct {
+	P float64
+	// Simulated reports whether P was estimated by Monte Carlo (R×C
+	// tables) rather than exact enumeration (2×2).
+	Simulated bool
+	// Iterations is the Monte Carlo sample count when Simulated.
+	Iterations int
+}
+
+// FisherExact2x2 computes the two-sided Fisher exact test for a 2×2 table
+// using the standard "sum of probabilities ≤ observed" definition.
+func FisherExact2x2(a, b, c, d int) (FisherResult, error) {
+	if a < 0 || b < 0 || c < 0 || d < 0 {
+		return FisherResult{}, fmt.Errorf("%w: negative count", ErrBadInput)
+	}
+	n := a + b + c + d
+	if n == 0 {
+		return FisherResult{}, fmt.Errorf("%w: empty table", ErrBadInput)
+	}
+	r1 := a + b
+	c1 := a + c
+	logDenom := LogChoose(n, c1)
+	logP := func(x int) float64 {
+		return LogChoose(r1, x) + LogChoose(n-r1, c1-x) - logDenom
+	}
+	observed := logP(a)
+	lo := max(0, c1-(n-r1))
+	hi := min(r1, c1)
+	p := 0.0
+	const slack = 1e-7 // tolerate float noise when comparing probabilities
+	for x := lo; x <= hi; x++ {
+		if lp := logP(x); lp <= observed+slack {
+			p += math.Exp(lp)
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return FisherResult{P: p}, nil
+}
+
+// FisherExactMC estimates the two-sided Fisher exact test p-value for an
+// R×C table (the Freeman-Halton generalization) by Monte Carlo sampling of
+// tables with the observed margins, using the permutation construction.
+// The estimate is (1 + #{T : P(T) ≤ P(obs)}) / (iters + 1). A fixed seed
+// makes runs reproducible.
+func FisherExactMC(t Table, iters int, seed int64) (FisherResult, error) {
+	rows, cols, total, err := t.validate()
+	if err != nil {
+		return FisherResult{}, err
+	}
+	if iters <= 0 {
+		return FisherResult{}, fmt.Errorf("%w: iterations must be positive", ErrBadInput)
+	}
+	if rows == 2 && cols == 2 {
+		return FisherExact2x2(t[0][0], t[0][1], t[1][0], t[1][1])
+	}
+	rowSums, colSums := t.margins()
+	observed := logTableProb(t, rowSums, colSums, total)
+
+	// Expand the row labels of every observation; shuffling them against
+	// the fixed column layout samples uniformly from tables with the given
+	// margins.
+	labels := make([]int, 0, total)
+	for i, s := range rowSums {
+		for k := 0; k < s; k++ {
+			labels = append(labels, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sample := NewTable(rows, cols)
+	extreme := 0
+	const slack = 1e-7
+	for it := 0; it < iters; it++ {
+		rng.Shuffle(len(labels), func(a, b int) { labels[a], labels[b] = labels[b], labels[a] })
+		for i := range sample {
+			for j := range sample[i] {
+				sample[i][j] = 0
+			}
+		}
+		pos := 0
+		for j, s := range colSums {
+			for k := 0; k < s; k++ {
+				sample[labels[pos]][j]++
+				pos++
+			}
+		}
+		if logTableProb(sample, rowSums, colSums, total) <= observed+slack {
+			extreme++
+		}
+	}
+	p := float64(1+extreme) / float64(iters+1)
+	return FisherResult{P: p, Simulated: true, Iterations: iters}, nil
+}
+
+// logTableProb returns the log-probability of a table under the
+// fixed-margins hypergeometric distribution.
+func logTableProb(t Table, rowSums, colSums []int, total int) float64 {
+	lp := 0.0
+	for _, s := range rowSums {
+		lg, _ := math.Lgamma(float64(s + 1))
+		lp += lg
+	}
+	for _, s := range colSums {
+		lg, _ := math.Lgamma(float64(s + 1))
+		lp += lg
+	}
+	lgT, _ := math.Lgamma(float64(total + 1))
+	lp -= lgT
+	for i := range t {
+		for j := range t[i] {
+			lg, _ := math.Lgamma(float64(t[i][j] + 1))
+			lp -= lg
+		}
+	}
+	return lp
+}

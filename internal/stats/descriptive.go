@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance; NaN for fewer than two
+// points.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median; NaN for empty input.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between order statistics (type 7, the R default); NaN for empty input or
+// q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MinMax returns the extremes; NaNs for empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Ranks returns the 1-based ranks of xs with ties assigned their average
+// rank (midranks), as required by the rank tests.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+2) / 2 // average of 1-based ranks i+1..j+1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// TieGroups returns the sizes of the tie groups in xs (groups of equal
+// values), used by tie corrections.
+func TieGroups(xs []float64) []int {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var groups []int
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+			j++
+		}
+		if j > i {
+			groups = append(groups, j-i+1)
+		}
+		i = j + 1
+	}
+	return groups
+}
+
+// Bucket assigns value v (expected in [0, 1]) to one of n equal-width
+// buckets [0, 1/n), [1/n, 2/n), ..., with the final bucket closed at 1.
+// Out-of-range values clamp to the edge buckets.
+func Bucket(v float64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	i := int(v * float64(n))
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// BucketLabel renders the half-open range label of bucket i of n, e.g.
+// "[20%-40%)" or "[80%-100%]" for the final closed bucket.
+func BucketLabel(i, n int) string {
+	lo := 100 * i / n
+	hi := 100 * (i + 1) / n
+	if i == n-1 {
+		return fmt.Sprintf("[%d%%-%d%%]", lo, hi)
+	}
+	return fmt.Sprintf("[%d%%-%d%%)", lo, hi)
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// KruskalWallisResult holds the H statistic, degrees of freedom, and
+// chi-square-approximated p-value.
+type KruskalWallisResult struct {
+	H  float64
+	DF int
+	P  float64
+	// GroupMedians holds the per-group medians, convenient for the paper's
+	// per-taxon reporting.
+	GroupMedians []float64
+}
+
+// KruskalWallis tests whether the k groups come from the same distribution
+// (the non-parametric one-way ANOVA on ranks the paper uses to test taxa
+// against synchronicity and attainment). Ties are corrected for. At least
+// two non-empty groups with a combined n ≥ 3 are required.
+func KruskalWallis(groups ...[]float64) (KruskalWallisResult, error) {
+	var nonEmpty int
+	var all []float64
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty++
+		}
+		all = append(all, g...)
+	}
+	if nonEmpty < 2 {
+		return KruskalWallisResult{}, fmt.Errorf("%w: Kruskal-Wallis needs >= 2 non-empty groups", ErrBadInput)
+	}
+	n := len(all)
+	if n < 3 {
+		return KruskalWallisResult{}, fmt.Errorf("%w: Kruskal-Wallis needs n >= 3, have %d", ErrBadInput, n)
+	}
+
+	ranks := Ranks(all)
+	h := 0.0
+	offset := 0
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		var rsum float64
+		for i := range g {
+			rsum += ranks[offset+i]
+		}
+		h += rsum * rsum / float64(len(g))
+		offset += len(g)
+	}
+	fn := float64(n)
+	h = 12/(fn*(fn+1))*h - 3*(fn+1)
+
+	// Tie correction.
+	ties := TieGroups(all)
+	correction := 0.0
+	for _, t := range ties {
+		ft := float64(t)
+		correction += ft*ft*ft - ft
+	}
+	denom := 1 - correction/(fn*fn*fn-fn)
+	if denom <= 0 {
+		return KruskalWallisResult{}, fmt.Errorf("%w: all observations tied", ErrBadInput)
+	}
+	h /= denom
+
+	df := nonEmpty - 1
+	res := KruskalWallisResult{H: h, DF: df, P: ChiSquareSF(h, df)}
+	for _, g := range groups {
+		res.GroupMedians = append(res.GroupMedians, Median(g))
+	}
+	return res, nil
+}
+
+// KendallResult holds Kendall's τ-b and its normal-approximation p-value
+// (two-sided).
+type KendallResult struct {
+	Tau float64
+	Z   float64
+	P   float64
+}
+
+// KendallTau computes Kendall's τ-b rank correlation between paired
+// samples, with tie-corrected variance for the significance test. O(n²) —
+// ample for corpus-sized inputs.
+func KendallTau(xs, ys []float64) (KendallResult, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return KendallResult{}, fmt.Errorf("%w: length mismatch %d vs %d", ErrBadInput, n, len(ys))
+	}
+	if n < 2 {
+		return KendallResult{}, fmt.Errorf("%w: Kendall tau needs n >= 2", ErrBadInput)
+	}
+	var concordant, discordant int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := sign(xs[j] - xs[i])
+			dy := sign(ys[j] - ys[i])
+			s := dx * dy
+			switch {
+			case s > 0:
+				concordant++
+			case s < 0:
+				discordant++
+			}
+		}
+	}
+	n0 := float64(n*(n-1)) / 2
+	n1 := tiePairSum(xs)
+	n2 := tiePairSum(ys)
+	denom := math.Sqrt((n0 - n1) * (n0 - n2))
+	if denom == 0 {
+		return KendallResult{}, fmt.Errorf("%w: a sample is constant", ErrBadInput)
+	}
+	tau := float64(concordant-discordant) / denom
+
+	// Normal approximation with tie correction:
+	//   var(S) = (v0 − vt − vu)/18
+	//          + Σt(t−1)·Σu(u−1) / (2n(n−1))
+	//          + Σt(t−1)(t−2)·Σu(u−1)(u−2) / (9n(n−1)(n−2)).
+	v0 := float64(n*(n-1)) * float64(2*n+5)
+	vt := tieVarianceTerm(xs)
+	vu := tieVarianceTerm(ys)
+	variance := (v0 - vt - vu) / 18
+	variance += (2 * n1) * (2 * n2) / (2 * float64(n) * float64(n-1))
+	if n > 2 {
+		variance += tieTripleSum(xs) * tieTripleSum(ys) /
+			(9 * float64(n) * float64(n-1) * float64(n-2))
+	}
+	if variance <= 0 {
+		return KendallResult{Tau: tau, Z: 0, P: 1}, nil
+	}
+	z := float64(concordant-discordant) / math.Sqrt(variance)
+	p := 2 * NormalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return KendallResult{Tau: tau, Z: z, P: p}, nil
+}
+
+func sign(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// tiePairSum returns Σ t(t−1)/2 over tie groups.
+func tiePairSum(xs []float64) float64 {
+	s := 0.0
+	for _, t := range TieGroups(xs) {
+		s += float64(t*(t-1)) / 2
+	}
+	return s
+}
+
+// tieVarianceTerm returns Σ t(t−1)(2t+5) over tie groups.
+func tieVarianceTerm(xs []float64) float64 {
+	s := 0.0
+	for _, t := range TieGroups(xs) {
+		s += float64(t*(t-1)) * float64(2*t+5)
+	}
+	return s
+}
+
+// tieTripleSum returns Σ t(t−1)(t−2) over tie groups.
+func tieTripleSum(xs []float64) float64 {
+	s := 0.0
+	for _, t := range TieGroups(xs) {
+		s += float64(t * (t - 1) * (t - 2))
+	}
+	return s
+}

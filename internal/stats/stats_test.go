@@ -1,0 +1,466 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, label string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", label, got, want, tol)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	approx(t, NormalCDF(0), 0.5, 1e-12, "Φ(0)")
+	approx(t, NormalCDF(1.959963985), 0.975, 1e-6, "Φ(1.96)")
+	approx(t, NormalCDF(-1.959963985), 0.025, 1e-6, "Φ(-1.96)")
+	approx(t, NormalSF(1.644853627), 0.05, 1e-6, "SF(1.645)")
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:   0,
+		0.975: 1.959963985,
+		0.025: -1.959963985,
+		0.95:  1.644853627,
+		0.001: -3.090232306,
+		0.999: 3.090232306,
+	}
+	for p, want := range cases {
+		approx(t, NormalQuantile(p), want, 1e-7, "Φ⁻¹")
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile edges should be infinite")
+	}
+	if !math.IsNaN(NormalQuantile(-0.5)) {
+		t.Error("out-of-range quantile should be NaN")
+	}
+}
+
+func TestQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		z := NormalQuantile(p)
+		approx(t, NormalCDF(z), p, 1e-10, "Φ(Φ⁻¹(p))")
+	}
+}
+
+func TestChiSquareSF(t *testing.T) {
+	// Reference values (R: pchisq(x, df, lower.tail=FALSE)).
+	approx(t, ChiSquareSF(3.841459, 1), 0.05, 1e-6, "χ²(1) @3.84")
+	approx(t, ChiSquareSF(11.0705, 5), 0.05, 1e-5, "χ²(5) @11.07")
+	approx(t, ChiSquareSF(15.0863, 5), 0.01, 1e-5, "χ²(5) @15.09")
+	approx(t, ChiSquareSF(0, 3), 1, 1e-12, "χ² at 0")
+	if !math.IsNaN(ChiSquareSF(1, 0)) {
+		t.Error("df=0 should be NaN")
+	}
+}
+
+func TestGammaRegComplementarity(t *testing.T) {
+	for _, a := range []float64{0.5, 1, 2.5, 10, 50} {
+		for _, x := range []float64{0.1, 1, 5, 20, 100} {
+			p, q := GammaRegP(a, x), GammaRegQ(a, x)
+			approx(t, p+q, 1, 1e-10, "P+Q")
+			if p < 0 || p > 1 {
+				t.Errorf("P(%v,%v) = %v out of range", a, x, p)
+			}
+		}
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "Mean")
+	approx(t, StdDev(xs), 2.13809, 1e-4, "StdDev") // sample sd
+	approx(t, Median(xs), 4.5, 1e-12, "Median")
+	approx(t, Quantile(xs, 0.25), 4, 1e-12, "Q1")
+	min, max := MinMax(xs)
+	if min != 2 || max != 9 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("degenerate inputs should be NaN")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	ranks := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", ranks, want)
+		}
+	}
+	groups := TieGroups([]float64{1, 2, 2, 3, 3, 3})
+	if len(groups) != 2 || groups[0] != 2 || groups[1] != 3 {
+		t.Errorf("TieGroups = %v", groups)
+	}
+}
+
+func TestBucket(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.19, 0}, {0.2, 1}, {0.55, 2}, {0.99, 4}, {1.0, 4}, {-1, 0}, {2, 4},
+	}
+	for _, tc := range cases {
+		if got := Bucket(tc.v, 5); got != tc.want {
+			t.Errorf("Bucket(%v, 5) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	if BucketLabel(0, 5) != "[0%-20%)" || BucketLabel(4, 5) != "[80%-100%]" {
+		t.Errorf("labels: %q %q", BucketLabel(0, 5), BucketLabel(4, 5))
+	}
+}
+
+func TestShapiroWilkNormalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	res, err := ShapiroWilk(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W < 0.97 {
+		t.Errorf("W = %v for normal data, want close to 1", res.W)
+	}
+	if res.P < 0.05 {
+		t.Errorf("p = %v for normal data, should not reject", res.P)
+	}
+}
+
+func TestShapiroWilkSkewedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 195)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64() * 2) // heavily log-normal
+	}
+	res, err := ShapiroWilk(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.001 {
+		t.Errorf("p = %v for log-normal data, should strongly reject", res.P)
+	}
+}
+
+func TestShapiroWilkKnownValue(t *testing.T) {
+	// R: shapiro.test(c(148,154,158,160,161,162,166,170,182,195,236))
+	// gives W = 0.79, p = 0.0072.
+	xs := []float64{148, 154, 158, 160, 161, 162, 166, 170, 182, 195, 236}
+	res, err := ShapiroWilk(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.W, 0.79, 0.01, "W")
+	approx(t, res.P, 0.0072, 0.003, "p")
+}
+
+func TestShapiroWilkErrors(t *testing.T) {
+	if _, err := ShapiroWilk([]float64{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("n=2 err = %v", err)
+	}
+	if _, err := ShapiroWilk([]float64{5, 5, 5, 5}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("constant err = %v", err)
+	}
+}
+
+func TestKruskalWallisKnownValue(t *testing.T) {
+	// R: kruskal.test(list(c(2.9,3.0,2.5,2.6,3.2), c(3.8,2.7,4.0,2.4),
+	// c(2.8,3.4,3.7,2.2,2.0))) gives H = 0.77143, df = 2, p = 0.68.
+	g1 := []float64{2.9, 3.0, 2.5, 2.6, 3.2}
+	g2 := []float64{3.8, 2.7, 4.0, 2.4}
+	g3 := []float64{2.8, 3.4, 3.7, 2.2, 2.0}
+	res, err := KruskalWallis(g1, g2, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.H, 0.77143, 1e-4, "H")
+	if res.DF != 2 {
+		t.Errorf("DF = %d", res.DF)
+	}
+	approx(t, res.P, 0.68, 0.01, "p")
+	if len(res.GroupMedians) != 3 {
+		t.Errorf("medians = %v", res.GroupMedians)
+	}
+}
+
+func TestKruskalWallisSeparatedGroups(t *testing.T) {
+	g1 := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	g2 := []float64{101, 102, 103, 104, 105, 106, 107, 108}
+	res, err := KruskalWallis(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 0.01 {
+		t.Errorf("fully separated groups: p = %v, want tiny", res.P)
+	}
+}
+
+func TestKruskalWallisErrors(t *testing.T) {
+	if _, err := KruskalWallis([]float64{1, 2, 3}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("single group err = %v", err)
+	}
+	if _, err := KruskalWallis([]float64{5, 5}, []float64{5, 5}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("all tied err = %v", err)
+	}
+	if _, err := KruskalWallis([]float64{1}, []float64{2}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("n<3 err = %v", err)
+	}
+	// Empty groups are tolerated as long as two are non-empty.
+	if _, err := KruskalWallis([]float64{1, 2}, nil, []float64{3, 4}); err != nil {
+		t.Errorf("empty-group handling: %v", err)
+	}
+}
+
+func TestKendallTauKnownValue(t *testing.T) {
+	// R: cor.test(x, y, method="kendall") on these data gives tau = 0.733.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{1, 3, 2, 4, 6, 5}
+	res, err := KendallTau(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Tau, 0.7333333, 1e-6, "tau")
+}
+
+func TestKendallTauPerfectAndInverse(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	res, _ := KendallTau(x, x)
+	approx(t, res.Tau, 1, 1e-12, "tau perfect")
+	y := []float64{5, 4, 3, 2, 1}
+	res, _ = KendallTau(x, y)
+	approx(t, res.Tau, -1, 1e-12, "tau inverse")
+	if res.P > 0.05 {
+		t.Errorf("perfect inverse correlation p = %v", res.P)
+	}
+}
+
+func TestKendallTauWithTies(t *testing.T) {
+	x := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	y := []float64{1, 2, 1, 2, 3, 4, 3, 4}
+	res, err := KendallTau(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tau <= 0 || res.Tau > 1 {
+		t.Errorf("tied tau = %v", res.Tau)
+	}
+}
+
+func TestKendallTauErrors(t *testing.T) {
+	if _, err := KendallTau([]float64{1, 2}, []float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := KendallTau([]float64{3, 3, 3}, []float64{1, 2, 3}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("constant err = %v", err)
+	}
+}
+
+func TestChiSquareIndependenceKnownValue(t *testing.T) {
+	// R: chisq.test(matrix(c(30,10,20,40),2,2), correct=FALSE) gives
+	// X² = 16.667, df = 1, p = 4.5e-05.
+	tbl := Table{{30, 20}, {10, 40}}
+	res, err := ChiSquareIndependence(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.Chi2, 16.6667, 1e-3, "chi2")
+	if res.DF != 1 {
+		t.Errorf("DF = %d", res.DF)
+	}
+	if res.P > 1e-4 {
+		t.Errorf("p = %v", res.P)
+	}
+}
+
+func TestChiSquareDropsEmptyMargins(t *testing.T) {
+	tbl := Table{{30, 20, 0}, {10, 40, 0}, {0, 0, 0}}
+	res, err := ChiSquareIndependence(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 1 {
+		t.Errorf("DF after dropping empty margins = %d, want 1", res.DF)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := ChiSquareIndependence(Table{}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := ChiSquareIndependence(Table{{1, 2}, {3}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("ragged err = %v", err)
+	}
+	if _, err := ChiSquareIndependence(Table{{1, -2}, {3, 4}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative err = %v", err)
+	}
+	if _, err := ChiSquareIndependence(Table{{1, 2}}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("single row err = %v", err)
+	}
+}
+
+func TestFisherExact2x2KnownValue(t *testing.T) {
+	// R: fisher.test(matrix(c(3,1,1,3),2,2)) two-sided p = 0.4857.
+	res, err := FisherExact2x2(3, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.P, 0.4857143, 1e-6, "fisher p")
+	if res.Simulated {
+		t.Error("2x2 should be exact")
+	}
+
+	// Tea-tasting: fisher.test(matrix(c(8,2,2,8),2,2)) p = 0.02301;
+	// exactly 2*(2025 + 100 + 1)/184756.
+	res, err = FisherExact2x2(8, 2, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, res.P, 2*float64(2025+100+1)/184756, 1e-9, "tea p")
+}
+
+func TestFisherExactMCAgreesWith2x2(t *testing.T) {
+	tbl := Table{{8, 2}, {2, 8}}
+	exact, _ := FisherExact2x2(8, 2, 2, 8)
+	mc, err := FisherExactMC(tbl, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x2 input short-circuits to the exact path.
+	approx(t, mc.P, exact.P, 1e-9, "MC short-circuit")
+}
+
+func TestFisherExactMCOnRxC(t *testing.T) {
+	// A strongly associated 3x2 table: the simulated p must be small.
+	assoc := Table{{20, 1}, {2, 18}, {15, 0}}
+	res, err := FisherExactMC(assoc, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Simulated || res.Iterations != 20000 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.P > 0.01 {
+		t.Errorf("associated table p = %v, want < 0.01", res.P)
+	}
+
+	// A near-independent table: p must be large.
+	indep := Table{{10, 10}, {11, 9}, {9, 11}}
+	res, err = FisherExactMC(indep, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.3 {
+		t.Errorf("independent table p = %v, want large", res.P)
+	}
+}
+
+func TestFisherExactMCDeterministic(t *testing.T) {
+	tbl := Table{{5, 3, 2}, {1, 4, 7}}
+	a, err := FisherExactMC(tbl, 5000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := FisherExactMC(tbl, 5000, 99)
+	if a.P != b.P {
+		t.Errorf("same seed, different p: %v vs %v", a.P, b.P)
+	}
+}
+
+func TestFisherErrors(t *testing.T) {
+	if _, err := FisherExact2x2(-1, 1, 1, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("negative err = %v", err)
+	}
+	if _, err := FisherExact2x2(0, 0, 0, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := FisherExactMC(Table{{1, 2}, {3, 4}}, 0, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("zero iters err = %v", err)
+	}
+}
+
+// Property: ranks are a permutation-weighted sequence summing to
+// n(n+1)/2, regardless of ties.
+func TestQuickRankSum(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v % 16)
+		}
+		sum := 0.0
+		for _, r := range Ranks(xs) {
+			sum += r
+		}
+		n := float64(len(xs))
+		return math.Abs(sum-n*(n+1)/2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Kendall tau is always within [-1, 1] and symmetric in its
+// arguments.
+func TestQuickKendallBounds(t *testing.T) {
+	f := func(xr, yr []uint8) bool {
+		n := len(xr)
+		if n < 3 || len(yr) < n {
+			return true
+		}
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		constX, constY := true, true
+		for i := 0; i < n; i++ {
+			xs[i] = float64(xr[i] % 8)
+			ys[i] = float64(yr[i] % 8)
+			if xs[i] != xs[0] {
+				constX = false
+			}
+			if ys[i] != ys[0] {
+				constY = false
+			}
+		}
+		if constX || constY {
+			return true
+		}
+		ab, err := KendallTau(xs, ys)
+		if err != nil {
+			return false
+		}
+		ba, err := KendallTau(ys, xs)
+		if err != nil {
+			return false
+		}
+		return ab.Tau >= -1-1e-12 && ab.Tau <= 1+1e-12 && math.Abs(ab.Tau-ba.Tau) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chi-square p-values live in [0, 1] for arbitrary tables with
+// informative margins.
+func TestQuickChiSquareRange(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		tbl := Table{{int(a) + 1, int(b) + 1}, {int(c) + 1, int(d) + 1}}
+		res, err := ChiSquareIndependence(tbl)
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1 && res.Chi2 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

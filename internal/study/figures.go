@@ -1,0 +1,296 @@
+package study
+
+import (
+	"fmt"
+
+	"coevo/internal/stats"
+	"coevo/internal/taxa"
+)
+
+// SyncHistogram is the Figure 4 aggregation: the distribution of projects
+// over equal-width θ-synchronicity buckets.
+type SyncHistogram struct {
+	Theta   float64
+	Buckets []int // len = bucket count, low range first
+	Labels  []string
+}
+
+// SynchronicityHistogram breaks the data set down by θ-synchronicity into
+// n equal buckets ([0-20), [20-40), ..., [80-100] for n = 5), reproducing
+// Figure 4.
+func (d *Dataset) SynchronicityHistogram(theta float64, n int) *SyncHistogram {
+	h := &SyncHistogram{Theta: theta, Buckets: make([]int, n), Labels: make([]string, n)}
+	for i := 0; i < n; i++ {
+		h.Labels[i] = stats.BucketLabel(i, n)
+	}
+	for _, p := range d.Projects {
+		sync := p.Measures.Sync10
+		if theta != 0.10 {
+			s, err := p.Joint.Synchronicity(theta)
+			if err != nil {
+				continue
+			}
+			sync = s
+		}
+		h.Buckets[stats.Bucket(sync, n)]++
+	}
+	return h
+}
+
+// ScatterPoint is one project of the Figure 5 duration-vs-synchronicity
+// scatter plot.
+type ScatterPoint struct {
+	Name     string
+	Taxon    taxa.Taxon
+	Duration int
+	Sync     float64
+}
+
+// DurationSynchronicityScatter returns the Figure 5 point cloud.
+func (d *Dataset) DurationSynchronicityScatter() []ScatterPoint {
+	points := make([]ScatterPoint, 0, len(d.Projects))
+	for _, p := range d.Projects {
+		points = append(points, ScatterPoint{
+			Name:     p.Name,
+			Taxon:    p.Taxon,
+			Duration: p.DurationMonths,
+			Sync:     p.Measures.Sync10,
+		})
+	}
+	return points
+}
+
+// LongProjectSyncBand summarizes the Figure 5 finding: among projects
+// older than the threshold (60 months in the paper), how many fall inside
+// vs outside the [lo, hi] synchronicity band. The paper observes that the
+// extremes empty out after 5 years.
+func (d *Dataset) LongProjectSyncBand(thresholdMonths int, lo, hi float64) (inside, outside int) {
+	for _, p := range d.Projects {
+		if p.DurationMonths <= thresholdMonths {
+			continue
+		}
+		if p.Measures.Sync10 >= lo && p.Measures.Sync10 <= hi {
+			inside++
+		} else {
+			outside++
+		}
+	}
+	return inside, outside
+}
+
+// AdvanceRow is one range row of the Figure 6 table.
+type AdvanceRow struct {
+	Label       string
+	SourceCount int
+	SourcePct   float64
+	SourceCum   float64 // cumulative share starting from the highest range
+	TimeCount   int
+	TimePct     float64
+	TimeCum     float64
+}
+
+// AdvanceTable is the Figure 6 aggregation.
+type AdvanceTable struct {
+	// Rows are ordered from the highest range ([0.9-1.0]) down, matching
+	// the paper's presentation.
+	Rows []AdvanceRow
+	// BlankSource/BlankTime count the projects whose measure is undefined
+	// (single-month projects), the paper's "(blank)" row.
+	BlankSource, BlankTime int
+	Total                  int
+}
+
+// AdvanceBreakdown computes the Figure 6 table: the distribution of the
+// life percentage of schema advance over source and over time across ten
+// equal ranges.
+func (d *Dataset) AdvanceBreakdown() *AdvanceTable {
+	const n = 10
+	t := &AdvanceTable{Total: len(d.Projects)}
+	srcCounts := make([]int, n)
+	timeCounts := make([]int, n)
+	for _, p := range d.Projects {
+		if !p.Measures.AdvanceDefined {
+			t.BlankSource++
+			t.BlankTime++
+			continue
+		}
+		srcCounts[stats.Bucket(p.Measures.AdvanceSource, n)]++
+		timeCounts[stats.Bucket(p.Measures.AdvanceTime, n)]++
+	}
+	var srcCum, timeCum float64
+	for i := n - 1; i >= 0; i-- {
+		srcPct := pct(srcCounts[i], t.Total)
+		timePct := pct(timeCounts[i], t.Total)
+		srcCum += srcPct
+		timeCum += timePct
+		t.Rows = append(t.Rows, AdvanceRow{
+			Label:       advanceLabel(i, n),
+			SourceCount: srcCounts[i], SourcePct: srcPct, SourceCum: srcCum,
+			TimeCount: timeCounts[i], TimePct: timePct, TimeCum: timeCum,
+		})
+	}
+	return t
+}
+
+func advanceLabel(i, n int) string {
+	return fmt.Sprintf("%.1f-%.1f", float64(i)/float64(n), float64(i+1)/float64(n))
+}
+
+func pct(count, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(count) / float64(total)
+}
+
+// AlwaysAdvanceCell counts the projects of one taxon whose schema stayed
+// in advance for their entire life.
+type AlwaysAdvanceCell struct {
+	Taxon    taxa.Taxon
+	Projects int
+	Time     int
+	Source   int
+	Both     int
+}
+
+// AlwaysAdvanceSummary is the Figure 7 aggregation.
+type AlwaysAdvanceSummary struct {
+	PerTaxon []AlwaysAdvanceCell // ordered by taxon
+	Time     int
+	Source   int
+	Both     int
+	Total    int
+}
+
+// AlwaysAdvance computes the Figure 7 counts: per taxon and overall, how
+// many projects have the schema always in advance of time, of source, and
+// of both.
+func (d *Dataset) AlwaysAdvance() *AlwaysAdvanceSummary {
+	s := &AlwaysAdvanceSummary{Total: len(d.Projects)}
+	cells := make([]AlwaysAdvanceCell, taxa.Count)
+	for i, taxon := range taxa.All() {
+		cells[i].Taxon = taxon
+	}
+	for _, p := range d.Projects {
+		cell := &cells[int(p.Taxon)]
+		cell.Projects++
+		if p.Measures.AlwaysAheadOfTime {
+			cell.Time++
+			s.Time++
+		}
+		if p.Measures.AlwaysAheadOfSource {
+			cell.Source++
+			s.Source++
+		}
+		if p.Measures.AlwaysAheadOfBoth {
+			cell.Both++
+			s.Both++
+		}
+	}
+	s.PerTaxon = cells
+	return s
+}
+
+// AttainmentBreakdown is the Figure 8 aggregation: for each α threshold,
+// how many projects attained α of their schema evolution within each
+// lifetime range.
+type AttainmentBreakdown struct {
+	Alphas []float64
+	// RangeEdges are the upper edges of the lifetime ranges (0.2, 0.5,
+	// 0.8, 1.0 in the paper). Counts[a][r] counts projects whose
+	// α-attainment fractional timepoint falls in range r.
+	RangeEdges []float64
+	Counts     [][]int
+	Total      int
+}
+
+// Attainment computes the Figure 8 breakdown for the paper's α thresholds
+// (50%, 75%, 80%, 100%) over the paper's lifetime ranges.
+func (d *Dataset) Attainment() *AttainmentBreakdown {
+	return d.AttainmentWith([]float64{0.50, 0.75, 0.80, 1.00}, []float64{0.2, 0.5, 0.8, 1.0})
+}
+
+// AttainmentWith computes the breakdown for arbitrary thresholds/ranges.
+func (d *Dataset) AttainmentWith(alphas, rangeEdges []float64) *AttainmentBreakdown {
+	b := &AttainmentBreakdown{Alphas: alphas, RangeEdges: rangeEdges, Total: len(d.Projects)}
+	b.Counts = make([][]int, len(alphas))
+	for i := range b.Counts {
+		b.Counts[i] = make([]int, len(rangeEdges))
+	}
+	for _, p := range d.Projects {
+		for ai, alpha := range alphas {
+			frac, err := p.Joint.AttainmentFraction(alpha)
+			if err != nil {
+				continue
+			}
+			for ri, edge := range rangeEdges {
+				if frac <= edge+1e-12 {
+					b.Counts[ai][ri]++
+					break
+				}
+			}
+		}
+	}
+	return b
+}
+
+// SynchronicityHistogramByTaxon computes one Figure 4-style histogram per
+// taxon — the paper observes "all kinds of behaviors ... both overall and
+// within the different taxa".
+func (d *Dataset) SynchronicityHistogramByTaxon(theta float64, n int) map[taxa.Taxon]*SyncHistogram {
+	out := make(map[taxa.Taxon]*SyncHistogram, taxa.Count)
+	for _, taxon := range taxa.All() {
+		h := &SyncHistogram{Theta: theta, Buckets: make([]int, n), Labels: make([]string, n)}
+		for i := 0; i < n; i++ {
+			h.Labels[i] = stats.BucketLabel(i, n)
+		}
+		out[taxon] = h
+	}
+	for _, p := range d.Projects {
+		sync := p.Measures.Sync10
+		if theta != 0.10 {
+			s, err := p.Joint.Synchronicity(theta)
+			if err != nil {
+				continue
+			}
+			sync = s
+		}
+		out[p.Taxon].Buckets[stats.Bucket(sync, n)]++
+	}
+	return out
+}
+
+// LocalitySummary aggregates the change-locality finding over the corpus:
+// the median share of changes carried by the top-20% most-changed tables,
+// and the median share of never-changed tables, computed over projects
+// with enough tables for the ratio to be meaningful.
+type LocalitySummary struct {
+	// MedianTopShare is the median fraction of changes in the top 20% of
+	// tables (prior work: 60-90%).
+	MedianTopShare float64
+	// MedianUnchangedShare is the median fraction of tables that never
+	// changed (prior work: ~40%).
+	MedianUnchangedShare float64
+	// Projects is the number of projects included (≥ MinTables tables and
+	// non-zero change volume).
+	Projects int
+}
+
+// ChangeLocality computes the locality summary over projects with at
+// least minTables tables.
+func (d *Dataset) ChangeLocality(minTables int) *LocalitySummary {
+	var topShares, unchangedShares []float64
+	for _, p := range d.Projects {
+		loc := p.Locality
+		if loc.Tables < minTables || loc.TotalChanges == 0 {
+			continue
+		}
+		topShares = append(topShares, loc.TopShare)
+		unchangedShares = append(unchangedShares, loc.UnchangedShare)
+	}
+	return &LocalitySummary{
+		MedianTopShare:       stats.Median(topShares),
+		MedianUnchangedShare: stats.Median(unchangedShares),
+		Projects:             len(topShares),
+	}
+}

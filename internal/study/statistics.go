@@ -1,0 +1,190 @@
+package study
+
+import (
+	"fmt"
+	"math"
+
+	"coevo/internal/stats"
+	"coevo/internal/taxa"
+)
+
+// StatsReport reproduces the paper's Section 7: normality tests on every
+// attribute, Kruskal-Wallis tests of taxon effect on synchronicity and
+// attainment, contingency tests on the always-in-advance categories, and
+// the two Kendall correlations the paper quotes.
+type StatsReport struct {
+	// Normality maps attribute name to its Shapiro-Wilk result. The paper
+	// finds p < 0.007 everywhere (no attribute is normally distributed).
+	Normality map[string]stats.ShapiroWilkResult
+
+	// SyncByTaxon tests taxon over 10%-synchronicity; the paper reports
+	// p ≈ 0.003 with the focused-shot taxa at the highest medians.
+	SyncByTaxon stats.KruskalWallisResult
+	// AttainByTaxon tests taxon over 75%-attainment; the paper reports
+	// p ≈ 0.006 with frozen taxa attaining earliest.
+	AttainByTaxon stats.KruskalWallisResult
+	// TaxaOrder names the groups of the two Kruskal-Wallis tests.
+	TaxaOrder []taxa.Taxon
+
+	// Lag tests: taxon × always-in-advance contingency for time, source
+	// and both (the paper finds time n.s. at p ≈ 0.07 and the other two
+	// significant).
+	TimeLagChi2, SourceLagChi2, BothLagChi2       stats.ChiSquareResult
+	TimeLagFisher, SourceLagFisher, BothLagFisher stats.FisherResult
+
+	// SyncThetaCorr is Kendall τ between 5%- and 10%-synchronicity (paper:
+	// 0.67); AdvanceCorr between advance-over-time and advance-over-source
+	// (paper: 0.75).
+	SyncThetaCorr stats.KendallResult
+	AdvanceCorr   stats.KendallResult
+}
+
+// fisherIterations is the Monte-Carlo sample count for R×C Fisher tests.
+const fisherIterations = 20000
+
+// Statistics computes the full Section 7 report. seed drives the
+// Monte-Carlo Fisher tests.
+func (d *Dataset) Statistics(seed int64) (*StatsReport, error) {
+	if len(d.Projects) < 10 {
+		return nil, fmt.Errorf("study: statistics need a populated dataset, have %d projects", len(d.Projects))
+	}
+	r := &StatsReport{Normality: map[string]stats.ShapiroWilkResult{}, TaxaOrder: taxa.All()}
+
+	// Normality over the study's per-project attributes.
+	attrs := map[string][]float64{
+		"duration_months":       {},
+		"sync_10":               {},
+		"sync_5":                {},
+		"advance_over_time":     {},
+		"advance_over_source":   {},
+		"attainment_75":         {},
+		"total_schema_activity": {},
+		"project_file_updates":  {},
+	}
+	for _, p := range d.Projects {
+		attrs["duration_months"] = append(attrs["duration_months"], float64(p.DurationMonths))
+		attrs["sync_10"] = append(attrs["sync_10"], p.Measures.Sync10)
+		attrs["sync_5"] = append(attrs["sync_5"], p.Measures.Sync5)
+		if p.Measures.AdvanceDefined {
+			attrs["advance_over_time"] = append(attrs["advance_over_time"], p.Measures.AdvanceTime)
+			attrs["advance_over_source"] = append(attrs["advance_over_source"], p.Measures.AdvanceSource)
+		}
+		attrs["attainment_75"] = append(attrs["attainment_75"], p.Measures.Attain75)
+		attrs["total_schema_activity"] = append(attrs["total_schema_activity"], float64(p.TotalSchemaActivity))
+		attrs["project_file_updates"] = append(attrs["project_file_updates"], float64(p.FileUpdates))
+	}
+	for name, xs := range attrs {
+		res, err := stats.ShapiroWilk(xs)
+		if err != nil {
+			return nil, fmt.Errorf("study: shapiro(%s): %w", name, err)
+		}
+		r.Normality[name] = res
+	}
+
+	// Kruskal-Wallis: taxon over synchronicity and attainment.
+	groups := d.ByTaxon()
+	var syncGroups, attainGroups [][]float64
+	for _, taxon := range taxa.All() {
+		var sync, attain []float64
+		for _, p := range groups[taxon] {
+			sync = append(sync, p.Measures.Sync10)
+			attain = append(attain, p.Measures.Attain75)
+		}
+		syncGroups = append(syncGroups, sync)
+		attainGroups = append(attainGroups, attain)
+	}
+	var err error
+	if r.SyncByTaxon, err = stats.KruskalWallis(syncGroups...); err != nil {
+		return nil, fmt.Errorf("study: kruskal sync: %w", err)
+	}
+	if r.AttainByTaxon, err = stats.KruskalWallis(attainGroups...); err != nil {
+		return nil, fmt.Errorf("study: kruskal attain: %w", err)
+	}
+
+	// Lag contingency tables: taxon × always-in-advance.
+	mk := func(pick func(*ProjectResult) bool) stats.Table {
+		t := stats.NewTable(taxa.Count, 2)
+		for _, p := range d.Projects {
+			col := 1
+			if pick(p) {
+				col = 0
+			}
+			t[int(p.Taxon)][col]++
+		}
+		return t
+	}
+	timeTbl := mk(func(p *ProjectResult) bool { return p.Measures.AlwaysAheadOfTime })
+	srcTbl := mk(func(p *ProjectResult) bool { return p.Measures.AlwaysAheadOfSource })
+	bothTbl := mk(func(p *ProjectResult) bool { return p.Measures.AlwaysAheadOfBoth })
+	if r.TimeLagChi2, err = stats.ChiSquareIndependence(timeTbl); err != nil {
+		return nil, fmt.Errorf("study: chi2 time lag: %w", err)
+	}
+	if r.SourceLagChi2, err = stats.ChiSquareIndependence(srcTbl); err != nil {
+		return nil, fmt.Errorf("study: chi2 source lag: %w", err)
+	}
+	if r.BothLagChi2, err = stats.ChiSquareIndependence(bothTbl); err != nil {
+		return nil, fmt.Errorf("study: chi2 both lag: %w", err)
+	}
+	if r.TimeLagFisher, err = stats.FisherExactMC(timeTbl, fisherIterations, seed); err != nil {
+		return nil, fmt.Errorf("study: fisher time lag: %w", err)
+	}
+	if r.SourceLagFisher, err = stats.FisherExactMC(srcTbl, fisherIterations, seed+1); err != nil {
+		return nil, fmt.Errorf("study: fisher source lag: %w", err)
+	}
+	if r.BothLagFisher, err = stats.FisherExactMC(bothTbl, fisherIterations, seed+2); err != nil {
+		return nil, fmt.Errorf("study: fisher both lag: %w", err)
+	}
+
+	// Kendall correlations.
+	var s5, s10, advT, advS []float64
+	for _, p := range d.Projects {
+		s5 = append(s5, p.Measures.Sync5)
+		s10 = append(s10, p.Measures.Sync10)
+		if p.Measures.AdvanceDefined {
+			advT = append(advT, p.Measures.AdvanceTime)
+			advS = append(advS, p.Measures.AdvanceSource)
+		}
+	}
+	if r.SyncThetaCorr, err = stats.KendallTau(s5, s10); err != nil {
+		return nil, fmt.Errorf("study: kendall sync: %w", err)
+	}
+	if r.AdvanceCorr, err = stats.KendallTau(advT, advS); err != nil {
+		return nil, fmt.Errorf("study: kendall advance: %w", err)
+	}
+	return r, nil
+}
+
+// MaxNormalityP returns the largest Shapiro-Wilk p-value across all tested
+// attributes — the paper's "all below 0.007" claim is a bound on this.
+func (r *StatsReport) MaxNormalityP() float64 {
+	max := math.Inf(-1)
+	for _, res := range r.Normality {
+		if res.P > max {
+			max = res.P
+		}
+	}
+	return max
+}
+
+// MedianSyncByTaxon returns the per-taxon medians of 10%-synchronicity in
+// taxa.All() order (the paper quotes FS&F 0.68, FS&L 0.57, ACTIVE 0.55).
+func (r *StatsReport) MedianSyncByTaxon() map[taxa.Taxon]float64 {
+	out := make(map[taxa.Taxon]float64, len(r.TaxaOrder))
+	for i, taxon := range r.TaxaOrder {
+		if i < len(r.SyncByTaxon.GroupMedians) {
+			out[taxon] = r.SyncByTaxon.GroupMedians[i]
+		}
+	}
+	return out
+}
+
+// MedianAttainByTaxon returns the per-taxon medians of 75%-attainment.
+func (r *StatsReport) MedianAttainByTaxon() map[taxa.Taxon]float64 {
+	out := make(map[taxa.Taxon]float64, len(r.TaxaOrder))
+	for i, taxon := range r.TaxaOrder {
+		if i < len(r.AttainByTaxon.GroupMedians) {
+			out[taxon] = r.AttainByTaxon.GroupMedians[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package study runs the paper's end-to-end pipeline: for every project,
+// extract the schema and project histories, build the monthly heartbeats,
+// align them into a joint progress diagram, compute the co-evolution
+// measures and classify the taxon; then aggregate the per-project results
+// into the evaluation's figures and statistical tests.
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"coevo/internal/coevolution"
+	"coevo/internal/corpus"
+	"coevo/internal/heartbeat"
+	"coevo/internal/history"
+	"coevo/internal/schemadiff"
+	"coevo/internal/taxa"
+	"coevo/internal/vcs"
+)
+
+// ProjectResult carries everything the study measures for one project.
+type ProjectResult struct {
+	Name    string
+	DDLPath string
+
+	// Taxon is the measured archetype; IntendedTaxon is the generator's
+	// target when the project came from the synthetic corpus (nil
+	// otherwise) — keeping both makes generator drift visible.
+	Taxon         taxa.Taxon
+	IntendedTaxon *taxa.Taxon
+
+	// Raw history statistics.
+	DurationMonths      int
+	SchemaCommits       int
+	ActiveSchemaCommits int
+	ProjectCommits      int
+	FileUpdates         int
+	TotalSchemaActivity int
+
+	// Joint is the three-series joint progress diagram.
+	Joint *coevolution.JointProgress
+	// Measures is the full measure suite over Joint.
+	Measures *coevolution.Measures
+	// Locality summarizes how concentrated the schema's change was across
+	// its tables (the related-work locality finding).
+	Locality schemadiff.Locality
+}
+
+// Options configures the analysis.
+type Options struct {
+	History history.Options
+	Taxa    taxa.Config
+	// Theta values are fixed by the paper (5% and 10%) inside
+	// coevolution.ComputeMeasures.
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{History: history.DefaultOptions(), Taxa: taxa.DefaultConfig()}
+}
+
+// AnalyzeRepository measures one repository. ddlPath may be empty, in
+// which case it is located with history.FindDDLPath.
+func AnalyzeRepository(repo *vcs.Repository, ddlPath string, opts Options) (*ProjectResult, error) {
+	if ddlPath == "" {
+		found, err := history.FindDDLPath(repo)
+		if err != nil {
+			return nil, fmt.Errorf("study: %s: %w", repo.Name(), err)
+		}
+		ddlPath = found
+	}
+	sh, err := history.ExtractSchemaHistory(repo, ddlPath, opts.History)
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: %w", repo.Name(), err)
+	}
+	ph, err := history.ExtractProjectHistory(repo)
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: %w", repo.Name(), err)
+	}
+	return analyze(repo.Name(), ddlPath, sh, ph, opts)
+}
+
+// AnalyzeHistories measures a project given already-extracted histories
+// (the entry point for real-git ingestion, where the project history comes
+// from a parsed `git log` and the schema history from file versions).
+func AnalyzeHistories(name, ddlPath string, sh *history.SchemaHistory, ph *history.ProjectHistory, opts Options) (*ProjectResult, error) {
+	return analyze(name, ddlPath, sh, ph, opts)
+}
+
+func analyze(name, ddlPath string, sh *history.SchemaHistory, ph *history.ProjectHistory, opts Options) (*ProjectResult, error) {
+	shb, err := sh.Heartbeat()
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: schema heartbeat: %w", name, err)
+	}
+	phb, err := ph.Heartbeat()
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: project heartbeat: %w", name, err)
+	}
+	aligned, err := heartbeat.Align(phb, shb)
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: align: %w", name, err)
+	}
+	joint := coevolution.FromAligned(aligned)
+	measures, err := coevolution.ComputeMeasures(joint)
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: measures: %w", name, err)
+	}
+	// Change locality: every table that ever existed in the history,
+	// measured over the post-birth deltas only (the initial declaration
+	// "changes" every table and would mask the locality of evolution).
+	tableSet := map[string]bool{}
+	for _, v := range sh.Versions {
+		for _, t := range v.Schema.Tables() {
+			tableSet[strings.ToLower(t.Name)] = true
+		}
+	}
+	allTables := make([]string, 0, len(tableSet))
+	for t := range tableSet {
+		allTables = append(allTables, t)
+	}
+
+	return &ProjectResult{
+		Name:                name,
+		DDLPath:             ddlPath,
+		Taxon:               taxa.ClassifyHistory(sh, opts.Taxa),
+		DurationMonths:      measures.DurationMonths,
+		SchemaCommits:       sh.CommitCount(),
+		ActiveSchemaCommits: sh.ActiveCommits(),
+		ProjectCommits:      ph.CommitCount(),
+		FileUpdates:         ph.TotalFileUpdates(),
+		TotalSchemaActivity: sh.TotalActivity(),
+		Joint:               joint,
+		Measures:            measures,
+		Locality:            schemadiff.MeasureLocality(postBirthDeltas(sh), allTables),
+	}, nil
+}
+
+// Dataset is the full per-project result collection of one study run.
+type Dataset struct {
+	Projects []*ProjectResult
+}
+
+// Size returns the number of analyzed projects.
+func (d *Dataset) Size() int { return len(d.Projects) }
+
+// ByTaxon groups the projects by measured taxon.
+func (d *Dataset) ByTaxon() map[taxa.Taxon][]*ProjectResult {
+	groups := make(map[taxa.Taxon][]*ProjectResult, taxa.Count)
+	for _, p := range d.Projects {
+		groups[p.Taxon] = append(groups[p.Taxon], p)
+	}
+	return groups
+}
+
+// AnalyzeCorpus measures every project of a synthetic corpus.
+func AnalyzeCorpus(projects []*corpus.Project, opts Options) (*Dataset, error) {
+	d := &Dataset{Projects: make([]*ProjectResult, 0, len(projects))}
+	for _, p := range projects {
+		res, err := AnalyzeRepository(p.Repo, p.DDLPath, opts)
+		if err != nil {
+			return nil, err
+		}
+		intended := p.Taxon
+		res.IntendedTaxon = &intended
+		d.Projects = append(d.Projects, res)
+	}
+	return d, nil
+}
+
+// RunDefault generates the default 195-project corpus with the given seed
+// and analyzes it — the one-call entry point used by benchmarks, examples
+// and the CLI.
+func RunDefault(seed int64) (*Dataset, error) {
+	projects, err := corpus.Generate(corpus.DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeCorpus(projects, DefaultOptions())
+}
+
+// postBirthDeltas returns the delta sequence excluding the schema's birth.
+func postBirthDeltas(sh *history.SchemaHistory) []*schemadiff.Delta {
+	if len(sh.Deltas) <= 1 {
+		return nil
+	}
+	return sh.Deltas[1:]
+}

@@ -1,0 +1,169 @@
+// Package taxa classifies schema histories into the six evolution
+// archetypes ("taxa") of the upstream large-scale study, which this paper
+// reuses to drill its findings down per behaviour class:
+//
+//	FROZEN              zero change at the logical level after birth
+//	ALMOST FROZEN       very small change, few intra-table modifications
+//	FOCUSED SHOT&FROZEN a single spike of change and almost nothing else
+//	MODERATE            small deltas spread throughout the life
+//	FOCUSED SHOT&LOW    moderate plus a pair of activity spikes
+//	ACTIVE              high change volume, incl. table birth/eviction
+//
+// The upstream taxa were assigned by manual clustering; this classifier
+// encodes the published descriptions as explicit, configurable thresholds
+// over the post-birth monthly schema heartbeat.
+package taxa
+
+import (
+	"fmt"
+
+	"coevo/internal/heartbeat"
+	"coevo/internal/history"
+)
+
+// Taxon is one of the six schema-evolution archetypes.
+type Taxon int
+
+// The taxa, ordered from most frozen to most active as in the paper.
+const (
+	Frozen Taxon = iota
+	AlmostFrozen
+	FocusedShotFrozen
+	Moderate
+	FocusedShotLow
+	Active
+	numTaxa
+)
+
+// All lists the taxa in canonical order.
+func All() []Taxon {
+	return []Taxon{Frozen, AlmostFrozen, FocusedShotFrozen, Moderate, FocusedShotLow, Active}
+}
+
+// Count is the number of taxa.
+const Count = int(numTaxa)
+
+// String names the taxon as the paper does.
+func (t Taxon) String() string {
+	switch t {
+	case Frozen:
+		return "FROZEN"
+	case AlmostFrozen:
+		return "ALMOST FROZEN"
+	case FocusedShotFrozen:
+		return "FOCUSED SHOT & FROZEN"
+	case Moderate:
+		return "MODERATE"
+	case FocusedShotLow:
+		return "FOCUSED SHOT & LOW"
+	case Active:
+		return "ACTIVE"
+	default:
+		return fmt.Sprintf("Taxon(%d)", int(t))
+	}
+}
+
+// IsFrozenFamily reports whether the taxon belongs to the three
+// predominantly-frozen archetypes.
+func (t Taxon) IsFrozenFamily() bool {
+	return t == Frozen || t == AlmostFrozen || t == FocusedShotFrozen
+}
+
+// Config holds the classification thresholds. The defaults encode the
+// published taxon descriptions: "very small change" for ALMOST FROZEN, a
+// dominating "single shot" for FOCUSED SHOT & FROZEN, a "high volume of
+// change" for ACTIVE.
+type Config struct {
+	// AlmostFrozenMax is the largest post-birth Total Activity (in
+	// attributes) still considered "almost frozen".
+	AlmostFrozenMax float64
+	// ActiveMin is the smallest post-birth Total Activity of an ACTIVE
+	// history.
+	ActiveMin float64
+	// SpikeMin is the smallest monthly activity that counts as a "shot".
+	SpikeMin float64
+	// SingleSpikeShare is the minimum share of total activity the largest
+	// month must carry for FOCUSED SHOT & FROZEN.
+	SingleSpikeShare float64
+	// DoubleSpikeShare is the minimum combined share of the two largest
+	// months for FOCUSED SHOT & LOW.
+	DoubleSpikeShare float64
+}
+
+// DefaultConfig returns the thresholds used throughout the reproduction.
+func DefaultConfig() Config {
+	return Config{
+		AlmostFrozenMax:  8,
+		ActiveMin:        100,
+		SpikeMin:         10,
+		SingleSpikeShare: 0.70,
+		DoubleSpikeShare: 0.60,
+	}
+}
+
+// Classify assigns a taxon from the post-birth monthly schema heartbeat
+// (the heartbeat of version-to-version change, excluding the initial
+// declaration of the schema).
+func Classify(postBirth *heartbeat.Heartbeat, cfg Config) Taxon {
+	if postBirth == nil {
+		return Frozen
+	}
+	total := postBirth.Total()
+	if total == 0 {
+		return Frozen
+	}
+	if total >= cfg.ActiveMin {
+		return Active
+	}
+	top1, top2 := topTwo(postBirth.Values)
+	switch {
+	case top1 >= cfg.SpikeMin && top1/total >= cfg.SingleSpikeShare && total-top1 <= cfg.AlmostFrozenMax:
+		return FocusedShotFrozen
+	case total <= cfg.AlmostFrozenMax:
+		return AlmostFrozen
+	case top1 >= cfg.SpikeMin && top2 >= cfg.SpikeMin && (top1+top2)/total >= cfg.DoubleSpikeShare:
+		return FocusedShotLow
+	default:
+		return Moderate
+	}
+}
+
+// topTwo returns the two largest values of the series.
+func topTwo(values []float64) (top1, top2 float64) {
+	for _, v := range values {
+		switch {
+		case v > top1:
+			top1, top2 = v, top1
+		case v > top2:
+			top2 = v
+		}
+	}
+	return top1, top2
+}
+
+// ClassifyHistory classifies a schema history by building its post-birth
+// heartbeat (activity of every version after the first).
+func ClassifyHistory(h *history.SchemaHistory, cfg Config) Taxon {
+	return Classify(PostBirthHeartbeat(h), cfg)
+}
+
+// PostBirthHeartbeat builds the monthly heartbeat of version-to-version
+// change, excluding the birth of the schema. It returns nil for
+// single-version histories, which are FROZEN by definition.
+func PostBirthHeartbeat(h *history.SchemaHistory) *heartbeat.Heartbeat {
+	if h.CommitCount() < 2 {
+		return nil
+	}
+	events := make([]heartbeat.Event, 0, h.CommitCount()-1)
+	for i := 1; i < h.CommitCount(); i++ {
+		events = append(events, heartbeat.Event{
+			When:   h.Versions[i].When(),
+			Amount: float64(h.Deltas[i].TotalActivity()),
+		})
+	}
+	hb, err := heartbeat.FromEvents(events)
+	if err != nil {
+		return nil
+	}
+	return hb
+}

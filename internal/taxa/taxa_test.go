@@ -1,0 +1,179 @@
+package taxa
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"coevo/internal/heartbeat"
+	"coevo/internal/history"
+	"coevo/internal/vcs"
+)
+
+func hb(values ...float64) *heartbeat.Heartbeat {
+	h := heartbeat.New(0, len(values))
+	copy(h.Values, values)
+	return h
+}
+
+func TestClassify(t *testing.T) {
+	cfg := DefaultConfig()
+	cases := []struct {
+		name string
+		hb   *heartbeat.Heartbeat
+		want Taxon
+	}{
+		{"nil heartbeat", nil, Frozen},
+		{"all zero", hb(0, 0, 0, 0), Frozen},
+		{"tiny change", hb(0, 1, 0, 2, 0), AlmostFrozen},
+		{"boundary almost frozen", hb(8, 0, 0), AlmostFrozen},
+		{"single big spike", hb(0, 40, 0, 1, 0, 0), FocusedShotFrozen},
+		{"spike only", hb(0, 0, 25, 0), FocusedShotFrozen},
+		{"spread moderate", hb(4, 5, 4, 6, 5, 4, 5, 6), Moderate},
+		{"two spikes low elsewhere", hb(1, 20, 1, 1, 18, 1, 2), FocusedShotLow},
+		{"high volume", hb(30, 40, 50, 20), Active},
+		{"active via spread", hb(10, 10, 10, 10, 10, 10, 10, 10, 10, 10), Active},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.hb, cfg); got != tc.want {
+				t.Errorf("Classify = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestTaxonStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, taxon := range All() {
+		s := taxon.String()
+		if s == "" || seen[s] {
+			t.Errorf("taxon %d string %q not unique", taxon, s)
+		}
+		seen[s] = true
+	}
+	if len(All()) != Count {
+		t.Errorf("All() has %d taxa, Count = %d", len(All()), Count)
+	}
+	if Taxon(99).String() == "" {
+		t.Error("out-of-range taxon should still render")
+	}
+}
+
+func TestIsFrozenFamily(t *testing.T) {
+	frozen := []Taxon{Frozen, AlmostFrozen, FocusedShotFrozen}
+	activeSide := []Taxon{Moderate, FocusedShotLow, Active}
+	for _, taxon := range frozen {
+		if !taxon.IsFrozenFamily() {
+			t.Errorf("%v should be frozen-family", taxon)
+		}
+	}
+	for _, taxon := range activeSide {
+		if taxon.IsFrozenFamily() {
+			t.Errorf("%v should not be frozen-family", taxon)
+		}
+	}
+}
+
+func TestClassifyHistory(t *testing.T) {
+	r := vcs.NewRepository("acme/app")
+	when := func(m int) vcs.Signature {
+		return vcs.Signature{Name: "d", Email: "d@e.f", When: time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, m, 0)}
+	}
+	r.StageString("schema.sql", "CREATE TABLE t (a INT, b INT, c INT);")
+	if _, err := r.Commit("init", when(0)); err != nil {
+		t.Fatal(err)
+	}
+	h, err := history.ExtractSchemaHistory(r, "schema.sql", history.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single version: frozen despite the birth activity.
+	if got := ClassifyHistory(h, DefaultConfig()); got != Frozen {
+		t.Errorf("single-version taxon = %v, want FROZEN", got)
+	}
+
+	// One small change -> ALMOST FROZEN.
+	r.StageString("schema.sql", "CREATE TABLE t (a INT, b INT, c INT, d INT);")
+	if _, err := r.Commit("tweak", when(3)); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = history.ExtractSchemaHistory(r, "schema.sql", history.DefaultOptions())
+	if got := ClassifyHistory(h, DefaultConfig()); got != AlmostFrozen {
+		t.Errorf("one-tweak taxon = %v, want ALMOST FROZEN", got)
+	}
+}
+
+func TestPostBirthHeartbeatExcludesBirth(t *testing.T) {
+	r := vcs.NewRepository("acme/app")
+	when := func(m int) vcs.Signature {
+		return vcs.Signature{Name: "d", Email: "d@e.f", When: time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, m, 0)}
+	}
+	r.StageString("schema.sql", "CREATE TABLE big (a INT, b INT, c INT, d INT, e INT);")
+	if _, err := r.Commit("init", when(0)); err != nil {
+		t.Fatal(err)
+	}
+	r.StageString("schema.sql", "CREATE TABLE big (a INT, b INT, c INT, d INT, e INT, f INT);")
+	if _, err := r.Commit("add f", when(2)); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := history.ExtractSchemaHistory(r, "schema.sql", history.DefaultOptions())
+	pb := PostBirthHeartbeat(h)
+	if pb == nil {
+		t.Fatal("post-birth heartbeat missing")
+	}
+	if pb.Total() != 1 {
+		t.Errorf("post-birth total = %v, want 1 (birth excluded)", pb.Total())
+	}
+}
+
+// Property: classification is total and deterministic over arbitrary
+// heartbeats, and all-zero heartbeats are always FROZEN.
+func TestQuickClassifyTotal(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := heartbeat.New(0, len(raw))
+		allZero := true
+		for i, v := range raw {
+			h.Values[i] = float64(v % 64)
+			if h.Values[i] != 0 {
+				allZero = false
+			}
+		}
+		got := Classify(h, cfg)
+		if got < Frozen || got > Active {
+			return false
+		}
+		if allZero && got != Frozen {
+			return false
+		}
+		if got2 := Classify(h, cfg); got2 != got {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling every month far above ActiveMin always yields ACTIVE.
+func TestQuickHighVolumeIsActive(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		h := heartbeat.New(0, len(raw))
+		for i, v := range raw {
+			h.Values[i] = float64(v) + cfg.ActiveMin
+		}
+		return Classify(h, cfg) == Active
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

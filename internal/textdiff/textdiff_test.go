@@ -1,0 +1,206 @@
+package textdiff
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLines(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"a", []string{"a"}},
+		{"a\n", []string{"a"}},
+		{"a\nb", []string{"a", "b"}},
+		{"a\nb\n", []string{"a", "b"}},
+		{"\n", []string{""}},
+		{"a\n\nb\n", []string{"a", "", "b"}},
+	}
+	for _, tc := range cases {
+		if got := Lines([]byte(tc.in)); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Lines(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDiffBasic(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new string
+		want     Stats
+	}{
+		{"identical", "a\nb\nc\n", "a\nb\nc\n", Stats{0, 0}},
+		{"pure addition", "a\n", "a\nb\nc\n", Stats{2, 0}},
+		{"pure removal", "a\nb\nc\n", "c\n", Stats{0, 2}},
+		{"replacement", "a\nOLD\nc\n", "a\nNEW\nc\n", Stats{1, 1}},
+		{"from empty", "", "x\ny\n", Stats{2, 0}},
+		{"to empty", "x\ny\n", "", Stats{0, 2}},
+		{"move counts twice", "a\nb\nc\n", "b\nc\na\n", Stats{1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Diff([]byte(tc.old), []byte(tc.new)); got != tc.want {
+				t.Errorf("Diff = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDiffMinimality(t *testing.T) {
+	// A one-line edit inside a large file must cost exactly 1+1 no matter
+	// the file size.
+	var lines []string
+	for i := 0; i < 500; i++ {
+		lines = append(lines, strings.Repeat("x", i%40)+"line")
+	}
+	old := strings.Join(lines, "\n")
+	lines[250] = "CHANGED"
+	new := strings.Join(lines, "\n")
+	if got := Diff([]byte(old), []byte(new)); got != (Stats{1, 1}) {
+		t.Errorf("single-line edit cost = %+v", got)
+	}
+}
+
+func TestScript(t *testing.T) {
+	edits := Script([]byte("a\nb\nc\n"), []byte("a\nX\nc\nd\n"))
+	want := []Edit{
+		{Equal, []string{"a"}},
+		{Remove, []string{"b"}},
+		{Add, []string{"X"}},
+		{Equal, []string{"c"}},
+		{Add, []string{"d"}},
+	}
+	if !reflect.DeepEqual(edits, want) {
+		t.Errorf("Script = %+v, want %+v", edits, want)
+	}
+}
+
+func TestScriptReplay(t *testing.T) {
+	old := []byte("one\ntwo\nthree\nfour\n")
+	new := []byte("zero\none\nthree\nfour\nfive\n")
+	edits := Script(old, new)
+	var rebuilt []string
+	removed, added := 0, 0
+	for _, e := range edits {
+		switch e.Kind {
+		case Equal, Add:
+			rebuilt = append(rebuilt, e.Lines...)
+			if e.Kind == Add {
+				added += len(e.Lines)
+			}
+		case Remove:
+			removed += len(e.Lines)
+		}
+	}
+	if got := strings.Join(rebuilt, "\n"); got != strings.TrimSuffix(string(new), "\n") {
+		t.Errorf("replay = %q", got)
+	}
+	stats := Diff(old, new)
+	if stats.Added != added || stats.Removed != removed {
+		t.Errorf("script counts %d/%d != Diff %+v", added, removed, stats)
+	}
+}
+
+// Property: diff stats are consistent — len(new) - len(old) == added -
+// removed, and both are non-negative and bounded by the line counts.
+func TestQuickDiffInvariants(t *testing.T) {
+	mk := func(seed []byte) []byte {
+		var b strings.Builder
+		for _, c := range seed {
+			b.WriteString(string('a' + rune(c%6)))
+			b.WriteByte('\n')
+		}
+		return []byte(b.String())
+	}
+	f := func(oldSeed, newSeed []byte) bool {
+		old, new := mk(oldSeed), mk(newSeed)
+		s := Diff(old, new)
+		la, lb := len(Lines(old)), len(Lines(new))
+		if s.Added < 0 || s.Removed < 0 || s.Added > lb || s.Removed > la {
+			return false
+		}
+		return lb-la == s.Added-s.Removed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: replaying any script reproduces the target content, and the
+// edit costs match Diff exactly (the script is minimal).
+func TestQuickScriptReplay(t *testing.T) {
+	mk := func(seed []byte) []byte {
+		var b strings.Builder
+		for _, c := range seed {
+			b.WriteString(string('a' + rune(c%4)))
+			b.WriteByte('\n')
+		}
+		return []byte(b.String())
+	}
+	f := func(oldSeed, newSeed []byte) bool {
+		old, new := mk(oldSeed), mk(newSeed)
+		edits := Script(old, new)
+		var rebuilt []string
+		added, removed := 0, 0
+		for _, e := range edits {
+			switch e.Kind {
+			case Equal, Add:
+				rebuilt = append(rebuilt, e.Lines...)
+				if e.Kind == Add {
+					added += len(e.Lines)
+				}
+			case Remove:
+				removed += len(e.Lines)
+			}
+		}
+		want := Lines(new)
+		if len(rebuilt) != len(want) {
+			return false
+		}
+		for i := range want {
+			if rebuilt[i] != want[i] {
+				return false
+			}
+		}
+		s := Diff(old, new)
+		return s.Added == added && s.Removed == removed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDiffSmallEditLargeFile(b *testing.B) {
+	var lines []string
+	for i := 0; i < 2000; i++ {
+		lines = append(lines, strings.Repeat("y", i%60))
+	}
+	old := []byte(strings.Join(lines, "\n"))
+	lines[1000] = "edited"
+	new := []byte(strings.Join(lines, "\n"))
+	b.SetBytes(int64(len(old)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diff(old, new)
+	}
+}
+
+func BenchmarkDiffRewrite(b *testing.B) {
+	mk := func(offset int) []byte {
+		var sb strings.Builder
+		for i := 0; i < 400; i++ {
+			sb.WriteString(strings.Repeat("z", (i+offset)%50))
+			sb.WriteByte('\n')
+		}
+		return []byte(sb.String())
+	}
+	old, new := mk(0), mk(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diff(old, new)
+	}
+}

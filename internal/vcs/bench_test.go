@@ -1,0 +1,56 @@
+package vcs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchRepo(b *testing.B, commits, filesPerCommit int) *Repository {
+	b.Helper()
+	r := NewRepository("bench/repo")
+	when := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < commits; i++ {
+		for f := 0; f < filesPerCommit; f++ {
+			r.StageString(fmt.Sprintf("dir%d/file%d.go", f%4, (i+f)%40),
+				fmt.Sprintf("content %d-%d", i, f))
+		}
+		when = when.Add(6 * time.Hour)
+		if _, err := r.Commit(fmt.Sprintf("c%d", i), Signature{Name: "d", Email: "d@e.f", When: when}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+func BenchmarkCommit(b *testing.B) {
+	r := NewRepository("bench/commit")
+	when := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.StageString("a.txt", fmt.Sprintf("v%d", i))
+		when = when.Add(time.Hour)
+		if _, err := r.Commit("bench", Signature{Name: "d", Email: "d@e.f", When: when}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogNoMerges500Commits(b *testing.B) {
+	r := benchRepo(b, 500, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries := r.Log(LogOptions{NoMerges: true})
+		if len(entries) != 500 {
+			b.Fatal("bad log length")
+		}
+	}
+}
+
+func BenchmarkFileVersions(b *testing.B) {
+	r := benchRepo(b, 300, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.FileVersions("dir0/file0.go")
+	}
+}

@@ -1,0 +1,402 @@
+// Package vcs implements a minimal, git-like version control substrate.
+//
+// The package reproduces exactly the git semantics that the schema/source
+// co-evolution study relies on: content-addressed file snapshots, a commit
+// DAG with authored dates and messages, per-commit changed-file lists
+// (equivalent to `git log --name-status`), merge commits that can be
+// excluded from activity counting (`--no-merges`), and retrieval of every
+// historical version of a file (the DDL file of a project).
+//
+// The store is entirely in memory; repositories are cheap enough that a
+// corpus of hundreds of synthetic projects can be materialized and analyzed
+// within a test run.
+package vcs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Hash identifies a commit or blob by the hex form of its SHA-256 digest.
+type Hash string
+
+// Short returns the abbreviated (12 character) form of the hash, mirroring
+// git's abbreviated object names.
+func (h Hash) Short() string {
+	if len(h) <= 12 {
+		return string(h)
+	}
+	return string(h[:12])
+}
+
+// Signature names an author or committer at a point in time. Times are
+// normalized to UTC: the study's time quantum is the calendar month and a
+// single timezone keeps month bucketing unambiguous.
+type Signature struct {
+	Name  string
+	Email string
+	When  time.Time
+}
+
+// normalize returns a copy of the signature with its time in UTC.
+func (s Signature) normalize() Signature {
+	s.When = s.When.UTC()
+	return s
+}
+
+// ChangeStatus classifies how a commit touched a file, mirroring the status
+// letters of `git log --name-status`.
+type ChangeStatus byte
+
+// The supported change statuses.
+const (
+	Added    ChangeStatus = 'A'
+	Modified ChangeStatus = 'M'
+	Deleted  ChangeStatus = 'D'
+	Renamed  ChangeStatus = 'R'
+)
+
+// String returns the git status letter.
+func (s ChangeStatus) String() string { return string(byte(s)) }
+
+// FileChange records one file-level change introduced by a commit relative
+// to its first parent.
+type FileChange struct {
+	Status  ChangeStatus
+	Path    string
+	OldPath string // set only for Renamed
+}
+
+// Commit is an immutable node of the history DAG. Tree maps repository
+// paths to blob hashes and represents the full snapshot at the commit.
+type Commit struct {
+	Hash    Hash
+	Parents []Hash
+	Author  Signature
+	Message string
+	Tree    map[string]Hash
+}
+
+// IsMerge reports whether the commit has more than one parent.
+func (c *Commit) IsMerge() bool { return len(c.Parents) > 1 }
+
+// When returns the authored time of the commit.
+func (c *Commit) When() time.Time { return c.Author.When }
+
+// Errors returned by Repository operations.
+var (
+	ErrEmptyCommit  = errors.New("vcs: nothing staged to commit")
+	ErrNoSuchCommit = errors.New("vcs: no such commit")
+	ErrNoSuchFile   = errors.New("vcs: no such file")
+	ErrNoSuchBranch = errors.New("vcs: no such branch")
+	ErrBranchExists = errors.New("vcs: branch already exists")
+	ErrNonMonotonic = errors.New("vcs: commit date precedes parent commit date")
+)
+
+// Repository is an in-memory git-like repository. The zero value is not
+// usable; construct with NewRepository. All methods are safe for concurrent
+// use.
+type Repository struct {
+	mu       sync.RWMutex
+	name     string
+	blobs    map[Hash][]byte
+	commits  map[Hash]*Commit
+	order    []Hash // commit creation order (used as the log order)
+	branches map[string]Hash
+	current  string
+	staged   map[string]*stagedChange
+	// renameIntents records explicit renames per commit, outside the
+	// immutable Commit value so hashing stays content-only.
+	renameIntents map[Hash]map[string]string
+}
+
+type stagedChange struct {
+	content []byte // nil means deletion
+	delete  bool
+	renamed string // old path if this stage is the destination of a rename
+}
+
+// NewRepository creates an empty repository with a single branch named
+// "main". The name is informational (it plays the role of the GitHub
+// "owner/project" slug in the study).
+func NewRepository(name string) *Repository {
+	return &Repository{
+		name:          name,
+		blobs:         make(map[Hash][]byte),
+		commits:       make(map[Hash]*Commit),
+		branches:      map[string]Hash{"main": ""},
+		current:       "main",
+		staged:        make(map[string]*stagedChange),
+		renameIntents: make(map[Hash]map[string]string),
+	}
+}
+
+// Name returns the repository's slug.
+func (r *Repository) Name() string { return r.name }
+
+// Stage schedules path to contain content in the next commit.
+func (r *Repository) Stage(path string, content []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	buf := make([]byte, len(content))
+	copy(buf, content)
+	r.staged[path] = &stagedChange{content: buf}
+}
+
+// StageString is a convenience wrapper over Stage for text files.
+func (r *Repository) StageString(path, content string) {
+	r.Stage(path, []byte(content))
+}
+
+// Remove schedules path for deletion in the next commit.
+func (r *Repository) Remove(path string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.staged[path] = &stagedChange{delete: true}
+}
+
+// Move schedules a rename of oldPath to newPath, keeping the current
+// content. It returns ErrNoSuchFile if oldPath does not exist at HEAD.
+func (r *Repository) Move(oldPath, newPath string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	tree := r.headTreeLocked()
+	blob, ok := tree[oldPath]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchFile, oldPath)
+	}
+	r.staged[oldPath] = &stagedChange{delete: true}
+	r.staged[newPath] = &stagedChange{content: r.blobs[blob], renamed: oldPath}
+	return nil
+}
+
+// headTreeLocked returns the tree of the current branch head, or an empty
+// tree for an unborn branch. Callers must hold at least the read lock.
+func (r *Repository) headTreeLocked() map[string]Hash {
+	head := r.branches[r.current]
+	if head == "" {
+		return map[string]Hash{}
+	}
+	return r.commits[head].Tree
+}
+
+// Head returns the commit the current branch points at, or nil if the
+// branch has no commits yet.
+func (r *Repository) Head() *Commit {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	head := r.branches[r.current]
+	if head == "" {
+		return nil
+	}
+	return r.commits[head]
+}
+
+// Branch returns the name of the current branch.
+func (r *Repository) Branch() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.current
+}
+
+// CreateBranch creates a new branch at the current head and returns an
+// error if it already exists.
+func (r *Repository) CreateBranch(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.branches[name]; ok {
+		return fmt.Errorf("%w: %s", ErrBranchExists, name)
+	}
+	r.branches[name] = r.branches[r.current]
+	return nil
+}
+
+// Checkout switches the current branch. Staged changes are discarded, as
+// the substrate has no need for stash semantics.
+func (r *Repository) Checkout(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.branches[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchBranch, name)
+	}
+	r.current = name
+	r.staged = make(map[string]*stagedChange)
+	return nil
+}
+
+// Commit records the staged changes as a new commit on the current branch.
+// Commit dates must be monotonically non-decreasing along the first-parent
+// chain; the study depends on ordered histories.
+func (r *Repository) Commit(message string, author Signature) (*Commit, error) {
+	return r.commit(message, author, nil)
+}
+
+// CommitMerge records the staged changes as a merge commit whose second
+// parent is other. Merge commits are what `--no-merges` excludes in the
+// project-activity extraction.
+func (r *Repository) CommitMerge(message string, author Signature, other Hash) (*Commit, error) {
+	return r.commit(message, author, []Hash{other})
+}
+
+func (r *Repository) commit(message string, author Signature, extraParents []Hash) (*Commit, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	author = author.normalize()
+	head := r.branches[r.current]
+	if head != "" {
+		parent := r.commits[head]
+		if author.When.Before(parent.Author.When) {
+			return nil, fmt.Errorf("%w: %s < %s", ErrNonMonotonic,
+				author.When.Format(time.RFC3339), parent.Author.When.Format(time.RFC3339))
+		}
+	}
+	for _, p := range extraParents {
+		if _, ok := r.commits[p]; !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchCommit, p.Short())
+		}
+	}
+	if len(r.staged) == 0 && len(extraParents) == 0 {
+		return nil, ErrEmptyCommit
+	}
+
+	tree := make(map[string]Hash, len(r.headTreeLocked())+len(r.staged))
+	for p, b := range r.headTreeLocked() {
+		tree[p] = b
+	}
+	renames := make(map[string]string)
+	for path, st := range r.staged {
+		if st.delete {
+			delete(tree, path)
+			continue
+		}
+		tree[path] = r.putBlobLocked(st.content)
+		if st.renamed != "" {
+			renames[path] = st.renamed
+		}
+	}
+
+	var parents []Hash
+	if head != "" {
+		parents = append(parents, head)
+	}
+	parents = append(parents, extraParents...)
+
+	c := &Commit{
+		Parents: parents,
+		Author:  author,
+		Message: message,
+		Tree:    tree,
+	}
+	c.Hash = hashCommit(c, len(r.order))
+	r.commits[c.Hash] = c
+	r.order = append(r.order, c.Hash)
+	r.branches[r.current] = c.Hash
+	r.staged = make(map[string]*stagedChange)
+	// Remember explicit renames so Log can report R statuses.
+	if len(renames) > 0 {
+		r.renameIntents[c.Hash] = renames
+	}
+	return c, nil
+}
+
+// putBlobLocked stores content in the blob store and returns its hash.
+func (r *Repository) putBlobLocked(content []byte) Hash {
+	sum := sha256.Sum256(content)
+	h := Hash(hex.EncodeToString(sum[:]))
+	if _, ok := r.blobs[h]; !ok {
+		buf := make([]byte, len(content))
+		copy(buf, content)
+		r.blobs[h] = buf
+	}
+	return h
+}
+
+// hashCommit derives a commit hash from the commit's content plus a
+// creation sequence number (which keeps hashes unique even for identical
+// content committed twice).
+func hashCommit(c *Commit, seq int) Hash {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq %d\n", seq)
+	for _, p := range c.Parents {
+		fmt.Fprintf(&b, "parent %s\n", p)
+	}
+	fmt.Fprintf(&b, "author %s <%s> %d\n", c.Author.Name, c.Author.Email, c.Author.When.UnixNano())
+	fmt.Fprintf(&b, "message %s\n", c.Message)
+	paths := make([]string, 0, len(c.Tree))
+	for p := range c.Tree {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(&b, "blob %s %s\n", c.Tree[p], p)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return Hash(hex.EncodeToString(sum[:]))
+}
+
+// CommitByHash resolves a commit, also accepting abbreviated hashes when
+// unambiguous.
+func (r *Repository) CommitByHash(h Hash) (*Commit, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.commits[h]; ok {
+		return c, nil
+	}
+	var match *Commit
+	for full, c := range r.commits {
+		if strings.HasPrefix(string(full), string(h)) {
+			if match != nil {
+				return nil, fmt.Errorf("%w: ambiguous prefix %s", ErrNoSuchCommit, h)
+			}
+			match = c
+		}
+	}
+	if match == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchCommit, h)
+	}
+	return match, nil
+}
+
+// FileAt returns the content of path at the given commit.
+func (r *Repository) FileAt(h Hash, path string) ([]byte, error) {
+	c, err := r.CommitByHash(h)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	blob, ok := c.Tree[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s at %s", ErrNoSuchFile, path, h.Short())
+	}
+	content := r.blobs[blob]
+	buf := make([]byte, len(content))
+	copy(buf, content)
+	return buf, nil
+}
+
+// Commits returns all commits in creation order (oldest first). The slice
+// is a copy and safe to retain.
+func (r *Repository) Commits() []*Commit {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Commit, len(r.order))
+	for i, h := range r.order {
+		out[i] = r.commits[h]
+	}
+	return out
+}
+
+// CommitCount returns the number of commits in the repository.
+func (r *Repository) CommitCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.order)
+}

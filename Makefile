@@ -1,0 +1,26 @@
+# Build/verify targets for the coevo toolkit.
+
+GO ?= go
+
+.PHONY: build test verify bench race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the full gate: compile everything, vet, and run the test
+# suite under the race detector — the execution engine's concurrency must
+# stay race-clean.
+verify:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

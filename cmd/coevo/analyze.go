@@ -18,7 +18,7 @@ func runAnalyze(args []string) error {
 	fs := newFlagSet("analyze")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	which := fs.String("project", "0", "project index (0-194) or name substring")
-	if err := fs.Parse(args); err != nil {
+	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
 

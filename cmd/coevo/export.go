@@ -17,7 +17,7 @@ func runExport(args []string) error {
 	fs := newFlagSet("export")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	out := fs.String("out", "", "output file (default: stdout)")
-	if err := fs.Parse(args); err != nil {
+	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
 

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
 
 	"coevo/internal/corpus"
+	"coevo/internal/engine"
 	"coevo/internal/report"
 	"coevo/internal/taxa"
 )
@@ -15,14 +17,19 @@ func runGen(args []string) error {
 	fs := newFlagSet("gen")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	list := fs.Bool("list", false, "list every generated project")
-	if err := fs.Parse(args); err != nil {
+	buildExec := engineFlags(fs)
+	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
 
-	projects, err := corpus.Generate(corpus.DefaultConfig(*seed))
+	cfg := corpus.DefaultConfig(*seed)
+	var metrics *engine.Metrics
+	cfg.Exec, metrics = buildExec()
+	projects, err := corpus.GenerateContext(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
+	reportMetrics(metrics)
 
 	type agg struct {
 		projects, commits, schemaVersions int

@@ -21,7 +21,7 @@ func runImpact(args []string) error {
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	window := fs.Int("window", 2, "co-change window (commits on each side)")
 	project := fs.String("project", "", "restrict to one project (index or name substring)")
-	if err := fs.Parse(args); err != nil {
+	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
 

@@ -26,7 +26,7 @@ func runIngest(args []string) error {
 	logPath := fs.String("log", "", "path to the git log file (required)")
 	ddlDir := fs.String("ddl-dir", "", "directory of dated DDL versions (YYYY-MM-DD[.n].sql)")
 	name := fs.String("name", "", "project name for the report (default: log file name)")
-	if err := fs.Parse(args); err != nil {
+	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
 	if *logPath == "" {

@@ -14,12 +14,21 @@
 //	           `git log --name-status --no-merges --date=iso` file, and,
 //	           when a directory of dated DDL versions is given, the full
 //	           co-evolution measures
+//	taxa       per-taxon synchronicity breakdown and change locality
+//
+// The corpus-wide subcommands (study, gen, taxa) run on the concurrent
+// execution engine (internal/engine) and share the -workers, -progress
+// and -metrics flags; output is deterministic at any worker count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+
+	"coevo/internal/engine"
+	"coevo/internal/study"
 )
 
 func main() {
@@ -71,12 +80,82 @@ subcommands:
   export   write the Schema_Evo-style per-history statistics as JSON
   taxa     per-taxon synchronicity breakdown and change locality
 
-run 'coevo <subcommand> -h' for flags.
+run 'coevo <subcommand> -h' for flags. The corpus-wide subcommands
+(study, gen, taxa) run on a concurrent execution engine and share the
+flags -workers N (pool size, default GOMAXPROCS), -progress (report
+progress on stderr) and -metrics (print latency/throughput metrics).
 `)
 }
 
-// newFlagSet builds a flag set that prints its own usage on error.
+// newFlagSet builds a flag set whose parse errors return through the
+// normal error path (ContinueOnError) instead of exiting the process, so
+// flag handling is testable and main owns the exit code.
 func newFlagSet(name string) *flag.FlagSet {
-	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
 	return fs
+}
+
+// parseFlags parses args into fs. It reports whether the subcommand
+// should run: -h/-help prints the usage (done by the flag package) and
+// returns (false, nil) — a clean exit, not an error.
+func parseFlags(fs *flag.FlagSet, args []string) (run bool, err error) {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, flag.ErrHelp):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// engineFlags registers the shared execution-engine flags on fs and
+// returns a builder that assembles the engine options (and the optional
+// metrics collector) after parsing.
+func engineFlags(fs *flag.FlagSet) func() (engine.Options, *engine.Metrics) {
+	workers := fs.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report per-decile progress and failures on stderr")
+	metrics := fs.Bool("metrics", false, "print task latency/throughput metrics on stderr")
+	return func() (engine.Options, *engine.Metrics) {
+		opts := engine.Options{Workers: *workers}
+		var observers []func(engine.Event)
+		if *progress {
+			observers = append(observers, engine.NewProgress(os.Stderr).Observe)
+		}
+		var m *engine.Metrics
+		if *metrics {
+			m = engine.NewMetrics()
+			observers = append(observers, m.Observe)
+		}
+		if len(observers) > 0 {
+			opts.OnEvent = engine.Tee(observers...)
+		}
+		return opts, m
+	}
+}
+
+// reportMetrics prints the collected engine metrics, if enabled.
+func reportMetrics(m *engine.Metrics) {
+	if m != nil {
+		fmt.Fprintf(os.Stderr, "%s\n", m.Snapshot())
+	}
+}
+
+// reportFailures summarizes a partial study on stderr and decides the
+// run's fate: per-project failures are tolerated (the paper's population
+// figures degrade gracefully), but a study where every project failed
+// returns an error.
+func reportFailures(d *study.Dataset) error {
+	if len(d.Failures) == 0 {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "%d of %d projects failed:\n", len(d.Failures), d.Size()+len(d.Failures))
+	for _, f := range d.Failures {
+		fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Name, f.Err)
+	}
+	if d.Size() == 0 {
+		return fmt.Errorf("all %d projects failed", len(d.Failures))
+	}
+	return nil
 }

@@ -33,6 +33,53 @@ func smallProjects(t *testing.T) []*corpus.Project {
 	return projects
 }
 
+// TestFlagErrorsReturnInsteadOfExiting exercises the ContinueOnError flag
+// sets: a bad flag must come back through the error path of every
+// subcommand, and -h must be a clean no-op (usage printed, nil error).
+func TestFlagErrorsReturnInsteadOfExiting(t *testing.T) {
+	subcommands := map[string]func([]string) error{
+		"study": runStudy, "gen": runGen, "analyze": runAnalyze,
+		"ingest": runIngest, "impact": runImpact, "smo": runSMO,
+		"export": runExport, "taxa": runTaxa,
+	}
+	for name, run := range subcommands {
+		if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+			t.Errorf("%s: bad flag should return an error", name)
+		}
+		if err := run([]string{"-h"}); err != nil {
+			t.Errorf("%s: -h should be a clean exit, got %v", name, err)
+		}
+	}
+}
+
+func TestReportFailures(t *testing.T) {
+	if err := reportFailures(&study.Dataset{}); err != nil {
+		t.Errorf("no failures should be silent: %v", err)
+	}
+	partial := &study.Dataset{
+		Projects: []*study.ProjectResult{{Name: "ok"}},
+		Failures: []study.Failure{{Name: "bad", Err: io.ErrUnexpectedEOF}},
+	}
+	if err := reportFailures(partial); err != nil {
+		t.Errorf("partial failure must not be fatal: %v", err)
+	}
+	allFailed := &study.Dataset{
+		Failures: []study.Failure{{Name: "bad", Err: io.ErrUnexpectedEOF}},
+	}
+	if err := reportFailures(allFailed); err == nil {
+		t.Error("a study where every project failed must error")
+	}
+}
+
+func TestWorkersLabel(t *testing.T) {
+	if got := workersLabel(0); got != "workers=GOMAXPROCS" {
+		t.Errorf("workersLabel(0) = %q", got)
+	}
+	if got := workersLabel(8); got != "workers=8" {
+		t.Errorf("workersLabel(8) = %q", got)
+	}
+}
+
 func TestPickProject(t *testing.T) {
 	projects := smallProjects(t)
 

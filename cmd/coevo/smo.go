@@ -19,7 +19,7 @@ func runSMO(args []string) error {
 	from := fs.Int("from", 0, "older version index")
 	to := fs.Int("to", -1, "newer version index (default: last)")
 	invert := fs.Bool("invert", false, "also print the inverse (rollback) sequence")
-	if err := fs.Parse(args); err != nil {
+	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
 

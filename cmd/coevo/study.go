@@ -1,15 +1,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"coevo/internal/engine"
 	"coevo/internal/report"
 	"coevo/internal/study"
 )
+
+// workersLabel names the effective pool size for the startup banner.
+func workersLabel(workers int) string {
+	if workers <= 0 {
+		return "workers=GOMAXPROCS"
+	}
+	return fmt.Sprintf("workers=%d", workers)
+}
 
 // runStudy executes the full pipeline and renders every evaluation
 // artifact, optionally writing the per-project CSV data set.
@@ -18,13 +28,22 @@ func runStudy(args []string) error {
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	csvPath := fs.String("csv", "", "write the per-project data set to this CSV file")
 	outDir := fs.String("out", "", "also write each figure to a file in this directory")
-	if err := fs.Parse(args); err != nil {
+	buildExec := engineFlags(fs)
+	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "generating and analyzing the 195-project corpus (seed %d)...\n", *seed)
-	d, err := study.RunDefault(*seed)
+	opts := study.DefaultOptions()
+	var metrics *engine.Metrics
+	opts.Exec, metrics = buildExec()
+	fmt.Fprintf(os.Stderr, "generating and analyzing the 195-project corpus (seed %d, %s)...\n",
+		*seed, workersLabel(opts.Exec.Workers))
+	d, err := study.Run(context.Background(), *seed, opts)
 	if err != nil {
+		return err
+	}
+	reportMetrics(metrics)
+	if err := reportFailures(d); err != nil {
 		return err
 	}
 	fmt.Printf("analyzed %d projects\n\n", d.Size())

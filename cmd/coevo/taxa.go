@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
+	"coevo/internal/engine"
 	"coevo/internal/report"
 	"coevo/internal/study"
 	"coevo/internal/taxa"
@@ -16,12 +18,20 @@ func runTaxa(args []string) error {
 	fs := newFlagSet("taxa")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	theta := fs.Float64("theta", 0.10, "synchronicity acceptance band")
-	if err := fs.Parse(args); err != nil {
+	buildExec := engineFlags(fs)
+	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
 
-	d, err := study.RunDefault(*seed)
+	opts := study.DefaultOptions()
+	var metrics *engine.Metrics
+	opts.Exec, metrics = buildExec()
+	d, err := study.Run(context.Background(), *seed, opts)
 	if err != nil {
+		return err
+	}
+	reportMetrics(metrics)
+	if err := reportFailures(d); err != nil {
 		return err
 	}
 

@@ -29,10 +29,12 @@
 package coevo
 
 import (
+	"context"
 	"io"
 
 	"coevo/internal/coevolution"
 	"coevo/internal/corpus"
+	"coevo/internal/engine"
 	"coevo/internal/report"
 	"coevo/internal/study"
 	"coevo/internal/vcs"
@@ -57,7 +59,37 @@ type (
 	Signature = vcs.Signature
 	// StatsReport is the Section 7 statistical analysis.
 	StatsReport = study.StatsReport
+	// Failure records one project a study run could not measure.
+	Failure = study.Failure
+	// ExecOptions configures the execution engine (worker count, failure
+	// policy, event observer) — the Exec field of Options.
+	ExecOptions = engine.Options
+	// ExecEvent is one entry of the engine's task event stream.
+	ExecEvent = engine.Event
+	// ExecMetrics aggregates an event stream into latency/throughput
+	// metrics; see NewExecMetrics.
+	ExecMetrics = engine.Metrics
 )
+
+// Execution-engine re-exports: the policies an ExecOptions can select.
+const (
+	// CollectErrors records per-project failures and keeps going (default).
+	CollectErrors = engine.CollectErrors
+	// FailFast aborts the run at the first per-project failure.
+	FailFast = engine.FailFast
+)
+
+// NewExecMetrics returns a metrics collector; wire its Observe method
+// into ExecOptions.OnEvent (via TeeEvents when combining observers).
+func NewExecMetrics() *ExecMetrics { return engine.NewMetrics() }
+
+// NewExecProgress returns a progress reporter writing per-decile progress
+// lines and failures to w; wire its Observe method into
+// ExecOptions.OnEvent.
+func NewExecProgress(w io.Writer) *engine.Progress { return engine.NewProgress(w) }
+
+// TeeEvents fans an engine event stream out to several observers.
+func TeeEvents(observers ...func(ExecEvent)) func(ExecEvent) { return engine.Tee(observers...) }
 
 // DefaultOptions returns the paper's analysis configuration (month
 // chronon, birth counting, published taxon thresholds).
@@ -87,6 +119,13 @@ func AnalyzeRepository(repo *Repository, ddlPath string, opts Options) (*Project
 // RunStudy generates the default 195-project corpus and analyzes it — the
 // one-call reproduction of the paper's full pipeline.
 func RunStudy(seed int64) (*Dataset, error) { return study.RunDefault(seed) }
+
+// RunStudyContext is RunStudy with full control: context cancellation and
+// the execution-engine configuration carried by opts.Exec (worker count,
+// failure policy, progress/metrics observers).
+func RunStudyContext(ctx context.Context, seed int64, opts Options) (*Dataset, error) {
+	return study.Run(ctx, seed, opts)
+}
 
 // Rendering helpers re-exported from the report package, so examples and
 // downstream tools can produce the paper's figures through the facade.

@@ -1,0 +1,74 @@
+// Determinism acceptance test for the execution engine: the study's
+// rendered figures and CSV export must be byte-identical at any worker
+// count, and identical to the golden hashes captured from the pre-engine
+// serial implementation — parallelism must never perturb a published
+// number.
+package coevo_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"testing"
+
+	"coevo"
+	"coevo/internal/study"
+)
+
+// serialGolden maps artifact name to the sha256 of its rendered bytes for
+// seed 2023, captured from the serial (pre-engine) implementation.
+var serialGolden = map[string]string{
+	"figure4": "242acedabfc89f39ec8cfc30a8cf40e887f5676e8ad388fbf3beab4c89060a68",
+	"figure5": "74a1c631ce751feeac37f255518ec804ce82b9c9bf31eaaf09e583e10ef67bea",
+	"figure6": "36e3c7aee8a50e745d99c88c6ec774255889237ba848c083530b27e6fe6cc3ef",
+	"figure7": "58997b440b12f7cd9d48052e3260663eac9351d1ff365eb5bd5b561066e76eb0",
+	"figure8": "e63eb92b2cddfbb558487e465c3f030e01a335090b0ce54711032d5574c7d696",
+	"csv":     "805d5e7aef103a10162e4dd7a5e1ac63f780ebf482856904b485776770f1464b",
+}
+
+// renderArtifacts produces every golden-checked artifact of a dataset.
+func renderArtifacts(d *coevo.Dataset) map[string]func(io.Writer) error {
+	return map[string]func(io.Writer) error{
+		"figure4": func(w io.Writer) error { return coevo.WriteSyncHistogram(w, d.SynchronicityHistogram(0.10, 5)) },
+		"figure5": func(w io.Writer) error { return coevo.WriteScatter(w, d.DurationSynchronicityScatter()) },
+		"figure6": func(w io.Writer) error { return coevo.WriteAdvanceTable(w, d.AdvanceBreakdown()) },
+		"figure7": func(w io.Writer) error { return coevo.WriteAlwaysAdvance(w, d.AlwaysAdvance()) },
+		"figure8": func(w io.Writer) error { return coevo.WriteAttainment(w, d.Attainment()) },
+		"csv":     func(w io.Writer) error { return coevo.WriteDatasetCSV(w, d) },
+	}
+}
+
+func TestStudyDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus study in -short mode")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			opts := study.DefaultOptions()
+			opts.Exec.Workers = workers
+			d, err := study.Run(context.Background(), 2023, opts)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(d.Failures) != 0 {
+				t.Fatalf("unexpected failures: %+v", d.Failures)
+			}
+			if d.Size() != 195 {
+				t.Fatalf("Size = %d, want 195", d.Size())
+			}
+			for name, write := range renderArtifacts(d) {
+				var buf bytes.Buffer
+				if err := write(&buf); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+				if got != serialGolden[name] {
+					t.Errorf("%s: hash %s differs from serial golden %s", name, got, serialGolden[name])
+				}
+			}
+		})
+	}
+}

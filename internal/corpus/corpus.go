@@ -14,11 +14,14 @@
 package corpus
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
+	"coevo/internal/engine"
 	"coevo/internal/taxa"
 	"coevo/internal/vcs"
 )
@@ -181,6 +184,12 @@ type Config struct {
 	// it.
 	Epoch             time.Time
 	StartSpreadMonths int
+	// Exec configures the execution engine projects are materialized on.
+	// Each project derives its own rand source from Seed and its index, so
+	// the corpus is bit-for-bit identical at any worker count. Generation
+	// failures are configuration errors, so the engine always runs this
+	// workload fail-fast regardless of Exec.Policy.
+	Exec engine.Options
 }
 
 // DefaultConfig returns the study configuration with the given seed.
@@ -203,6 +212,15 @@ type Project struct {
 
 // Generate synthesizes the corpus described by cfg.
 func Generate(cfg Config) ([]*Project, error) {
+	return GenerateContext(context.Background(), cfg)
+}
+
+// GenerateContext synthesizes the corpus described by cfg on the
+// execution engine: projects are materialized concurrently (cfg.Exec
+// bounded) yet returned in profile order, and every project seeds its own
+// rand source from cfg.Seed and its index, so the result is bit-for-bit
+// identical to the serial generator at any worker count.
+func GenerateContext(ctx context.Context, cfg Config) ([]*Project, error) {
 	if cfg.Profiles == nil {
 		cfg.Profiles = DefaultProfiles()
 	}
@@ -212,18 +230,39 @@ func Generate(cfg Config) ([]*Project, error) {
 	if cfg.StartSpreadMonths <= 0 {
 		cfg.StartSpreadMonths = 72
 	}
-	var projects []*Project
-	idx := 0
+	type spec struct {
+		prof Profile
+		idx  int
+	}
+	var specs []spec
 	for _, prof := range cfg.Profiles {
 		for i := 0; i < prof.Count; i++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*7919))
-			p, err := generateProject(rng, cfg, prof, idx)
-			if err != nil {
-				return nil, fmt.Errorf("corpus: project %d (%s): %w", idx, prof.Taxon, err)
-			}
-			projects = append(projects, p)
-			idx++
+			specs = append(specs, spec{prof: prof, idx: len(specs)})
 		}
+	}
+	eopts := cfg.Exec
+	// A generation failure means the configuration itself is broken; no
+	// point materializing the rest of a corpus that cannot be studied.
+	eopts.Policy = engine.FailFast
+	if eopts.Name == nil {
+		eopts.Name = func(i int) string { return fmt.Sprintf("project-%03d", i) }
+	}
+	projects, _, err := engine.Map(ctx, specs,
+		func(_ context.Context, _ int, s spec) (*Project, error) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(s.idx)*7919))
+			p, err := generateProject(rng, cfg, s.prof, s.idx)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: project %d (%s): %w", s.idx, s.prof.Taxon, err)
+			}
+			return p, nil
+		}, eopts)
+	if err != nil {
+		// Surface the task's own (already project-labelled) cause.
+		var te *engine.TaskError
+		if errors.As(err, &te) {
+			return nil, te.Err
+		}
+		return nil, err
 	}
 	return projects, nil
 }

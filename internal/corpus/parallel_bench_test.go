@@ -1,0 +1,57 @@
+package corpus_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"coevo/internal/corpus"
+	"coevo/internal/study"
+)
+
+// BenchmarkAnalyzeCorpusParallel tracks the execution engine's speedup on
+// the seeded corpus: the serial baseline (workers=1) against a pool sized
+// to the machine (workers=NumCPU). The corpus is generated once outside
+// the timer; each iteration re-analyzes all 195 projects.
+func BenchmarkAnalyzeCorpusParallel(b *testing.B) {
+	projects, err := corpus.Generate(corpus.DefaultConfig(2023))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := study.DefaultOptions()
+			opts.Exec.Workers = workers
+			for i := 0; i < b.N; i++ {
+				d, err := study.AnalyzeCorpus(projects, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(d.Failures) != 0 {
+					b.Fatalf("failures: %+v", d.Failures)
+				}
+				if d.Size() != len(projects) {
+					b.Fatalf("analyzed %d of %d", d.Size(), len(projects))
+				}
+			}
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+}
+
+// BenchmarkGenerateCorpusParallel tracks the same comparison for corpus
+// materialization itself.
+func BenchmarkGenerateCorpusParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := corpus.DefaultConfig(2023)
+			cfg.Exec.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := corpus.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(workers), "workers")
+		})
+	}
+}

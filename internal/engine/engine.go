@@ -1,0 +1,291 @@
+// Package engine is the study's concurrent execution substrate: a bounded
+// worker pool that runs independent per-project tasks, isolates faults
+// (a panicking task becomes a recorded per-task failure, never a crashed
+// run), honors context cancellation, and emits a serialized event stream
+// (task started/finished/failed with wall time and per-stage timings)
+// that progress reporters and metrics collectors consume.
+//
+// Results are always returned indexed by input position, so a run with N
+// workers produces byte-identical downstream artifacts to a serial run —
+// the determinism contract every figure and CSV of the study relies on.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Policy selects how a run reacts to task failures.
+type Policy int
+
+const (
+	// CollectErrors records every failure and keeps the pool draining the
+	// remaining tasks — the default, and what a 195-project mining study
+	// wants: one malformed history must not discard 194 results.
+	CollectErrors Policy = iota
+	// FailFast cancels the run at the first failure and reports it.
+	FailFast
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case CollectErrors:
+		return "collect-errors"
+	case FailFast:
+		return "fail-fast"
+	default:
+		return "unknown"
+	}
+}
+
+// EventType discriminates the events of a run.
+type EventType int
+
+const (
+	// TaskStarted fires when a worker picks the task up.
+	TaskStarted EventType = iota
+	// TaskFinished fires when the task returns without error.
+	TaskFinished
+	// TaskFailed fires when the task returns an error or panics.
+	TaskFailed
+)
+
+// StageTiming is the measured duration of one named stage of a task (see
+// Stage).
+type StageTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// Event is one entry of the run's event stream. Events are delivered
+// serialized (never concurrently), with Done/Total consistent at the
+// moment of emission.
+type Event struct {
+	Type  EventType
+	Index int    // task index in the input slice
+	Name  string // task name from Options.Name
+	Err   error  // failure cause (TaskFailed only)
+	// Elapsed is the task's wall time (TaskFinished/TaskFailed only).
+	Elapsed time.Duration
+	// Stages carries the per-stage timings the task recorded via Stage.
+	Stages []StageTiming
+	// Done counts finished+failed tasks including this event; Total is the
+	// run's task count.
+	Done, Total int
+}
+
+// TaskError records one failed task.
+type TaskError struct {
+	Index int
+	Name  string
+	Err   error
+}
+
+// Error implements error.
+func (e *TaskError) Error() string { return fmt.Sprintf("task %d (%s): %v", e.Index, e.Name, e.Err) }
+
+// Unwrap exposes the cause.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// PanicError wraps a panic recovered from a task, with the goroutine
+// stack captured at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Options configures a run.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Policy is CollectErrors (default) or FailFast.
+	Policy Policy
+	// OnEvent, when non-nil, observes the run's event stream. Calls are
+	// serialized by the engine; the callback needs no locking of its own
+	// but must not block for long — it stalls the emitting worker.
+	OnEvent func(Event)
+	// Name labels task i in events and errors; defaults to "task-<i>".
+	Name func(i int) string
+}
+
+// workerCount resolves the effective pool size for n tasks.
+func (o Options) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn over every item with a bounded worker pool and returns the
+// results indexed by input position — deterministic regardless of worker
+// count or completion order. A failed (or panicked) task leaves the zero
+// value at its index and contributes a TaskError to the failure list,
+// which is sorted by task index.
+//
+// The returned error is non-nil only when the run itself did not complete:
+// the context was cancelled, or Policy is FailFast and a task failed (the
+// chronologically first failure is returned, wrapped). Under CollectErrors
+// a run with failures still returns a nil error — callers inspect the
+// failure list.
+func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, index int, item T) (R, error), opts Options) ([]R, []*TaskError, error) {
+	n := len(items)
+	results := make([]R, n)
+	if n == 0 {
+		return results, nil, ctx.Err()
+	}
+	name := opts.Name
+	if name == nil {
+		name = func(i int) string { return fmt.Sprintf("task-%d", i) }
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex // guards failures, trigger, done, and OnEvent
+		failures []*TaskError
+		trigger  *TaskError // chronologically first failure
+		done     int
+		next     int // next task index to hand out
+	)
+	emit := func(e Event) {
+		if opts.OnEvent != nil {
+			opts.OnEvent(e)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := opts.workerCount(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= n || runCtx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				emit(Event{Type: TaskStarted, Index: i, Name: name(i), Done: done, Total: n})
+				mu.Unlock()
+
+				rec := &stageRecorder{}
+				start := time.Now()
+				res, err := runTask(withStages(runCtx, rec), i, items[i], fn)
+				elapsed := time.Since(start)
+				stages := rec.finish(elapsed)
+
+				mu.Lock()
+				done++
+				if err != nil {
+					te := &TaskError{Index: i, Name: name(i), Err: err}
+					failures = append(failures, te)
+					if trigger == nil {
+						trigger = te
+					}
+					if opts.Policy == FailFast {
+						cancel()
+					}
+					emit(Event{Type: TaskFailed, Index: i, Name: name(i), Err: err,
+						Elapsed: elapsed, Stages: stages, Done: done, Total: n})
+				} else {
+					results[i] = res
+					emit(Event{Type: TaskFinished, Index: i, Name: name(i),
+						Elapsed: elapsed, Stages: stages, Done: done, Total: n})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	sort.Slice(failures, func(a, b int) bool { return failures[a].Index < failures[b].Index })
+	if err := ctx.Err(); err != nil {
+		return results, failures, err
+	}
+	if opts.Policy == FailFast && trigger != nil {
+		return results, failures, fmt.Errorf("engine: %w", trigger)
+	}
+	return results, failures, nil
+}
+
+// runTask invokes fn with panic isolation: a panic is converted into a
+// *PanicError so one poisoned input cannot crash the whole run.
+func runTask[T, R any](ctx context.Context, i int, item T, fn func(context.Context, int, T) (R, error)) (res R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i, item)
+}
+
+// stageKey carries the per-task stage recorder through the context.
+type stageKey struct{}
+
+// stageRecorder accumulates the named stage timings of one task.
+type stageRecorder struct {
+	mu      sync.Mutex
+	name    string
+	begin   time.Time
+	timings []StageTiming
+}
+
+// withStages injects rec into ctx for Stage to find.
+func withStages(ctx context.Context, rec *stageRecorder) context.Context {
+	return context.WithValue(ctx, stageKey{}, rec)
+}
+
+// Stage marks the start of a named stage of the current task: the time
+// since the previous Stage call (if any) is recorded under the previous
+// name, and the new stage begins. Outside an engine task it is a no-op, so
+// instrumented pipeline code also runs unmodified in serial callers.
+func Stage(ctx context.Context, name string) {
+	rec, ok := ctx.Value(stageKey{}).(*stageRecorder)
+	if !ok {
+		return
+	}
+	rec.mark(name, time.Now())
+}
+
+// mark closes the open stage at now and opens a new one.
+func (r *stageRecorder) mark(name string, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.name != "" {
+		r.timings = append(r.timings, StageTiming{Name: r.name, Elapsed: now.Sub(r.begin)})
+	}
+	r.name, r.begin = name, now
+}
+
+// finish closes the last open stage, charging it the task remainder.
+func (r *stageRecorder) finish(total time.Duration) []StageTiming {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.name != "" {
+		spent := time.Duration(0)
+		for _, t := range r.timings {
+			spent += t.Elapsed
+		}
+		r.timings = append(r.timings, StageTiming{Name: r.name, Elapsed: total - spent})
+		r.name = ""
+	}
+	return r.timings
+}

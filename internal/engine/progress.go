@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders a run's event stream as human-readable lines: one line
+// per completed decile of the run plus one per failure, so a 195-project
+// study prints ~10 lines instead of 390. Wire Observe in as (or inside)
+// Options.OnEvent.
+type Progress struct {
+	mu         sync.Mutex
+	w          io.Writer
+	start      time.Time
+	lastDecile int
+}
+
+// NewProgress returns a reporter writing to w.
+func NewProgress(w io.Writer) *Progress {
+	return &Progress{w: w, start: time.Now(), lastDecile: -1}
+}
+
+// Observe consumes one event.
+func (p *Progress) Observe(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.Type == TaskFailed {
+		fmt.Fprintf(p.w, "FAIL %s: %v\n", e.Name, e.Err)
+	}
+	if e.Type != TaskFinished && e.Type != TaskFailed {
+		return
+	}
+	decile := 0
+	if e.Total > 0 {
+		decile = e.Done * 10 / e.Total
+	}
+	if decile > p.lastDecile {
+		p.lastDecile = decile
+		fmt.Fprintf(p.w, "%4d/%d (%3d%%) %v\n",
+			e.Done, e.Total, e.Done*100/e.Total, time.Since(p.start).Round(time.Millisecond))
+	}
+}

@@ -6,11 +6,13 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"coevo/internal/coevolution"
 	"coevo/internal/corpus"
+	"coevo/internal/engine"
 	"coevo/internal/heartbeat"
 	"coevo/internal/history"
 	"coevo/internal/schemadiff"
@@ -52,6 +54,13 @@ type Options struct {
 	Taxa    taxa.Config
 	// Theta values are fixed by the paper (5% and 10%) inside
 	// coevolution.ComputeMeasures.
+
+	// Exec configures the execution engine AnalyzeCorpus runs on: worker
+	// count (default GOMAXPROCS), failure policy (default CollectErrors —
+	// per-project failures are recorded in Dataset.Failures instead of
+	// aborting the study), and an optional event observer for progress
+	// reporting and metrics.
+	Exec engine.Options
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -135,9 +144,21 @@ func analyze(name, ddlPath string, sh *history.SchemaHistory, ph *history.Projec
 	}, nil
 }
 
+// Failure records one project the study could not measure, with the
+// wrapped per-project cause (a recovered panic surfaces here as an
+// *engine.PanicError).
+type Failure struct {
+	Name string
+	Err  error
+}
+
 // Dataset is the full per-project result collection of one study run.
 type Dataset struct {
 	Projects []*ProjectResult
+	// Failures lists the projects that could not be analyzed, in project
+	// order. Aggregations operate over Projects only, so a partial study
+	// still yields every figure.
+	Failures []Failure
 }
 
 // Size returns the number of analyzed projects.
@@ -152,30 +173,96 @@ func (d *Dataset) ByTaxon() map[taxa.Taxon][]*ProjectResult {
 	return groups
 }
 
-// AnalyzeCorpus measures every project of a synthetic corpus.
+// AnalyzeCorpus measures every project of a synthetic corpus. See
+// AnalyzeCorpusContext for the execution semantics.
 func AnalyzeCorpus(projects []*corpus.Project, opts Options) (*Dataset, error) {
+	return AnalyzeCorpusContext(context.Background(), projects, opts)
+}
+
+// AnalyzeCorpusContext measures every project of a corpus on the
+// execution engine: projects are analyzed concurrently (opts.Exec.Workers
+// bounded, default GOMAXPROCS), and the dataset's project order follows
+// the corpus order regardless of completion order, so figures and CSV
+// exports are byte-identical to a serial run.
+//
+// Under the default CollectErrors policy a project whose analysis fails —
+// or panics — is recorded in Dataset.Failures and the study continues;
+// the returned error is non-nil only when the run itself stops (context
+// cancellation, or the FailFast policy).
+func AnalyzeCorpusContext(ctx context.Context, projects []*corpus.Project, opts Options) (*Dataset, error) {
+	eopts := opts.Exec
+	if eopts.Name == nil {
+		eopts.Name = func(i int) string { return projects[i].Name }
+	}
+	results, failures, err := engine.Map(ctx, projects,
+		func(ctx context.Context, _ int, p *corpus.Project) (*ProjectResult, error) {
+			res, err := analyzeProjectStaged(ctx, p, opts)
+			if err != nil {
+				return nil, err
+			}
+			intended := p.Taxon
+			res.IntendedTaxon = &intended
+			return res, nil
+		}, eopts)
+	if err != nil {
+		return nil, err
+	}
 	d := &Dataset{Projects: make([]*ProjectResult, 0, len(projects))}
-	for _, p := range projects {
-		res, err := AnalyzeRepository(p.Repo, p.DDLPath, opts)
-		if err != nil {
-			return nil, err
+	for _, res := range results {
+		if res != nil {
+			d.Projects = append(d.Projects, res)
 		}
-		intended := p.Taxon
-		res.IntendedTaxon = &intended
-		d.Projects = append(d.Projects, res)
+	}
+	for _, f := range failures {
+		d.Failures = append(d.Failures, Failure{Name: f.Name, Err: f.Err})
 	}
 	return d, nil
+}
+
+// analyzeProjectStaged is the engine task body for one corpus project,
+// with the pipeline's phases marked as engine stages so the event stream
+// carries per-stage timings.
+func analyzeProjectStaged(ctx context.Context, p *corpus.Project, opts Options) (*ProjectResult, error) {
+	ddlPath := p.DDLPath
+	if ddlPath == "" {
+		engine.Stage(ctx, "locate")
+		found, err := history.FindDDLPath(p.Repo)
+		if err != nil {
+			return nil, fmt.Errorf("study: %s: %w", p.Repo.Name(), err)
+		}
+		ddlPath = found
+	}
+	engine.Stage(ctx, "extract")
+	sh, err := history.ExtractSchemaHistory(p.Repo, ddlPath, opts.History)
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: %w", p.Repo.Name(), err)
+	}
+	ph, err := history.ExtractProjectHistory(p.Repo)
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: %w", p.Repo.Name(), err)
+	}
+	engine.Stage(ctx, "measure")
+	return analyze(p.Repo.Name(), ddlPath, sh, ph, opts)
 }
 
 // RunDefault generates the default 195-project corpus with the given seed
 // and analyzes it — the one-call entry point used by benchmarks, examples
 // and the CLI.
 func RunDefault(seed int64) (*Dataset, error) {
-	projects, err := corpus.Generate(corpus.DefaultConfig(seed))
+	return Run(context.Background(), seed, DefaultOptions())
+}
+
+// Run generates the default corpus with the given seed and analyzes it
+// under the given options; corpus generation reuses the analysis engine
+// configuration (worker count and event observer).
+func Run(ctx context.Context, seed int64, opts Options) (*Dataset, error) {
+	cfg := corpus.DefaultConfig(seed)
+	cfg.Exec.Workers = opts.Exec.Workers
+	projects, err := corpus.GenerateContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeCorpus(projects, DefaultOptions())
+	return AnalyzeCorpusContext(ctx, projects, opts)
 }
 
 // postBirthDeltas returns the delta sequence excluding the schema's birth.

@@ -1,11 +1,14 @@
 package study
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"coevo/internal/corpus"
+	"coevo/internal/engine"
 	"coevo/internal/gitlog"
 	"coevo/internal/history"
 	"coevo/internal/taxa"
@@ -142,6 +145,81 @@ func TestAnalyzeCorpusKeepsIntent(t *testing.T) {
 	}
 	if total != d.Size() {
 		t.Errorf("ByTaxon loses projects: %d != %d", total, d.Size())
+	}
+}
+
+// TestAnalyzeCorpusFaultIsolation injects an unanalyzable project (no
+// commits) and a poisoned one (nil repository, which panics inside the
+// task) into an otherwise healthy corpus: both must surface as recorded
+// failures while every healthy project is still measured, in corpus
+// order.
+func TestAnalyzeCorpusFaultIsolation(t *testing.T) {
+	good := smallCorpus(t, 21, 2)
+	mixed := append([]*corpus.Project{}, good[:3]...)
+	mixed = append(mixed,
+		&corpus.Project{Name: "acme/empty", Taxon: taxa.Frozen,
+			Repo: vcs.NewRepository("acme/empty"), DDLPath: "schema.sql"},
+		&corpus.Project{Name: "acme/poisoned", Taxon: taxa.Frozen, Repo: nil, DDLPath: "schema.sql"},
+	)
+	mixed = append(mixed, good[3:]...)
+
+	for _, workers := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Exec.Workers = workers
+		opts.Exec.Name = func(i int) string { return mixed[i].Name }
+		d, err := AnalyzeCorpusContext(context.Background(), mixed, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: fault must not abort the study: %v", workers, err)
+		}
+		if d.Size() != len(good) {
+			t.Fatalf("workers=%d: analyzed %d, want %d", workers, d.Size(), len(good))
+		}
+		if len(d.Failures) != 2 {
+			t.Fatalf("workers=%d: failures = %+v", workers, d.Failures)
+		}
+		if d.Failures[0].Name != "acme/empty" || d.Failures[1].Name != "acme/poisoned" {
+			t.Errorf("workers=%d: failure order/names wrong: %+v", workers, d.Failures)
+		}
+		var pe *engine.PanicError
+		if !errors.As(d.Failures[1].Err, &pe) {
+			t.Errorf("workers=%d: poisoned project should fail with PanicError, got %v",
+				workers, d.Failures[1].Err)
+		}
+		// Healthy results keep corpus order despite the interleaved faults.
+		wantIdx := 0
+		for _, p := range mixed {
+			if p.Name == "acme/empty" || p.Name == "acme/poisoned" {
+				continue
+			}
+			if d.Projects[wantIdx].Name != p.Name {
+				t.Fatalf("workers=%d: result %d is %s, want %s",
+					workers, wantIdx, d.Projects[wantIdx].Name, p.Name)
+			}
+			wantIdx++
+		}
+	}
+}
+
+// TestAnalyzeCorpusFailFast opts into the abort-on-first-error policy.
+func TestAnalyzeCorpusFailFast(t *testing.T) {
+	projects := []*corpus.Project{
+		{Name: "acme/empty", Taxon: taxa.Frozen,
+			Repo: vcs.NewRepository("acme/empty"), DDLPath: "schema.sql"},
+	}
+	opts := DefaultOptions()
+	opts.Exec.Policy = engine.FailFast
+	if _, err := AnalyzeCorpusContext(context.Background(), projects, opts); err == nil {
+		t.Fatal("FailFast study with a failing project must return an error")
+	}
+}
+
+// TestAnalyzeCorpusCancellation stops a study mid-run via its context.
+func TestAnalyzeCorpusCancellation(t *testing.T) {
+	projects := smallCorpus(t, 22, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeCorpusContext(ctx, projects, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 

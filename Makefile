@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench race vet
+.PHONY: build test verify bench race vet fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,12 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz-smoke gives each fuzz target a short budget — enough to shake out
+# shallow regressions in the parser round-trip and diff invariants without
+# a dedicated fuzzing box.
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	$(GO) test -run NONE -fuzz FuzzParseLenient -fuzztime $(FUZZTIME) ./internal/sqlddl
+	$(GO) test -run NONE -fuzz FuzzCompare -fuzztime $(FUZZTIME) ./internal/schemadiff

@@ -15,6 +15,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"coevo"
 	"coevo/internal/coevolution"
@@ -491,6 +492,57 @@ func BenchmarkPipelineSmallCorpus(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStudyWarmCache measures the content-addressed cache's payoff on
+// the full 195-project analysis. The cold sub-benchmark analyzes into a
+// fresh store every iteration; the warm sub-benchmark re-analyzes over a
+// pre-populated store through a fresh Cache instance (so disk reads and
+// decode are on the clock, exactly like a second run of the tool). The
+// warm case also reports cold_over_warm_x, the headline speedup.
+func BenchmarkStudyWarmCache(b *testing.B) {
+	dataset(b) // build benchCorpus once
+	analyze := func(b *testing.B, c *coevo.Cache) {
+		opts := coevo.DefaultOptions()
+		opts.Cache = c
+		d, err := coevo.AnalyzeCorpus(benchCorpus, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Size() != 195 {
+			b.Fatalf("Size = %d, want 195", d.Size())
+		}
+	}
+	newCache := func(b *testing.B, dir string) *coevo.Cache {
+		c, err := coevo.NewCache(coevo.CacheOptions{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := newCache(b, b.TempDir())
+			b.StartTimer()
+			analyze(b, c)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		start := time.Now()
+		analyze(b, newCache(b, dir)) // populate the store; doubles as the cold reference
+		coldDur := time.Since(start)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			c := newCache(b, dir)
+			b.StartTimer()
+			analyze(b, c)
+		}
+		warmNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(float64(coldDur.Nanoseconds())/warmNs, "cold_over_warm_x")
+	})
 }
 
 // BenchmarkLocalityFinding computes the related-work locality numbers over

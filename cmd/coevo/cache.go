@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coevo/internal/cache"
+	"coevo/internal/engine"
+)
+
+// cacheFlags registers the shared -cache-dir flag on fs and returns a
+// builder that opens the cache (nil when the flag is unset) after
+// parsing.
+func cacheFlags(fs *flag.FlagSet) func() (*cache.Cache, error) {
+	dir := fs.String("cache-dir", "", "persist and reuse stage results in this content-addressed cache directory")
+	return func() (*cache.Cache, error) {
+		if *dir == "" {
+			return nil, nil
+		}
+		return cache.New(cache.Options{Dir: *dir})
+	}
+}
+
+// attachCacheMetrics wires the cache's counters into the metrics
+// collector so -metrics reports hit/miss/byte counts alongside the
+// latency summary. Either argument may be nil.
+func attachCacheMetrics(m *engine.Metrics, c *cache.Cache) {
+	if m == nil || c == nil {
+		return
+	}
+	m.SetCacheSource(func() engine.CacheStats { return engine.CacheStats(c.Stats()) })
+}
+
+// runCache administers an on-disk cache directory: stats (footprint),
+// clear (drop every entry), verify (integrity walk, removing corrupt
+// entries).
+func runCache(args []string) error {
+	fs := newFlagSet("cache")
+	dir := fs.String("cache-dir", "", "cache directory to administer (required)")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, `usage: coevo cache -cache-dir DIR <stats|clear|verify>
+
+  stats   report the store's entry count and payload volume
+  clear   drop every entry (the directory itself is kept)
+  verify  walk every entry, validate framing and checksums, and remove
+          corrupt entries (the pipeline recomputes them on the next run)
+`)
+		fs.PrintDefaults()
+	}
+	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("cache: -cache-dir is required")
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cache: exactly one operation (stats, clear or verify) expected")
+	}
+	// Administer the disk store only: the memory layer is process-local
+	// and always starts empty here.
+	c, err := cache.New(cache.Options{Dir: *dir, MemoryBytes: -1})
+	if err != nil {
+		return err
+	}
+	switch op := fs.Arg(0); op {
+	case "stats":
+		rep, err := c.Size()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cache %s: %d entries, %d payload bytes\n", c.Dir(), rep.Entries, rep.Bytes)
+		return nil
+	case "clear":
+		if err := c.Clear(); err != nil {
+			return err
+		}
+		fmt.Printf("cache %s: cleared\n", c.Dir())
+		return nil
+	case "verify":
+		rep, err := c.Verify()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cache %s: %d intact entries (%d payload bytes), %d corrupt removed, %d foreign files skipped\n",
+			c.Dir(), rep.Entries, rep.Bytes, rep.Corrupt, rep.Foreign)
+		if rep.Corrupt > 0 {
+			fmt.Println("corrupt entries were removed; the next run recomputes them")
+		}
+		return nil
+	default:
+		return fmt.Errorf("cache: unknown operation %q (want stats, clear or verify)", op)
+	}
+}

@@ -18,6 +18,7 @@ func runGen(args []string) error {
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	list := fs.Bool("list", false, "list every generated project")
 	buildExec := engineFlags(fs)
+	buildCache := cacheFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
@@ -25,6 +26,12 @@ func runGen(args []string) error {
 	cfg := corpus.DefaultConfig(*seed)
 	var metrics *engine.Metrics
 	cfg.Exec, metrics = buildExec()
+	c, err := buildCache()
+	if err != nil {
+		return err
+	}
+	cfg.Cache = c
+	attachCacheMetrics(metrics, c)
 	projects, err := corpus.GenerateContext(context.Background(), cfg)
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@
 //	           when a directory of dated DDL versions is given, the full
 //	           co-evolution measures
 //	taxa       per-taxon synchronicity breakdown and change locality
+//	cache      administer an on-disk result cache (stats, clear, verify)
 //
 // The corpus-wide subcommands (study, gen, taxa) run on the concurrent
 // execution engine (internal/engine) and share the -workers, -progress
@@ -54,6 +55,8 @@ func main() {
 		err = runExport(os.Args[2:])
 	case "taxa":
 		err = runTaxa(os.Args[2:])
+	case "cache":
+		err = runCache(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,11 +82,14 @@ subcommands:
   smo      derive a schema-modification-operation migration between versions
   export   write the Schema_Evo-style per-history statistics as JSON
   taxa     per-taxon synchronicity breakdown and change locality
+  cache    administer a result-cache directory (stats, clear, verify)
 
 run 'coevo <subcommand> -h' for flags. The corpus-wide subcommands
 (study, gen, taxa) run on a concurrent execution engine and share the
 flags -workers N (pool size, default GOMAXPROCS), -progress (report
-progress on stderr) and -metrics (print latency/throughput metrics).
+progress on stderr), -metrics (print latency/throughput metrics) and
+-cache-dir DIR (persist and reuse stage results across runs; output is
+byte-identical with or without the cache).
 `)
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"coevo/internal/cache"
 	"coevo/internal/corpus"
 	"coevo/internal/dataset"
 	"coevo/internal/history"
@@ -40,7 +41,7 @@ func TestFlagErrorsReturnInsteadOfExiting(t *testing.T) {
 	subcommands := map[string]func([]string) error{
 		"study": runStudy, "gen": runGen, "analyze": runAnalyze,
 		"ingest": runIngest, "impact": runImpact, "smo": runSMO,
-		"export": runExport, "taxa": runTaxa,
+		"export": runExport, "taxa": runTaxa, "cache": runCache,
 	}
 	for name, run := range subcommands {
 		if err := run([]string{"-definitely-not-a-flag"}); err == nil {
@@ -49,6 +50,38 @@ func TestFlagErrorsReturnInsteadOfExiting(t *testing.T) {
 		if err := run([]string{"-h"}); err != nil {
 			t.Errorf("%s: -h should be a clean exit, got %v", name, err)
 		}
+	}
+}
+
+// TestCacheSubcommand drives coevo cache through its three operations
+// against a real store.
+func TestCacheSubcommand(t *testing.T) {
+	if err := runCache([]string{"stats"}); err == nil {
+		t.Error("missing -cache-dir should fail")
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	if err := runCache([]string{"-cache-dir", dir, "frobnicate"}); err == nil {
+		t.Error("unknown operation should fail")
+	}
+	if err := runCache([]string{"-cache-dir", dir}); err == nil {
+		t.Error("missing operation should fail")
+	}
+
+	c, err := cache.New(cache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(cache.NewKey("test/v1", []byte("a")), []byte("payload-a"))
+	c.Put(cache.NewKey("test/v1", []byte("b")), []byte("payload-b"))
+
+	for _, op := range []string{"stats", "verify", "clear", "stats"} {
+		if err := runCache([]string{"-cache-dir", dir, op}); err != nil {
+			t.Errorf("cache %s: %v", op, err)
+		}
+	}
+	rep, err := c.Size()
+	if err != nil || rep.Entries != 0 {
+		t.Errorf("after clear: %+v, %v", rep, err)
 	}
 }
 

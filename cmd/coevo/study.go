@@ -29,6 +29,7 @@ func runStudy(args []string) error {
 	csvPath := fs.String("csv", "", "write the per-project data set to this CSV file")
 	outDir := fs.String("out", "", "also write each figure to a file in this directory")
 	buildExec := engineFlags(fs)
+	buildCache := cacheFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
@@ -36,6 +37,12 @@ func runStudy(args []string) error {
 	opts := study.DefaultOptions()
 	var metrics *engine.Metrics
 	opts.Exec, metrics = buildExec()
+	c, err := buildCache()
+	if err != nil {
+		return err
+	}
+	opts.Cache = c
+	attachCacheMetrics(metrics, c)
 	fmt.Fprintf(os.Stderr, "generating and analyzing the 195-project corpus (seed %d, %s)...\n",
 		*seed, workersLabel(opts.Exec.Workers))
 	d, err := study.Run(context.Background(), *seed, opts)

@@ -19,6 +19,7 @@ func runTaxa(args []string) error {
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	theta := fs.Float64("theta", 0.10, "synchronicity acceptance band")
 	buildExec := engineFlags(fs)
+	buildCache := cacheFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
@@ -26,6 +27,12 @@ func runTaxa(args []string) error {
 	opts := study.DefaultOptions()
 	var metrics *engine.Metrics
 	opts.Exec, metrics = buildExec()
+	c, err := buildCache()
+	if err != nil {
+		return err
+	}
+	opts.Cache = c
+	attachCacheMetrics(metrics, c)
 	d, err := study.Run(context.Background(), *seed, opts)
 	if err != nil {
 		return err

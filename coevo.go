@@ -32,6 +32,7 @@ import (
 	"context"
 	"io"
 
+	"coevo/internal/cache"
 	"coevo/internal/coevolution"
 	"coevo/internal/corpus"
 	"coevo/internal/engine"
@@ -69,6 +70,14 @@ type (
 	// ExecMetrics aggregates an event stream into latency/throughput
 	// metrics; see NewExecMetrics.
 	ExecMetrics = engine.Metrics
+	// Cache is the content-addressed result cache memoizing the
+	// pipeline's hot stages; set it on Options.Cache and
+	// CorpusConfig.Cache. Output is byte-identical with or without one.
+	Cache = cache.Cache
+	// CacheOptions configures a Cache; see NewCache.
+	CacheOptions = cache.Options
+	// CacheStats is a point-in-time snapshot of a cache's counters.
+	CacheStats = cache.Stats
 )
 
 // Execution-engine re-exports: the policies an ExecOptions can select.
@@ -82,6 +91,14 @@ const (
 // NewExecMetrics returns a metrics collector; wire its Observe method
 // into ExecOptions.OnEvent (via TeeEvents when combining observers).
 func NewExecMetrics() *ExecMetrics { return engine.NewMetrics() }
+
+// NewCache opens a layered result cache (in-memory LRU front, optional
+// on-disk store under opts.Dir). A nil *Cache is valid and always
+// misses, so callers can thread an optional cache unconditionally.
+func NewCache(opts CacheOptions) (*Cache, error) { return cache.New(opts) }
+
+// NewMemoryCache returns a memory-only result cache with default bounds.
+func NewMemoryCache() *Cache { return cache.NewMemory() }
 
 // NewExecProgress returns a progress reporter writing per-decile progress
 // lines and failures to w; wire its Observe method into

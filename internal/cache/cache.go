@@ -1,0 +1,247 @@
+// Package cache is a persistent, content-addressed result cache for the
+// study pipeline. Entries are keyed by the sha256 of a stage-version
+// string plus the stage's input bytes, so a value can only ever be
+// observed for the exact inputs that produced it — correctness by
+// construction: changing either the input content or the implementation
+// version yields a different key, never a stale hit.
+//
+// The cache is layered: a concurrent, byte-bounded in-memory LRU front
+// absorbs the hot path, and an optional on-disk store (sharded fanout
+// directories, atomic rename writes) persists results across runs. Disk
+// entries carry a checksum; a corrupt entry (torn write, bit rot, manual
+// tampering) is detected on read, deleted, and reported as a miss, so the
+// pipeline transparently self-heals by recomputing.
+//
+// All methods are safe for concurrent use, and safe on a nil *Cache
+// (every operation degrades to a miss/no-op), so pipeline code can thread
+// an optional cache without branching.
+package cache
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Options configures a cache.
+type Options struct {
+	// Dir is the root of the on-disk store; empty means memory-only.
+	Dir string
+	// MemoryBytes bounds the in-memory LRU payload volume (default 64 MiB;
+	// negative disables the memory layer).
+	MemoryBytes int64
+	// MemoryEntries bounds the in-memory LRU entry count (default 8192).
+	MemoryEntries int
+}
+
+// Cache is a layered content-addressed store. The zero value is not
+// usable; construct with New or NewMemory. A nil *Cache is a valid
+// always-miss cache.
+type Cache struct {
+	mem  *lruStore
+	disk *diskStore
+
+	hits, misses       atomic.Int64
+	memHits, diskHits  atomic.Int64
+	puts, corrupt      atomic.Int64
+	bytesRead          atomic.Int64
+	bytesWritten       atomic.Int64
+}
+
+// New builds a cache from opts, creating the disk store's root directory
+// when one is configured.
+func New(opts Options) (*Cache, error) {
+	c := &Cache{}
+	if opts.MemoryBytes >= 0 {
+		maxBytes := opts.MemoryBytes
+		if maxBytes == 0 {
+			maxBytes = 64 << 20
+		}
+		maxEntries := opts.MemoryEntries
+		if maxEntries <= 0 {
+			maxEntries = 8192
+		}
+		c.mem = newLRUStore(maxBytes, maxEntries)
+	}
+	if opts.Dir != "" {
+		d, err := newDiskStore(opts.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+		c.disk = d
+	}
+	return c, nil
+}
+
+// NewMemory returns a memory-only cache with default bounds.
+func NewMemory() *Cache {
+	c, _ := New(Options{})
+	return c
+}
+
+// Dir returns the disk store root, or "" for a memory-only (or nil) cache.
+func (c *Cache) Dir() string {
+	if c == nil || c.disk == nil {
+		return ""
+	}
+	return c.disk.root
+}
+
+// Get looks a key up, front layer first. A disk hit is promoted into the
+// memory layer. The returned slice must not be mutated.
+func (c *Cache) Get(key Key) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if c.mem != nil {
+		if v, ok := c.mem.get(key); ok {
+			c.hits.Add(1)
+			c.memHits.Add(1)
+			return v, true
+		}
+	}
+	if c.disk != nil {
+		v, ok, corrupt := c.disk.get(key)
+		if corrupt {
+			c.corrupt.Add(1)
+		}
+		if ok {
+			c.hits.Add(1)
+			c.diskHits.Add(1)
+			c.bytesRead.Add(int64(len(v)))
+			if c.mem != nil {
+				c.mem.put(key, v)
+			}
+			return v, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores value under key in every configured layer (write-through).
+// The value must not be mutated afterwards. Disk write failures are
+// swallowed: a cache that cannot persist degrades to memory-only for the
+// affected entry rather than failing the pipeline.
+func (c *Cache) Put(key Key, value []byte) {
+	if c == nil {
+		return
+	}
+	c.puts.Add(1)
+	if c.mem != nil {
+		c.mem.put(key, value)
+	}
+	if c.disk != nil {
+		if err := c.disk.put(key, value); err == nil {
+			c.bytesWritten.Add(int64(len(value)))
+		}
+	}
+}
+
+// GetOrCompute returns the cached value for key, computing and storing it
+// on a miss. A compute error is returned verbatim and nothing is stored,
+// so failed computations are retried on the next call.
+func (c *Cache) GetOrCompute(key Key, compute func() ([]byte, error)) ([]byte, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	c.Put(key, v)
+	return v, nil
+}
+
+// Stats is a point-in-time snapshot of the cache's counters. The field
+// layout is mirrored by engine.CacheStats so the execution engine's
+// metrics collector can surface it without importing this package.
+type Stats struct {
+	Hits         int64 // Get calls served from any layer
+	Misses       int64 // Get calls that found nothing
+	MemoryHits   int64 // hits served by the LRU front
+	DiskHits     int64 // hits served by the disk store
+	Puts         int64 // stored values
+	Corrupt      int64 // corrupt disk entries healed (deleted) on read
+	BytesRead    int64 // payload bytes read from disk
+	BytesWritten int64 // payload bytes written to disk
+}
+
+// HitRate returns hits/(hits+misses), or 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// String renders the snapshot as a single line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits (%d mem, %d disk), %d misses (%.0f%% hit rate), %d puts, %d corrupt healed, %d B read, %d B written",
+		s.Hits, s.MemoryHits, s.DiskHits, s.Misses, 100*s.HitRate(), s.Puts, s.Corrupt, s.BytesRead, s.BytesWritten)
+}
+
+// Stats snapshots the counters. Safe on nil (all-zero).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		MemoryHits:   c.memHits.Load(),
+		DiskHits:     c.diskHits.Load(),
+		Puts:         c.puts.Load(),
+		Corrupt:      c.corrupt.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+	}
+}
+
+// Clear drops every entry from every layer.
+func (c *Cache) Clear() error {
+	if c == nil {
+		return nil
+	}
+	if c.mem != nil {
+		c.mem.clear()
+	}
+	if c.disk != nil {
+		return c.disk.clear()
+	}
+	return nil
+}
+
+// SizeReport summarizes a disk store's footprint.
+type SizeReport struct {
+	Entries int   // entry files present
+	Bytes   int64 // payload bytes (file sizes minus framing)
+}
+
+// Size walks the disk store without reading entry payloads and reports
+// its footprint. A memory-only (or nil) cache reports zero.
+func (c *Cache) Size() (SizeReport, error) {
+	if c == nil || c.disk == nil {
+		return SizeReport{}, nil
+	}
+	return c.disk.size()
+}
+
+// VerifyReport summarizes a disk-store integrity walk.
+type VerifyReport struct {
+	Entries int   // intact entries
+	Bytes   int64 // payload bytes of intact entries
+	Corrupt int   // corrupt entries found (and removed)
+	Foreign int   // unrelated files found in the store (left alone)
+}
+
+// Verify walks the disk store, checks every entry's framing and checksum,
+// and removes the corrupt ones (the pipeline would recompute them on the
+// next run anyway). A memory-only cache verifies vacuously.
+func (c *Cache) Verify() (VerifyReport, error) {
+	if c == nil || c.disk == nil {
+		return VerifyReport{}, nil
+	}
+	rep, err := c.disk.verify()
+	c.corrupt.Add(int64(rep.Corrupt))
+	return rep, err
+}

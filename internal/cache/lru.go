@@ -1,0 +1,90 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruStore is the in-memory front: a mutex-guarded LRU bounded both by
+// total payload bytes and by entry count. Values are stored by reference;
+// callers own the immutability contract.
+type lruStore struct {
+	mu         sync.Mutex
+	maxBytes   int64
+	maxEntries int
+	bytes      int64
+	order      *list.List // front = most recently used; values are *lruEntry
+	index      map[Key]*list.Element
+}
+
+type lruEntry struct {
+	key   Key
+	value []byte
+}
+
+func newLRUStore(maxBytes int64, maxEntries int) *lruStore {
+	return &lruStore{
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+		order:      list.New(),
+		index:      make(map[Key]*list.Element),
+	}
+}
+
+func (s *lruStore) get(key Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*lruEntry).value, true
+}
+
+func (s *lruStore) put(key Key, value []byte) {
+	if int64(len(value)) > s.maxBytes {
+		return // larger than the whole budget; never admit
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		e := el.Value.(*lruEntry)
+		s.bytes += int64(len(value)) - int64(len(e.value))
+		e.value = value
+		s.order.MoveToFront(el)
+	} else {
+		s.index[key] = s.order.PushFront(&lruEntry{key: key, value: value})
+		s.bytes += int64(len(value))
+	}
+	for (s.bytes > s.maxBytes || s.order.Len() > s.maxEntries) && s.order.Len() > 1 {
+		s.evictOldest()
+	}
+}
+
+// evictOldest drops the least recently used entry. Callers hold mu.
+func (s *lruStore) evictOldest() {
+	el := s.order.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*lruEntry)
+	s.order.Remove(el)
+	delete(s.index, e.key)
+	s.bytes -= int64(len(e.value))
+}
+
+func (s *lruStore) clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.order.Init()
+	s.index = make(map[Key]*list.Element)
+	s.bytes = 0
+}
+
+// len reports the entry count (for tests).
+func (s *lruStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}

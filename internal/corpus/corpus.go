@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"time"
 
+	"coevo/internal/cache"
 	"coevo/internal/engine"
 	"coevo/internal/taxa"
 	"coevo/internal/vcs"
@@ -190,6 +191,12 @@ type Config struct {
 	// failures are configuration errors, so the engine always runs this
 	// workload fail-fast regardless of Exec.Policy.
 	Exec engine.Options
+
+	// Cache, when non-nil, memoizes whole generated repositories in the
+	// content-addressed result cache, keyed by the generation inputs; a
+	// warm hit replays the stored commit script through the vcs substrate,
+	// reproducing the repository bit-for-bit (see replay.go).
+	Cache *cache.Cache
 }
 
 // DefaultConfig returns the study configuration with the given seed.
@@ -249,8 +256,7 @@ func GenerateContext(ctx context.Context, cfg Config) ([]*Project, error) {
 	}
 	projects, _, err := engine.Map(ctx, specs,
 		func(_ context.Context, _ int, s spec) (*Project, error) {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(s.idx)*7919))
-			p, err := generateProject(rng, cfg, s.prof, s.idx)
+			p, err := generateProjectCached(cfg, s.prof, s.idx)
 			if err != nil {
 				return nil, fmt.Errorf("corpus: project %d (%s): %w", s.idx, s.prof.Taxon, err)
 			}
@@ -265,6 +271,13 @@ func GenerateContext(ctx context.Context, cfg Config) ([]*Project, error) {
 		return nil, err
 	}
 	return projects, nil
+}
+
+// generateFresh materializes one repository from scratch, seeding the
+// project's private rand source from the corpus seed and project index.
+func generateFresh(cfg Config, prof Profile, idx int) (*Project, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*7919))
+	return generateProject(rng, cfg, prof, idx)
 }
 
 // generateProject materializes one repository.

@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"testing"
+
+	"coevo/internal/cache"
+)
+
+// tinyConfig is a one-project-per-taxon corpus small enough for replay
+// round-trip tests.
+func tinyConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	profiles := DefaultProfiles()
+	for i := range profiles {
+		profiles[i].Count = 1
+		if profiles[i].DurationMonths[1] > 24 {
+			profiles[i].DurationMonths[1] = 24
+		}
+	}
+	cfg.Profiles = profiles
+	return cfg
+}
+
+// TestGenerateWarmCacheIsBitIdentical: generating with a warm cache
+// replays every repository bit-for-bit — same head hashes, names, taxa
+// and DDL paths as a cold (and an uncached) run.
+func TestGenerateWarmCacheIsBitIdentical(t *testing.T) {
+	plain, err := Generate(tinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := cache.New(cache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgCold := tinyConfig(7)
+	cfgCold.Cache = c
+	cold, err := Generate(cfgCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Puts == 0 {
+		t.Fatalf("cold run stats: %s", s)
+	}
+
+	cfgWarm := tinyConfig(7)
+	cfgWarm.Cache = c
+	warm, err := Generate(cfgWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits < int64(len(plain)) {
+		t.Fatalf("warm run should hit for every project: %s", s)
+	}
+
+	for _, got := range [][]*Project{cold, warm} {
+		if len(got) != len(plain) {
+			t.Fatalf("project count %d != %d", len(got), len(plain))
+		}
+		for i := range plain {
+			p, q := plain[i], got[i]
+			if p.Name != q.Name || p.Taxon != q.Taxon || p.DDLPath != q.DDLPath {
+				t.Errorf("project %d metadata differs: %+v vs %+v", i, p, q)
+			}
+			ph, qh := p.Repo.Head(), q.Repo.Head()
+			if ph == nil || qh == nil || ph.Hash != qh.Hash {
+				t.Errorf("project %d head hash differs", i)
+			}
+			if p.Repo.CommitCount() != q.Repo.CommitCount() {
+				t.Errorf("project %d commit count %d != %d", i, p.Repo.CommitCount(), q.Repo.CommitCount())
+			}
+		}
+	}
+}
+
+// TestProjectCodecRejectsTampering: a tampered replay script is detected
+// (framing error or head-hash mismatch), never silently accepted.
+func TestProjectCodecRejectsTampering(t *testing.T) {
+	cfg := tinyConfig(9)
+	p, err := generateFresh(cfg, cfg.Profiles[5], 5) // ACTIVE: biggest repo
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := encodeProject(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeProject(enc); err != nil {
+		t.Fatalf("intact script rejected: %v", err)
+	}
+	// Truncation.
+	if _, err := decodeProject(enc[:len(enc)/2]); err == nil {
+		t.Error("truncated script accepted")
+	}
+	// Payload tamper: flip a byte in the middle (some content blob or
+	// message); either the framing breaks or the head hash mismatches.
+	tampered := append([]byte(nil), enc...)
+	tampered[len(tampered)/2] ^= 0x01
+	if _, err := decodeProject(tampered); err == nil {
+		t.Error("tampered script accepted")
+	}
+}
+
+// TestProjectKeySensitivity: every generation input participates in the
+// key.
+func TestProjectKeySensitivity(t *testing.T) {
+	cfg := tinyConfig(1)
+	base := projectKey(cfg, cfg.Profiles[1], 3)
+	if projectKey(cfg, cfg.Profiles[1], 3) != base {
+		t.Error("key not deterministic")
+	}
+	if projectKey(cfg, cfg.Profiles[1], 4) == base {
+		t.Error("index not keyed")
+	}
+	if projectKey(cfg, cfg.Profiles[2], 3) == base {
+		t.Error("profile not keyed")
+	}
+	cfg2 := tinyConfig(2)
+	if projectKey(cfg2, cfg2.Profiles[1], 3) == base {
+		t.Error("seed not keyed")
+	}
+	cfg3 := tinyConfig(1)
+	cfg3.StartSpreadMonths = 12
+	if projectKey(cfg3, cfg3.Profiles[1], 3) == base {
+		t.Error("start spread not keyed")
+	}
+	cfg4 := tinyConfig(1)
+	prof := cfg4.Profiles[1]
+	prof.LateBirthProb += 0.01
+	if projectKey(cfg4, prof, 3) == base {
+		t.Error("profile float field not keyed")
+	}
+	prof = cfg4.Profiles[1]
+	prof.SchemaShapes = append([]ShapeWeight(nil), prof.SchemaShapes...)
+	prof.SchemaShapes[0].Weight += 0.01
+	if projectKey(cfg4, prof, 3) == base {
+		t.Error("shape weights not keyed")
+	}
+}

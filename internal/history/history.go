@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"coevo/internal/cache"
 	"coevo/internal/gitlog"
 	"coevo/internal/heartbeat"
 	"coevo/internal/schema"
@@ -36,6 +37,12 @@ type Options struct {
 	// Disabling it reproduces the raw pairwise heartbeat of the upstream
 	// data set, where only version-to-version change counts.
 	CountBirth bool
+
+	// Cache, when non-nil, memoizes the two hot extraction stages through
+	// the content-addressed result cache: parsing a DDL version (keyed by
+	// its raw bytes) and diffing a version pair (keyed by the two logical
+	// schemas). Results are byte-identical with and without a cache.
+	Cache *cache.Cache
 }
 
 // DefaultOptions returns the study's configuration.
@@ -134,7 +141,14 @@ func ExtractSchemaHistory(repo *vcs.Repository, path string, opts Options) (*Sch
 	if repo.CommitCount() == 0 {
 		return nil, ErrEmptyRepo
 	}
-	fileVersions := repo.FileVersions(path)
+	return ExtractSchemaHistoryFromVersions(path, repo.FileVersions(path), opts)
+}
+
+// ExtractSchemaHistoryFromVersions builds the schema history from already
+// listed file versions — the entry point for callers that walk the file
+// history themselves (the study's cached pipeline lists versions once to
+// address its result bundle, then extracts only on a cache miss).
+func ExtractSchemaHistoryFromVersions(path string, fileVersions []vcs.FileVersion, opts Options) (*SchemaHistory, error) {
 	if len(fileVersions) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrNoDDLFile, path)
 	}
@@ -147,7 +161,7 @@ func ExtractSchemaHistory(repo *vcs.Repository, path string, opts Options) (*Sch
 		if fv.Deleted {
 			sv.Schema = schema.New()
 		} else {
-			s, diags := schema.ParseAndBuild(string(fv.Content))
+			s, diags := schema.ParseAndBuildCached(fv.Content, opts.Cache)
 			sv.Schema = s
 			sv.Diagnostics = diags
 			if s.TableCount() > 0 {
@@ -160,7 +174,7 @@ func ExtractSchemaHistory(repo *vcs.Repository, path string, opts Options) (*Sch
 	if !anyCreate {
 		return nil, fmt.Errorf("%w: %s", ErrNoCreates, path)
 	}
-	h.Deltas = schemadiff.Sequence(schemas)
+	h.Deltas = schemadiff.SequenceCached(schemas, opts.Cache)
 	return h, nil
 }
 

@@ -1,0 +1,125 @@
+// Binary codec and cache adapter for the logical schema — the persistence
+// format of the parse stage in the content-addressed result cache: a DDL
+// version's raw bytes address the schema that parsing and building them
+// produces, so a warm run reconstructs the schema without touching the
+// parser at all.
+package schema
+
+import (
+	"errors"
+	"fmt"
+
+	"coevo/internal/cache"
+)
+
+// ParseStage is the parse stage's cache version. Bump it whenever parsing
+// or schema building changes observable output (new statement support,
+// type-normalization changes, codec format changes) — old entries then
+// simply miss and are recomputed.
+const ParseStage = "schema/parse/v1"
+
+// EncodeBinary serializes the schema: tables in creation order, each with
+// its attributes in definition order and its primary key.
+func EncodeBinary(s *Schema) []byte {
+	var e cache.Enc
+	e.Uvarint(uint64(len(s.tables)))
+	for _, t := range s.tables {
+		e.String(t.Name)
+		e.Uvarint(uint64(len(t.attrs)))
+		for _, a := range t.attrs {
+			e.String(a.Name)
+			e.String(a.Type)
+			e.Bool(a.NotNull)
+			e.Bool(a.HasDefault)
+			e.Bool(a.AutoIncrement)
+		}
+		e.Uvarint(uint64(len(t.primaryKey)))
+		for _, k := range t.primaryKey {
+			e.String(k)
+		}
+	}
+	return e.Bytes()
+}
+
+// DecodeBinary reconstructs a schema encoded by EncodeBinary.
+func DecodeBinary(p []byte) (*Schema, error) {
+	d := cache.NewDec(p)
+	s := New()
+	nTables := d.Uvarint()
+	for i := uint64(0); i < nTables && !d.Failed(); i++ {
+		t := NewTable(d.String())
+		nAttrs := d.Uvarint()
+		for j := uint64(0); j < nAttrs && !d.Failed(); j++ {
+			a := &Attribute{
+				Name:          d.String(),
+				Type:          d.String(),
+				NotNull:       d.Bool(),
+				HasDefault:    d.Bool(),
+				AutoIncrement: d.Bool(),
+			}
+			if !t.addAttribute(a) {
+				return nil, fmt.Errorf("%w: duplicate attribute %s.%s", cache.ErrCodec, t.Name, a.Name)
+			}
+		}
+		nPK := d.Uvarint()
+		for j := uint64(0); j < nPK && !d.Failed(); j++ {
+			t.primaryKey = append(t.primaryKey, d.String())
+		}
+		if !d.Failed() && !s.addTable(t) {
+			return nil, fmt.Errorf("%w: duplicate table %s", cache.ErrCodec, t.Name)
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// encodeParseValue frames a ParseAndBuild result: the diagnostics (as
+// messages) followed by the schema.
+func encodeParseValue(s *Schema, diags []error) []byte {
+	var e cache.Enc
+	e.Uvarint(uint64(len(diags)))
+	for _, err := range diags {
+		e.String(err.Error())
+	}
+	e.Blob(EncodeBinary(s))
+	return e.Bytes()
+}
+
+func decodeParseValue(p []byte) (*Schema, []error, error) {
+	d := cache.NewDec(p)
+	nDiags := d.Uvarint()
+	var diags []error
+	for i := uint64(0); i < nDiags && !d.Failed(); i++ {
+		diags = append(diags, errors.New(d.String()))
+	}
+	enc := d.Blob()
+	if err := d.Err(); err != nil {
+		return nil, nil, err
+	}
+	s, err := DecodeBinary(enc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, diags, nil
+}
+
+// ParseAndBuildCached is ParseAndBuild memoized through c, keyed by the
+// raw DDL bytes under ParseStage. Diagnostics survive caching as their
+// messages (the pipeline only counts and prints them). A nil cache — or a
+// corrupt or malformed entry — degrades to a plain ParseAndBuild.
+func ParseAndBuildCached(src []byte, c *cache.Cache) (*Schema, []error) {
+	if c == nil {
+		return ParseAndBuild(string(src))
+	}
+	key := cache.NewKey(ParseStage, src)
+	if v, ok := c.Get(key); ok {
+		if s, diags, err := decodeParseValue(v); err == nil {
+			return s, diags
+		}
+	}
+	s, diags := ParseAndBuild(string(src))
+	c.Put(key, encodeParseValue(s, diags))
+	return s, diags
+}

@@ -1,0 +1,109 @@
+// Binary codec and cache adapters for deltas — the persistence format of
+// the diff stage in the content-addressed result cache. A version pair is
+// addressed by the binary encodings of the two schemas, so any logical
+// change to either side changes the key; byte-identical pairs (the
+// append-mostly common case across study re-runs) hit.
+package schemadiff
+
+import (
+	"coevo/internal/cache"
+	"coevo/internal/schema"
+)
+
+// CompareStage is the diff stage's cache version. Bump whenever Compare's
+// observable output or the delta codec changes.
+const CompareStage = "schemadiff/compare/v1"
+
+// EncodeDelta serializes a delta: the eight counters followed by the full
+// change list.
+func EncodeDelta(d *Delta) []byte {
+	var e cache.Enc
+	e.Int(int64(d.TablesCreated))
+	e.Int(int64(d.TablesDropped))
+	e.Int(int64(d.AttrsBornWithTable))
+	e.Int(int64(d.AttrsInjected))
+	e.Int(int64(d.AttrsDeletedWithTable))
+	e.Int(int64(d.AttrsEjected))
+	e.Int(int64(d.AttrsTypeChanged))
+	e.Int(int64(d.AttrsPKChanged))
+	e.Uvarint(uint64(len(d.Changes)))
+	for _, ch := range d.Changes {
+		e.Uvarint(uint64(ch.Kind))
+		e.String(ch.Table)
+		e.String(ch.Attribute)
+		e.String(ch.OldType)
+		e.String(ch.NewType)
+	}
+	return e.Bytes()
+}
+
+// DecodeDelta reconstructs a delta encoded by EncodeDelta.
+func DecodeDelta(p []byte) (*Delta, error) {
+	dec := cache.NewDec(p)
+	d := &Delta{
+		TablesCreated:         int(dec.Int()),
+		TablesDropped:         int(dec.Int()),
+		AttrsBornWithTable:    int(dec.Int()),
+		AttrsInjected:         int(dec.Int()),
+		AttrsDeletedWithTable: int(dec.Int()),
+		AttrsEjected:          int(dec.Int()),
+		AttrsTypeChanged:      int(dec.Int()),
+		AttrsPKChanged:        int(dec.Int()),
+	}
+	n := dec.Uvarint()
+	for i := uint64(0); i < n && !dec.Failed(); i++ {
+		d.Changes = append(d.Changes, AttributeChange{
+			Kind:      ChangeKind(dec.Uvarint()),
+			Table:     dec.String(),
+			Attribute: dec.String(),
+			OldType:   dec.String(),
+			NewType:   dec.String(),
+		})
+	}
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// CompareCached is Compare memoized through c, keyed by the two schemas'
+// binary encodings. The encodings must be supplied by the caller so a
+// sequence walk encodes each schema once, not twice (as both the new side
+// of one pair and the old side of the next).
+func CompareCached(old, new *schema.Schema, oldEnc, newEnc []byte, c *cache.Cache) *Delta {
+	if c == nil {
+		return Compare(old, new)
+	}
+	key := cache.NewHasher(CompareStage).Bytes(oldEnc).Bytes(newEnc).Sum()
+	if v, ok := c.Get(key); ok {
+		if d, err := DecodeDelta(v); err == nil {
+			return d
+		}
+	}
+	d := Compare(old, new)
+	c.Put(key, EncodeDelta(d))
+	return d
+}
+
+// SequenceCached is Sequence with every pairwise Compare memoized through
+// c. A nil cache is exactly Sequence.
+func SequenceCached(versions []*schema.Schema, c *cache.Cache) []*Delta {
+	if c == nil {
+		return Sequence(versions)
+	}
+	if len(versions) < 2 {
+		return nil
+	}
+	encs := make([][]byte, len(versions))
+	for i, s := range versions {
+		if s == nil {
+			s = schema.New()
+		}
+		encs[i] = schema.EncodeBinary(s)
+	}
+	deltas := make([]*Delta, 0, len(versions)-1)
+	for i := 1; i < len(versions); i++ {
+		deltas = append(deltas, CompareCached(versions[i-1], versions[i], encs[i-1], encs[i], c))
+	}
+	return deltas
+}

@@ -235,7 +235,9 @@ type Locality struct {
 	// ChangedTables is the number of tables with at least one change.
 	ChangedTables int
 	// TopShare is the fraction of all changes carried by the most-changed
-	// ceil(20%) of tables.
+	// ceil(20%) of the changed tables. The cutoff counts changed tables
+	// only: never-changed tables would otherwise inflate the cutoff and
+	// saturate the share at 1.0 for sparsely-changed schemata.
 	TopShare float64
 	// UnchangedShare is the fraction of tables with zero changes.
 	UnchangedShare float64
@@ -271,7 +273,7 @@ func MeasureLocality(deltas []*Delta, allTables []string) Locality {
 		return loc
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(volumes)))
-	top := (loc.Tables + 4) / 5 // ceil(20%)
+	top := (loc.ChangedTables + 4) / 5 // ceil(20%) of the changed tables
 	sum := 0
 	for i := 0; i < top && i < len(volumes); i++ {
 		sum += volumes[i]

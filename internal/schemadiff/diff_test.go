@@ -258,8 +258,9 @@ func TestTableChangeCounts(t *testing.T) {
 }
 
 func TestMeasureLocality(t *testing.T) {
-	// 10 tables; all 8 changes land in two of them: top-20% (2 tables)
-	// carries 100%, and 8 of 10 tables never change.
+	// 10 tables; all 8 changes land in two of them: the top-20% cutoff of
+	// the 2 changed tables is 1 table (t1, carrying 5 of 8 changes), and
+	// 8 of 10 tables never change.
 	deltas := []*Delta{{
 		Changes: []AttributeChange{
 			{Kind: AttrInjected, Table: "t1", Attribute: "a"},
@@ -277,11 +278,57 @@ func TestMeasureLocality(t *testing.T) {
 	if loc.Tables != 10 || loc.ChangedTables != 2 || loc.TotalChanges != 8 {
 		t.Fatalf("locality = %+v", loc)
 	}
-	if loc.TopShare != 1.0 {
-		t.Errorf("TopShare = %v, want 1.0", loc.TopShare)
+	if loc.TopShare != 5.0/8.0 {
+		t.Errorf("TopShare = %v, want 5/8", loc.TopShare)
 	}
 	if loc.UnchangedShare != 0.8 {
 		t.Errorf("UnchangedShare = %v, want 0.8", loc.UnchangedShare)
+	}
+}
+
+// TestMeasureLocalityBoundaries pins the cutoff boundary cases of the
+// changed-table-based TopShare.
+func TestMeasureLocalityBoundaries(t *testing.T) {
+	change := func(table string, n int) *Delta {
+		d := &Delta{}
+		for i := 0; i < n; i++ {
+			d.Changes = append(d.Changes, AttributeChange{Kind: AttrInjected, Table: table, Attribute: fmt.Sprintf("a%d", i)})
+		}
+		return d
+	}
+	cases := []struct {
+		name           string
+		deltas         []*Delta
+		allTables      []string
+		tables         int
+		changedTables  int
+		topShare       float64
+		unchangedShare float64
+	}{
+		{name: "zero tables", deltas: nil, allTables: nil,
+			tables: 0, changedTables: 0, topShare: 0, unchangedShare: 0},
+		{name: "all unchanged", deltas: nil, allTables: []string{"a", "b", "c"},
+			tables: 3, changedTables: 0, topShare: 0, unchangedShare: 1},
+		{name: "one changed table", deltas: []*Delta{change("a", 4)}, allTables: []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"},
+			tables: 10, changedTables: 1, topShare: 1, unchangedShare: 0.9},
+		{name: "six changed tables take top two", // ceil(20% of 6) = 2
+			deltas:    []*Delta{change("a", 6), change("b", 5), change("c", 1), change("d", 1), change("e", 1), change("f", 1)},
+			allTables: []string{"a", "b", "c", "d", "e", "f"},
+			tables:    6, changedTables: 6, topShare: 11.0 / 15.0, unchangedShare: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loc := MeasureLocality(tc.deltas, tc.allTables)
+			if loc.Tables != tc.tables || loc.ChangedTables != tc.changedTables {
+				t.Fatalf("Tables/Changed = %d/%d, want %d/%d", loc.Tables, loc.ChangedTables, tc.tables, tc.changedTables)
+			}
+			if loc.TopShare != tc.topShare {
+				t.Errorf("TopShare = %v, want %v", loc.TopShare, tc.topShare)
+			}
+			if loc.UnchangedShare != tc.unchangedShare {
+				t.Errorf("UnchangedShare = %v, want %v", loc.UnchangedShare, tc.unchangedShare)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,139 @@
+package schemadiff_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"coevo/internal/cache"
+	"coevo/internal/schema"
+	"coevo/internal/schemadiff"
+	"coevo/internal/schematest"
+)
+
+// TestCompareSelfIsEmpty: diffing any schema against itself yields no
+// change at all.
+func TestCompareSelfIsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		s := schematest.RandomSchema(rng)
+		d := schemadiff.Compare(s, s)
+		if !d.IsEmpty() {
+			t.Fatalf("Compare(s, s) not empty: %s", d)
+		}
+		if len(d.Changes) != 0 {
+			t.Fatalf("Compare(s, s) recorded %d changes", len(d.Changes))
+		}
+	}
+}
+
+// TestTotalActivityEqualsCounterSum: TotalActivity is exactly the sum of
+// the six attribute-level counters, and every counter agrees with the
+// per-change record list.
+func TestTotalActivityEqualsCounterSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		a, b := schematest.RandomSchema(rng), schematest.RandomSchema(rng)
+		d := schemadiff.Compare(a, b)
+		sum := d.AttrsBornWithTable + d.AttrsInjected + d.AttrsDeletedWithTable +
+			d.AttrsEjected + d.AttrsTypeChanged + d.AttrsPKChanged
+		if d.TotalActivity() != sum {
+			t.Fatalf("TotalActivity %d != counter sum %d", d.TotalActivity(), sum)
+		}
+		perKind := map[schemadiff.ChangeKind]int{}
+		for _, ch := range d.Changes {
+			perKind[ch.Kind]++
+		}
+		wantPerKind := map[schemadiff.ChangeKind]int{
+			schemadiff.AttrBornWithTable:    d.AttrsBornWithTable,
+			schemadiff.AttrInjected:         d.AttrsInjected,
+			schemadiff.AttrDeletedWithTable: d.AttrsDeletedWithTable,
+			schemadiff.AttrEjected:          d.AttrsEjected,
+			schemadiff.AttrTypeChanged:      d.AttrsTypeChanged,
+			schemadiff.AttrPKChanged:        d.AttrsPKChanged,
+		}
+		for kind, want := range wantPerKind {
+			if perKind[kind] != want {
+				t.Fatalf("counter for %s is %d but %d changes recorded", kind, want, perKind[kind])
+			}
+		}
+	}
+}
+
+// TestBornDeletedSymmetry: swapping the arguments turns births into
+// deaths and vice versa, both at the table and at the attribute level.
+func TestBornDeletedSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		a, b := schematest.RandomSchema(rng), schematest.RandomSchema(rng)
+		fwd, rev := schemadiff.Compare(a, b), schemadiff.Compare(b, a)
+		if fwd.TablesCreated != rev.TablesDropped || fwd.TablesDropped != rev.TablesCreated {
+			t.Fatalf("table birth/death not symmetric: fwd %s / rev %s", fwd, rev)
+		}
+		if fwd.AttrsBornWithTable != rev.AttrsDeletedWithTable ||
+			fwd.AttrsDeletedWithTable != rev.AttrsBornWithTable {
+			t.Fatalf("attr birth/death not symmetric: fwd %s / rev %s", fwd, rev)
+		}
+		if fwd.AttrsInjected != rev.AttrsEjected || fwd.AttrsEjected != rev.AttrsInjected {
+			t.Fatalf("injected/ejected not symmetric: fwd %s / rev %s", fwd, rev)
+		}
+		// Type and key changes are direction-independent sets.
+		if fwd.AttrsTypeChanged != rev.AttrsTypeChanged || fwd.AttrsPKChanged != rev.AttrsPKChanged {
+			t.Fatalf("type/key changes not symmetric: fwd %s / rev %s", fwd, rev)
+		}
+	}
+}
+
+// TestCompareCachedMatchesCompare: the cached comparison returns deltas
+// indistinguishable from the plain one, with either a hit or a miss.
+func TestCompareCachedMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := cache.NewMemory()
+	for i := 0; i < 200; i++ {
+		a, b := schematest.RandomSchema(rng), schematest.RandomSchema(rng)
+		aEnc, bEnc := schema.EncodeBinary(a), schema.EncodeBinary(b)
+		want := schemadiff.Compare(a, b)
+		for round := 0; round < 2; round++ { // miss, then hit
+			got := schemadiff.CompareCached(a, b, aEnc, bEnc, c)
+			if got.String() != want.String() || got.TotalActivity() != want.TotalActivity() {
+				t.Fatalf("round %d: cached delta %s != %s", round, got, want)
+			}
+			if len(got.Changes) != len(want.Changes) {
+				t.Fatalf("round %d: %d changes != %d", round, len(got.Changes), len(want.Changes))
+			}
+			for j := range got.Changes {
+				if got.Changes[j] != want.Changes[j] {
+					t.Fatalf("round %d: change %d: %v != %v", round, j, got.Changes[j], want.Changes[j])
+				}
+			}
+		}
+	}
+	if s := c.Stats(); s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("expected both hits and misses, got %s", s)
+	}
+}
+
+// TestSequenceCachedMatchesSequence: the cached pairwise walk equals the
+// plain one, including nil (unparseable/deleted) versions.
+func TestSequenceCachedMatchesSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := cache.NewMemory()
+	for i := 0; i < 50; i++ {
+		versions := make([]*schema.Schema, 2+rng.Intn(6))
+		for j := range versions {
+			if rng.Intn(8) == 0 {
+				continue // nil version
+			}
+			versions[j] = schematest.RandomSchema(rng)
+		}
+		want := schemadiff.Sequence(versions)
+		got := schemadiff.SequenceCached(versions, c)
+		if len(got) != len(want) {
+			t.Fatalf("length %d != %d", len(got), len(want))
+		}
+		for j := range got {
+			if got[j].String() != want[j].String() {
+				t.Fatalf("delta %d: %s != %s", j, got[j], want[j])
+			}
+		}
+	}
+}

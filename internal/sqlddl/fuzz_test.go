@@ -1,6 +1,9 @@
 package sqlddl
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // FuzzParseLenient asserts the mining pipeline's hard requirement: no SQL
 // input — however garbled — may panic the lenient parser or return a nil
@@ -29,9 +32,27 @@ func FuzzParseLenient(f *testing.F) {
 		if script == nil {
 			t.Fatal("ParseLenient returned nil script")
 		}
-		// Statements the parser accepts must carry their raw text.
-		for _, stmt := range script.Statements {
-			_ = stmt.Raw()
+		// Round-trip invariant: every statement carries its raw text, and
+		// re-parsing that text alone reproduces a single statement of the
+		// same kind. This is what lets cached results be keyed by
+		// statement bytes: the text is a faithful, self-contained
+		// representation of what was parsed.
+		for i, stmt := range script.Statements {
+			raw := stmt.Raw()
+			if raw == "" {
+				t.Fatalf("statement %d (%T) has empty raw text", i, stmt)
+			}
+			again, _ := ParseLenient(raw)
+			if again == nil {
+				t.Fatalf("re-parse of statement %d returned nil script", i)
+			}
+			if len(again.Statements) != 1 {
+				t.Fatalf("re-parse of statement %d (%T) yielded %d statements from %q",
+					i, stmt, len(again.Statements), raw)
+			}
+			if got, want := fmt.Sprintf("%T", again.Statements[0]), fmt.Sprintf("%T", stmt); got != want {
+				t.Fatalf("re-parse of statement %d changed kind: %s -> %s for %q", i, want, got, raw)
+			}
 		}
 	})
 }

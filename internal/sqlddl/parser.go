@@ -72,6 +72,13 @@ type stmtText struct {
 	tokens []token
 }
 
+// lexWhitespace is exactly the byte set the lexer skips between tokens.
+// Statement raw text is trimmed with this set — not unicode.IsSpace — so
+// Raw() never trims a byte the lexer treated as token content (e.g. a
+// non-breaking space), keeping raw text a faithful re-parseable record
+// of what was lexed.
+const lexWhitespace = " \t\r\n\f\v"
+
 // splitStatements tokenizes src and cuts it at top-level semicolons.
 func splitStatements(src string) ([]stmtText, error) {
 	lex := newLexer(src)
@@ -86,7 +93,7 @@ func splitStatements(src string) ([]stmtText, error) {
 			return
 		}
 		stmts = append(stmts, stmtText{
-			text:   strings.TrimSpace(src[start:end]),
+			text:   strings.Trim(src[start:end], lexWhitespace),
 			line:   current[0].line,
 			tokens: current,
 		})

@@ -1,0 +1,113 @@
+// Measure-bundle caching: the third memoized stage of the pipeline. One
+// project's entire analysis result (heartbeats, joint progress, measure
+// suite, taxon, locality) is addressed by the content of its two input
+// histories — every DDL version's bytes and commit time, every project
+// commit's time and churn — plus the analysis configuration. A warm run
+// therefore skips parsing, diffing and measuring entirely; the layered
+// parse and diff caches below it still serve partially-invalidated
+// histories (the append-mostly case: one new version re-parses one file
+// and re-diffs one pair, everything else hits).
+package study
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"coevo/internal/cache"
+	"coevo/internal/history"
+	"coevo/internal/vcs"
+)
+
+// MeasureStage is the measure-bundle stage's cache version. Bump whenever
+// analyze()'s observable output changes (new measures, changed
+// classification, changed locality rules).
+const MeasureStage = "study/measure/v1"
+
+// effectiveCache resolves the cache the pipeline should use: the study
+// option, falling back to the history option so callers configuring only
+// extraction caching still get it.
+func (o Options) effectiveCache() *cache.Cache {
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return o.History.Cache
+}
+
+// measureConfig folds the configuration that analyze() observes into the
+// key: the birth-counting convention and every taxon threshold.
+func measureConfig(h *cache.Hasher, opts Options) {
+	h.Bool(opts.History.CountBirth)
+	h.Float(opts.Taxa.AlmostFrozenMax)
+	h.Float(opts.Taxa.ActiveMin)
+	h.Float(opts.Taxa.SpikeMin)
+	h.Float(opts.Taxa.SingleSpikeShare)
+	h.Float(opts.Taxa.DoubleSpikeShare)
+}
+
+// measureProjectHistory folds the project history into the key.
+func measureProjectHistory(h *cache.Hasher, ph *history.ProjectHistory) {
+	h.Int(int64(len(ph.Commits)))
+	for _, c := range ph.Commits {
+		h.Time(c.When)
+		h.Int(int64(c.Files))
+		h.Int(int64(c.Lines))
+	}
+}
+
+// measureKeyFromVersions addresses the bundle by raw file versions — the
+// pre-extraction form, so a hit skips parsing and diffing altogether.
+func measureKeyFromVersions(fvs []vcs.FileVersion, ph *history.ProjectHistory, opts Options) cache.Key {
+	h := cache.NewHasher(MeasureStage)
+	measureConfig(h, opts)
+	h.Int(int64(len(fvs)))
+	for _, fv := range fvs {
+		h.Time(fv.Commit.When())
+		h.Bool(fv.Deleted)
+		h.Bytes(fv.Content)
+	}
+	measureProjectHistory(h, ph)
+	return h.Sum()
+}
+
+// measureKeyFromHistory addresses the bundle by an already-extracted
+// schema history. The fingerprint is field-for-field the one
+// measureKeyFromVersions computes (commit time, deleted flag, raw bytes),
+// so the two entry points share cache entries.
+func measureKeyFromHistory(sh *history.SchemaHistory, ph *history.ProjectHistory, opts Options) cache.Key {
+	h := cache.NewHasher(MeasureStage)
+	measureConfig(h, opts)
+	h.Int(int64(len(sh.Versions)))
+	for _, v := range sh.Versions {
+		h.Time(v.When())
+		h.Bool(v.Deleted)
+		h.Bytes(v.Raw)
+	}
+	measureProjectHistory(h, ph)
+	return h.Sum()
+}
+
+// storeBundle persists one analysis result. Identity fields (Name,
+// DDLPath, IntendedTaxon) are overwritten on load, so identical-content
+// projects share one entry.
+func storeBundle(c *cache.Cache, key cache.Key, res *ProjectResult) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+		return // unencodable results are simply not cached
+	}
+	c.Put(key, buf.Bytes())
+}
+
+// loadBundle retrieves one analysis result; a decode failure (stale or
+// foreign value) degrades to a miss.
+func loadBundle(c *cache.Cache, key cache.Key) (*ProjectResult, bool) {
+	v, ok := c.Get(key)
+	if !ok {
+		return nil, false
+	}
+	res := &ProjectResult{}
+	if err := gob.NewDecoder(bytes.NewReader(v)).Decode(res); err != nil {
+		return nil, false
+	}
+	res.Name, res.DDLPath, res.IntendedTaxon = "", "", nil
+	return res, true
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"coevo/internal/cache"
 	"coevo/internal/coevolution"
 	"coevo/internal/corpus"
 	"coevo/internal/engine"
@@ -61,6 +62,12 @@ type Options struct {
 	// aborting the study), and an optional event observer for progress
 	// reporting and metrics.
 	Exec engine.Options
+
+	// Cache, when non-nil, memoizes the pipeline's hot stages through the
+	// content-addressed result cache: per-version DDL parsing, per-pair
+	// schema diffing, and the whole per-project measure bundle. Output is
+	// byte-identical with a cold, warm or absent cache; see internal/cache.
+	Cache *cache.Cache
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -78,22 +85,76 @@ func AnalyzeRepository(repo *vcs.Repository, ddlPath string, opts Options) (*Pro
 		}
 		ddlPath = found
 	}
-	sh, err := history.ExtractSchemaHistory(repo, ddlPath, opts.History)
-	if err != nil {
-		return nil, fmt.Errorf("study: %s: %w", repo.Name(), err)
+	return analyzeRepository(context.Background(), repo.Name(), ddlPath, repo, opts)
+}
+
+// analyzeRepository is the repository entry point of the cached pipeline:
+// it lists the DDL file versions and project history once, addresses the
+// measure bundle by their content, and only on a miss extracts the schema
+// history (itself served by the parse and diff caches) and measures it.
+func analyzeRepository(ctx context.Context, name, ddlPath string, repo *vcs.Repository, opts Options) (*ProjectResult, error) {
+	if repo.CommitCount() == 0 {
+		return nil, fmt.Errorf("study: %s: %w", name, history.ErrEmptyRepo)
 	}
+	fvs := repo.FileVersions(ddlPath)
 	ph, err := history.ExtractProjectHistory(repo)
 	if err != nil {
-		return nil, fmt.Errorf("study: %s: %w", repo.Name(), err)
+		return nil, fmt.Errorf("study: %s: %w", name, err)
 	}
-	return analyze(repo.Name(), ddlPath, sh, ph, opts)
+	c := opts.effectiveCache()
+	var key cache.Key
+	if c != nil {
+		engine.Stage(ctx, "cache")
+		key = measureKeyFromVersions(fvs, ph, opts)
+		if res, ok := loadBundle(c, key); ok {
+			res.Name, res.DDLPath = name, ddlPath
+			return res, nil
+		}
+	}
+	engine.Stage(ctx, "extract")
+	hopts := opts.History
+	if hopts.Cache == nil {
+		hopts.Cache = c
+	}
+	sh, err := history.ExtractSchemaHistoryFromVersions(ddlPath, fvs, hopts)
+	if err != nil {
+		return nil, fmt.Errorf("study: %s: %w", name, err)
+	}
+	engine.Stage(ctx, "measure")
+	res, err := analyze(name, ddlPath, sh, ph, opts)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		storeBundle(c, key, res)
+	}
+	return res, nil
 }
 
 // AnalyzeHistories measures a project given already-extracted histories
 // (the entry point for real-git ingestion, where the project history comes
-// from a parsed `git log` and the schema history from file versions).
+// from a parsed `git log` and the schema history from file versions). With
+// a cache configured, the measure bundle is shared with the repository
+// entry points: the fingerprint covers the same version content, so an
+// ingested history and a replayed repository hit the same entry. The
+// schema history must have been extracted with opts.History for the
+// fingerprint to be truthful.
 func AnalyzeHistories(name, ddlPath string, sh *history.SchemaHistory, ph *history.ProjectHistory, opts Options) (*ProjectResult, error) {
-	return analyze(name, ddlPath, sh, ph, opts)
+	c := opts.effectiveCache()
+	if c == nil {
+		return analyze(name, ddlPath, sh, ph, opts)
+	}
+	key := measureKeyFromHistory(sh, ph, opts)
+	if res, ok := loadBundle(c, key); ok {
+		res.Name, res.DDLPath = name, ddlPath
+		return res, nil
+	}
+	res, err := analyze(name, ddlPath, sh, ph, opts)
+	if err != nil {
+		return nil, err
+	}
+	storeBundle(c, key, res)
+	return res, nil
 }
 
 func analyze(name, ddlPath string, sh *history.SchemaHistory, ph *history.ProjectHistory, opts Options) (*ProjectResult, error) {
@@ -221,7 +282,7 @@ func AnalyzeCorpusContext(ctx context.Context, projects []*corpus.Project, opts 
 
 // analyzeProjectStaged is the engine task body for one corpus project,
 // with the pipeline's phases marked as engine stages so the event stream
-// carries per-stage timings.
+// carries per-stage timings (locate, extract, cache, measure).
 func analyzeProjectStaged(ctx context.Context, p *corpus.Project, opts Options) (*ProjectResult, error) {
 	ddlPath := p.DDLPath
 	if ddlPath == "" {
@@ -233,16 +294,7 @@ func analyzeProjectStaged(ctx context.Context, p *corpus.Project, opts Options) 
 		ddlPath = found
 	}
 	engine.Stage(ctx, "extract")
-	sh, err := history.ExtractSchemaHistory(p.Repo, ddlPath, opts.History)
-	if err != nil {
-		return nil, fmt.Errorf("study: %s: %w", p.Repo.Name(), err)
-	}
-	ph, err := history.ExtractProjectHistory(p.Repo)
-	if err != nil {
-		return nil, fmt.Errorf("study: %s: %w", p.Repo.Name(), err)
-	}
-	engine.Stage(ctx, "measure")
-	return analyze(p.Repo.Name(), ddlPath, sh, ph, opts)
+	return analyzeRepository(ctx, p.Repo.Name(), ddlPath, p.Repo, opts)
 }
 
 // RunDefault generates the default 195-project corpus with the given seed
@@ -258,6 +310,7 @@ func RunDefault(seed int64) (*Dataset, error) {
 func Run(ctx context.Context, seed int64, opts Options) (*Dataset, error) {
 	cfg := corpus.DefaultConfig(seed)
 	cfg.Exec.Workers = opts.Exec.Workers
+	cfg.Cache = opts.effectiveCache()
 	projects, err := corpus.GenerateContext(ctx, cfg)
 	if err != nil {
 		return nil, err

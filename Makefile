@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench race vet fuzz-smoke
+.PHONY: build test verify bench microbench race vet fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,16 @@ race:
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 
+# bench times full study runs — cold and warm cache, workers=1 vs
+# NumCPU — and writes the machine-readable report CI archives with every
+# build.
+BENCH_OUT ?= BENCH_pr3.json
+
 bench:
+	$(GO) run ./cmd/coevo bench -out $(BENCH_OUT)
+
+# microbench runs the per-figure/table and ablation Go benchmarks.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # fuzz-smoke gives each fuzz target a short budget — enough to shake out

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
@@ -14,7 +15,7 @@ import (
 // runAnalyze deep-dives one project of the corpus: the Section 3.3
 // case-study view with the joint progress diagram and the full measure
 // suite.
-func runAnalyze(args []string) error {
+func runAnalyze(ctx context.Context, args []string) error {
 	fs := newFlagSet("analyze")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	which := fs.String("project", "0", "project index (0-194) or name substring")
@@ -22,7 +23,7 @@ func runAnalyze(args []string) error {
 		return err
 	}
 
-	projects, err := corpus.Generate(corpus.DefaultConfig(*seed))
+	projects, err := corpus.GenerateContext(ctx, corpus.DefaultConfig(*seed))
 	if err != nil {
 		return err
 	}
@@ -30,7 +31,7 @@ func runAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := study.AnalyzeRepository(target.Repo, target.DDLPath, study.DefaultOptions())
+	res, err := study.AnalyzeRepositoryContext(ctx, target.Repo, target.DDLPath, study.DefaultOptions())
 	if err != nil {
 		return err
 	}
@@ -62,7 +63,8 @@ func printCaseStudy(w *os.File, res *study.ProjectResult) error {
 	fmt.Fprintf(w, "activity  %d file updates, %d schema change units\n\n",
 		res.FileUpdates, res.TotalSchemaActivity)
 
-	if err := report.WriteJointProgress(w, "joint cumulative fractional progress", res.Joint); err != nil {
+	fig := report.JointProgressFigure{Title: "joint cumulative fractional progress", Progress: res.Joint}
+	if err := report.Render(w, fig, report.Text); err != nil {
 		return err
 	}
 

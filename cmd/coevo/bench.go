@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"coevo/internal/cache"
+	"coevo/internal/corpus"
+	"coevo/internal/study"
+)
+
+// benchCase is one timed study run of the benchmark matrix.
+type benchCase struct {
+	Name     string  `json:"name"`
+	Cache    string  `json:"cache"` // "cold" or "warm"
+	Workers  int     `json:"workers"`
+	Projects int     `json:"projects"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// benchReport is the JSON document runBench writes.
+type benchReport struct {
+	Timestamp string      `json:"timestamp"`
+	GoVersion string      `json:"go_version"`
+	NumCPU    int         `json:"num_cpu"`
+	Seed      int64       `json:"seed"`
+	Results   []benchCase `json:"results"`
+}
+
+// runBench times full study runs — cold and warm cache, serial and
+// parallel — and writes a machine-readable JSON report, so CI can archive
+// the toolkit's performance envelope alongside every build.
+func runBench(ctx context.Context, args []string) error {
+	fs := newFlagSet("bench")
+	out := fs.String("out", "BENCH_pr3.json", "write the benchmark report JSON to this path")
+	seed := fs.Int64("seed", 2023, "corpus generation seed")
+	perTaxon := fs.Int("per-taxon", 0, "shrink the corpus to N projects per taxon (0 = the full 195-project corpus)")
+	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+
+	profiles := corpus.DefaultProfiles()
+	if *perTaxon > 0 {
+		for i := range profiles {
+			profiles[i].Count = *perTaxon
+		}
+	}
+	runOnce := func(workers int, c *cache.Cache) (int, float64, error) {
+		cfg := corpus.DefaultConfig(*seed)
+		cfg.Profiles = profiles
+		cfg.Exec.Workers = workers
+		cfg.Cache = c
+		opts := study.DefaultOptions()
+		opts.Exec.Workers = workers
+		opts.Cache = c
+		start := time.Now()
+		projects, err := corpus.GenerateContext(ctx, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		d, err := study.AnalyzeCorpusContext(ctx, projects, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		return d.Size(), time.Since(start).Seconds(), nil
+	}
+
+	workerSettings := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		workerSettings = append(workerSettings, n)
+	}
+	rep := benchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Seed:      *seed,
+	}
+	for _, workers := range workerSettings {
+		// One shared in-memory cache per worker setting: the first run is
+		// the cold measurement, the second replays it warm.
+		c := cache.NewMemory()
+		for _, phase := range []string{"cold", "warm"} {
+			n, secs, err := runOnce(workers, c)
+			if err != nil {
+				return err
+			}
+			bc := benchCase{
+				Name:     fmt.Sprintf("study/%s/workers=%d", phase, workers),
+				Cache:    phase, Workers: workers, Projects: n, Seconds: secs,
+			}
+			rep.Results = append(rep.Results, bc)
+			fmt.Fprintf(os.Stderr, "bench %-28s %8.3fs  (%d projects)\n", bc.Name, bc.Seconds, bc.Projects)
+		}
+	}
+
+	if err := writeFile(*out, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote benchmark report to %s\n", *out)
+	return nil
+}

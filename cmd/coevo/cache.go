@@ -1,26 +1,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
 	"coevo/internal/cache"
 	"coevo/internal/engine"
 )
-
-// cacheFlags registers the shared -cache-dir flag on fs and returns a
-// builder that opens the cache (nil when the flag is unset) after
-// parsing.
-func cacheFlags(fs *flag.FlagSet) func() (*cache.Cache, error) {
-	dir := fs.String("cache-dir", "", "persist and reuse stage results in this content-addressed cache directory")
-	return func() (*cache.Cache, error) {
-		if *dir == "" {
-			return nil, nil
-		}
-		return cache.New(cache.Options{Dir: *dir})
-	}
-}
 
 // attachCacheMetrics wires the cache's counters into the metrics
 // collector so -metrics reports hit/miss/byte counts alongside the

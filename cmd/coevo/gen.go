@@ -7,36 +7,36 @@ import (
 	"strconv"
 
 	"coevo/internal/corpus"
-	"coevo/internal/engine"
 	"coevo/internal/report"
 	"coevo/internal/taxa"
 )
 
 // runGen generates the corpus and summarizes it per taxon.
-func runGen(args []string) error {
+func runGen(ctx context.Context, args []string) error {
 	fs := newFlagSet("gen")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	list := fs.Bool("list", false, "list every generated project")
-	buildExec := engineFlags(fs)
-	buildCache := cacheFlags(fs)
+	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	p, err := buildPipeline()
+	if err != nil {
 		return err
 	}
 
 	cfg := corpus.DefaultConfig(*seed)
-	var metrics *engine.Metrics
-	cfg.Exec, metrics = buildExec()
-	c, err := buildCache()
+	cfg.Exec = p.exec
+	cfg.Cache = p.cache
+	cfg.Obs = p.obs
+	projects, err := corpus.GenerateContext(ctx, cfg)
+	ferr := p.finish()
 	if err != nil {
 		return err
 	}
-	cfg.Cache = c
-	attachCacheMetrics(metrics, c)
-	projects, err := corpus.GenerateContext(context.Background(), cfg)
-	if err != nil {
-		return err
+	if ferr != nil {
+		return ferr
 	}
-	reportMetrics(metrics)
 
 	type agg struct {
 		projects, commits, schemaVersions int

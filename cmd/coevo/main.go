@@ -23,12 +23,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"coevo/internal/engine"
 	"coevo/internal/study"
 )
 
@@ -37,14 +39,21 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancel the run's context: in-flight projects drain,
+	// the partial dataset is summarized, and observability artifacts
+	// (trace, profiles) are still flushed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "study":
-		err = runStudy(os.Args[2:])
+		err = runStudy(ctx, os.Args[2:])
 	case "gen":
-		err = runGen(os.Args[2:])
+		err = runGen(ctx, os.Args[2:])
 	case "analyze":
-		err = runAnalyze(os.Args[2:])
+		err = runAnalyze(ctx, os.Args[2:])
+	case "bench":
+		err = runBench(ctx, os.Args[2:])
 	case "ingest":
 		err = runIngest(os.Args[2:])
 	case "impact":
@@ -54,7 +63,7 @@ func main() {
 	case "export":
 		err = runExport(os.Args[2:])
 	case "taxa":
-		err = runTaxa(os.Args[2:])
+		err = runTaxa(ctx, os.Args[2:])
 	case "cache":
 		err = runCache(os.Args[2:])
 	case "-h", "--help", "help":
@@ -83,13 +92,17 @@ subcommands:
   export   write the Schema_Evo-style per-history statistics as JSON
   taxa     per-taxon synchronicity breakdown and change locality
   cache    administer a result-cache directory (stats, clear, verify)
+  bench    time study runs (cold/warm cache, serial/parallel) into a JSON report
 
 run 'coevo <subcommand> -h' for flags. The corpus-wide subcommands
 (study, gen, taxa) run on a concurrent execution engine and share the
 flags -workers N (pool size, default GOMAXPROCS), -progress (report
-progress on stderr), -metrics (print latency/throughput metrics) and
--cache-dir DIR (persist and reuse stage results across runs; output is
-byte-identical with or without the cache).
+progress on stderr), -metrics (print the unified metrics report:
+latency/throughput, stage totals and cache counters), -cache-dir DIR
+(persist and reuse stage results across runs), -trace FILE (Chrome
+trace-event JSON of the run), -log-level LEVEL (structured logs on
+stderr) and -cpuprofile/-memprofile FILE (pprof profiles). Output is
+byte-identical no matter which observability or cache flags are set.
 `)
 }
 
@@ -116,36 +129,14 @@ func parseFlags(fs *flag.FlagSet, args []string) (run bool, err error) {
 	}
 }
 
-// engineFlags registers the shared execution-engine flags on fs and
-// returns a builder that assembles the engine options (and the optional
-// metrics collector) after parsing.
-func engineFlags(fs *flag.FlagSet) func() (engine.Options, *engine.Metrics) {
-	workers := fs.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
-	progress := fs.Bool("progress", false, "report per-decile progress and failures on stderr")
-	metrics := fs.Bool("metrics", false, "print task latency/throughput metrics on stderr")
-	return func() (engine.Options, *engine.Metrics) {
-		opts := engine.Options{Workers: *workers}
-		var observers []func(engine.Event)
-		if *progress {
-			observers = append(observers, engine.NewProgress(os.Stderr).Observe)
-		}
-		var m *engine.Metrics
-		if *metrics {
-			m = engine.NewMetrics()
-			observers = append(observers, m.Observe)
-		}
-		if len(observers) > 0 {
-			opts.OnEvent = engine.Tee(observers...)
-		}
-		return opts, m
+// reportInterrupted summarizes a cancelled corpus run on stderr: what the
+// engine finished before the context fired is still a (partial) dataset.
+func reportInterrupted(d *study.Dataset, err error) {
+	if d == nil {
+		return
 	}
-}
-
-// reportMetrics prints the collected engine metrics, if enabled.
-func reportMetrics(m *engine.Metrics) {
-	if m != nil {
-		fmt.Fprintf(os.Stderr, "%s\n", m.Snapshot())
-	}
+	fmt.Fprintf(os.Stderr, "interrupted (%v): %d projects analyzed, %d failed before cancellation\n",
+		err, d.Size(), len(d.Failures))
 }
 
 // reportFailures summarizes a partial study on stderr and decides the

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -34,14 +36,21 @@ func smallProjects(t *testing.T) []*corpus.Project {
 	return projects
 }
 
+// withCtx adapts a context-first subcommand to the plain run signature.
+func withCtx(f func(context.Context, []string) error) func([]string) error {
+	return func(args []string) error { return f(context.Background(), args) }
+}
+
 // TestFlagErrorsReturnInsteadOfExiting exercises the ContinueOnError flag
 // sets: a bad flag must come back through the error path of every
 // subcommand, and -h must be a clean no-op (usage printed, nil error).
 func TestFlagErrorsReturnInsteadOfExiting(t *testing.T) {
 	subcommands := map[string]func([]string) error{
-		"study": runStudy, "gen": runGen, "analyze": runAnalyze,
+		"study": withCtx(runStudy), "gen": withCtx(runGen),
+		"analyze": withCtx(runAnalyze), "taxa": withCtx(runTaxa),
+		"bench": withCtx(runBench),
 		"ingest": runIngest, "impact": runImpact, "smo": runSMO,
-		"export": runExport, "taxa": runTaxa, "cache": runCache,
+		"export": runExport, "cache": runCache,
 	}
 	for name, run := range subcommands {
 		if err := run([]string{"-definitely-not-a-flag"}); err == nil {
@@ -50,6 +59,99 @@ func TestFlagErrorsReturnInsteadOfExiting(t *testing.T) {
 		if err := run([]string{"-h"}); err != nil {
 			t.Errorf("%s: -h should be a clean exit, got %v", name, err)
 		}
+	}
+}
+
+// TestPipelineFlags drives the shared flag kit through its observability
+// surfaces without running a study.
+func TestPipelineFlags(t *testing.T) {
+	build := func(t *testing.T, args ...string) (*pipeline, error) {
+		t.Helper()
+		fs := newFlagSet("test")
+		builder := pipelineFlags(fs)
+		if ok, err := parseFlags(fs, args); !ok {
+			t.Fatalf("parse %v: %v", args, err)
+		}
+		return builder()
+	}
+
+	p, err := build(t)
+	if err != nil || p.obs != nil || p.cache != nil || p.metrics != nil {
+		t.Errorf("bare pipeline should have no observer/cache/metrics: %+v, %v", p, err)
+	}
+	if err := p.finish(); err != nil {
+		t.Errorf("bare finish: %v", err)
+	}
+
+	if _, err := build(t, "-log-level", "loud"); err == nil {
+		t.Error("invalid -log-level should fail")
+	}
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "heap.pprof")
+	p, err = build(t, "-trace", tracePath, "-log-level", "warn",
+		"-cpuprofile", cpuPath, "-memprofile", memPath,
+		"-cache-dir", filepath.Join(dir, "cache"), "-metrics", "-workers", "2")
+	if err != nil {
+		t.Fatalf("full pipeline: %v", err)
+	}
+	if p.obs == nil || !p.obs.Tracing() || p.cache == nil || p.metrics == nil {
+		t.Fatal("full pipeline missing a component")
+	}
+	if p.exec.Workers != 2 || p.exec.Obs != p.obs {
+		t.Errorf("exec options not threaded: %+v", p.exec)
+	}
+	if err := p.finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	for _, path := range []string{tracePath, cpuPath, memPath} {
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			t.Errorf("%s not written: %v", path, err)
+		}
+	}
+	var trace struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil || json.Unmarshal(raw, &trace) != nil {
+		t.Errorf("trace file unreadable: %v", err)
+	}
+}
+
+// TestBenchSubcommand runs the benchmark matrix on a tiny corpus and
+// checks the report shape.
+func TestBenchSubcommand(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	if err := runBench(context.Background(), []string{"-out", out, "-per-taxon", "1", "-seed", "7"}); err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Results []struct {
+			Name     string  `json:"name"`
+			Cache    string  `json:"cache"`
+			Projects int     `json:"projects"`
+			Seconds  float64 `json:"seconds"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if len(rep.Results) < 2 {
+		t.Fatalf("expected at least cold+warm results, got %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Projects != 6 || r.Seconds <= 0 {
+			t.Errorf("bad case %+v", r)
+		}
+	}
+	if rep.Results[0].Cache != "cold" || rep.Results[1].Cache != "warm" {
+		t.Errorf("cold/warm ordering wrong: %+v", rep.Results[:2])
 	}
 }
 

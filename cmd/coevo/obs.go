@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+
+	"coevo/internal/cache"
+	"coevo/internal/engine"
+	"coevo/internal/obs"
+)
+
+// pipeline bundles everything the corpus-wide subcommands (study, gen,
+// taxa) thread through a run: the engine options, the optional result
+// cache, the optional observer behind -trace/-log-level/-metrics, the
+// profiling hooks, and the end-of-run flushing of all of it.
+type pipeline struct {
+	exec    engine.Options
+	cache   *cache.Cache
+	obs     *obs.Observer
+	metrics *engine.Metrics
+
+	showMetrics        bool
+	tracePath, memPath string
+	stopCPU            func() error
+}
+
+// pipelineFlags registers the shared execution and observability flags on
+// fs and returns a builder that assembles the pipeline after parsing.
+func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
+	workers := fs.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report per-decile progress and failures on stderr")
+	metrics := fs.Bool("metrics", false, "print the unified metrics report (engine latency/throughput, stage totals, cache counters) on stderr")
+	cacheDir := fs.String("cache-dir", "", "persist and reuse stage results in this content-addressed cache directory")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON file (chrome://tracing, Perfetto) to this path")
+	logLevel := fs.String("log-level", "", "enable structured logs on stderr at this level (debug, info, warn, error)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this path at the end of the run")
+	return func() (*pipeline, error) {
+		p := &pipeline{showMetrics: *metrics, tracePath: *tracePath, memPath: *memProfile}
+		// Any observability surface — trace, logs, the unified metrics
+		// report, profiles — wants the one Observer; without them the
+		// pipeline runs with a nil (zero-cost) one.
+		if *tracePath != "" || *logLevel != "" || *metrics || *memProfile != "" || *cpuProfile != "" {
+			oopts := obs.Options{Trace: *tracePath != ""}
+			if *logLevel != "" {
+				level, err := parseLogLevel(*logLevel)
+				if err != nil {
+					return nil, err
+				}
+				oopts.LogWriter = os.Stderr
+				oopts.LogLevel = level
+			}
+			p.obs = obs.New(oopts)
+		}
+		p.exec = engine.Options{Workers: *workers, Obs: p.obs}
+		var observers []func(engine.Event)
+		if *progress {
+			observers = append(observers, engine.NewProgress(os.Stderr).Observe)
+		}
+		if *metrics {
+			p.metrics = engine.NewMetrics()
+			observers = append(observers, p.metrics.Observe)
+		}
+		if len(observers) > 0 {
+			p.exec.OnEvent = engine.Tee(observers...)
+		}
+		if *cacheDir != "" {
+			c, err := cache.New(cache.Options{Dir: *cacheDir, Obs: p.obs})
+			if err != nil {
+				return nil, err
+			}
+			p.cache = c
+			attachCacheMetrics(p.metrics, c)
+		}
+		// Register the cache counter family even for a cache-less run (nil
+		// *Cache samples as all-zero), so the unified report's schema is
+		// stable whether or not -cache-dir was passed.
+		p.cache.RegisterMetrics(p.obs.Metrics())
+		if *cpuProfile != "" {
+			stop, err := obs.StartCPUProfile(*cpuProfile)
+			if err != nil {
+				return nil, err
+			}
+			p.stopCPU = stop
+		}
+		return p, nil
+	}
+}
+
+// parseLogLevel maps the -log-level flag value to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", s)
+}
+
+// finish flushes the run's observability artifacts: the CPU profile, the
+// unified metrics report, the trace file and the heap profile. It runs
+// even when the run itself failed or was interrupted, so a cancelled
+// study still leaves a loadable trace and profile behind. The first
+// flushing error is returned.
+func (p *pipeline) finish() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if p.stopCPU != nil {
+		keep(p.stopCPU())
+	}
+	if p.showMetrics {
+		if p.metrics != nil {
+			fmt.Fprintf(os.Stderr, "%s\n", p.metrics.Snapshot())
+		}
+		fmt.Fprintln(os.Stderr, "metrics registry:")
+		keep(p.obs.Metrics().WritePrometheus(os.Stderr))
+	}
+	if p.tracePath != "" {
+		keep(writeFile(p.tracePath, func(w io.Writer) error { return p.obs.WriteTrace(w) }))
+		fmt.Fprintf(os.Stderr, "wrote trace (%d spans) to %s\n", p.obs.SpanCount(), p.tracePath)
+	}
+	if p.memPath != "" {
+		keep(obs.WriteHeapProfile(p.memPath))
+	}
+	return firstErr
+}

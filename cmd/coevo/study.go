@@ -8,7 +8,6 @@ import (
 	"path/filepath"
 	"strings"
 
-	"coevo/internal/engine"
 	"coevo/internal/report"
 	"coevo/internal/study"
 )
@@ -23,33 +22,35 @@ func workersLabel(workers int) string {
 
 // runStudy executes the full pipeline and renders every evaluation
 // artifact, optionally writing the per-project CSV data set.
-func runStudy(args []string) error {
+func runStudy(ctx context.Context, args []string) error {
 	fs := newFlagSet("study")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	csvPath := fs.String("csv", "", "write the per-project data set to this CSV file")
 	outDir := fs.String("out", "", "also write each figure to a file in this directory")
-	buildExec := engineFlags(fs)
-	buildCache := cacheFlags(fs)
+	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	p, err := buildPipeline()
+	if err != nil {
 		return err
 	}
 
 	opts := study.DefaultOptions()
-	var metrics *engine.Metrics
-	opts.Exec, metrics = buildExec()
-	c, err := buildCache()
-	if err != nil {
-		return err
-	}
-	opts.Cache = c
-	attachCacheMetrics(metrics, c)
+	opts.Exec = p.exec
+	opts.Cache = p.cache
+	opts.Obs = p.obs
 	fmt.Fprintf(os.Stderr, "generating and analyzing the 195-project corpus (seed %d, %s)...\n",
 		*seed, workersLabel(opts.Exec.Workers))
-	d, err := study.Run(context.Background(), *seed, opts)
+	d, err := study.Run(ctx, *seed, opts)
+	ferr := p.finish()
 	if err != nil {
+		reportInterrupted(d, err)
 		return err
 	}
-	reportMetrics(metrics)
+	if ferr != nil {
+		return ferr
+	}
 	if err := reportFailures(d); err != nil {
 		return err
 	}
@@ -60,16 +61,16 @@ func runStudy(args []string) error {
 		write func(io.Writer) error
 	}{
 		{"figure4.txt", func(w io.Writer) error {
-			return report.WriteSyncHistogram(w, d.SynchronicityHistogram(0.10, 5))
+			return report.Render(w, d.SynchronicityHistogram(0.10, 5), report.Text)
 		}},
 		{"figure4.svg", func(w io.Writer) error {
-			return report.WriteSyncHistogramSVG(w, d.SynchronicityHistogram(0.10, 5))
+			return report.Render(w, d.SynchronicityHistogram(0.10, 5), report.SVG)
 		}},
 		{"figure5.svg", func(w io.Writer) error {
-			return report.WriteScatterSVG(w, d.DurationSynchronicityScatter())
+			return report.Render(w, d.DurationSynchronicityScatter(), report.SVG)
 		}},
 		{"figure5.txt", func(w io.Writer) error {
-			if err := report.WriteScatter(w, d.DurationSynchronicityScatter()); err != nil {
+			if err := report.Render(w, d.DurationSynchronicityScatter(), report.Text); err != nil {
 				return err
 			}
 			in, out := d.LongProjectSyncBand(60, 0.2, 0.8)
@@ -77,20 +78,20 @@ func runStudy(args []string) error {
 			return err
 		}},
 		{"figure6.txt", func(w io.Writer) error {
-			return report.WriteAdvanceTable(w, d.AdvanceBreakdown())
+			return report.Render(w, d.AdvanceBreakdown(), report.Text)
 		}},
 		{"figure7.txt", func(w io.Writer) error {
-			return report.WriteAlwaysAdvance(w, d.AlwaysAdvance())
+			return report.Render(w, d.AlwaysAdvance(), report.Text)
 		}},
 		{"figure8.txt", func(w io.Writer) error {
-			return report.WriteAttainment(w, d.Attainment())
+			return report.Render(w, d.Attainment(), report.Text)
 		}},
 		{"section7.txt", func(w io.Writer) error {
 			st, err := d.Statistics(*seed)
 			if err != nil {
 				return err
 			}
-			return report.WriteStatsReport(w, st)
+			return report.Render(w, st, report.Text)
 		}},
 	}
 	for _, s := range sections {
@@ -109,7 +110,7 @@ func runStudy(args []string) error {
 
 	if *csvPath != "" {
 		if err := writeFile(*csvPath, func(w io.Writer) error {
-			return report.WriteDatasetCSV(w, d)
+			return report.Render(w, d, report.CSV)
 		}); err != nil {
 			return err
 		}

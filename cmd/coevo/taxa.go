@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 
-	"coevo/internal/engine"
 	"coevo/internal/report"
 	"coevo/internal/study"
 	"coevo/internal/taxa"
@@ -14,30 +13,32 @@ import (
 // runTaxa breaks the corpus down per taxon: the measured distribution,
 // per-taxon synchronicity histograms (the "within the different taxa" view
 // of RQ1) and the change-locality summary.
-func runTaxa(args []string) error {
+func runTaxa(ctx context.Context, args []string) error {
 	fs := newFlagSet("taxa")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	theta := fs.Float64("theta", 0.10, "synchronicity acceptance band")
-	buildExec := engineFlags(fs)
-	buildCache := cacheFlags(fs)
+	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	p, err := buildPipeline()
+	if err != nil {
 		return err
 	}
 
 	opts := study.DefaultOptions()
-	var metrics *engine.Metrics
-	opts.Exec, metrics = buildExec()
-	c, err := buildCache()
+	opts.Exec = p.exec
+	opts.Cache = p.cache
+	opts.Obs = p.obs
+	d, err := study.Run(ctx, *seed, opts)
+	ferr := p.finish()
 	if err != nil {
+		reportInterrupted(d, err)
 		return err
 	}
-	opts.Cache = c
-	attachCacheMetrics(metrics, c)
-	d, err := study.Run(context.Background(), *seed, opts)
-	if err != nil {
-		return err
+	if ferr != nil {
+		return ferr
 	}
-	reportMetrics(metrics)
 	if err := reportFailures(d); err != nil {
 		return err
 	}

@@ -36,6 +36,7 @@ import (
 	"coevo/internal/coevolution"
 	"coevo/internal/corpus"
 	"coevo/internal/engine"
+	"coevo/internal/obs"
 	"coevo/internal/report"
 	"coevo/internal/study"
 	"coevo/internal/vcs"
@@ -78,6 +79,17 @@ type (
 	CacheOptions = cache.Options
 	// CacheStats is a point-in-time snapshot of a cache's counters.
 	CacheStats = cache.Stats
+	// Observer is the unified observability handle (spans with a Chrome
+	// trace exporter, a metrics registry with Prometheus-style exposition,
+	// structured logging); set it on Options.Obs and CorpusConfig.Obs. A
+	// nil *Observer is a valid zero-cost no-op, and study output is
+	// byte-identical with observability on or off.
+	Observer = obs.Observer
+	// ObserverOptions configures an Observer; see NewObserver.
+	ObserverOptions = obs.Options
+	// MetricsRegistry is an Observer's registry of counters, gauges and
+	// histograms.
+	MetricsRegistry = obs.Registry
 )
 
 // Execution-engine re-exports: the policies an ExecOptions can select.
@@ -91,6 +103,11 @@ const (
 // NewExecMetrics returns a metrics collector; wire its Observe method
 // into ExecOptions.OnEvent (via TeeEvents when combining observers).
 func NewExecMetrics() *ExecMetrics { return engine.NewMetrics() }
+
+// NewObserver builds an observability handle from opts; thread it through
+// Options.Obs (and CorpusConfig.Obs) and harvest with Observer.WriteTrace
+// and Observer.Metrics().WritePrometheus after the run.
+func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
 
 // NewCache opens a layered result cache (in-memory LRU front, optional
 // on-disk store under opts.Dir). A nil *Cache is valid and always
@@ -120,85 +137,183 @@ func DefaultCorpusConfig(seed int64) CorpusConfig { return corpus.DefaultConfig(
 func NewRepository(name string) *Repository { return vcs.NewRepository(name) }
 
 // GenerateCorpus synthesizes a study corpus.
-func GenerateCorpus(cfg CorpusConfig) ([]*CorpusProject, error) { return corpus.Generate(cfg) }
+func GenerateCorpus(cfg CorpusConfig) ([]*CorpusProject, error) {
+	return GenerateCorpusContext(context.Background(), cfg)
+}
+
+// GenerateCorpusContext is GenerateCorpus with a caller context: a
+// cancelled context stops materialization and returns the cause.
+func GenerateCorpusContext(ctx context.Context, cfg CorpusConfig) ([]*CorpusProject, error) {
+	return corpus.GenerateContext(ctx, cfg)
+}
 
 // AnalyzeCorpus measures every project of a corpus.
 func AnalyzeCorpus(projects []*CorpusProject, opts Options) (*Dataset, error) {
-	return study.AnalyzeCorpus(projects, opts)
+	return AnalyzeCorpusContext(context.Background(), projects, opts)
+}
+
+// AnalyzeCorpusContext is AnalyzeCorpus with a caller context. When the
+// context is cancelled mid-run, the dataset accumulated so far is
+// returned alongside the context's error, so callers can still report
+// partial results.
+func AnalyzeCorpusContext(ctx context.Context, projects []*CorpusProject, opts Options) (*Dataset, error) {
+	return study.AnalyzeCorpusContext(ctx, projects, opts)
 }
 
 // AnalyzeRepository measures one repository; pass an empty ddlPath to
 // locate the schema file automatically.
 func AnalyzeRepository(repo *Repository, ddlPath string, opts Options) (*ProjectResult, error) {
-	return study.AnalyzeRepository(repo, ddlPath, opts)
+	return AnalyzeRepositoryContext(context.Background(), repo, ddlPath, opts)
+}
+
+// AnalyzeRepositoryContext is AnalyzeRepository with a caller context.
+func AnalyzeRepositoryContext(ctx context.Context, repo *Repository, ddlPath string, opts Options) (*ProjectResult, error) {
+	return study.AnalyzeRepositoryContext(ctx, repo, ddlPath, opts)
 }
 
 // RunStudy generates the default 195-project corpus and analyzes it — the
 // one-call reproduction of the paper's full pipeline.
-func RunStudy(seed int64) (*Dataset, error) { return study.RunDefault(seed) }
+func RunStudy(seed int64) (*Dataset, error) {
+	return RunStudyContext(context.Background(), seed, DefaultOptions())
+}
 
 // RunStudyContext is RunStudy with full control: context cancellation and
 // the execution-engine configuration carried by opts.Exec (worker count,
-// failure policy, progress/metrics observers).
+// failure policy, progress/metrics observers). On cancellation the
+// partial dataset analyzed so far is returned alongside the context's
+// error.
 func RunStudyContext(ctx context.Context, seed int64, opts Options) (*Dataset, error) {
 	return study.Run(ctx, seed, opts)
 }
 
-// Rendering helpers re-exported from the report package, so examples and
-// downstream tools can produce the paper's figures through the facade.
+// Rendering: every figure and export of the study is produced through one
+// entry point, Render, which dispatches an artifact and a format to the
+// matching encoder. The eleven Write* helpers below predate it and remain
+// as one-line wrappers for compatibility.
+
+// Rendering types re-exported from the report package.
+type (
+	// Format selects a Render encoding: Text, SVG or CSV.
+	Format = report.Format
+	// Figure is a renderable study artifact; Render also accepts the raw
+	// artifact types (JointProgress, SyncHistogram, Dataset, ...) directly.
+	Figure = report.Figure
+	// JointProgressFigure is a titled joint progress diagram (text, svg).
+	JointProgressFigure = report.JointProgressFigure
+	// SyncHistogramFigure is the Figure 4 histogram (text, svg).
+	SyncHistogramFigure = report.SyncHistogramFigure
+	// ScatterFigure is the Figure 5 scatter plot (text, svg).
+	ScatterFigure = report.ScatterFigure
+	// AdvanceTableFigure is the Figure 6 advance table (text).
+	AdvanceTableFigure = report.AdvanceTableFigure
+	// AlwaysAdvanceFigure is the Figure 7 per-taxon counts (text).
+	AlwaysAdvanceFigure = report.AlwaysAdvanceFigure
+	// AttainmentFigure is the Figure 8 attainment breakdown (text).
+	AttainmentFigure = report.AttainmentFigure
+	// StatsFigure is the Section 7 statistics report (text).
+	StatsFigure = report.StatsFigure
+	// DatasetFigure is the per-project measurement export (csv).
+	DatasetFigure = report.DatasetFigure
+)
+
+// The render formats.
+const (
+	// Text is the terminal-friendly fixed-width encoding.
+	Text = report.Text
+	// SVG is the vector-graphics encoding of the chart figures.
+	SVG = report.SVG
+	// CSV is the machine-readable dataset export.
+	CSV = report.CSV
+)
+
+// ErrUnsupportedFormat reports a figure/format combination with no
+// encoder; test with errors.Is.
+var ErrUnsupportedFormat = report.ErrUnsupportedFormat
+
+// Render encodes a study artifact to w in the given format. The artifact
+// may be a Figure (e.g. JointProgressFigure{Title: ..., Progress: j}) or
+// one of the raw artifact types produced by a Dataset, which Render wraps
+// itself: *coevolution.JointProgress, *study.SyncHistogram,
+// []study.ScatterPoint, *study.AdvanceTable, *study.AlwaysAdvanceSummary,
+// *study.AttainmentBreakdown, *StatsReport and *Dataset.
+func Render(w io.Writer, artifact any, format Format) error {
+	return report.Render(w, artifact, format)
+}
 
 // WriteJointProgress renders a Figure 1/3-style joint cumulative progress
 // diagram.
+//
+// Deprecated: use Render(w, JointProgressFigure{Title: title, Progress: j}, Text).
 func WriteJointProgress(w io.Writer, title string, j *coevolution.JointProgress) error {
-	return report.WriteJointProgress(w, title, j)
+	return Render(w, JointProgressFigure{Title: title, Progress: j}, Text)
 }
 
 // WriteSyncHistogram renders the Figure 4 synchronicity histogram.
+//
+// Deprecated: use Render(w, h, Text).
 func WriteSyncHistogram(w io.Writer, h *study.SyncHistogram) error {
-	return report.WriteSyncHistogram(w, h)
+	return Render(w, h, Text)
 }
 
 // WriteScatter renders the Figure 5 duration-vs-synchronicity plot.
+//
+// Deprecated: use Render(w, points, Text).
 func WriteScatter(w io.Writer, points []study.ScatterPoint) error {
-	return report.WriteScatter(w, points)
+	return Render(w, points, Text)
 }
 
 // WriteAdvanceTable renders the Figure 6 advance table.
+//
+// Deprecated: use Render(w, t, Text).
 func WriteAdvanceTable(w io.Writer, t *study.AdvanceTable) error {
-	return report.WriteAdvanceTable(w, t)
+	return Render(w, t, Text)
 }
 
 // WriteAlwaysAdvance renders the Figure 7 per-taxon counts.
+//
+// Deprecated: use Render(w, s, Text).
 func WriteAlwaysAdvance(w io.Writer, s *study.AlwaysAdvanceSummary) error {
-	return report.WriteAlwaysAdvance(w, s)
+	return Render(w, s, Text)
 }
 
 // WriteAttainment renders the Figure 8 attainment breakdown.
+//
+// Deprecated: use Render(w, b, Text).
 func WriteAttainment(w io.Writer, b *study.AttainmentBreakdown) error {
-	return report.WriteAttainment(w, b)
+	return Render(w, b, Text)
 }
 
 // WriteStatsReport renders the Section 7 statistics.
+//
+// Deprecated: use Render(w, r, Text).
 func WriteStatsReport(w io.Writer, r *StatsReport) error {
-	return report.WriteStatsReport(w, r)
+	return Render(w, r, Text)
 }
 
 // WriteDatasetCSV exports the per-project measurements as CSV.
+//
+// Deprecated: use Render(w, d, CSV).
 func WriteDatasetCSV(w io.Writer, d *Dataset) error {
-	return report.WriteDatasetCSV(w, d)
+	return Render(w, d, CSV)
 }
 
 // WriteJointProgressSVG renders a joint progress diagram as SVG.
+//
+// Deprecated: use Render(w, JointProgressFigure{Title: title, Progress: j}, SVG).
 func WriteJointProgressSVG(w io.Writer, title string, j *coevolution.JointProgress) error {
-	return report.WriteJointProgressSVG(w, title, j)
+	return Render(w, JointProgressFigure{Title: title, Progress: j}, SVG)
 }
 
 // WriteScatterSVG renders the Figure 5 scatter as SVG.
+//
+// Deprecated: use Render(w, points, SVG).
 func WriteScatterSVG(w io.Writer, points []study.ScatterPoint) error {
-	return report.WriteScatterSVG(w, points)
+	return Render(w, points, SVG)
 }
 
 // WriteSyncHistogramSVG renders the Figure 4 histogram as SVG.
+//
+// Deprecated: use Render(w, h, SVG).
 func WriteSyncHistogramSVG(w io.Writer, h *study.SyncHistogram) error {
-	return report.WriteSyncHistogramSVG(w, h)
+	return Render(w, h, SVG)
 }

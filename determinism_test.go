@@ -9,8 +9,11 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
+	"strings"
 	"testing"
 
 	"coevo"
@@ -37,6 +40,82 @@ func renderArtifacts(d *coevo.Dataset) map[string]func(io.Writer) error {
 		"figure7": func(w io.Writer) error { return coevo.WriteAlwaysAdvance(w, d.AlwaysAdvance()) },
 		"figure8": func(w io.Writer) error { return coevo.WriteAttainment(w, d.Attainment()) },
 		"csv":     func(w io.Writer) error { return coevo.WriteDatasetCSV(w, d) },
+	}
+}
+
+// TestStudyDeterministicWithObserver runs the full study with every
+// observability surface live — tracing, debug logging, metrics — and
+// checks the rendered artifacts against the same serial golden hashes:
+// observation must never perturb a published number.
+func TestStudyDeterministicWithObserver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus study in -short mode")
+	}
+	observer := coevo.NewObserver(coevo.ObserverOptions{
+		Trace:     true,
+		LogWriter: io.Discard,
+		LogLevel:  slog.LevelDebug,
+	})
+	opts := study.DefaultOptions()
+	opts.Exec.Workers = 8
+	opts.Obs = observer
+	d, err := study.Run(context.Background(), 2023, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(d.Failures) != 0 {
+		t.Fatalf("unexpected failures: %+v", d.Failures)
+	}
+	for name, write := range renderArtifacts(d) {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+		if got != serialGolden[name] {
+			t.Errorf("%s: hash %s differs from serial golden %s (observer must not perturb output)", name, got, serialGolden[name])
+		}
+	}
+
+	// The observer must have captured the run: a loadable Chrome trace
+	// with spans for both pipeline halves, and engine metrics for the
+	// generate and analyze scopes.
+	var trace bytes.Buffer
+	if err := observer.WriteTrace(&trace); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if observer.SpanCount() < 2*195 {
+		t.Errorf("SpanCount = %d, want at least one span per project per pipeline half", observer.SpanCount())
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"run", "generate", "analyze"} {
+		if !names[want] {
+			t.Errorf("trace lacks the %q span", want)
+		}
+	}
+	var metrics bytes.Buffer
+	if err := observer.Metrics().WritePrometheus(&metrics); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, want := range []string{
+		`coevo_engine_tasks_total{run="generate"} 195`,
+		`coevo_engine_tasks_total{run="analyze"} 195`,
+		`coevo_engine_task_seconds_count{run="analyze"} 195`,
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics exposition lacks %q", want)
+		}
 	}
 }
 

@@ -1,7 +1,9 @@
 package coevo_test
 
 import (
+	"bytes"
 	"fmt"
+	"strings"
 	"time"
 
 	"coevo"
@@ -42,4 +44,51 @@ func Example() {
 	// taxon: ALMOST FROZEN
 	// duration: 8 months, schema activity: 3 units
 	// 75% of schema evolution attained at 25% of life
+}
+
+// ExampleRender shows the consolidated rendering entry point. The
+// per-figure Write* helpers are deprecated one-line wrappers around it:
+//
+//	coevo.WriteJointProgress(w, "app", j)    →  coevo.Render(w, coevo.JointProgressFigure{Title: "app", Progress: j}, coevo.Text)
+//	coevo.WriteSyncHistogramSVG(w, h)        →  coevo.Render(w, h, coevo.SVG)
+//	coevo.WriteDatasetCSV(w, d)              →  coevo.Render(w, d, coevo.CSV)
+//
+// Render accepts either a raw artifact (histogram, scatter points,
+// dataset, ...) or an explicit figure wrapper, plus a format; a
+// combination with no encoder fails with coevo.ErrUnsupportedFormat.
+func ExampleRender() {
+	repo := coevo.NewRepository("example/render")
+	at := func(m int) coevo.Signature {
+		return coevo.Signature{Name: "dev", Email: "dev@example.org",
+			When: time.Date(2021, 1, 10, 0, 0, 0, 0, time.UTC).AddDate(0, m, 0)}
+	}
+	repo.StageString("schema.sql", "CREATE TABLE notes (id INT PRIMARY KEY);")
+	repo.StageString("app.go", "package app")
+	if _, err := repo.Commit("init", at(0)); err != nil {
+		panic(err)
+	}
+	repo.StageString("app.go", "package app // v2")
+	if _, err := repo.Commit("feature work", at(6)); err != nil {
+		panic(err)
+	}
+	result, err := coevo.AnalyzeRepository(repo, "", coevo.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+
+	fig := coevo.JointProgressFigure{Title: "example/render", Progress: result.Joint}
+	var text, svg bytes.Buffer
+	if err := coevo.Render(&text, fig, coevo.Text); err != nil {
+		panic(err)
+	}
+	if err := coevo.Render(&svg, fig, coevo.SVG); err != nil {
+		panic(err)
+	}
+	fmt.Printf("text diagram has a legend: %v\n", strings.Contains(text.String(), "S=schema"))
+	fmt.Printf("svg document: %v\n", strings.HasPrefix(svg.String(), "<svg"))
+	fmt.Printf("unsupported combination: %v\n", coevo.Render(&text, fig, coevo.CSV) != nil)
+	// Output:
+	// text diagram has a legend: true
+	// svg document: true
+	// unsupported combination: true
 }

@@ -19,7 +19,10 @@ package cache
 
 import (
 	"fmt"
+	"log/slog"
 	"sync/atomic"
+
+	"coevo/internal/obs"
 )
 
 // Options configures a cache.
@@ -31,6 +34,10 @@ type Options struct {
 	MemoryBytes int64
 	// MemoryEntries bounds the in-memory LRU entry count (default 8192).
 	MemoryEntries int
+	// Obs, when non-nil, registers the cache's counters in the unified
+	// metrics registry (sampled at exposition time, no double bookkeeping)
+	// and logs self-healing and degradation events through its logger.
+	Obs *obs.Observer
 }
 
 // Cache is a layered content-addressed store. The zero value is not
@@ -39,6 +46,7 @@ type Options struct {
 type Cache struct {
 	mem  *lruStore
 	disk *diskStore
+	log  *slog.Logger
 
 	hits, misses       atomic.Int64
 	memHits, diskHits  atomic.Int64
@@ -50,7 +58,7 @@ type Cache struct {
 // New builds a cache from opts, creating the disk store's root directory
 // when one is configured.
 func New(opts Options) (*Cache, error) {
-	c := &Cache{}
+	c := &Cache{log: opts.Obs.Logger()}
 	if opts.MemoryBytes >= 0 {
 		maxBytes := opts.MemoryBytes
 		if maxBytes == 0 {
@@ -69,7 +77,40 @@ func New(opts Options) (*Cache, error) {
 		}
 		c.disk = d
 	}
+	c.RegisterMetrics(opts.Obs.Metrics())
+	c.log.Debug("cache: opened", "dir", opts.Dir, "memory", c.mem != nil)
 	return c, nil
+}
+
+// RegisterMetrics exposes the cache's counters in the unified registry
+// through sampled callbacks, so exposition always reads the live values
+// without a second set of books. Safe on a nil registry and on a nil
+// *Cache (all-zero series), so the metrics report keeps a stable schema
+// whether or not a run is cached. New calls it itself when Options.Obs is
+// set; re-registration replaces the callbacks and is harmless.
+func (c *Cache) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sample := func(pick func(Stats) int64) func() float64 {
+		return func() float64 { return float64(pick(c.Stats())) }
+	}
+	reg.CounterFunc("coevo_cache_hits_total", "Cache lookups served from any layer.",
+		sample(func(s Stats) int64 { return s.Hits }))
+	reg.CounterFunc("coevo_cache_misses_total", "Cache lookups that found nothing.",
+		sample(func(s Stats) int64 { return s.Misses }))
+	reg.CounterFunc("coevo_cache_memory_hits_total", "Cache hits served by the in-memory LRU front.",
+		sample(func(s Stats) int64 { return s.MemoryHits }))
+	reg.CounterFunc("coevo_cache_disk_hits_total", "Cache hits served by the on-disk store.",
+		sample(func(s Stats) int64 { return s.DiskHits }))
+	reg.CounterFunc("coevo_cache_puts_total", "Values stored in the cache.",
+		sample(func(s Stats) int64 { return s.Puts }))
+	reg.CounterFunc("coevo_cache_corrupt_total", "Corrupt disk entries healed (deleted) on read.",
+		sample(func(s Stats) int64 { return s.Corrupt }))
+	reg.CounterFunc("coevo_cache_read_bytes_total", "Payload bytes read from the disk store.",
+		sample(func(s Stats) int64 { return s.BytesRead }))
+	reg.CounterFunc("coevo_cache_written_bytes_total", "Payload bytes written to the disk store.",
+		sample(func(s Stats) int64 { return s.BytesWritten }))
 }
 
 // NewMemory returns a memory-only cache with default bounds.
@@ -103,6 +144,7 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 		v, ok, corrupt := c.disk.get(key)
 		if corrupt {
 			c.corrupt.Add(1)
+			c.log.Warn("cache: corrupt disk entry healed", "key", key.String())
 		}
 		if ok {
 			c.hits.Add(1)
@@ -133,6 +175,9 @@ func (c *Cache) Put(key Key, value []byte) {
 	if c.disk != nil {
 		if err := c.disk.put(key, value); err == nil {
 			c.bytesWritten.Add(int64(len(value)))
+		} else {
+			c.log.Warn("cache: disk write failed, entry degrades to memory-only",
+				"key", key.String(), "err", err)
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"coevo/internal/cache"
 	"coevo/internal/engine"
+	"coevo/internal/obs"
 	"coevo/internal/taxa"
 	"coevo/internal/vcs"
 )
@@ -197,6 +198,11 @@ type Config struct {
 	// warm hit replays the stored commit script through the vcs substrate,
 	// reproducing the repository bit-for-bit (see replay.go).
 	Cache *cache.Cache
+
+	// Obs, when non-nil, traces generation as a "generate" span (with
+	// per-project task spans from the engine), feeds the unified metrics
+	// registry and logs progress. Generation output never depends on it.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the study configuration with the given seed.
@@ -254,6 +260,13 @@ func GenerateContext(ctx context.Context, cfg Config) ([]*Project, error) {
 	if eopts.Name == nil {
 		eopts.Name = func(i int) string { return fmt.Sprintf("project-%03d", i) }
 	}
+	eopts.Obs = cfg.Obs
+	eopts.Scope = "generate"
+	ctx, span := cfg.Obs.StartSpan(ctx, "generate")
+	defer span.End()
+	span.SetArg("projects", fmt.Sprint(len(specs)))
+	begin := time.Now()
+	cfg.Obs.Logger().Info("corpus: generating", "projects", len(specs), "seed", cfg.Seed)
 	projects, _, err := engine.Map(ctx, specs,
 		func(_ context.Context, _ int, s spec) (*Project, error) {
 			p, err := generateProjectCached(cfg, s.prof, s.idx)
@@ -270,6 +283,7 @@ func GenerateContext(ctx context.Context, cfg Config) ([]*Project, error) {
 		}
 		return nil, err
 	}
+	cfg.Obs.Logger().Info("corpus: generated", "projects", len(projects), "elapsed", time.Since(begin))
 	return projects, nil
 }
 

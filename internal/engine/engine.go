@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"coevo/internal/obs"
 )
 
 // Policy selects how a run reacts to task failures.
@@ -57,9 +59,11 @@ const (
 )
 
 // StageTiming is the measured duration of one named stage of a task (see
-// Stage).
+// Stage). Start is when the stage opened — trace exporters use it to place
+// stage spans inside the task span.
 type StageTiming struct {
 	Name    string
+	Start   time.Time
 	Elapsed time.Duration
 }
 
@@ -115,6 +119,16 @@ type Options struct {
 	OnEvent func(Event)
 	// Name labels task i in events and errors; defaults to "task-<i>".
 	Name func(i int) string
+	// Obs, when non-nil, receives the run's observability: each completed
+	// task becomes a span on its worker's trace lane with nested stage
+	// spans, and the run feeds the unified metrics registry
+	// (coevo_engine_tasks_total, _task_failures_total, _task_seconds,
+	// _stage_seconds_total) plus structured logs. A nil Obs costs one nil
+	// check per task.
+	Obs *obs.Observer
+	// Scope labels this run's metrics, spans and logs (e.g. "generate",
+	// "analyze"); defaults to "run".
+	Scope string
 }
 
 // workerCount resolves the effective pool size for n tasks.
@@ -153,6 +167,26 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	if name == nil {
 		name = func(i int) string { return fmt.Sprintf("task-%d", i) }
 	}
+	scope := opts.Scope
+	if scope == "" {
+		scope = "run"
+	}
+	workers := opts.workerCount(n)
+	log := opts.Obs.Logger()
+	var tasksTotal, tasksFailed *obs.Counter
+	var taskSeconds *obs.Histogram
+	if reg := opts.Obs.Metrics(); reg != nil {
+		tasksTotal = reg.Counter(obs.Label("coevo_engine_tasks_total", "run", scope),
+			"Engine tasks completed (finished or failed).")
+		tasksFailed = reg.Counter(obs.Label("coevo_engine_task_failures_total", "run", scope),
+			"Engine tasks that returned an error or panicked.")
+		taskSeconds = reg.Histogram(obs.Label("coevo_engine_task_seconds", "run", scope),
+			"Per-task wall time in seconds.", obs.DurationBuckets)
+		reg.Gauge(obs.Label("coevo_engine_workers", "run", scope),
+			"Bounded worker pool size.").Set(float64(workers))
+	}
+	log.Debug("engine: run starting", "scope", scope, "tasks", n, "workers", workers,
+		"policy", opts.Policy.String())
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -171,7 +205,8 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	}
 
 	var wg sync.WaitGroup
-	for w := opts.workerCount(n); w > 0; w-- {
+	for w := workers; w > 0; w-- {
+		lane := w // 1-based trace lane owned by this worker
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -191,6 +226,28 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 				res, err := runTask(withStages(runCtx, rec), i, items[i], fn)
 				elapsed := time.Since(start)
 				stages := rec.finish(elapsed)
+
+				tasksTotal.Inc()
+				taskSeconds.Observe(elapsed.Seconds())
+				if opts.Obs.Tracing() {
+					opts.Obs.RecordSpan(name(i), lane, start, elapsed, "scope", scope)
+					for _, st := range stages {
+						opts.Obs.RecordSpan(st.Name, lane, st.Start, st.Elapsed, "task", name(i))
+					}
+				}
+				if reg := opts.Obs.Metrics(); reg != nil {
+					for _, st := range stages {
+						reg.Counter(obs.Label("coevo_engine_stage_seconds_total", "run", scope, "stage", st.Name),
+							"Wall time accumulated per named task stage.").Add(st.Elapsed.Seconds())
+					}
+				}
+				if err != nil {
+					tasksFailed.Inc()
+					log.Warn("engine: task failed", "scope", scope, "task", name(i),
+						"index", i, "elapsed", elapsed, "err", err)
+				} else {
+					log.Debug("engine: task done", "scope", scope, "task", name(i), "elapsed", elapsed)
+				}
 
 				mu.Lock()
 				done++
@@ -217,7 +274,9 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	wg.Wait()
 
 	sort.Slice(failures, func(a, b int) bool { return failures[a].Index < failures[b].Index })
+	log.Debug("engine: run finished", "scope", scope, "done", done, "failed", len(failures))
 	if err := ctx.Err(); err != nil {
+		log.Warn("engine: run cancelled", "scope", scope, "done", done, "total", n, "err", err)
 		return results, failures, err
 	}
 	if opts.Policy == FailFast && trigger != nil {
@@ -270,7 +329,7 @@ func (r *stageRecorder) mark(name string, now time.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.name != "" {
-		r.timings = append(r.timings, StageTiming{Name: r.name, Elapsed: now.Sub(r.begin)})
+		r.timings = append(r.timings, StageTiming{Name: r.name, Start: r.begin, Elapsed: now.Sub(r.begin)})
 	}
 	r.name, r.begin = name, now
 }
@@ -284,7 +343,7 @@ func (r *stageRecorder) finish(total time.Duration) []StageTiming {
 		for _, t := range r.timings {
 			spent += t.Elapsed
 		}
-		r.timings = append(r.timings, StageTiming{Name: r.name, Elapsed: total - spent})
+		r.timings = append(r.timings, StageTiming{Name: r.name, Start: r.begin, Elapsed: total - spent})
 		r.name = ""
 	}
 	return r.timings

@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a metrics registry of counters, gauges and histograms,
+// exposed in the Prometheus text format. Metric names follow the
+// Prometheus conventions (snake_case, unit-suffixed, optional {label="v"}
+// pairs built with Label); instruments are get-or-create, so independent
+// subsystems can share one registry without coordination.
+//
+// All methods are safe for concurrent use and safe on a nil *Registry —
+// a nil registry hands out nil instruments whose operations are no-ops,
+// keeping the zero-cost contract of a nil Observer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]sampledMetric
+	help     map[string]string // metric family -> HELP text
+	types    map[string]string // metric family -> TYPE
+}
+
+// sampledMetric is a metric read through a callback at exposition time —
+// how the cache's atomic counters join the registry without double
+// bookkeeping.
+type sampledMetric struct {
+	kind string // "counter" or "gauge"
+	f    func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]sampledMetric{},
+		help:     map[string]string{},
+		types:    map[string]string{},
+	}
+}
+
+// Label renders name{k1="v1",k2="v2"} from key/value pairs — the one way
+// labelled series are named in this registry.
+func Label(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// histSeries names one exposition series of a histogram whose registered
+// name may itself carry labels: the suffix attaches to the base name, and
+// a non-empty le bound merges into the existing label set.
+func histSeries(name, suffix, le string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i:]
+	}
+	switch {
+	case le == "":
+		return base + suffix + labels
+	case labels == "":
+		return Label(base+suffix, "le", le)
+	default:
+		return base + suffix + labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
+}
+
+// family strips the label part of a series name.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// describe records HELP/TYPE for a family on first registration.
+func (r *Registry) describe(name, typ, help string) {
+	fam := family(name)
+	if _, ok := r.types[fam]; !ok {
+		r.types[fam] = typ
+		r.help[fam] = help
+	}
+}
+
+// Counter returns the named monotonically-increasing counter, creating it
+// on first use. help is recorded on creation and ignored afterwards.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.describe(name, "counter", help)
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.describe(name, "gauge", help)
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the given ascending upper
+// bucket bounds, creating it on first use (later bounds are ignored).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), buckets...)}
+		h.counts = make([]uint64, len(h.bounds))
+		r.hists[name] = h
+		r.describe(name, "histogram", help)
+	}
+	return h
+}
+
+// CounterFunc registers a counter sampled through f at exposition time.
+// Registering the same name again replaces the callback.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = sampledMetric{kind: "counter", f: f}
+	r.describe(name, "counter", help)
+}
+
+// GaugeFunc registers a gauge sampled through f at exposition time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = sampledMetric{kind: "gauge", f: f}
+	r.describe(name, "gauge", help)
+}
+
+// Counter is a float64 counter with atomic lock-free Add.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increases the counter by v (negative v is ignored). Safe on nil.
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a float64 gauge with atomic Set/Add.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by v (which may be negative). Safe on nil.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed upper-bound buckets plus a
+// +Inf overflow, tracking sum and count for Prometheus exposition.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64
+	inf    uint64
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value. Safe on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// DurationBuckets is a general-purpose latency bucket ladder in seconds,
+// from 1ms to 30s.
+var DurationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// series is one exposable (name, value) pair. Bucket series of one
+// histogram share a sort key and order by their le bound, so exposition
+// lists buckets ascending rather than lexically ("0.5" before "10").
+type series struct {
+	name  string
+	key   string  // sort group; bucket series share their histogram's
+	order float64 // ascending within a group (the le bound for buckets)
+	value float64
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format, sorted by series name so output is stable. Sampled
+// metrics (CounterFunc/GaugeFunc) are read at call time. Safe on nil
+// (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var flat []series
+	plain := func(name string, v float64) series { return series{name: name, key: name, value: v} }
+	for name, c := range r.counters {
+		flat = append(flat, plain(name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		flat = append(flat, plain(name, g.Value()))
+	}
+	type histCopy struct {
+		name   string
+		bounds []float64
+		counts []uint64
+		inf    uint64
+		sum    float64
+		count  uint64
+	}
+	var hists []histCopy
+	for name, h := range r.hists {
+		h.mu.Lock()
+		hists = append(hists, histCopy{name, h.bounds, append([]uint64(nil), h.counts...), h.inf, h.sum, h.count})
+		h.mu.Unlock()
+	}
+	sampled := make(map[string]sampledMetric, len(r.funcs))
+	for name, sm := range r.funcs {
+		sampled[name] = sm
+	}
+	help := make(map[string]string, len(r.help))
+	types := make(map[string]string, len(r.types))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	for k, v := range r.types {
+		types[k] = v
+	}
+	r.mu.Unlock()
+
+	// Sample the callbacks outside the registry lock: they may themselves
+	// take locks (e.g. a cache snapshot).
+	for name, sm := range sampled {
+		flat = append(flat, plain(name, sm.f()))
+	}
+	for _, h := range hists {
+		bucketKey := histSeries(h.name, "_bucket", "")
+		cum := uint64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			flat = append(flat, series{histSeries(h.name, "_bucket", formatFloat(b)), bucketKey, b, float64(cum)})
+		}
+		flat = append(flat, series{histSeries(h.name, "_bucket", "+Inf"), bucketKey, math.Inf(1), float64(cum + h.inf)})
+		flat = append(flat, plain(histSeries(h.name, "_sum", ""), h.sum))
+		flat = append(flat, plain(histSeries(h.name, "_count", ""), float64(h.count)))
+	}
+	sort.Slice(flat, func(a, b int) bool {
+		if flat[a].key != flat[b].key {
+			return flat[a].key < flat[b].key
+		}
+		return flat[a].order < flat[b].order
+	})
+
+	var b strings.Builder
+	seen := map[string]bool{}
+	for _, s := range flat {
+		fam := family(s.name)
+		// Histogram series share the family of their base name.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(fam, suffix); base != fam {
+				if _, ok := types[base]; ok {
+					fam = base
+					break
+				}
+			}
+		}
+		if !seen[fam] {
+			seen[fam] = true
+			if h := help[fam]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", fam, h)
+			}
+			if t := types[fam]; t != "" {
+				fmt.Fprintf(&b, "# TYPE %s %s\n", fam, t)
+			}
+		}
+		fmt.Fprintf(&b, "%s %s\n", s.name, formatFloat(s.value))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatFloat renders a metric value the way Prometheus text format
+// expects: integral values without an exponent or trailing zeros.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

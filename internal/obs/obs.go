@@ -1,0 +1,104 @@
+// Package obs is the study pipeline's unified observability layer: one
+// Observer bundling hierarchical spans with a Chrome trace-event JSON
+// exporter, a metrics registry of counters, gauges and histograms with
+// Prometheus-style text exposition, structured logging on log/slog, and
+// CPU/heap profiling hooks.
+//
+// The package sits below every other internal package (it imports only
+// the standard library), so the engine, the cache, the corpus generator
+// and the study can all report into the same Observer without layering
+// cycles. A single *Observer threads through study.Options, corpus.Config,
+// cache.Options and engine.Options; the CLI surfaces it as -trace,
+// -log-level, -cpuprofile/-memprofile and the unified -metrics report.
+//
+// Every method is safe on a nil *Observer (and on the nil Span, Registry,
+// Counter, Gauge and Histogram it hands out), degrading to a no-op —
+// mirroring the nil-cache idiom, so instrumented pipeline code runs
+// unconditionally and an unobserved run pays only a nil check. Observability
+// never touches study output: artifacts are byte-identical with the
+// Observer on or off.
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"time"
+)
+
+// Options configures an Observer. The zero value enables the metrics
+// registry only (no logging, no tracing).
+type Options struct {
+	// LogWriter, when non-nil, enables structured logging to it (a
+	// slog.TextHandler at LogLevel). Ignored when Logger is set.
+	LogWriter io.Writer
+	// LogLevel is the minimum level for LogWriter (default slog.LevelInfo).
+	LogLevel slog.Leveler
+	// Logger, when non-nil, is used verbatim for structured logging.
+	Logger *slog.Logger
+	// Trace enables span recording for WriteTrace.
+	Trace bool
+}
+
+// Observer is the unified observability handle: spans, metrics, logs and
+// profiles behind one type. Construct with New; a nil *Observer is a
+// valid zero-cost no-op observer.
+type Observer struct {
+	logger *slog.Logger
+	reg    *Registry
+	tracer *tracer
+}
+
+// New builds an Observer from opts.
+func New(opts Options) *Observer {
+	o := &Observer{reg: NewRegistry()}
+	switch {
+	case opts.Logger != nil:
+		o.logger = opts.Logger
+	case opts.LogWriter != nil:
+		level := opts.LogLevel
+		if level == nil {
+			level = slog.LevelInfo
+		}
+		o.logger = slog.New(slog.NewTextHandler(opts.LogWriter, &slog.HandlerOptions{Level: level}))
+	default:
+		o.logger = discardLogger
+	}
+	if opts.Trace {
+		o.tracer = newTracer(time.Now())
+	}
+	return o
+}
+
+// discardHandler drops every record without formatting it.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+var discardLogger = slog.New(discardHandler{})
+
+// Logger returns the structured logger. Never nil: a nil (or log-less)
+// Observer returns a logger whose handler rejects every level before any
+// formatting happens.
+func (o *Observer) Logger() *slog.Logger {
+	if o == nil || o.logger == nil {
+		return discardLogger
+	}
+	return o.logger
+}
+
+// Metrics returns the metrics registry. A nil Observer returns a nil
+// *Registry, whose every method is itself a safe no-op.
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracing reports whether spans are being recorded — callers can skip
+// building span metadata when they are not.
+func (o *Observer) Tracing() bool { return o != nil && o.tracer != nil }

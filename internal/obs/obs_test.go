@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilObserverIsSafe exercises every observer surface on nil: the
+// whole point of the no-op contract is that pipeline code never branches.
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	if o.Tracing() {
+		t.Error("nil observer must not trace")
+	}
+	o.Logger().Info("dropped", "k", "v")
+	ctx, span := o.StartSpan(context.Background(), "root")
+	if span != nil {
+		t.Error("nil observer must hand out a nil span")
+	}
+	span.SetArg("k", "v")
+	span.End()
+	o.RecordSpan("post-hoc", 3, time.Now(), time.Millisecond)
+	if SpanFromContext(ctx) != nil {
+		t.Error("nil observer must not attach spans to the context")
+	}
+
+	reg := o.Metrics()
+	if reg != nil {
+		t.Fatal("nil observer should return a nil registry")
+	}
+	reg.Counter("c", "help").Inc()
+	reg.Counter("c", "help").Add(2)
+	reg.Gauge("g", "help").Set(4)
+	reg.Gauge("g", "help").Add(-1)
+	reg.Histogram("h", "help", DurationBuckets).Observe(0.5)
+	reg.CounterFunc("cf", "help", func() float64 { return 1 })
+	reg.GaugeFunc("gf", "help", func() float64 { return 1 })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry exposition: %q, %v", buf.String(), err)
+	}
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Errorf("nil observer trace export: %v", err)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(Options{LogWriter: &buf, LogLevel: slog.LevelWarn})
+	o.Logger().Info("hidden")
+	o.Logger().Warn("visible", "cause", "test")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info line leaked through warn level: %q", out)
+	}
+	if !strings.Contains(out, "visible") || !strings.Contains(out, "cause=test") {
+		t.Errorf("warn line missing: %q", out)
+	}
+
+	// No LogWriter: logging disabled entirely, but Logger() still works.
+	quiet := New(Options{})
+	quiet.Logger().Error("dropped")
+	if quiet.Logger().Enabled(context.Background(), slog.LevelError) {
+		t.Error("log-less observer should reject every level")
+	}
+}
+
+func TestSpansNestAndExport(t *testing.T) {
+	o := New(Options{Trace: true})
+	ctx, run := o.StartSpan(context.Background(), "run")
+	if SpanFromContext(ctx) != run {
+		t.Fatal("context does not carry the open span")
+	}
+	_, child := o.StartSpan(ctx, "generate")
+	child.SetArg("projects", "195")
+	child.End()
+	run.End()
+	run.End() // idempotent
+	o.RecordSpan("project-000", 2, time.Now().Add(-time.Millisecond), time.Millisecond, "stage", "extract")
+	if got := o.SpanCount(); got != 3 {
+		t.Fatalf("SpanCount = %d, want 3", got)
+	}
+
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string]int{}
+	lanes := map[int]string{}
+	for _, e := range trace.TraceEvents {
+		byName[e.Name]++
+		switch e.Ph {
+		case "M":
+			lanes[e.Tid] = e.Args["name"]
+		case "X":
+			if e.Pid != 1 || e.Ts < 0 || e.Dur < 0 {
+				t.Errorf("bad complete event: %+v", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	for _, name := range []string{"run", "generate", "project-000"} {
+		if byName[name] != 1 {
+			t.Errorf("span %q exported %d times", name, byName[name])
+		}
+	}
+	if lanes[0] != "orchestration" || lanes[2] != "worker-02" {
+		t.Errorf("lane metadata = %v", lanes)
+	}
+	// The child span inherited the parent's lane (0), the explicit record
+	// went to lane 2.
+	for _, e := range trace.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		wantTid := 0
+		if e.Name == "project-000" {
+			wantTid = 2
+			if e.Args["stage"] != "extract" {
+				t.Errorf("recorded span args = %v", e.Args)
+			}
+		}
+		if e.Tid != wantTid {
+			t.Errorf("span %q on lane %d, want %d", e.Name, e.Tid, wantTid)
+		}
+	}
+}
+
+func TestTracingDisabledIsInert(t *testing.T) {
+	o := New(Options{})
+	ctx, span := o.StartSpan(context.Background(), "run")
+	if span != nil || SpanFromContext(ctx) != nil {
+		t.Error("tracing off must not allocate spans")
+	}
+	o.RecordSpan("x", 1, time.Now(), time.Second)
+	var buf bytes.Buffer
+	if err := o.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Errorf("disabled trace should export empty events: %s", buf.String())
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("coevo_tasks_total", "Tasks completed.").Add(3)
+	reg.Counter(Label("coevo_stage_seconds_total", "stage", "extract"), "Per-stage seconds.").Add(1.5)
+	reg.Counter(Label("coevo_stage_seconds_total", "stage", "measure"), "Per-stage seconds.").Add(0.25)
+	reg.Gauge("coevo_workers", "Worker pool size.").Set(8)
+	reg.CounterFunc("coevo_cache_hits_total", "Cache hits.", func() float64 { return 42 })
+	h := reg.Histogram("coevo_task_seconds", "Task latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	// A labelled histogram merges le into its own label set.
+	reg.Histogram(Label("coevo_run_seconds", "run", "analyze"), "Run latency.", []float64{1}).Observe(2)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE coevo_tasks_total counter",
+		"coevo_tasks_total 3",
+		`coevo_stage_seconds_total{stage="extract"} 1.5`,
+		`coevo_stage_seconds_total{stage="measure"} 0.25`,
+		"# TYPE coevo_workers gauge",
+		"coevo_workers 8",
+		"coevo_cache_hits_total 42",
+		"# TYPE coevo_task_seconds histogram",
+		`coevo_task_seconds_bucket{le="0.1"} 1`,
+		`coevo_task_seconds_bucket{le="1"} 2`,
+		`coevo_task_seconds_bucket{le="+Inf"} 3`,
+		"coevo_task_seconds_sum 5.55",
+		"coevo_task_seconds_count 3",
+		"# TYPE coevo_run_seconds histogram",
+		`coevo_run_seconds_bucket{run="analyze",le="1"} 0`,
+		`coevo_run_seconds_bucket{run="analyze",le="+Inf"} 1`,
+		`coevo_run_seconds_sum{run="analyze"} 2`,
+		`coevo_run_seconds_count{run="analyze"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output: a second exposition is byte-identical.
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("exposition is not stable across calls")
+	}
+	// HELP/TYPE emitted once per family even with many labelled series.
+	if n := strings.Count(out, "# TYPE coevo_stage_seconds_total counter"); n != 1 {
+		t.Errorf("TYPE emitted %d times for the labelled family", n)
+	}
+	// Buckets list in ascending le order, +Inf last — not lexically.
+	ordered := []string{`le="0.1"`, `le="1"`, `le="+Inf"`}
+	last := -1
+	for _, le := range ordered {
+		at := strings.Index(out, "coevo_task_seconds_bucket{"+le)
+		if at < 0 || at < last {
+			t.Errorf("bucket %s out of order (at %d, prev %d)", le, at, last)
+		}
+		last = at
+	}
+}
+
+// TestInstrumentsConcurrent hammers the shared instruments from many
+// goroutines; run under -race (make verify does) this pins the lock-free
+// paths.
+func TestInstrumentsConcurrent(t *testing.T) {
+	o := New(Options{Trace: true})
+	reg := o.Metrics()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h_seconds", "", DurationBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+				o.RecordSpan("task", w+1, time.Now(), time.Microsecond)
+				// Interleave get-or-create with updates.
+				reg.Counter("c_total", "").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %v, want 8000", got)
+	}
+	if got := g.Value(); got != 4000 {
+		t.Errorf("gauge = %v, want 4000", got)
+	}
+	if got := h.Count(); got != 4000 {
+		t.Errorf("histogram count = %v, want 4000", got)
+	}
+	if got := o.SpanCount(); got != 4000 {
+		t.Errorf("spans = %d, want 4000", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilingHooks(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	stop, err := StartCPUProfile(cpu)
+	if err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i % 7
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop must be idempotent: %v", err)
+	}
+	if st, err := os.Stat(cpu); err != nil || st.Size() == 0 {
+		t.Errorf("cpu profile not written: %v", err)
+	}
+
+	heap := filepath.Join(dir, "heap.pprof")
+	if err := WriteHeapProfile(heap); err != nil {
+		t.Fatalf("WriteHeapProfile: %v", err)
+	}
+	if st, err := os.Stat(heap); err != nil || st.Size() == 0 {
+		t.Errorf("heap profile not written: %v", err)
+	}
+
+	if _, err := StartCPUProfile(filepath.Join(dir, "missing", "cpu.pprof")); err == nil {
+		t.Error("unwritable cpu profile path should fail")
+	}
+	if err := WriteHeapProfile(filepath.Join(dir, "missing", "heap.pprof")); err == nil {
+		t.Error("unwritable heap profile path should fail")
+	}
+}

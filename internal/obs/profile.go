@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling hooks: thin wrappers over runtime/pprof that own the file
+// lifecycle, so the CLI's -cpuprofile/-memprofile flags are two calls.
+// Profiling is process-global; the hooks live here so every observability
+// switch is reachable through one package.
+
+// StartCPUProfile begins a CPU profile writing to path and returns a stop
+// function that ends the profile and closes the file. The stop function
+// is idempotent.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes a heap profile to path, running a GC first so
+// the profile reflects live memory rather than garbage.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return f.Close()
+}

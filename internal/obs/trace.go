@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The span model: a trace is a set of lanes (Chrome trace "threads").
+// Lane 0 is the orchestration lane carrying the run-level phase spans
+// (run → generate/analyze/render); the execution engine puts each worker
+// on its own lane, so a project's task span and its nested stage spans
+// (parse/diff/measure, extract, cache...) stack up inside the worker lane
+// exactly the way chrome://tracing and Perfetto nest overlapping
+// durations on one thread.
+
+// tracer accumulates completed spans for the Chrome trace export.
+type tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	events  []spanEvent
+	maxLane int
+}
+
+// spanEvent is one completed span.
+type spanEvent struct {
+	name  string
+	lane  int
+	start time.Time
+	dur   time.Duration
+	args  map[string]string
+}
+
+func newTracer(epoch time.Time) *tracer { return &tracer{epoch: epoch} }
+
+func (t *tracer) record(e spanEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, e)
+	if e.lane > t.maxLane {
+		t.maxLane = e.lane
+	}
+}
+
+// Span is one open interval of work. Obtain one from StartSpan and close
+// it with End; a nil Span is a valid no-op.
+type Span struct {
+	o     *Observer
+	name  string
+	lane  int
+	start time.Time
+	args  map[string]string
+	ended bool
+}
+
+// spanKey carries the innermost open span through the context.
+type spanKey struct{}
+
+// SpanFromContext returns the innermost open span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a span named name as a child of the span in ctx (same
+// lane; lane 0 when ctx carries none) and returns a derived context
+// carrying it. With tracing disabled it returns ctx unchanged and a nil
+// Span, so callers always pay at most a nil check.
+func (o *Observer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !o.Tracing() {
+		return ctx, nil
+	}
+	lane := 0
+	if parent := SpanFromContext(ctx); parent != nil {
+		lane = parent.lane
+	}
+	s := &Span{o: o, name: name, lane: lane, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SetArg attaches a key/value pair shown in the trace viewer's args pane.
+func (s *Span) SetArg(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = map[string]string{}
+	}
+	s.args[key] = value
+}
+
+// End closes the span and records it. Safe on nil and idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.o.tracer.record(spanEvent{name: s.name, lane: s.lane, start: s.start,
+		dur: time.Since(s.start), args: s.args})
+}
+
+// RecordSpan records an already-measured interval on an explicit lane —
+// the post-hoc path the execution engine uses to convert its per-task
+// stage timings into nested spans. kv lists args as key/value pairs.
+func (o *Observer) RecordSpan(name string, lane int, start time.Time, d time.Duration, kv ...string) {
+	if !o.Tracing() {
+		return
+	}
+	var args map[string]string
+	if len(kv) >= 2 {
+		args = make(map[string]string, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			args[kv[i]] = kv[i+1]
+		}
+	}
+	o.tracer.record(spanEvent{name: name, lane: lane, start: start, dur: d, args: args})
+}
+
+// chromeEvent is one entry of the exported trace-event JSON.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports every recorded span as Chrome trace-event JSON
+// (loadable by chrome://tracing and Perfetto). Timestamps are
+// microseconds relative to the Observer's creation; lanes become
+// named threads of one process. With tracing disabled it writes an
+// empty (still loadable) trace.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	trace := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if o.Tracing() {
+		t := o.tracer
+		t.mu.Lock()
+		events := append([]spanEvent(nil), t.events...)
+		maxLane := t.maxLane
+		t.mu.Unlock()
+		sort.SliceStable(events, func(a, b int) bool {
+			if !events[a].start.Equal(events[b].start) {
+				return events[a].start.Before(events[b].start)
+			}
+			return events[a].lane < events[b].lane
+		})
+		for lane := 0; lane <= maxLane; lane++ {
+			name := "orchestration"
+			if lane > 0 {
+				name = fmt.Sprintf("worker-%02d", lane)
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: lane,
+				Args: map[string]string{"name": name},
+			})
+		}
+		for _, e := range events {
+			// Clamp to the epoch: a span whose measured start predates the
+			// Observer would otherwise render at a negative timestamp, which
+			// trace viewers handle poorly.
+			ts := float64(e.start.Sub(t.epoch).Nanoseconds()) / 1e3
+			if ts < 0 {
+				ts = 0
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: e.name, Cat: "coevo", Ph: "X", Pid: 1, Tid: e.lane,
+				Ts:   ts,
+				Dur:  float64(e.dur.Nanoseconds()) / 1e3,
+				Args: e.args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// SpanCount returns the number of spans recorded so far (0 when tracing
+// is off) — a cheap liveness probe for tests and progress reporting.
+func (o *Observer) SpanCount() int {
+	if !o.Tracing() {
+		return 0
+	}
+	o.tracer.mu.Lock()
+	defer o.tracer.mu.Unlock()
+	return len(o.tracer.events)
+}

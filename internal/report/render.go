@@ -1,0 +1,174 @@
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"coevo/internal/coevolution"
+	"coevo/internal/study"
+)
+
+// Format selects an encoding for Render. Not every figure supports every
+// format; an unsupported combination fails with ErrUnsupportedFormat.
+type Format string
+
+// The render formats.
+const (
+	// Text is the terminal-friendly fixed-width encoding (default).
+	Text Format = "text"
+	// SVG is the vector-graphics encoding of the chart figures.
+	SVG Format = "svg"
+	// CSV is the machine-readable export of the per-project dataset.
+	CSV Format = "csv"
+)
+
+// ErrUnsupportedFormat reports a figure/format combination with no
+// encoder. Test with errors.Is.
+var ErrUnsupportedFormat = errors.New("report: unsupported format")
+
+// Figure is one renderable study artifact: a value that knows how to
+// encode itself in one or more formats. Render accepts either a Figure or
+// a raw artifact type it can wrap via AsFigure.
+type Figure interface {
+	Encode(w io.Writer, f Format) error
+}
+
+// JointProgressFigure renders a Figure 1/3-style joint cumulative
+// progress diagram (text, svg).
+type JointProgressFigure struct {
+	Title    string
+	Progress *coevolution.JointProgress
+}
+
+// Encode implements Figure.
+func (f JointProgressFigure) Encode(w io.Writer, fm Format) error {
+	switch fm {
+	case Text:
+		return WriteJointProgress(w, f.Title, f.Progress)
+	case SVG:
+		return WriteJointProgressSVG(w, f.Title, f.Progress)
+	}
+	return fmt.Errorf("%w: %q for joint progress", ErrUnsupportedFormat, fm)
+}
+
+// SyncHistogramFigure renders the Figure 4 synchronicity histogram
+// (text, svg).
+type SyncHistogramFigure struct{ Histogram *study.SyncHistogram }
+
+// Encode implements Figure.
+func (f SyncHistogramFigure) Encode(w io.Writer, fm Format) error {
+	switch fm {
+	case Text:
+		return WriteSyncHistogram(w, f.Histogram)
+	case SVG:
+		return WriteSyncHistogramSVG(w, f.Histogram)
+	}
+	return fmt.Errorf("%w: %q for sync histogram", ErrUnsupportedFormat, fm)
+}
+
+// ScatterFigure renders the Figure 5 duration-vs-synchronicity plot
+// (text, svg).
+type ScatterFigure struct{ Points []study.ScatterPoint }
+
+// Encode implements Figure.
+func (f ScatterFigure) Encode(w io.Writer, fm Format) error {
+	switch fm {
+	case Text:
+		return WriteScatter(w, f.Points)
+	case SVG:
+		return WriteScatterSVG(w, f.Points)
+	}
+	return fmt.Errorf("%w: %q for scatter", ErrUnsupportedFormat, fm)
+}
+
+// AdvanceTableFigure renders the Figure 6 advance table (text).
+type AdvanceTableFigure struct{ Table *study.AdvanceTable }
+
+// Encode implements Figure.
+func (f AdvanceTableFigure) Encode(w io.Writer, fm Format) error {
+	if fm == Text {
+		return WriteAdvanceTable(w, f.Table)
+	}
+	return fmt.Errorf("%w: %q for advance table", ErrUnsupportedFormat, fm)
+}
+
+// AlwaysAdvanceFigure renders the Figure 7 per-taxon counts (text).
+type AlwaysAdvanceFigure struct{ Summary *study.AlwaysAdvanceSummary }
+
+// Encode implements Figure.
+func (f AlwaysAdvanceFigure) Encode(w io.Writer, fm Format) error {
+	if fm == Text {
+		return WriteAlwaysAdvance(w, f.Summary)
+	}
+	return fmt.Errorf("%w: %q for always-advance summary", ErrUnsupportedFormat, fm)
+}
+
+// AttainmentFigure renders the Figure 8 attainment breakdown (text).
+type AttainmentFigure struct{ Breakdown *study.AttainmentBreakdown }
+
+// Encode implements Figure.
+func (f AttainmentFigure) Encode(w io.Writer, fm Format) error {
+	if fm == Text {
+		return WriteAttainment(w, f.Breakdown)
+	}
+	return fmt.Errorf("%w: %q for attainment breakdown", ErrUnsupportedFormat, fm)
+}
+
+// StatsFigure renders the Section 7 statistics (text).
+type StatsFigure struct{ Report *study.StatsReport }
+
+// Encode implements Figure.
+func (f StatsFigure) Encode(w io.Writer, fm Format) error {
+	if fm == Text {
+		return WriteStatsReport(w, f.Report)
+	}
+	return fmt.Errorf("%w: %q for stats report", ErrUnsupportedFormat, fm)
+}
+
+// DatasetFigure exports the per-project measurements (csv).
+type DatasetFigure struct{ Dataset *study.Dataset }
+
+// Encode implements Figure.
+func (f DatasetFigure) Encode(w io.Writer, fm Format) error {
+	if fm == CSV {
+		return WriteDatasetCSV(w, f.Dataset)
+	}
+	return fmt.Errorf("%w: %q for dataset export", ErrUnsupportedFormat, fm)
+}
+
+// AsFigure wraps a raw study artifact in its Figure, or passes a Figure
+// through. Artifacts with no figure encoding are an error.
+func AsFigure(artifact any) (Figure, error) {
+	switch a := artifact.(type) {
+	case Figure:
+		return a, nil
+	case *coevolution.JointProgress:
+		return JointProgressFigure{Progress: a}, nil
+	case *study.SyncHistogram:
+		return SyncHistogramFigure{Histogram: a}, nil
+	case []study.ScatterPoint:
+		return ScatterFigure{Points: a}, nil
+	case *study.AdvanceTable:
+		return AdvanceTableFigure{Table: a}, nil
+	case *study.AlwaysAdvanceSummary:
+		return AlwaysAdvanceFigure{Summary: a}, nil
+	case *study.AttainmentBreakdown:
+		return AttainmentFigure{Breakdown: a}, nil
+	case *study.StatsReport:
+		return StatsFigure{Report: a}, nil
+	case *study.Dataset:
+		return DatasetFigure{Dataset: a}, nil
+	}
+	return nil, fmt.Errorf("report: no figure encoding for %T", artifact)
+}
+
+// Render encodes artifact — a Figure, or any raw artifact AsFigure
+// recognizes — to w in the given format.
+func Render(w io.Writer, artifact any, f Format) error {
+	fig, err := AsFigure(artifact)
+	if err != nil {
+		return err
+	}
+	return fig.Encode(w, f)
+}

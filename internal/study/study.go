@@ -16,6 +16,7 @@ import (
 	"coevo/internal/engine"
 	"coevo/internal/heartbeat"
 	"coevo/internal/history"
+	"coevo/internal/obs"
 	"coevo/internal/schemadiff"
 	"coevo/internal/taxa"
 	"coevo/internal/vcs"
@@ -68,6 +69,12 @@ type Options struct {
 	// schema diffing, and the whole per-project measure bundle. Output is
 	// byte-identical with a cold, warm or absent cache; see internal/cache.
 	Cache *cache.Cache
+
+	// Obs, when non-nil, observes the run: orchestration spans (run →
+	// generate → analyze, with per-project spans from the engine), the
+	// unified metrics registry and structured logs. A nil Obs is a
+	// zero-cost no-op and study output is byte-identical either way.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns the paper's configuration.
@@ -78,6 +85,15 @@ func DefaultOptions() Options {
 // AnalyzeRepository measures one repository. ddlPath may be empty, in
 // which case it is located with history.FindDDLPath.
 func AnalyzeRepository(repo *vcs.Repository, ddlPath string, opts Options) (*ProjectResult, error) {
+	return AnalyzeRepositoryContext(context.Background(), repo, ddlPath, opts)
+}
+
+// AnalyzeRepositoryContext is AnalyzeRepository with a caller context: the
+// analysis observes cancellation between pipeline stages and the run is
+// traced as an "analyze" span when opts.Obs is set.
+func AnalyzeRepositoryContext(ctx context.Context, repo *vcs.Repository, ddlPath string, opts Options) (*ProjectResult, error) {
+	ctx, span := opts.Obs.StartSpan(ctx, "analyze "+repo.Name())
+	defer span.End()
 	if ddlPath == "" {
 		found, err := history.FindDDLPath(repo)
 		if err != nil {
@@ -85,7 +101,7 @@ func AnalyzeRepository(repo *vcs.Repository, ddlPath string, opts Options) (*Pro
 		}
 		ddlPath = found
 	}
-	return analyzeRepository(context.Background(), repo.Name(), ddlPath, repo, opts)
+	return analyzeRepository(ctx, repo.Name(), ddlPath, repo, opts)
 }
 
 // analyzeRepository is the repository entry point of the cached pipeline:
@@ -93,6 +109,9 @@ func AnalyzeRepository(repo *vcs.Repository, ddlPath string, opts Options) (*Pro
 // measure bundle by their content, and only on a miss extracts the schema
 // history (itself served by the parse and diff caches) and measures it.
 func analyzeRepository(ctx context.Context, name, ddlPath string, repo *vcs.Repository, opts Options) (*ProjectResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if repo.CommitCount() == 0 {
 		return nil, fmt.Errorf("study: %s: %w", name, history.ErrEmptyRepo)
 	}
@@ -249,12 +268,21 @@ func AnalyzeCorpus(projects []*corpus.Project, opts Options) (*Dataset, error) {
 // Under the default CollectErrors policy a project whose analysis fails —
 // or panics — is recorded in Dataset.Failures and the study continues;
 // the returned error is non-nil only when the run itself stops (context
-// cancellation, or the FailFast policy).
+// cancellation, or the FailFast policy). Even then the partial dataset
+// accumulated so far is returned alongside the error, so an interrupted
+// run can still report what it completed.
 func AnalyzeCorpusContext(ctx context.Context, projects []*corpus.Project, opts Options) (*Dataset, error) {
 	eopts := opts.Exec
 	if eopts.Name == nil {
 		eopts.Name = func(i int) string { return projects[i].Name }
 	}
+	eopts.Obs = opts.Obs
+	eopts.Scope = "analyze"
+	ctx, span := opts.Obs.StartSpan(ctx, "analyze")
+	defer span.End()
+	span.SetArg("projects", fmt.Sprint(len(projects)))
+	log := opts.Obs.Logger()
+	log.Info("study: analyzing corpus", "projects", len(projects))
 	results, failures, err := engine.Map(ctx, projects,
 		func(ctx context.Context, _ int, p *corpus.Project) (*ProjectResult, error) {
 			res, err := analyzeProjectStaged(ctx, p, opts)
@@ -265,9 +293,6 @@ func AnalyzeCorpusContext(ctx context.Context, projects []*corpus.Project, opts 
 			res.IntendedTaxon = &intended
 			return res, nil
 		}, eopts)
-	if err != nil {
-		return nil, err
-	}
 	d := &Dataset{Projects: make([]*ProjectResult, 0, len(projects))}
 	for _, res := range results {
 		if res != nil {
@@ -277,6 +302,10 @@ func AnalyzeCorpusContext(ctx context.Context, projects []*corpus.Project, opts 
 	for _, f := range failures {
 		d.Failures = append(d.Failures, Failure{Name: f.Name, Err: f.Err})
 	}
+	if err != nil {
+		return d, err
+	}
+	log.Info("study: corpus analyzed", "projects", len(d.Projects), "failures", len(d.Failures))
 	return d, nil
 }
 
@@ -306,11 +335,15 @@ func RunDefault(seed int64) (*Dataset, error) {
 
 // Run generates the default corpus with the given seed and analyzes it
 // under the given options; corpus generation reuses the analysis engine
-// configuration (worker count and event observer).
+// configuration (worker count and event observer) and the run's Observer.
 func Run(ctx context.Context, seed int64, opts Options) (*Dataset, error) {
+	ctx, span := opts.Obs.StartSpan(ctx, "run")
+	defer span.End()
+	opts.Obs.Logger().Info("study: run starting", "seed", seed)
 	cfg := corpus.DefaultConfig(seed)
 	cfg.Exec.Workers = opts.Exec.Workers
 	cfg.Cache = opts.effectiveCache()
+	cfg.Obs = opts.Obs
 	projects, err := corpus.GenerateContext(ctx, cfg)
 	if err != nil {
 		return nil, err

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench microbench race vet fuzz-smoke
+.PHONY: build test verify bench microbench race vet fuzz-smoke smoke
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,21 @@ verify:
 
 # bench times full study runs — cold and warm cache, workers=1 vs
 # NumCPU — and writes the machine-readable report CI archives with every
-# build.
-BENCH_OUT ?= BENCH_pr3.json
+# build, plus a ledger manifest 'coevo runs diff' can compare across
+# builds.
+BENCH_OUT ?= BENCH_pr4.json
+RUNLOG_DIR ?= runs
 
 bench:
-	$(GO) run ./cmd/coevo bench -out $(BENCH_OUT)
+	$(GO) run ./cmd/coevo bench -out $(BENCH_OUT) -runlog-dir $(RUNLOG_DIR)
+
+# smoke runs a full study with the live telemetry plane enabled and
+# checks every endpoint of the embedded server answers while the process
+# lingers; CI runs this against a random port.
+SMOKE_ADDR ?= 127.0.0.1:9188
+
+smoke:
+	./scripts/telemetry-smoke.sh $(SMOKE_ADDR) $(RUNLOG_DIR)
 
 # microbench runs the per-figure/table and ablation Go benchmarks.
 microbench:

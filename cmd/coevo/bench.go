@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,7 @@ import (
 
 	"coevo/internal/cache"
 	"coevo/internal/corpus"
+	"coevo/internal/runlog"
 	"coevo/internal/study"
 )
 
@@ -21,28 +23,49 @@ type benchCase struct {
 	Workers  int     `json:"workers"`
 	Projects int     `json:"projects"`
 	Seconds  float64 `json:"seconds"`
+	// CacheHits and CacheMisses are the result-cache deltas of this case
+	// alone: a cold phase is dominated by misses, a warm phase replays
+	// entirely from cache.
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
 }
 
-// benchReport is the JSON document runBench writes.
+// benchReport is the JSON document runBench writes. The provenance block
+// pins what produced the numbers, so two archived reports are comparable
+// (same commit? same machine?) before their timings are.
 type benchReport struct {
-	Timestamp string      `json:"timestamp"`
-	GoVersion string      `json:"go_version"`
-	NumCPU    int         `json:"num_cpu"`
-	Seed      int64       `json:"seed"`
-	Results   []benchCase `json:"results"`
+	Timestamp     string      `json:"timestamp"`
+	GoVersion     string      `json:"go_version"`
+	ModuleVersion string      `json:"module_version,omitempty"`
+	VCSRevision   string      `json:"vcs_revision,omitempty"`
+	VCSModified   bool        `json:"vcs_modified,omitempty"`
+	NumCPU        int         `json:"num_cpu"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	CPUModel      string      `json:"cpu_model,omitempty"`
+	Seed          int64       `json:"seed"`
+	Results       []benchCase `json:"results"`
 }
 
 // runBench times full study runs — cold and warm cache, serial and
 // parallel — and writes a machine-readable JSON report, so CI can archive
-// the toolkit's performance envelope alongside every build.
+// the toolkit's performance envelope alongside every build. With
+// -runlog-dir the run also lands in the persistent ledger (each case's
+// wall time as a stage), where 'coevo runs diff' flags timing regressions
+// between bench runs.
 func runBench(ctx context.Context, args []string) error {
 	fs := newFlagSet("bench")
-	out := fs.String("out", "BENCH_pr3.json", "write the benchmark report JSON to this path")
+	out := fs.String("out", "BENCH_pr4.json", "write the benchmark report JSON to this path")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	perTaxon := fs.Int("per-taxon", 0, "shrink the corpus to N projects per taxon (0 = the full 195-project corpus)")
+	runlogDir := fs.String("runlog-dir", "", "also record the bench run as a manifest in this ledger directory")
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
+	// The manifest doubles as the provenance source for the JSON report,
+	// whether or not it ends up in a ledger.
+	manifest := runlog.NewManifest("bench", time.Now())
+	manifest.Options = map[string]string{}
+	fs.Visit(func(f *flag.Flag) { manifest.Options[f.Name] = f.Value.String() })
 
 	profiles := corpus.DefaultProfiles()
 	if *perTaxon > 0 {
@@ -75,26 +98,41 @@ func runBench(ctx context.Context, args []string) error {
 		workerSettings = append(workerSettings, n)
 	}
 	rep := benchReport{
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Seed:      *seed,
+		Timestamp:     manifest.Start.Format(time.RFC3339),
+		GoVersion:     manifest.GoVersion,
+		ModuleVersion: manifest.ModuleVersion,
+		VCSRevision:   manifest.VCSRevision,
+		VCSModified:   manifest.VCSModified,
+		NumCPU:        manifest.NumCPU,
+		GOMAXPROCS:    manifest.GOMAXPROCS,
+		CPUModel:      manifest.CPUModel,
+		Seed:          *seed,
 	}
+	var totalHits, totalMisses int64
 	for _, workers := range workerSettings {
 		// One shared in-memory cache per worker setting: the first run is
 		// the cold measurement, the second replays it warm.
 		c := cache.NewMemory()
 		for _, phase := range []string{"cold", "warm"} {
+			before := c.Stats()
 			n, secs, err := runOnce(workers, c)
 			if err != nil {
 				return err
 			}
+			after := c.Stats()
 			bc := benchCase{
-				Name:     fmt.Sprintf("study/%s/workers=%d", phase, workers),
-				Cache:    phase, Workers: workers, Projects: n, Seconds: secs,
+				Name:  fmt.Sprintf("study/%s/workers=%d", phase, workers),
+				Cache: phase, Workers: workers, Projects: n, Seconds: secs,
+				CacheHits:   after.Hits - before.Hits,
+				CacheMisses: after.Misses - before.Misses,
 			}
 			rep.Results = append(rep.Results, bc)
-			fmt.Fprintf(os.Stderr, "bench %-28s %8.3fs  (%d projects)\n", bc.Name, bc.Seconds, bc.Projects)
+			totalHits += bc.CacheHits
+			totalMisses += bc.CacheMisses
+			manifest.Projects = n
+			manifest.StageSeconds = appendStage(manifest.StageSeconds, bc.Name, secs)
+			fmt.Fprintf(os.Stderr, "bench %-28s %8.3fs  (%d projects, %d cache hits / %d misses)\n",
+				bc.Name, bc.Seconds, bc.Projects, bc.CacheHits, bc.CacheMisses)
 		}
 	}
 
@@ -106,5 +144,29 @@ func runBench(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Printf("wrote benchmark report to %s\n", *out)
+
+	if *runlogDir != "" {
+		if total := totalHits + totalMisses; total > 0 {
+			manifest.Cache = &runlog.CacheStats{
+				Hits: totalHits, Misses: totalMisses,
+				HitRate: float64(totalHits) / float64(total),
+			}
+		}
+		manifest.Finish(time.Now(), nil)
+		path, err := runlog.Write(*runlogDir, manifest)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "recorded bench run %s in %s\n", manifest.ID, path)
+	}
 	return nil
+}
+
+// appendStage inserts into a possibly-nil stage map.
+func appendStage(m map[string]float64, name string, secs float64) map[string]float64 {
+	if m == nil {
+		m = map[string]float64{}
+	}
+	m[name] = secs
+	return m
 }

@@ -30,7 +30,8 @@ func runGen(ctx context.Context, args []string) error {
 	cfg.Cache = p.cache
 	cfg.Obs = p.obs
 	projects, err := corpus.GenerateContext(ctx, cfg)
-	ferr := p.finish()
+	p.recordProjects(len(projects))
+	ferr := p.finish(ctx, err)
 	if err != nil {
 		return err
 	}

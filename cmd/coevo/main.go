@@ -16,6 +16,10 @@
 //	           co-evolution measures
 //	taxa       per-taxon synchronicity breakdown and change locality
 //	cache      administer an on-disk result cache (stats, clear, verify)
+//	serve      run the observability server standalone: Prometheus
+//	           /metrics, /debug/pprof and the run-ledger browser at /runs
+//	runs       browse the persistent run ledger (list, show, diff with
+//	           metric-regression flagging)
 //
 // The corpus-wide subcommands (study, gen, taxa) run on the concurrent
 // execution engine (internal/engine) and share the -workers, -progress
@@ -66,6 +70,10 @@ func main() {
 		err = runTaxa(ctx, os.Args[2:])
 	case "cache":
 		err = runCache(os.Args[2:])
+	case "serve":
+		err = runServe(ctx, os.Args[2:])
+	case "runs":
+		err = runRuns(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -93,6 +101,8 @@ subcommands:
   taxa     per-taxon synchronicity breakdown and change locality
   cache    administer a result-cache directory (stats, clear, verify)
   bench    time study runs (cold/warm cache, serial/parallel) into a JSON report
+  serve    run the observability server standalone (metrics, pprof, /runs)
+  runs     browse the run ledger (list, show, diff with regression flags)
 
 run 'coevo <subcommand> -h' for flags. The corpus-wide subcommands
 (study, gen, taxa) run on a concurrent execution engine and share the
@@ -101,8 +111,12 @@ progress on stderr), -metrics (print the unified metrics report:
 latency/throughput, stage totals and cache counters), -cache-dir DIR
 (persist and reuse stage results across runs), -trace FILE (Chrome
 trace-event JSON of the run), -log-level LEVEL (structured logs on
-stderr) and -cpuprofile/-memprofile FILE (pprof profiles). Output is
-byte-identical no matter which observability or cache flags are set.
+stderr), -cpuprofile/-memprofile FILE (pprof profiles), -listen ADDR
+(serve /metrics, /healthz, /readyz, /progress SSE, /debug/pprof and
+/runs live during the run; -linger D keeps it up after) and
+-runlog-dir DIR (record the run's manifest into a persistent ledger,
+compared later with 'coevo runs diff'). Output is byte-identical no
+matter which observability, telemetry or cache flags are set.
 `)
 }
 

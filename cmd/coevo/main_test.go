@@ -13,6 +13,7 @@ import (
 	"coevo/internal/corpus"
 	"coevo/internal/dataset"
 	"coevo/internal/history"
+	"coevo/internal/runlog"
 	"coevo/internal/study"
 	"coevo/internal/taxa"
 )
@@ -48,9 +49,10 @@ func TestFlagErrorsReturnInsteadOfExiting(t *testing.T) {
 	subcommands := map[string]func([]string) error{
 		"study": withCtx(runStudy), "gen": withCtx(runGen),
 		"analyze": withCtx(runAnalyze), "taxa": withCtx(runTaxa),
-		"bench": withCtx(runBench),
+		"bench":  withCtx(runBench),
 		"ingest": runIngest, "impact": runImpact, "smo": runSMO,
 		"export": runExport, "cache": runCache,
+		"serve": withCtx(runServe), "runs": runRuns,
 	}
 	for name, run := range subcommands {
 		if err := run([]string{"-definitely-not-a-flag"}); err == nil {
@@ -76,10 +78,10 @@ func TestPipelineFlags(t *testing.T) {
 	}
 
 	p, err := build(t)
-	if err != nil || p.obs != nil || p.cache != nil || p.metrics != nil {
-		t.Errorf("bare pipeline should have no observer/cache/metrics: %+v, %v", p, err)
+	if err != nil || p.obs != nil || p.cache != nil || p.metrics != nil || p.server != nil {
+		t.Errorf("bare pipeline should have no observer/cache/metrics/server: %+v, %v", p, err)
 	}
-	if err := p.finish(); err != nil {
+	if err := p.finish(context.Background(), nil); err != nil {
 		t.Errorf("bare finish: %v", err)
 	}
 
@@ -103,7 +105,7 @@ func TestPipelineFlags(t *testing.T) {
 	if p.exec.Workers != 2 || p.exec.Obs != p.obs {
 		t.Errorf("exec options not threaded: %+v", p.exec)
 	}
-	if err := p.finish(); err != nil {
+	if err := p.finish(context.Background(), nil); err != nil {
 		t.Fatalf("finish: %v", err)
 	}
 	for _, path := range []string{tracePath, cpuPath, memPath} {
@@ -123,8 +125,11 @@ func TestPipelineFlags(t *testing.T) {
 // TestBenchSubcommand runs the benchmark matrix on a tiny corpus and
 // checks the report shape.
 func TestBenchSubcommand(t *testing.T) {
-	out := filepath.Join(t.TempDir(), "bench.json")
-	if err := runBench(context.Background(), []string{"-out", out, "-per-taxon", "1", "-seed", "7"}); err != nil {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	ledger := filepath.Join(dir, "runs")
+	if err := runBench(context.Background(), []string{"-out", out, "-per-taxon", "1", "-seed", "7",
+		"-runlog-dir", ledger}); err != nil {
 		t.Fatalf("bench: %v", err)
 	}
 	raw, err := os.ReadFile(out)
@@ -132,15 +137,23 @@ func TestBenchSubcommand(t *testing.T) {
 		t.Fatal(err)
 	}
 	var rep struct {
-		Results []struct {
-			Name     string  `json:"name"`
-			Cache    string  `json:"cache"`
-			Projects int     `json:"projects"`
-			Seconds  float64 `json:"seconds"`
+		GoVersion  string `json:"go_version"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		NumCPU     int    `json:"num_cpu"`
+		Results    []struct {
+			Name        string  `json:"name"`
+			Cache       string  `json:"cache"`
+			Projects    int     `json:"projects"`
+			Seconds     float64 `json:"seconds"`
+			CacheHits   int64   `json:"cache_hits"`
+			CacheMisses int64   `json:"cache_misses"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.GoVersion == "" || rep.GOMAXPROCS < 1 || rep.NumCPU < 1 {
+		t.Errorf("provenance not stamped: %+v", rep)
 	}
 	if len(rep.Results) < 2 {
 		t.Fatalf("expected at least cold+warm results, got %d", len(rep.Results))
@@ -152,6 +165,31 @@ func TestBenchSubcommand(t *testing.T) {
 	}
 	if rep.Results[0].Cache != "cold" || rep.Results[1].Cache != "warm" {
 		t.Errorf("cold/warm ordering wrong: %+v", rep.Results[:2])
+	}
+	if rep.Results[0].CacheMisses == 0 {
+		t.Errorf("cold case should miss the cache: %+v", rep.Results[0])
+	}
+	if rep.Results[1].CacheHits == 0 || rep.Results[1].CacheMisses != 0 {
+		t.Errorf("warm case should replay entirely from cache: %+v", rep.Results[1])
+	}
+
+	// The bench run also landed in the ledger, each case as a stage.
+	runs, err := runlog.List(ledger)
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("bench ledger = %v, %v; want 1 run", runs, err)
+	}
+	m := runs[0]
+	if m.Command != "bench" || m.Outcome != "ok" || m.Projects != 6 {
+		t.Errorf("bench manifest = %+v", m)
+	}
+	if m.StageSeconds["study/cold/workers=1"] <= 0 || m.StageSeconds["study/warm/workers=1"] <= 0 {
+		t.Errorf("bench stages = %v", m.StageSeconds)
+	}
+	if m.Cache == nil || m.Cache.Hits == 0 {
+		t.Errorf("bench cache stats = %+v", m.Cache)
+	}
+	if m.Options["per-taxon"] != "1" || m.Options["seed"] != "7" {
+		t.Errorf("bench options = %v", m.Options)
 	}
 }
 

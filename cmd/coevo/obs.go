@@ -1,31 +1,72 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
+	"time"
 
 	"coevo/internal/cache"
 	"coevo/internal/engine"
 	"coevo/internal/obs"
+	"coevo/internal/runlog"
+	"coevo/internal/study"
 )
 
 // pipeline bundles everything the corpus-wide subcommands (study, gen,
 // taxa) thread through a run: the engine options, the optional result
 // cache, the optional observer behind -trace/-log-level/-metrics, the
-// profiling hooks, and the end-of-run flushing of all of it.
+// optional live telemetry server behind -listen, the optional run-ledger
+// manifest behind -runlog-dir, the profiling hooks, and the end-of-run
+// flushing of all of it.
 type pipeline struct {
 	exec    engine.Options
 	cache   *cache.Cache
 	obs     *obs.Observer
 	metrics *engine.Metrics
+	server  *obs.Server
 
 	showMetrics        bool
 	tracePath, memPath string
 	stopCPU            func() error
+
+	linger   time.Duration
+	ledger   string
+	manifest *runlog.Manifest
 }
+
+// progressEvent is the JSON payload of one "project" SSE event on
+// /progress: a per-project completion or failure.
+type progressEvent struct {
+	Scope   string  `json:"scope"`
+	Name    string  `json:"name"`
+	Done    int     `json:"done"`
+	Total   int     `json:"total"`
+	Seconds float64 `json:"seconds"`
+	Failed  bool    `json:"failed,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// snapshotEvent is the JSON payload of a "snapshot" SSE event: the
+// run's rolling latency summary, published every snapshotEvery
+// completions and at the end of each engine scope.
+type snapshotEvent struct {
+	Scope            string  `json:"scope"`
+	Done             int     `json:"done"`
+	Total            int     `json:"total"`
+	Failed           int     `json:"failed"`
+	P50Seconds       float64 `json:"p50_seconds"`
+	P95Seconds       float64 `json:"p95_seconds"`
+	MaxSeconds       float64 `json:"max_seconds"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+}
+
+// snapshotEvery is the completion stride between "snapshot" SSE events.
+const snapshotEvery = 25
 
 // pipelineFlags registers the shared execution and observability flags on
 // fs and returns a builder that assembles the pipeline after parsing.
@@ -38,12 +79,16 @@ func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
 	logLevel := fs.String("log-level", "", "enable structured logs on stderr at this level (debug, info, warn, error)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this path at the end of the run")
+	listen := fs.String("listen", "", "serve live telemetry (/metrics, /healthz, /readyz, /progress, /debug/pprof, /runs) on this address while the run executes (e.g. 127.0.0.1:8080, :0 picks a port)")
+	linger := fs.Duration("linger", 0, "keep the -listen telemetry server up this long after the run finishes (ctrl-c stops it early)")
+	runlogDir := fs.String("runlog-dir", "", "record the run's manifest (options, provenance, durations, cache and metrics snapshot) in this ledger directory")
 	return func() (*pipeline, error) {
-		p := &pipeline{showMetrics: *metrics, tracePath: *tracePath, memPath: *memProfile}
+		p := &pipeline{showMetrics: *metrics, tracePath: *tracePath, memPath: *memProfile,
+			linger: *linger, ledger: *runlogDir}
 		// Any observability surface — trace, logs, the unified metrics
-		// report, profiles — wants the one Observer; without them the
-		// pipeline runs with a nil (zero-cost) one.
-		if *tracePath != "" || *logLevel != "" || *metrics || *memProfile != "" || *cpuProfile != "" {
+		// report, profiles, the telemetry server — wants the one Observer;
+		// without them the pipeline runs with a nil (zero-cost) one.
+		if *tracePath != "" || *logLevel != "" || *metrics || *memProfile != "" || *cpuProfile != "" || *listen != "" {
 			oopts := obs.Options{Trace: *tracePath != ""}
 			if *logLevel != "" {
 				level, err := parseLogLevel(*logLevel)
@@ -55,14 +100,46 @@ func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
 			}
 			p.obs = obs.New(oopts)
 		}
+		if *runlogDir != "" {
+			p.manifest = runlog.NewManifest(fs.Name(), time.Now())
+			p.manifest.Options = map[string]string{}
+			fs.Visit(func(f *flag.Flag) {
+				p.manifest.Options[f.Name] = f.Value.String()
+			})
+		}
+		if *listen != "" {
+			handlers := map[string]http.Handler{}
+			if *runlogDir != "" {
+				h := runlog.Handler(*runlogDir)
+				handlers["/runs"] = h
+				handlers["/runs/"] = h
+				runlog.RegisterMetrics(p.obs.Metrics(), *runlogDir)
+			}
+			srv, err := obs.Serve(obs.ServeOptions{
+				Addr:     *listen,
+				Registry: p.obs.Metrics(),
+				Logger:   p.obs.Logger(),
+				Handlers: handlers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p.server = srv
+			fmt.Fprintf(os.Stderr, "telemetry: %s/metrics, /healthz, /readyz, /progress, /debug/pprof\n", srv.URL())
+		}
 		p.exec = engine.Options{Workers: *workers, Obs: p.obs}
 		var observers []func(engine.Event)
 		if *progress {
 			observers = append(observers, engine.NewProgress(os.Stderr).Observe)
 		}
-		if *metrics {
+		// The metrics collector also feeds the SSE latency snapshots and
+		// the ledger manifest, so either surface pulls it in.
+		if *metrics || p.server != nil || p.manifest != nil {
 			p.metrics = engine.NewMetrics()
 			observers = append(observers, p.metrics.Observe)
+		}
+		if p.server != nil {
+			observers = append(observers, p.publishEvent)
 		}
 		if len(observers) > 0 {
 			p.exec.OnEvent = engine.Tee(observers...)
@@ -90,6 +167,100 @@ func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
 	}
 }
 
+// publishEvent forwards one engine event to the telemetry server's
+// /progress SSE stream. The first analyze-scope event also flips /readyz:
+// the corpus exists and the run is measuring it.
+func (p *pipeline) publishEvent(e engine.Event) {
+	if e.Scope == "analyze" {
+		p.server.SetReady(true)
+	}
+	if e.Type != engine.TaskFinished && e.Type != engine.TaskFailed {
+		return
+	}
+	ev := progressEvent{
+		Scope: e.Scope, Name: e.Name, Done: e.Done, Total: e.Total,
+		Seconds: e.Elapsed.Seconds(), Failed: e.Type == engine.TaskFailed,
+	}
+	if e.Err != nil {
+		ev.Err = e.Err.Error()
+	}
+	p.server.Publish("project", ev)
+	if p.metrics != nil && (e.Done == e.Total || e.Done%snapshotEvery == 0) {
+		p.server.Publish("snapshot", p.snapshotEvent(e.Scope))
+	}
+}
+
+// snapshotEvent summarizes the metrics collector for the SSE stream.
+func (p *pipeline) snapshotEvent(scope string) snapshotEvent {
+	s := p.metrics.Snapshot()
+	return snapshotEvent{
+		Scope: scope, Done: s.Done, Total: s.Total, Failed: s.Failed,
+		P50Seconds: s.P50.Seconds(), P95Seconds: s.P95.Seconds(),
+		MaxSeconds: s.Max.Seconds(), ThroughputPerSec: s.Throughput,
+	}
+}
+
+// recordDataset notes the analyzed corpus in the run manifest: project
+// and failure counts plus the per-project failure summary.
+func (p *pipeline) recordDataset(d *study.Dataset) {
+	if p.manifest == nil || d == nil {
+		return
+	}
+	p.manifest.Projects = d.Size()
+	p.manifest.Failed = len(d.Failures)
+	for _, f := range d.Failures {
+		p.manifest.Failures = append(p.manifest.Failures,
+			runlog.FailureSummary{Name: f.Name, Err: f.Err.Error()})
+	}
+}
+
+// recordProjects notes a project count for runs without a Dataset (gen).
+func (p *pipeline) recordProjects(n int) {
+	if p.manifest != nil {
+		p.manifest.Projects = n
+	}
+}
+
+// sealManifest fills the manifest's run summary from the metrics
+// collector and registry, stamps the outcome, and writes it into the
+// ledger directory.
+func (p *pipeline) sealManifest(runErr error) error {
+	m := p.manifest
+	m.Workers = p.exec.Workers
+	if p.metrics != nil {
+		s := p.metrics.Snapshot()
+		m.P50Seconds = s.P50.Seconds()
+		m.P95Seconds = s.P95.Seconds()
+		m.MaxSeconds = s.Max.Seconds()
+		m.ThroughputPerSec = s.Throughput
+		if len(s.StageTotals) > 0 {
+			m.StageSeconds = make(map[string]float64, len(s.StageTotals))
+			for stage, d := range s.StageTotals {
+				m.StageSeconds[stage] = d.Seconds()
+			}
+		}
+		if c := s.Cache; c != nil {
+			cs := &runlog.CacheStats{
+				Hits: c.Hits, Misses: c.Misses, MemoryHits: c.MemoryHits,
+				DiskHits: c.DiskHits, Puts: c.Puts, Corrupt: c.Corrupt,
+				BytesRead: c.BytesRead, BytesWritten: c.BytesWritten,
+			}
+			if total := c.Hits + c.Misses; total > 0 {
+				cs.HitRate = float64(c.Hits) / float64(total)
+			}
+			m.Cache = cs
+		}
+	}
+	m.Metrics = p.obs.Metrics().Snapshot()
+	m.Finish(time.Now(), runErr)
+	path, err := runlog.Write(p.ledger, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded run %s in %s\n", m.ID, path)
+	return nil
+}
+
 // parseLogLevel maps the -log-level flag value to a slog level.
 func parseLogLevel(s string) (slog.Level, error) {
 	switch s {
@@ -105,12 +276,15 @@ func parseLogLevel(s string) (slog.Level, error) {
 	return 0, fmt.Errorf("invalid -log-level %q (want debug, info, warn or error)", s)
 }
 
-// finish flushes the run's observability artifacts: the CPU profile, the
-// unified metrics report, the trace file and the heap profile. It runs
+// finish flushes the run's observability artifacts — the CPU profile, the
+// unified metrics report, the trace file, the heap profile and the ledger
+// manifest — then winds down the telemetry server (after -linger, so CI
+// and humans can scrape a finished run before the process exits). It runs
 // even when the run itself failed or was interrupted, so a cancelled
-// study still leaves a loadable trace and profile behind. The first
-// flushing error is returned.
-func (p *pipeline) finish() error {
+// study still leaves a loadable trace, profile and ledger entry behind.
+// The first flushing error is returned; runErr only stamps the manifest
+// outcome and is not re-returned.
+func (p *pipeline) finish(ctx context.Context, runErr error) error {
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {
@@ -133,6 +307,27 @@ func (p *pipeline) finish() error {
 	}
 	if p.memPath != "" {
 		keep(obs.WriteHeapProfile(p.memPath))
+	}
+	// Seal the ledger entry before lingering, so /runs already serves this
+	// run while the telemetry server is still up.
+	if p.manifest != nil {
+		keep(p.sealManifest(runErr))
+	}
+	if p.server != nil {
+		if p.metrics != nil {
+			p.server.Publish("done", p.snapshotEvent("run"))
+		}
+		if p.linger > 0 && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "telemetry server lingering %s at %s (ctrl-c to stop)\n",
+				p.linger, p.server.URL())
+			select {
+			case <-ctx.Done():
+			case <-time.After(p.linger):
+			}
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		keep(p.server.Shutdown(sctx))
 	}
 	return firstErr
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"coevo/internal/runlog"
+)
+
+// runRuns administers the persistent run ledger: list every recorded
+// run, show one manifest, or diff two runs' metrics with regression
+// flagging. Run ids resolve as in runlog.Load: exact, unique prefix, or
+// the special names "latest" and "previous".
+func runRuns(args []string) error {
+	fs := newFlagSet("runs")
+	dir := fs.String("runlog-dir", "runs", "run-ledger directory to read")
+	threshold := fs.Float64("threshold", runlog.DefaultThreshold,
+		"relative drift that flags a regression in 'runs diff' (0.10 = 10%)")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, `usage: coevo runs [flags] <operation>
+
+operations:
+  list                 list every recorded run, oldest first
+  show [id]            print one run's manifest summary (default: latest)
+  diff [old] [new]     compare two runs metric by metric and flag
+                       regressions beyond -threshold
+                       (default: previous latest)
+
+ids resolve exactly, by unique prefix, or as "latest"/"previous".
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	op := fs.Arg(0)
+	switch op {
+	case "list":
+		runs, err := runlog.List(*dir)
+		if err != nil {
+			return err
+		}
+		return runlog.WriteList(os.Stdout, runs)
+	case "show":
+		id := fs.Arg(1)
+		if id == "" {
+			id = "latest"
+		}
+		m, err := runlog.Load(*dir, id)
+		if err != nil {
+			return err
+		}
+		return runlog.WriteManifest(os.Stdout, m)
+	case "diff":
+		oldID, newID := fs.Arg(1), fs.Arg(2)
+		if oldID == "" {
+			oldID, newID = "previous", "latest"
+		} else if newID == "" {
+			newID = "latest"
+		}
+		oldRun, err := runlog.Load(*dir, oldID)
+		if err != nil {
+			return err
+		}
+		newRun, err := runlog.Load(*dir, newID)
+		if err != nil {
+			return err
+		}
+		r := runlog.Diff(oldRun, newRun, runlog.DiffOptions{Threshold: *threshold})
+		if err := r.Write(os.Stdout); err != nil {
+			return err
+		}
+		if r.Regressions > 0 {
+			return fmt.Errorf("%d metric regression(s) between %s and %s", r.Regressions, oldRun.ID, newRun.ID)
+		}
+		return nil
+	case "":
+		fs.Usage()
+		return fmt.Errorf("runs: missing operation (list, show or diff)")
+	default:
+		return fmt.Errorf("runs: unknown operation %q (want list, show or diff)", op)
+	}
+}

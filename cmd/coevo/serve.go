@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"time"
+
+	"coevo/internal/obs"
+	"coevo/internal/runlog"
+)
+
+// runServe runs the observability server standalone: no study attached,
+// just the metrics registry (seeded with run-ledger freshness gauges),
+// the pprof handlers and the ledger browser at /runs. This is the
+// long-lived deployment shape — scrape it with Prometheus, browse past
+// runs, pull profiles — while study runs elsewhere record into the same
+// -runlog-dir.
+func runServe(ctx context.Context, args []string) error {
+	fs := newFlagSet("serve")
+	listen := fs.String("listen", "127.0.0.1:8080", "serve telemetry on this address (:0 picks a free port)")
+	runlogDir := fs.String("runlog-dir", "runs", "run-ledger directory served at /runs")
+	logLevel := fs.String("log-level", "info", "log level on stderr (debug, info, warn, error)")
+	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	reg := obs.NewRegistry()
+	runlog.RegisterMetrics(reg, *runlogDir)
+	ledger := runlog.Handler(*runlogDir)
+	srv, err := obs.Serve(obs.ServeOptions{
+		Addr:     *listen,
+		Registry: reg,
+		Logger:   logger,
+		Handlers: map[string]http.Handler{"/runs": ledger, "/runs/": ledger},
+	})
+	if err != nil {
+		return err
+	}
+	// A standalone server has no corpus to load: it is ready as soon as it
+	// listens.
+	srv.SetReady(true)
+	fmt.Printf("serving telemetry at %s (ledger %s); ctrl-c to stop\n", srv.URL(), *runlogDir)
+	<-ctx.Done()
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(sctx)
+}

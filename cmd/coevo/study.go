@@ -43,7 +43,8 @@ func runStudy(ctx context.Context, args []string) error {
 	fmt.Fprintf(os.Stderr, "generating and analyzing the 195-project corpus (seed %d, %s)...\n",
 		*seed, workersLabel(opts.Exec.Workers))
 	d, err := study.Run(ctx, *seed, opts)
-	ferr := p.finish()
+	p.recordDataset(d)
+	ferr := p.finish(ctx, err)
 	if err != nil {
 		reportInterrupted(d, err)
 		return err

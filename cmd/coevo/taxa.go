@@ -31,7 +31,8 @@ func runTaxa(ctx context.Context, args []string) error {
 	opts.Cache = p.cache
 	opts.Obs = p.obs
 	d, err := study.Run(ctx, *seed, opts)
-	ferr := p.finish()
+	p.recordDataset(d)
+	ferr := p.finish(ctx, err)
 	if err != nil {
 		reportInterrupted(d, err)
 		return err

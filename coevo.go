@@ -38,6 +38,7 @@ import (
 	"coevo/internal/engine"
 	"coevo/internal/obs"
 	"coevo/internal/report"
+	"coevo/internal/runlog"
 	"coevo/internal/study"
 	"coevo/internal/vcs"
 )
@@ -90,6 +91,19 @@ type (
 	// MetricsRegistry is an Observer's registry of counters, gauges and
 	// histograms.
 	MetricsRegistry = obs.Registry
+	// TelemetryServer is the embedded HTTP observability server: /metrics
+	// (Prometheus text exposition), /healthz, /readyz, /debug/pprof and
+	// the /progress SSE stream. A nil *TelemetryServer is a valid no-op.
+	TelemetryServer = obs.Server
+	// TelemetryOptions configures ServeTelemetry.
+	TelemetryOptions = obs.ServeOptions
+	// RunManifest is one entry of the persistent run ledger: a recorded
+	// run's options, provenance, durations, cache counters and final
+	// metrics snapshot.
+	RunManifest = runlog.Manifest
+	// RunDiffReport compares two run manifests metric by metric; see
+	// DiffRuns.
+	RunDiffReport = runlog.DiffReport
 )
 
 // Execution-engine re-exports: the policies an ExecOptions can select.
@@ -108,6 +122,24 @@ func NewExecMetrics() *ExecMetrics { return engine.NewMetrics() }
 // Options.Obs (and CorpusConfig.Obs) and harvest with Observer.WriteTrace
 // and Observer.Metrics().WritePrometheus after the run.
 func NewObserver(opts ObserverOptions) *Observer { return obs.New(opts) }
+
+// ServeTelemetry binds the embedded observability server. The listener
+// is bound synchronously: a non-nil return means the endpoints are
+// reachable at TelemetryServer.URL. Stop it with Shutdown.
+func ServeTelemetry(opts TelemetryOptions) (*TelemetryServer, error) { return obs.Serve(opts) }
+
+// ListRuns reads every manifest of a run-ledger directory, oldest first.
+func ListRuns(dir string) ([]*RunManifest, error) { return runlog.List(dir) }
+
+// LoadRun resolves one ledger entry by exact id, unique id prefix, or
+// the special names "latest" and "previous".
+func LoadRun(dir, id string) (*RunManifest, error) { return runlog.Load(dir, id) }
+
+// DiffRuns compares two run manifests and flags metrics that moved in
+// their bad direction by more than threshold (<= 0 uses the default 10%).
+func DiffRuns(oldRun, newRun *RunManifest, threshold float64) *RunDiffReport {
+	return runlog.Diff(oldRun, newRun, runlog.DiffOptions{Threshold: threshold})
+}
 
 // NewCache opens a layered result cache (in-memory LRU front, optional
 // on-disk store under opts.Dir). A nil *Cache is valid and always

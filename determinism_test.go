@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -117,6 +118,68 @@ func TestStudyDeterministicWithObserver(t *testing.T) {
 			t.Errorf("metrics exposition lacks %q", want)
 		}
 	}
+}
+
+// TestStudyDeterministicWithTelemetryServer runs the full study with the
+// embedded telemetry server live — /metrics scraped over HTTP mid-run,
+// every engine event published to the /progress SSE hub — and checks the
+// rendered artifacts against the serial golden hashes: serving telemetry
+// must never perturb a published number.
+func TestStudyDeterministicWithTelemetryServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus study in -short mode")
+	}
+	observer := coevo.NewObserver(coevo.ObserverOptions{})
+	srv, err := coevo.ServeTelemetry(coevo.TelemetryOptions{
+		Addr: "127.0.0.1:0", Registry: observer.Metrics(),
+	})
+	if err != nil {
+		t.Fatalf("ServeTelemetry: %v", err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	opts := study.DefaultOptions()
+	opts.Exec.Workers = 8
+	opts.Obs = observer
+	opts.Exec.OnEvent = func(e coevo.ExecEvent) {
+		if e.Scope == "analyze" {
+			srv.SetReady(true)
+		}
+		srv.Publish("project", map[string]any{"name": e.Name, "done": e.Done})
+	}
+	d, err := study.Run(context.Background(), 2023, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for name, write := range renderArtifacts(d) {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+		if got != serialGolden[name] {
+			t.Errorf("%s: hash %s differs from serial golden %s (telemetry server must not perturb output)", name, got, serialGolden[name])
+		}
+	}
+
+	// The server must expose the finished run's engine series over HTTP.
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	exposition, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	if want := `coevo_engine_tasks_total{run="analyze"} 195`; !strings.Contains(string(exposition), want) {
+		t.Errorf("live /metrics lacks %q", want)
+	}
+	resp, err = http.Get(srv.URL() + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz after analysis = %v, %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
 }
 
 func TestStudyDeterministicAcrossWorkerCounts(t *testing.T) {

@@ -48,11 +48,11 @@ type Cache struct {
 	disk *diskStore
 	log  *slog.Logger
 
-	hits, misses       atomic.Int64
-	memHits, diskHits  atomic.Int64
-	puts, corrupt      atomic.Int64
-	bytesRead          atomic.Int64
-	bytesWritten       atomic.Int64
+	hits, misses      atomic.Int64
+	memHits, diskHits atomic.Int64
+	puts, corrupt     atomic.Int64
+	bytesRead         atomic.Int64
+	bytesWritten      atomic.Int64
 }
 
 // New builds a cache from opts, creating the disk store's root directory

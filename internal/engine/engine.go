@@ -74,6 +74,7 @@ type Event struct {
 	Type  EventType
 	Index int    // task index in the input slice
 	Name  string // task name from Options.Name
+	Scope string // run scope from Options.Scope ("generate", "analyze", ...)
 	Err   error  // failure cause (TaskFailed only)
 	// Elapsed is the task's wall time (TaskFinished/TaskFailed only).
 	Elapsed time.Duration
@@ -200,6 +201,7 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	)
 	emit := func(e Event) {
 		if opts.OnEvent != nil {
+			e.Scope = scope
 			opts.OnEvent(e)
 		}
 	}

@@ -153,13 +153,16 @@ func TestMapEventsAndStages(t *testing.T) {
 				return 0, errors.New("bad")
 			}
 			return item, nil
-		}, Options{Workers: 2, OnEvent: func(e Event) { events = append(events, e) }})
+		}, Options{Workers: 2, Scope: "analyze", OnEvent: func(e Event) { events = append(events, e) }})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var started, finished, failed int
 	lastDone := 0
 	for _, e := range events {
+		if e.Scope != "analyze" {
+			t.Errorf("event scope = %q, want %q", e.Scope, "analyze")
+		}
 		switch e.Type {
 		case TaskStarted:
 			started++

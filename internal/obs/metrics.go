@@ -50,7 +50,9 @@ func NewRegistry() *Registry {
 }
 
 // Label renders name{k1="v1",k2="v2"} from key/value pairs — the one way
-// labelled series are named in this registry.
+// labelled series are named in this registry. Label values are escaped
+// per the Prometheus text exposition format, so stage and scope names
+// containing backslashes, quotes or newlines produce scrapeable output.
 func Label(name string, kv ...string) string {
 	if len(kv) < 2 {
 		return name
@@ -62,9 +64,37 @@ func Label(name string, kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text
+// exposition format, whose only escape sequences are \\, \" and \n.
+// (Go's %q is not a substitute: it emits escapes like \t and \x{7f} forms
+// that exposition parsers reject.)
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
 	return b.String()
 }
 
@@ -136,8 +166,10 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram with the given ascending upper
-// bucket bounds, creating it on first use (later bounds are ignored).
+// Histogram returns the named histogram with the given upper bucket
+// bounds, creating it on first use (later bounds are ignored). Bounds are
+// sorted ascending at registration, so exposition's cumulative bucket
+// counts are correct regardless of the order the caller listed them in.
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	if r == nil {
 		return nil
@@ -147,6 +179,7 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	h, ok := r.hists[name]
 	if !ok {
 		h = &Histogram{bounds: append([]float64(nil), buckets...)}
+		sort.Float64s(h.bounds)
 		h.counts = make([]uint64, len(h.bounds))
 		r.hists[name] = h
 		r.describe(name, "histogram", help)
@@ -289,16 +322,12 @@ type series struct {
 	value float64
 }
 
-// WritePrometheus writes every registered metric in the Prometheus text
-// exposition format, sorted by series name so output is stable. Sampled
-// metrics (CounterFunc/GaugeFunc) are read at call time. Safe on nil
-// (writes nothing).
-func (r *Registry) WritePrometheus(w io.Writer) error {
-	if r == nil {
-		return nil
-	}
+// gather flattens every registered metric into sorted (name, value)
+// series — the shared core of WritePrometheus and Snapshot. Sampled
+// metrics (CounterFunc/GaugeFunc) are read at call time, outside the
+// registry lock. help and types map metric families to their metadata.
+func (r *Registry) gather() (flat []series, help, types map[string]string) {
 	r.mu.Lock()
-	var flat []series
 	plain := func(name string, v float64) series { return series{name: name, key: name, value: v} }
 	for name, c := range r.counters {
 		flat = append(flat, plain(name, c.Value()))
@@ -324,8 +353,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, sm := range r.funcs {
 		sampled[name] = sm
 	}
-	help := make(map[string]string, len(r.help))
-	types := make(map[string]string, len(r.types))
+	help = make(map[string]string, len(r.help))
+	types = make(map[string]string, len(r.types))
 	for k, v := range r.help {
 		help[k] = v
 	}
@@ -356,6 +385,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		return flat[a].order < flat[b].order
 	})
+	return flat, help, types
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format, sorted by series name so output is stable. Sampled
+// metrics (CounterFunc/GaugeFunc) are read at call time. Safe on nil
+// (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	flat, help, types := r.gather()
 
 	var b strings.Builder
 	seen := map[string]bool{}
@@ -383,6 +424,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// Snapshot reads every registered series — counters, gauges, sampled
+// callbacks, and each histogram's _bucket/_sum/_count expansion — into a
+// flat series-name → value map: the registry's final state as the run
+// ledger persists it. Safe on nil (returns an empty map).
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	if r == nil {
+		return out
+	}
+	flat, _, _ := r.gather()
+	for _, s := range flat {
+		out[s.name] = s.value
+	}
+	return out
 }
 
 // formatFloat renders a metric value the way Prometheus text format

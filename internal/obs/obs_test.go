@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -230,6 +231,98 @@ func TestRegistryExposition(t *testing.T) {
 			t.Errorf("bucket %s out of order (at %d, prev %d)", le, at, last)
 		}
 		last = at
+	}
+}
+
+// TestExpositionConformance pins the Prometheus text-format contract:
+// label values escape exactly \, " and newline (not Go %q escaping),
+// families list in sorted order, and histogram buckets expose ascending
+// with a final +Inf.
+func TestExpositionConformance(t *testing.T) {
+	reg := NewRegistry()
+	// Hostile label values: a backslash, a quote, a newline, and a tab.
+	// The first three must escape per the exposition format; the tab must
+	// pass through raw (Go's %q would corrupt it into a \t escape the
+	// format does not define).
+	reg.Counter(Label("coevo_stage_seconds_total", "stage", `load\dir`), "h").Add(1)
+	reg.Counter(Label("coevo_stage_seconds_total", "stage", `say "hi"`), "h").Add(2)
+	reg.Counter(Label("coevo_stage_seconds_total", "stage", "two\nlines"), "h").Add(3)
+	reg.Counter(Label("coevo_stage_seconds_total", "stage", "tab\there"), "h").Add(4)
+	reg.Gauge("coevo_alpha", "first family").Set(1)
+	reg.Counter("coevo_zeta_total", "last family").Inc()
+	reg.Histogram("coevo_lat_seconds", "latency", []float64{0.5, 10, 2}).Observe(1)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`coevo_stage_seconds_total{stage="load\\dir"} 1`,
+		`coevo_stage_seconds_total{stage="say \"hi\""} 2`,
+		`coevo_stage_seconds_total{stage="two\nlines"} 3`,
+		"coevo_stage_seconds_total{stage=\"tab\there\"} 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No sample line may contain a raw newline inside its label part:
+	// every non-comment line must be "<series> <value>".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, " ") == 0 {
+			t.Errorf("torn sample line (unescaped newline upstream?): %q", line)
+		}
+	}
+	// Families appear in sorted order.
+	var fams []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			fams = append(fams, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(fams) {
+		t.Errorf("families not sorted: %v", fams)
+	}
+	// Buckets ascend and end with +Inf even though the bounds were
+	// registered unsorted-looking lexically ("10" < "2" as strings).
+	idx := func(sub string) int { return strings.Index(out, sub) }
+	b05 := idx(`coevo_lat_seconds_bucket{le="0.5"}`)
+	b2 := idx(`coevo_lat_seconds_bucket{le="2"}`)
+	b10 := idx(`coevo_lat_seconds_bucket{le="10"}`)
+	bInf := idx(`coevo_lat_seconds_bucket{le="+Inf"}`)
+	if b05 < 0 || b2 < 0 || b10 < 0 || bInf < 0 || !(b05 < b2 && b2 < b10 && b10 < bInf) {
+		t.Errorf("bucket order wrong (offsets %d %d %d %d):\n%s", b05, b2, b10, bInf, out)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "").Add(3)
+	reg.Gauge("g", "").Set(7)
+	reg.CounterFunc("s_total", "", func() float64 { return 11 })
+	reg.Histogram("h_seconds", "", []float64{1}).Observe(0.5)
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"c_total":                     3,
+		"g":                           7,
+		"s_total":                     11,
+		"h_seconds_sum":               0.5,
+		"h_seconds_count":             1,
+		`h_seconds_bucket{le="1"}`:    1,
+		`h_seconds_bucket{le="+Inf"}`: 1,
+	} {
+		if got, ok := snap[name]; !ok || got != want {
+			t.Errorf("snapshot[%q] = %v (present %v), want %v", name, got, ok, want)
+		}
+	}
+	var nilReg *Registry
+	if snap := nilReg.Snapshot(); len(snap) != 0 {
+		t.Errorf("nil registry snapshot = %v", snap)
 	}
 }
 

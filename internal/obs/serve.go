@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// ServeOptions configures the embedded observability server.
+type ServeOptions struct {
+	// Addr is the listen address (host:port). A ":0" port picks a free
+	// one; read the result from Server.Addr.
+	Addr string
+	// Registry backs /metrics. A nil registry serves an empty (still
+	// valid) exposition.
+	Registry *Registry
+	// Logger receives the server's lifecycle and error logs (nil = drop).
+	Logger *slog.Logger
+	// Handlers mounts extra routes (e.g. "/runs" → the run-ledger
+	// handler) on the server's mux.
+	Handlers map[string]http.Handler
+}
+
+// Server is the embedded HTTP observability plane of a run: /metrics in
+// the Prometheus text format, /healthz (liveness) and /readyz (flips once
+// the corpus is loaded), /debug/pprof/* and the /progress SSE stream fed
+// by Publish. Construct with Serve; a nil *Server is a valid no-op, so
+// pipeline code can publish unconditionally whether or not -listen was
+// given.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	hub   *sseHub
+	log   *slog.Logger
+	ready atomic.Bool
+	done  chan struct{}
+}
+
+// Serve binds opts.Addr and starts serving in a background goroutine.
+// The listener is bound synchronously, so a non-nil return means the
+// endpoints are already reachable (and Addr reports the real port).
+func Serve(opts ServeOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", opts.Addr, err)
+	}
+	log := opts.Logger
+	if log == nil {
+		log = discardLogger
+	}
+	s := &Server{ln: ln, hub: newSSEHub(), log: log, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready: corpus still loading")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := opts.Registry.WritePrometheus(w); err != nil {
+			s.log.Warn("obs: /metrics write failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	paths := []string{"/healthz", "/readyz", "/metrics", "/progress", "/debug/pprof/"}
+	for path, h := range opts.Handlers {
+		mux.Handle(path, h)
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "coevo observability server")
+		for _, p := range paths {
+			fmt.Fprintln(w, "  "+p)
+		}
+	})
+
+	// Count connected live-progress clients in the unified registry, so a
+	// scrape shows who else is watching.
+	opts.Registry.GaugeFunc("coevo_obs_sse_clients",
+		"Connected /progress SSE clients.",
+		func() float64 { return float64(s.hub.clientCount()) })
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal Shutdown signal, not a failure.
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.log.Error("obs: server stopped", "err", err)
+		}
+	}()
+	s.log.Info("obs: serving telemetry", "addr", s.Addr())
+	return s, nil
+}
+
+// Addr returns the server's bound address (host:port). Safe on nil.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL. Safe on nil.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// SetReady flips /readyz: the pipeline calls it once corpus loading
+// completes, so orchestrators can distinguish "process up" from "run
+// actually analyzing". Safe on nil.
+func (s *Server) SetReady(ready bool) {
+	if s == nil {
+		return
+	}
+	s.ready.Store(ready)
+}
+
+// Shutdown gracefully stops the server: SSE clients are disconnected,
+// in-flight requests get until ctx to finish, and the listener closes.
+// Safe on nil and idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	s.ready.Store(false)
+	s.hub.close()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	s.log.Info("obs: telemetry server stopped", "addr", s.Addr())
+	return err
+}
+
+// handleProgress streams the run's event feed as server-sent events:
+// one "project" event per completion or failure and one "snapshot" event
+// per latency-snapshot publish, each carrying a JSON payload.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	id, ch, ok := s.hub.subscribe()
+	if !ok {
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.hub.unsubscribe(id)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	// A comment line confirms the subscription before any event fires,
+	// and the retry hint keeps browser reconnects polite.
+	fmt.Fprint(w, ": coevo progress stream\nretry: 1000\n\n")
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case msg, open := <-ch:
+			if !open {
+				return // hub closed: run over, disconnect the client
+			}
+			if msg.event != "" {
+				fmt.Fprintf(w, "event: %s\n", msg.event)
+			}
+			fmt.Fprintf(w, "data: %s\n\n", msg.data)
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTestServer boots a server on a free port and tears it down with
+// the test.
+func startTestServer(t *testing.T, opts ServeOptions) *Server {
+	t.Helper()
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	s, err := Serve(opts)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// get fetches a path and returns status and body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("coevo_engine_tasks_total", "Tasks.").Add(7)
+	extra := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ledger here")
+	})
+	s := startTestServer(t, ServeOptions{
+		Registry: reg,
+		Handlers: map[string]http.Handler{"/runs": extra},
+	})
+
+	if code, body := get(t, s.URL()+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	// Readiness flips with SetReady — the corpus-loaded transition.
+	if code, _ := get(t, s.URL()+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready = %d, want 503", code)
+	}
+	s.SetReady(true)
+	if code, body := get(t, s.URL()+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz after ready = %d %q", code, body)
+	}
+
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	if !strings.Contains(string(raw), "coevo_engine_tasks_total 7") {
+		t.Errorf("/metrics missing registry series:\n%s", raw)
+	}
+	if !strings.Contains(string(raw), "coevo_obs_sse_clients 0") {
+		t.Errorf("/metrics missing the SSE client gauge:\n%s", raw)
+	}
+
+	if code, body := get(t, s.URL()+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "profiles") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, body := get(t, s.URL()+"/runs"); code != http.StatusOK || body != "ledger here" {
+		t.Errorf("/runs = %d %q", code, body)
+	}
+	if code, body := get(t, s.URL()+"/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	if code, _ := get(t, s.URL()+"/definitely-not-a-route"); code != http.StatusNotFound {
+		t.Errorf("unknown route = %d, want 404", code)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes the /progress stream until the connection closes or n
+// events arrived, whichever is first.
+func readSSE(t *testing.T, body io.Reader, n int) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "" && cur.data != "":
+			events = append(events, cur)
+			cur = sseEvent{}
+			if len(events) >= n {
+				return events
+			}
+		}
+	}
+	return events
+}
+
+func TestProgressSSE(t *testing.T) {
+	s := startTestServer(t, ServeOptions{Registry: NewRegistry()})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", s.URL()+"/progress", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Wait until the hub sees the subscriber, then publish through the
+	// public API, including an unmarshallable payload that must be
+	// dropped without wedging the stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.hub.clientCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Publish("project", map[string]any{"name": "p-001", "done": 1, "total": 2})
+	s.Publish("broken", func() {}) // not marshallable: dropped
+	s.Publish("snapshot", map[string]any{"p50_ms": 1.5})
+
+	events := readSSE(t, resp.Body, 2)
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(events), events)
+	}
+	if events[0].name != "project" || events[1].name != "snapshot" {
+		t.Errorf("event order = %q, %q", events[0].name, events[1].name)
+	}
+	var payload struct {
+		Name string `json:"name"`
+		Done int    `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(events[0].data), &payload); err != nil || payload.Name != "p-001" || payload.Done != 1 {
+		t.Errorf("project payload = %q (%v)", events[0].data, err)
+	}
+
+	// Shutdown closes the stream: the body drains to EOF rather than
+	// hanging, and later publishes are no-ops.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(io.Discard, resp.Body)
+	}()
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not close on shutdown")
+	}
+	s.Publish("late", map[string]int{"x": 1}) // must not panic
+}
+
+// TestSSESlowClientDoesNotBlock floods the hub far past the client
+// buffer without reading: publish must stay non-blocking and drop the
+// overflow.
+func TestSSESlowClientDoesNotBlock(t *testing.T) {
+	hub := newSSEHub()
+	_, ch, ok := hub.subscribe()
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	donePublishing := make(chan struct{})
+	go func() {
+		defer close(donePublishing)
+		for i := 0; i < clientBuffer*4; i++ {
+			hub.publish("e", []byte(`{}`))
+		}
+	}()
+	select {
+	case <-donePublishing:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a slow client")
+	}
+	if got := len(ch); got != clientBuffer {
+		t.Errorf("buffered %d events, want full buffer %d", got, clientBuffer)
+	}
+	hub.close()
+}
+
+// TestHubConcurrent subscribes, publishes and unsubscribes from many
+// goroutines; run under -race by make verify.
+func TestHubConcurrent(t *testing.T) {
+	hub := newSSEHub()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id, ch, ok := hub.subscribe()
+				if !ok {
+					return
+				}
+				hub.publish("e", []byte(`1`))
+				select {
+				case <-ch:
+				default:
+				}
+				hub.unsubscribe(id)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			hub.publish("e", []byte(`2`))
+		}
+	}()
+	wg.Wait()
+	hub.close()
+	hub.close() // idempotent
+	if _, _, ok := hub.subscribe(); ok {
+		t.Error("subscribe after close should fail")
+	}
+}
+
+func TestNilServerIsSafe(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" || s.URL() != "" {
+		t.Error("nil server should report empty addresses")
+	}
+	s.SetReady(true)
+	s.Publish("event", map[string]int{"x": 1})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil shutdown: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// sseHub fans published events out to every connected /progress client.
+// Each client owns a buffered channel; a client that cannot keep up has
+// events dropped (counted per client) rather than stalling the engine's
+// event stream — live telemetry must never slow the run it watches.
+type sseHub struct {
+	mu      sync.Mutex
+	closed  bool
+	nextID  int
+	clients map[int]*sseClient
+}
+
+// sseClient is one subscribed /progress connection.
+type sseClient struct {
+	ch      chan sseMessage
+	dropped int
+}
+
+// sseMessage is one formatted server-sent event.
+type sseMessage struct {
+	event string // SSE event name ("" = unnamed "message" event)
+	data  []byte // one JSON document (no raw newlines)
+}
+
+// clientBuffer is the per-client event backlog; 256 events hold an entire
+// 195-project study, so even a client that connects early and reads late
+// sees every completion.
+const clientBuffer = 256
+
+func newSSEHub() *sseHub {
+	return &sseHub{clients: map[int]*sseClient{}}
+}
+
+// subscribe registers a new client and returns its id and channel. The
+// returned channel is closed when the hub shuts down.
+func (h *sseHub) subscribe() (int, <-chan sseMessage, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return 0, nil, false
+	}
+	id := h.nextID
+	h.nextID++
+	c := &sseClient{ch: make(chan sseMessage, clientBuffer)}
+	h.clients[id] = c
+	return id, c.ch, true
+}
+
+// unsubscribe removes a client; its channel is left to the garbage
+// collector (the handler is the only reader).
+func (h *sseHub) unsubscribe(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.clients, id)
+}
+
+// publish broadcasts one event, dropping it for clients whose buffer is
+// full. It never blocks.
+func (h *sseHub) publish(event string, data []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	msg := sseMessage{event: event, data: data}
+	for _, c := range h.clients {
+		select {
+		case c.ch <- msg:
+		default:
+			c.dropped++
+		}
+	}
+}
+
+// close shuts the hub down: every client channel is closed (handlers
+// drain and return) and later publishes become no-ops.
+func (h *sseHub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, c := range h.clients {
+		close(c.ch)
+		delete(h.clients, id)
+	}
+}
+
+// clientCount reports the number of connected clients (a /metrics gauge).
+func (h *sseHub) clientCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.clients)
+}
+
+// Publish marshals payload to JSON and broadcasts it to every connected
+// /progress client under the given SSE event name. Safe on a nil Server
+// and never blocks: slow clients lose events instead of stalling the run.
+func (s *Server) Publish(event string, payload any) {
+	if s == nil {
+		return
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		s.log.Warn("obs: SSE payload not marshallable", "event", event, "err", err)
+		return
+	}
+	s.hub.publish(event, data)
+}

@@ -1,0 +1,96 @@
+package runlog
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"coevo/internal/obs"
+)
+
+// Summary is the /runs list view of a manifest: enough to pick a run,
+// small enough to list hundreds.
+type Summary struct {
+	ID              string    `json:"id"`
+	Command         string    `json:"command"`
+	Start           time.Time `json:"start"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	Outcome         string    `json:"outcome"`
+	Projects        int       `json:"projects"`
+	Failed          int       `json:"failed"`
+	P95Seconds      float64   `json:"p95_seconds,omitempty"`
+}
+
+// Summarize projects a manifest onto its list view.
+func Summarize(m *Manifest) Summary {
+	return Summary{
+		ID: m.ID, Command: m.Command, Start: m.Start,
+		DurationSeconds: m.DurationSeconds, Outcome: m.Outcome,
+		Projects: m.Projects, Failed: m.Failed, P95Seconds: m.P95Seconds,
+	}
+}
+
+// Handler serves the ledger over HTTP, mounted at /runs by the embedded
+// observability server: GET /runs lists every run as a JSON summary
+// array (newest last, mirroring List), and GET /runs/<id> returns one
+// full manifest ("latest" and unique id prefixes resolve like Load).
+// The ledger directory is re-read per request, so a long-lived server
+// always shows runs recorded after it started.
+func Handler(dir string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/runs"), "/")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if id == "" {
+			runs, err := List(dir)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			summaries := make([]Summary, 0, len(runs))
+			for _, m := range runs {
+				summaries = append(summaries, Summarize(m))
+			}
+			enc.Encode(summaries)
+			return
+		}
+		m, err := Load(dir, id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		enc.Encode(m)
+	})
+}
+
+// RegisterMetrics exposes ledger freshness in a metrics registry — what
+// a Prometheus scraping `coevo serve` alerts on: how many runs the
+// ledger holds, when the last one finished, how long it took and how
+// much of it failed. The directory is re-read at exposition time.
+func RegisterMetrics(reg *obs.Registry, dir string) {
+	last := func(pick func(*Manifest) float64) func() float64 {
+		return func() float64 {
+			runs, err := List(dir)
+			if err != nil || len(runs) == 0 {
+				return 0
+			}
+			return pick(runs[len(runs)-1])
+		}
+	}
+	reg.GaugeFunc("coevo_runlog_runs", "Manifests in the run ledger.",
+		func() float64 {
+			runs, _ := List(dir)
+			return float64(len(runs))
+		})
+	reg.GaugeFunc("coevo_runlog_last_run_end_timestamp_seconds",
+		"Unix time the most recent run finished.",
+		last(func(m *Manifest) float64 { return float64(m.End.Unix()) }))
+	reg.GaugeFunc("coevo_runlog_last_run_duration_seconds",
+		"Wall time of the most recent run.",
+		last(func(m *Manifest) float64 { return m.DurationSeconds }))
+	reg.GaugeFunc("coevo_runlog_last_run_failed_projects",
+		"Projects the most recent run could not measure.",
+		last(func(m *Manifest) float64 { return float64(m.Failed) }))
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench microbench race vet fuzz-smoke smoke
+.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke
 
 build:
 	$(GO) build ./...
@@ -23,14 +23,16 @@ verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 
 # bench times full study runs — cold and warm cache, workers=1 vs
-# NumCPU — and writes the machine-readable report CI archives with every
-# build, plus a ledger manifest 'coevo runs diff' can compare across
-# builds.
-BENCH_OUT ?= BENCH_pr4.json
+# NumCPU, batch vs streaming — and writes the machine-readable report
+# (with per-case peak heap) CI archives with every build, plus a ledger
+# manifest 'coevo runs diff' can compare across builds. The Go benchmark
+# pass adds the streaming-vs-batch allocation profile.
+BENCH_OUT ?= BENCH_pr5.json
 RUNLOG_DIR ?= runs
 
 bench:
 	$(GO) run ./cmd/coevo bench -out $(BENCH_OUT) -runlog-dir $(RUNLOG_DIR)
+	$(GO) test -run NONE -bench BenchmarkStudyStreaming -benchmem .
 
 # smoke runs a full study with the live telemetry plane enabled and
 # checks every endpoint of the embedded server answers while the process
@@ -39,6 +41,16 @@ SMOKE_ADDR ?= 127.0.0.1:9188
 
 smoke:
 	./scripts/telemetry-smoke.sh $(SMOKE_ADDR) $(RUNLOG_DIR)
+
+# stream-smoke runs a corpus ~10x the paper's through the streaming
+# pipeline under a GOMEMLIMIT the batch path cannot fit in, and asserts
+# the ledger-recorded peak heap stayed under the cap (CHECK_BATCH=1 also
+# proves batch exceeds it).
+STREAM_SMOKE_PER_TAXON ?= 334
+STREAM_SMOKE_RUNLOG ?= stream-smoke-runs
+
+stream-smoke:
+	./scripts/stream-smoke.sh $(STREAM_SMOKE_PER_TAXON) $(STREAM_SMOKE_RUNLOG)
 
 # microbench runs the per-figure/table and ablation Go benchmarks.
 microbench:

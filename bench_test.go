@@ -12,7 +12,9 @@
 package coevo_test
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -20,8 +22,10 @@ import (
 	"coevo"
 	"coevo/internal/coevolution"
 	"coevo/internal/corpus"
+	"coevo/internal/engine"
 	"coevo/internal/heartbeat"
 	"coevo/internal/history"
+	"coevo/internal/obs"
 	"coevo/internal/stats"
 	"coevo/internal/study"
 	"coevo/internal/taxa"
@@ -542,6 +546,58 @@ func BenchmarkStudyWarmCache(b *testing.B) {
 		}
 		warmNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 		b.ReportMetric(float64(coldDur.Nanoseconds())/warmNs, "cold_over_warm_x")
+	})
+}
+
+// BenchmarkStudyStreaming measures the fused generate→analyze stream over
+// the full 195-project corpus with online figure aggregation, against the
+// batch collect-all pipeline doing the same work. Each sub-benchmark
+// reports its sampled live-heap high-water mark (peak_heap_mib, watermark
+// reset after a forced GC each iteration); run with -benchmem for the
+// allocation totals. The pair quantifies the streaming memory win.
+func BenchmarkStudyStreaming(b *testing.B) {
+	measure := func(b *testing.B, run func(opts coevo.Options) int) uint64 {
+		b.Helper()
+		proc := &obs.ProcStats{}
+		opts := coevo.DefaultOptions()
+		opts.Exec.OnEvent = func(e coevo.ExecEvent) {
+			if e.Type == engine.TaskFinished || e.Type == engine.TaskFailed {
+				proc.Sample()
+			}
+		}
+		runtime.GC()
+		proc.Reset()
+		if n := run(opts); n != 195 {
+			b.Fatalf("analyzed %d projects, want 195", n)
+		}
+		proc.Sample()
+		return proc.Peak()
+	}
+	b.Run("stream", func(b *testing.B) {
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			peak = measure(b, func(opts coevo.Options) int {
+				sum, err := coevo.StreamStudy(context.Background(), benchSeed, opts, coevo.NewFigures())
+				if err != nil {
+					b.Fatal(err)
+				}
+				return sum.Projects
+			})
+		}
+		b.ReportMetric(float64(peak)/(1<<20), "peak_heap_mib")
+	})
+	b.Run("batch", func(b *testing.B) {
+		var peak uint64
+		for i := 0; i < b.N; i++ {
+			peak = measure(b, func(opts coevo.Options) int {
+				d, err := coevo.RunStudyContext(context.Background(), benchSeed, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return d.Size()
+			})
+		}
+		b.ReportMetric(float64(peak)/(1<<20), "peak_heap_mib")
 	})
 }
 

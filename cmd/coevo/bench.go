@@ -12,13 +12,18 @@ import (
 
 	"coevo/internal/cache"
 	"coevo/internal/corpus"
+	"coevo/internal/engine"
+	"coevo/internal/obs"
 	"coevo/internal/runlog"
 	"coevo/internal/study"
 )
 
 // benchCase is one timed study run of the benchmark matrix.
 type benchCase struct {
-	Name     string  `json:"name"`
+	Name string `json:"name"`
+	// Mode is "batch" (materialize the corpus, then analyze) or "stream"
+	// (fused generate→analyze with online aggregation).
+	Mode     string  `json:"mode"`
 	Cache    string  `json:"cache"` // "cold" or "warm"
 	Workers  int     `json:"workers"`
 	Projects int     `json:"projects"`
@@ -28,6 +33,10 @@ type benchCase struct {
 	// entirely from cache.
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
+	// PeakHeapBytes is the sampled live-heap high-water mark of this case
+	// (watermark reset after a forced GC at case start) — the number the
+	// streaming mode exists to keep flat as the corpus grows.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
 }
 
 // benchReport is the JSON document runBench writes. The provenance block
@@ -47,14 +56,16 @@ type benchReport struct {
 }
 
 // runBench times full study runs — cold and warm cache, serial and
-// parallel — and writes a machine-readable JSON report, so CI can archive
-// the toolkit's performance envelope alongside every build. With
+// parallel, batch and streaming — and writes a machine-readable JSON
+// report, so CI can archive the toolkit's performance envelope alongside
+// every build. Each case records its peak sampled heap next to its wall
+// time, making the streaming mode's memory bound measurable. With
 // -runlog-dir the run also lands in the persistent ledger (each case's
-// wall time as a stage), where 'coevo runs diff' flags timing regressions
-// between bench runs.
+// wall time as a stage), where 'coevo runs diff' flags timing
+// regressions between bench runs.
 func runBench(ctx context.Context, args []string) error {
 	fs := newFlagSet("bench")
-	out := fs.String("out", "BENCH_pr4.json", "write the benchmark report JSON to this path")
+	out := fs.String("out", "BENCH_pr5.json", "write the benchmark report JSON to this path")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	perTaxon := fs.Int("per-taxon", 0, "shrink the corpus to N projects per taxon (0 = the full 195-project corpus)")
 	runlogDir := fs.String("runlog-dir", "", "also record the bench run as a manifest in this ledger directory")
@@ -73,24 +84,48 @@ func runBench(ctx context.Context, args []string) error {
 			profiles[i].Count = *perTaxon
 		}
 	}
-	runOnce := func(workers int, c *cache.Cache) (int, float64, error) {
+	proc := &obs.ProcStats{}
+	sample := func(e engine.Event) {
+		if e.Type == engine.TaskFinished || e.Type == engine.TaskFailed {
+			proc.Sample()
+		}
+	}
+	runOnce := func(mode string, workers int, c *cache.Cache) (int, float64, uint64, error) {
 		cfg := corpus.DefaultConfig(*seed)
 		cfg.Profiles = profiles
 		cfg.Exec.Workers = workers
+		cfg.Exec.OnEvent = sample
 		cfg.Cache = c
 		opts := study.DefaultOptions()
 		opts.Exec.Workers = workers
+		opts.Exec.OnEvent = sample
 		opts.Cache = c
+		// Isolate this case's heap watermark from the previous case's
+		// garbage before timing starts.
+		runtime.GC()
+		proc.Reset()
 		start := time.Now()
-		projects, err := corpus.GenerateContext(ctx, cfg)
-		if err != nil {
-			return 0, 0, err
+		var n int
+		if mode == "stream" {
+			sum, err := study.StreamCorpus(ctx, corpus.NewSource(cfg), study.NewFigures(), opts)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			n = sum.Projects
+		} else {
+			projects, err := corpus.GenerateContext(ctx, cfg)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			d, err := study.AnalyzeCorpusContext(ctx, projects, opts)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			n = d.Size()
 		}
-		d, err := study.AnalyzeCorpusContext(ctx, projects, opts)
-		if err != nil {
-			return 0, 0, err
-		}
-		return d.Size(), time.Since(start).Seconds(), nil
+		secs := time.Since(start).Seconds()
+		proc.Sample()
+		return n, secs, proc.Peak(), nil
 	}
 
 	workerSettings := []int{1}
@@ -109,30 +144,41 @@ func runBench(ctx context.Context, args []string) error {
 		Seed:          *seed,
 	}
 	var totalHits, totalMisses int64
+	var peakHeap uint64
 	for _, workers := range workerSettings {
-		// One shared in-memory cache per worker setting: the first run is
-		// the cold measurement, the second replays it warm.
-		c := cache.NewMemory()
-		for _, phase := range []string{"cold", "warm"} {
-			before := c.Stats()
-			n, secs, err := runOnce(workers, c)
-			if err != nil {
-				return err
+		for _, mode := range []string{"batch", "stream"} {
+			// One shared in-memory cache per (mode, worker) cell: the first
+			// run is the cold measurement, the second replays it warm.
+			c := cache.NewMemory()
+			prefix := "study"
+			if mode == "stream" {
+				prefix = "study-stream"
 			}
-			after := c.Stats()
-			bc := benchCase{
-				Name:  fmt.Sprintf("study/%s/workers=%d", phase, workers),
-				Cache: phase, Workers: workers, Projects: n, Seconds: secs,
-				CacheHits:   after.Hits - before.Hits,
-				CacheMisses: after.Misses - before.Misses,
+			for _, phase := range []string{"cold", "warm"} {
+				before := c.Stats()
+				n, secs, peak, err := runOnce(mode, workers, c)
+				if err != nil {
+					return err
+				}
+				after := c.Stats()
+				bc := benchCase{
+					Name: fmt.Sprintf("%s/%s/workers=%d", prefix, phase, workers),
+					Mode: mode, Cache: phase, Workers: workers, Projects: n, Seconds: secs,
+					CacheHits:     after.Hits - before.Hits,
+					CacheMisses:   after.Misses - before.Misses,
+					PeakHeapBytes: peak,
+				}
+				rep.Results = append(rep.Results, bc)
+				totalHits += bc.CacheHits
+				totalMisses += bc.CacheMisses
+				if peak > peakHeap {
+					peakHeap = peak
+				}
+				manifest.Projects = n
+				manifest.StageSeconds = appendStage(manifest.StageSeconds, bc.Name, secs)
+				fmt.Fprintf(os.Stderr, "bench %-34s %8.3fs  (%d projects, %d cache hits / %d misses, peak heap %.1f MiB)\n",
+					bc.Name, bc.Seconds, bc.Projects, bc.CacheHits, bc.CacheMisses, float64(bc.PeakHeapBytes)/(1<<20))
 			}
-			rep.Results = append(rep.Results, bc)
-			totalHits += bc.CacheHits
-			totalMisses += bc.CacheMisses
-			manifest.Projects = n
-			manifest.StageSeconds = appendStage(manifest.StageSeconds, bc.Name, secs)
-			fmt.Fprintf(os.Stderr, "bench %-28s %8.3fs  (%d projects, %d cache hits / %d misses)\n",
-				bc.Name, bc.Seconds, bc.Projects, bc.CacheHits, bc.CacheMisses)
 		}
 	}
 
@@ -152,6 +198,7 @@ func runBench(ctx context.Context, args []string) error {
 				HitRate: float64(totalHits) / float64(total),
 			}
 		}
+		manifest.PeakHeapBytes = peakHeap
 		manifest.Finish(time.Now(), nil)
 		path, err := runlog.Write(*runlogDir, manifest)
 		if err != nil {

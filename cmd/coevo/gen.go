@@ -11,11 +11,15 @@ import (
 	"coevo/internal/taxa"
 )
 
-// runGen generates the corpus and summarizes it per taxon.
+// runGen generates the corpus and summarizes it per taxon. The default
+// streaming mode visits projects in corpus order and releases each one
+// after it is counted (and listed), so the whole corpus is never
+// resident; -stream=false keeps the collect-all path.
 func runGen(ctx context.Context, args []string) error {
 	fs := newFlagSet("gen")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	list := fs.Bool("list", false, "list every generated project")
+	streamMode := fs.Bool("stream", true, "generate and summarize one project at a time instead of materializing the corpus")
 	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
@@ -29,15 +33,6 @@ func runGen(ctx context.Context, args []string) error {
 	cfg.Exec = p.exec
 	cfg.Cache = p.cache
 	cfg.Obs = p.obs
-	projects, err := corpus.GenerateContext(ctx, cfg)
-	p.recordProjects(len(projects))
-	ferr := p.finish(ctx, err)
-	if err != nil {
-		return err
-	}
-	if ferr != nil {
-		return ferr
-	}
 
 	type agg struct {
 		projects, commits, schemaVersions int
@@ -46,19 +41,40 @@ func runGen(ctx context.Context, args []string) error {
 	for _, taxon := range taxa.All() {
 		perTaxon[taxon] = &agg{}
 	}
-	for _, p := range projects {
-		a := perTaxon[p.Taxon]
+	visit := func(pr *corpus.Project) error {
+		a := perTaxon[pr.Taxon]
 		a.projects++
-		a.commits += p.Repo.CommitCount()
-		a.schemaVersions += len(p.Repo.FileVersions(p.DDLPath))
+		a.commits += pr.Repo.CommitCount()
+		a.schemaVersions += len(pr.Repo.FileVersions(pr.DDLPath))
 		if *list {
 			fmt.Printf("%-24s %-22s %4d commits  ddl=%s\n",
-				p.Name, p.Taxon, p.Repo.CommitCount(), p.DDLPath)
+				pr.Name, pr.Taxon, pr.Repo.CommitCount(), pr.DDLPath)
 		}
+		return nil
+	}
+
+	var n int
+	if *streamMode {
+		n, err = corpus.EachContext(ctx, cfg, visit)
+	} else {
+		var projects []*corpus.Project
+		projects, err = corpus.GenerateContext(ctx, cfg)
+		for _, pr := range projects {
+			visit(pr) //nolint:errcheck // visit never fails here
+		}
+		n = len(projects)
+	}
+	p.recordProjects(n)
+	ferr := p.finish(ctx, err)
+	if err != nil {
+		return err
+	}
+	if ferr != nil {
+		return ferr
 	}
 
 	tbl := &report.Table{
-		Title:  fmt.Sprintf("Corpus summary (seed %d, %d projects)", *seed, len(projects)),
+		Title:  fmt.Sprintf("Corpus summary (seed %d, %d projects)", *seed, n),
 		Header: []string{"Taxon", "Projects", "Commits", "Schema versions"},
 	}
 	totals := agg{}

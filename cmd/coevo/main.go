@@ -149,8 +149,12 @@ func reportInterrupted(d *study.Dataset, err error) {
 	if d == nil {
 		return
 	}
+	reportInterruptedCounts(d.Size(), len(d.Failures), err)
+}
+
+func reportInterruptedCounts(analyzed, failed int, err error) {
 	fmt.Fprintf(os.Stderr, "interrupted (%v): %d projects analyzed, %d failed before cancellation\n",
-		err, d.Size(), len(d.Failures))
+		err, analyzed, failed)
 }
 
 // reportFailures summarizes a partial study on stderr and decides the
@@ -158,15 +162,21 @@ func reportInterrupted(d *study.Dataset, err error) {
 // figures degrade gracefully), but a study where every project failed
 // returns an error.
 func reportFailures(d *study.Dataset) error {
-	if len(d.Failures) == 0 {
+	return reportFailureList(d.Size(), d.Failures)
+}
+
+// reportFailureList is reportFailures over the streaming run's summary
+// shape: analyzed is the count of successfully delivered projects.
+func reportFailureList(analyzed int, failures []study.Failure) error {
+	if len(failures) == 0 {
 		return nil
 	}
-	fmt.Fprintf(os.Stderr, "%d of %d projects failed:\n", len(d.Failures), d.Size()+len(d.Failures))
-	for _, f := range d.Failures {
+	fmt.Fprintf(os.Stderr, "%d of %d projects failed:\n", len(failures), analyzed+len(failures))
+	for _, f := range failures {
 		fmt.Fprintf(os.Stderr, "  %s: %v\n", f.Name, f.Err)
 	}
-	if d.Size() == 0 {
-		return fmt.Errorf("all %d projects failed", len(d.Failures))
+	if analyzed == 0 {
+		return fmt.Errorf("all %d projects failed", len(failures))
 	}
 	return nil
 }

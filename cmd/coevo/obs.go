@@ -28,6 +28,7 @@ type pipeline struct {
 	cache   *cache.Cache
 	obs     *obs.Observer
 	metrics *engine.Metrics
+	proc    *obs.ProcStats
 	server  *obs.Server
 
 	showMetrics        bool
@@ -100,7 +101,15 @@ func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
 			}
 			p.obs = obs.New(oopts)
 		}
+		// Process-memory gauges live in the registry (visible in /metrics
+		// and the manifest's metrics snapshot); a ledger-only run still
+		// tracks the peak so the manifest can record it.
+		p.proc = obs.RegisterProcMetrics(p.obs.Metrics())
 		if *runlogDir != "" {
+			if p.proc == nil {
+				p.proc = &obs.ProcStats{}
+				p.proc.Sample()
+			}
 			p.manifest = runlog.NewManifest(fs.Name(), time.Now())
 			p.manifest.Options = map[string]string{}
 			fs.Visit(func(f *flag.Flag) {
@@ -140,6 +149,15 @@ func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
 		}
 		if p.server != nil {
 			observers = append(observers, p.publishEvent)
+		}
+		// Sharpen the heap-peak watermark at task boundaries — exposition
+		// alone would only sample when something scrapes /metrics.
+		if p.proc != nil {
+			observers = append(observers, func(e engine.Event) {
+				if e.Type == engine.TaskFinished || e.Type == engine.TaskFailed {
+					p.proc.Sample()
+				}
+			})
 		}
 		if len(observers) > 0 {
 			p.exec.OnEvent = engine.Tee(observers...)
@@ -214,6 +232,20 @@ func (p *pipeline) recordDataset(d *study.Dataset) {
 	}
 }
 
+// recordStream notes a streaming run's coverage in the run manifest —
+// the counterpart of recordDataset for runs that never hold a Dataset.
+func (p *pipeline) recordStream(s *study.StreamSummary) {
+	if p.manifest == nil || s == nil {
+		return
+	}
+	p.manifest.Projects = s.Projects
+	p.manifest.Failed = len(s.Failures)
+	for _, f := range s.Failures {
+		p.manifest.Failures = append(p.manifest.Failures,
+			runlog.FailureSummary{Name: f.Name, Err: f.Err.Error()})
+	}
+}
+
 // recordProjects notes a project count for runs without a Dataset (gen).
 func (p *pipeline) recordProjects(n int) {
 	if p.manifest != nil {
@@ -251,6 +283,8 @@ func (p *pipeline) sealManifest(runErr error) error {
 			m.Cache = cs
 		}
 	}
+	p.proc.Sample()
+	m.PeakHeapBytes = p.proc.Peak()
 	m.Metrics = p.obs.Metrics().Snapshot()
 	m.Finish(time.Now(), runErr)
 	path, err := runlog.Write(p.ledger, m)

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"coevo/internal/corpus"
 	"coevo/internal/report"
 	"coevo/internal/study"
 )
@@ -20,13 +21,141 @@ func workersLabel(workers int) string {
 	return fmt.Sprintf("workers=%d", workers)
 }
 
+// studyArtifacts holds every evaluation figure's input, computed either
+// by folding a batch Dataset or live by the streaming Figures sink — one
+// rendering path for both modes guarantees their output is identical.
+type studyArtifacts struct {
+	hist       *study.SyncHistogram
+	scatter    []study.ScatterPoint
+	bandIn     int
+	bandOut    int
+	advance    *study.AdvanceTable
+	always     *study.AlwaysAdvanceSummary
+	attainment *study.AttainmentBreakdown
+	stats      func() (*study.StatsReport, error)
+}
+
+// datasetArtifacts folds a batch dataset into the figure inputs.
+func datasetArtifacts(d *study.Dataset, seed int64) *studyArtifacts {
+	in, out := d.LongProjectSyncBand(60, 0.2, 0.8)
+	return &studyArtifacts{
+		hist:       d.SynchronicityHistogram(0.10, 5),
+		scatter:    d.DurationSynchronicityScatter(),
+		bandIn:     in,
+		bandOut:    out,
+		advance:    d.AdvanceBreakdown(),
+		always:     d.AlwaysAdvance(),
+		attainment: d.Attainment(),
+		stats:      func() (*study.StatsReport, error) { return d.Statistics(seed) },
+	}
+}
+
+// figuresArtifacts reads the finished online accumulators.
+func figuresArtifacts(f *study.Figures, seed int64) *studyArtifacts {
+	in, out := f.Band.Band()
+	return &studyArtifacts{
+		hist:       f.Sync.Histogram(),
+		scatter:    f.Scatter.Points(),
+		bandIn:     in,
+		bandOut:    out,
+		advance:    f.Advance.Table(),
+		always:     f.Always.Summary(),
+		attainment: f.Attainment.Breakdown(),
+		stats:      func() (*study.StatsReport, error) { return f.Stats.Report(seed) },
+	}
+}
+
+// studySection is one named output of the study run.
+type studySection struct {
+	name  string
+	write func(io.Writer) error
+}
+
+// studySections lists the evaluation artifacts in presentation order.
+func studySections(a *studyArtifacts) []studySection {
+	return []studySection{
+		{"figure4.txt", func(w io.Writer) error {
+			return report.Render(w, a.hist, report.Text)
+		}},
+		{"figure4.svg", func(w io.Writer) error {
+			return report.Render(w, a.hist, report.SVG)
+		}},
+		{"figure5.svg", func(w io.Writer) error {
+			return report.Render(w, a.scatter, report.SVG)
+		}},
+		{"figure5.txt", func(w io.Writer) error {
+			if err := report.Render(w, a.scatter, report.Text); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "projects older than 60 months: %d in the (0.2, 0.8) band, %d outside\n", a.bandIn, a.bandOut)
+			return err
+		}},
+		{"figure6.txt", func(w io.Writer) error {
+			return report.Render(w, a.advance, report.Text)
+		}},
+		{"figure7.txt", func(w io.Writer) error {
+			return report.Render(w, a.always, report.Text)
+		}},
+		{"figure8.txt", func(w io.Writer) error {
+			return report.Render(w, a.attainment, report.Text)
+		}},
+		{"section7.txt", func(w io.Writer) error {
+			st, err := a.stats()
+			if err != nil {
+				return err
+			}
+			return report.Render(w, st, report.Text)
+		}},
+	}
+}
+
+// renderStudySections prints the text sections to stdout and optionally
+// writes every section (text and SVG) into outDir.
+func renderStudySections(a *studyArtifacts, outDir string) error {
+	for _, s := range studySections(a) {
+		if !strings.HasSuffix(s.name, ".svg") {
+			if err := s.write(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if outDir != "" {
+			if err := writeFile(filepath.Join(outDir, s.name), s.write); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// studyCorpusConfig assembles the generation config shared by the batch
+// and streaming paths: the paper's corpus (optionally rescaled per taxon
+// for memory experiments), the run's cache and observer.
+func studyCorpusConfig(p *pipeline, seed int64, perTaxon int) corpus.Config {
+	cfg := corpus.DefaultConfig(seed)
+	if perTaxon > 0 {
+		for i := range cfg.Profiles {
+			cfg.Profiles[i].Count = perTaxon
+		}
+	}
+	cfg.Exec.Workers = p.exec.Workers
+	cfg.Cache = p.cache
+	cfg.Obs = p.obs
+	return cfg
+}
+
 // runStudy executes the full pipeline and renders every evaluation
-// artifact, optionally writing the per-project CSV data set.
+// artifact, optionally writing the per-project CSV data set. The default
+// streaming mode fuses generation and analysis so peak memory stays
+// O(workers) projects; -stream=false materializes the corpus first and
+// analyzes it as a batch. Both modes produce byte-identical output.
 func runStudy(ctx context.Context, args []string) error {
 	fs := newFlagSet("study")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	csvPath := fs.String("csv", "", "write the per-project data set to this CSV file")
 	outDir := fs.String("out", "", "also write each figure to a file in this directory")
+	streamMode := fs.Bool("stream", true, "fuse generation and analysis into one bounded-memory stream (false: materialize the whole corpus, then analyze)")
+	perTaxon := fs.Int("per-taxon", 0, "override the per-taxon project count (0 = the paper's 195-project corpus)")
 	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
@@ -40,9 +169,26 @@ func runStudy(ctx context.Context, args []string) error {
 	opts.Exec = p.exec
 	opts.Cache = p.cache
 	opts.Obs = p.obs
-	fmt.Fprintf(os.Stderr, "generating and analyzing the 195-project corpus (seed %d, %s)...\n",
-		*seed, workersLabel(opts.Exec.Workers))
-	d, err := study.Run(ctx, *seed, opts)
+	cfg := studyCorpusConfig(p, *seed, *perTaxon)
+	src := corpus.NewSource(cfg)
+	mode := "batch"
+	if *streamMode {
+		mode = "streaming"
+	}
+	fmt.Fprintf(os.Stderr, "generating and analyzing the %d-project corpus (seed %d, %s, %s)...\n",
+		src.Len(), *seed, workersLabel(opts.Exec.Workers), mode)
+
+	if *streamMode {
+		return runStudyStreaming(ctx, p, src, opts, *seed, *csvPath, *outDir)
+	}
+
+	rctx, span := p.obs.StartSpan(ctx, "run")
+	projects, err := corpus.GenerateContext(rctx, cfg)
+	var d *study.Dataset
+	if err == nil {
+		d, err = study.AnalyzeCorpusContext(rctx, projects, opts)
+	}
+	span.End()
 	p.recordDataset(d)
 	ferr := p.finish(ctx, err)
 	if err != nil {
@@ -57,58 +203,9 @@ func runStudy(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("analyzed %d projects\n\n", d.Size())
 
-	sections := []struct {
-		name  string
-		write func(io.Writer) error
-	}{
-		{"figure4.txt", func(w io.Writer) error {
-			return report.Render(w, d.SynchronicityHistogram(0.10, 5), report.Text)
-		}},
-		{"figure4.svg", func(w io.Writer) error {
-			return report.Render(w, d.SynchronicityHistogram(0.10, 5), report.SVG)
-		}},
-		{"figure5.svg", func(w io.Writer) error {
-			return report.Render(w, d.DurationSynchronicityScatter(), report.SVG)
-		}},
-		{"figure5.txt", func(w io.Writer) error {
-			if err := report.Render(w, d.DurationSynchronicityScatter(), report.Text); err != nil {
-				return err
-			}
-			in, out := d.LongProjectSyncBand(60, 0.2, 0.8)
-			_, err := fmt.Fprintf(w, "projects older than 60 months: %d in the (0.2, 0.8) band, %d outside\n", in, out)
-			return err
-		}},
-		{"figure6.txt", func(w io.Writer) error {
-			return report.Render(w, d.AdvanceBreakdown(), report.Text)
-		}},
-		{"figure7.txt", func(w io.Writer) error {
-			return report.Render(w, d.AlwaysAdvance(), report.Text)
-		}},
-		{"figure8.txt", func(w io.Writer) error {
-			return report.Render(w, d.Attainment(), report.Text)
-		}},
-		{"section7.txt", func(w io.Writer) error {
-			st, err := d.Statistics(*seed)
-			if err != nil {
-				return err
-			}
-			return report.Render(w, st, report.Text)
-		}},
+	if err := renderStudySections(datasetArtifacts(d, *seed), *outDir); err != nil {
+		return err
 	}
-	for _, s := range sections {
-		if !strings.HasSuffix(s.name, ".svg") {
-			if err := s.write(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		if *outDir != "" {
-			if err := writeFile(filepath.Join(*outDir, s.name), s.write); err != nil {
-				return err
-			}
-		}
-	}
-
 	if *csvPath != "" {
 		if err := writeFile(*csvPath, func(w io.Writer) error {
 			return report.Render(w, d, report.CSV)
@@ -116,6 +213,70 @@ func runStudy(ctx context.Context, args []string) error {
 			return err
 		}
 		fmt.Printf("wrote data set to %s\n", *csvPath)
+	}
+	return nil
+}
+
+// runStudyStreaming runs the fused generate→analyze stream: figures
+// accumulate online and the CSV (when requested) is written row by row,
+// so no per-project result outlives its turn through the sinks.
+func runStudyStreaming(ctx context.Context, p *pipeline, src *corpus.Source, opts study.Options, seed int64, csvPath, outDir string) error {
+	figs := study.NewFigures()
+	sinks := []study.Sink{figs}
+	var csvFile *os.File
+	var csvW *report.DatasetCSVWriter
+	if csvPath != "" {
+		if err := os.MkdirAll(filepath.Dir(csvPath), 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		csvFile = f
+		csvW = report.NewDatasetCSVWriter(f)
+		sinks = append(sinks, csvW)
+	}
+	closeCSV := func() error {
+		if csvFile == nil {
+			return nil
+		}
+		err := csvW.Close()
+		if cerr := csvFile.Close(); err == nil {
+			err = cerr
+		}
+		csvFile = nil
+		return err
+	}
+	defer closeCSV() //nolint:errcheck // re-checked on the success path
+
+	rctx, span := opts.Obs.StartSpan(ctx, "run")
+	sum, err := study.StreamCorpus(rctx, src, study.MultiSink(sinks...), opts)
+	span.End()
+	p.recordStream(sum)
+	ferr := p.finish(ctx, err)
+	if err != nil {
+		if sum != nil {
+			reportInterruptedCounts(sum.Projects, len(sum.Failures), err)
+		}
+		return err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	if err := reportFailureList(sum.Projects, sum.Failures); err != nil {
+		return err
+	}
+	fmt.Printf("analyzed %d projects\n\n", sum.Projects)
+
+	if err := renderStudySections(figuresArtifacts(figs, seed), outDir); err != nil {
+		return err
+	}
+	if csvPath != "" {
+		if err := closeCSV(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote data set to %s\n", csvPath)
 	}
 	return nil
 }

@@ -218,6 +218,46 @@ func RunStudyContext(ctx context.Context, seed int64, opts Options) (*Dataset, e
 	return study.Run(ctx, seed, opts)
 }
 
+// Streaming: the fused generate→analyze pipeline. A CorpusSource hands
+// projects out lazily, StreamStudy pushes each analyzed result through a
+// StudySink in corpus order and releases it, and Figures accumulates
+// every published figure and statistic online — the whole study in
+// O(workers) memory, byte-identical to the batch path.
+type (
+	// CorpusSource generates a corpus lazily, one project per Next call.
+	CorpusSource = corpus.Source
+	// StudySink consumes per-project results in corpus order.
+	StudySink = study.Sink
+	// StreamSummary reports a streaming run's coverage and failures.
+	StreamSummary = study.StreamSummary
+	// Figures bundles online accumulators for every figure and the
+	// Section 7 statistics; it is a StudySink.
+	Figures = study.Figures
+)
+
+// NewCorpusSource prepares a lazy generator for cfg.
+func NewCorpusSource(cfg CorpusConfig) *CorpusSource { return corpus.NewSource(cfg) }
+
+// NewFigures returns online accumulators for the paper's figures.
+func NewFigures() *Figures { return study.NewFigures() }
+
+// MultiSink fans each result out to every non-nil sink in order,
+// stopping at the first error.
+func MultiSink(sinks ...StudySink) StudySink { return study.MultiSink(sinks...) }
+
+// StreamCorpus generates and analyzes src's corpus as one fused stream,
+// feeding sink in corpus order. See study.StreamCorpus.
+func StreamCorpus(ctx context.Context, src *CorpusSource, sink StudySink, opts Options) (*StreamSummary, error) {
+	return study.StreamCorpus(ctx, src, sink, opts)
+}
+
+// StreamStudy is the streaming RunStudyContext: it generates the default
+// corpus for seed and streams every analyzed project into sink without
+// ever materializing the corpus or a Dataset.
+func StreamStudy(ctx context.Context, seed int64, opts Options, sink StudySink) (*StreamSummary, error) {
+	return study.RunStream(ctx, seed, opts, sink)
+}
+
 // Rendering: every figure and export of the study is produced through one
 // entry point, Render, which dispatches an artifact and a format to the
 // matching encoder. The eleven Write* helpers below predate it and remain
@@ -328,6 +368,13 @@ func WriteStatsReport(w io.Writer, r *StatsReport) error {
 func WriteDatasetCSV(w io.Writer, d *Dataset) error {
 	return Render(w, d, CSV)
 }
+
+// DatasetCSVWriter streams the CSV export row by row; its Add method is
+// a StudySink, so a streaming study can emit the data set live.
+type DatasetCSVWriter = report.DatasetCSVWriter
+
+// NewDatasetCSVWriter writes the CSV header and returns the row writer.
+func NewDatasetCSVWriter(w io.Writer) *DatasetCSVWriter { return report.NewDatasetCSVWriter(w) }
 
 // WriteJointProgressSVG renders a joint progress diagram as SVG.
 //

@@ -15,7 +15,6 @@ package corpus
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -234,56 +233,15 @@ func Generate(cfg Config) ([]*Project, error) {
 // rand source from cfg.Seed and its index, so the result is bit-for-bit
 // identical to the serial generator at any worker count.
 func GenerateContext(ctx context.Context, cfg Config) ([]*Project, error) {
-	if cfg.Profiles == nil {
-		cfg.Profiles = DefaultProfiles()
-	}
-	if cfg.Epoch.IsZero() {
-		cfg.Epoch = time.Date(2008, time.January, 1, 0, 0, 0, 0, time.UTC)
-	}
-	if cfg.StartSpreadMonths <= 0 {
-		cfg.StartSpreadMonths = 72
-	}
-	type spec struct {
-		prof Profile
-		idx  int
-	}
-	var specs []spec
-	for _, prof := range cfg.Profiles {
-		for i := 0; i < prof.Count; i++ {
-			specs = append(specs, spec{prof: prof, idx: len(specs)})
-		}
-	}
-	eopts := cfg.Exec
-	// A generation failure means the configuration itself is broken; no
-	// point materializing the rest of a corpus that cannot be studied.
-	eopts.Policy = engine.FailFast
-	if eopts.Name == nil {
-		eopts.Name = func(i int) string { return fmt.Sprintf("project-%03d", i) }
-	}
-	eopts.Obs = cfg.Obs
-	eopts.Scope = "generate"
-	ctx, span := cfg.Obs.StartSpan(ctx, "generate")
-	defer span.End()
-	span.SetArg("projects", fmt.Sprint(len(specs)))
-	begin := time.Now()
-	cfg.Obs.Logger().Info("corpus: generating", "projects", len(specs), "seed", cfg.Seed)
-	projects, _, err := engine.Map(ctx, specs,
-		func(_ context.Context, _ int, s spec) (*Project, error) {
-			p, err := generateProjectCached(cfg, s.prof, s.idx)
-			if err != nil {
-				return nil, fmt.Errorf("corpus: project %d (%s): %w", s.idx, s.prof.Taxon, err)
-			}
-			return p, nil
-		}, eopts)
+	src := NewSource(cfg)
+	projects := make([]*Project, 0, src.Len())
+	_, err := src.each(ctx, -1, func(p *Project) error {
+		projects = append(projects, p)
+		return nil
+	})
 	if err != nil {
-		// Surface the task's own (already project-labelled) cause.
-		var te *engine.TaskError
-		if errors.As(err, &te) {
-			return nil, te.Err
-		}
 		return nil, err
 	}
-	cfg.Obs.Logger().Info("corpus: generated", "projects", len(projects), "elapsed", time.Since(begin))
 	return projects, nil
 }
 
@@ -294,9 +252,17 @@ func generateFresh(cfg Config, prof Profile, idx int) (*Project, error) {
 	return generateProject(rng, cfg, prof, idx)
 }
 
+// ProjectName is the deterministic repository name of corpus index idx,
+// independent of generation: callers that know only the index (e.g. a
+// streaming pipeline naming tasks before projects materialize) get the
+// same name the generated repository will carry.
+func ProjectName(idx int) string {
+	return fmt.Sprintf("org%02d/project-%03d", idx%20, idx)
+}
+
 // generateProject materializes one repository.
 func generateProject(rng *rand.Rand, cfg Config, prof Profile, idx int) (*Project, error) {
-	name := fmt.Sprintf("org%02d/project-%03d", idx%20, idx)
+	name := ProjectName(idx)
 	repo := vcs.NewRepository(name)
 	ddlPath := []string{"schema.sql", "db/schema.sql", "sql/create_tables.sql"}[rng.Intn(3)]
 

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"time"
 
@@ -164,127 +163,14 @@ func Map[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, 
 	if n == 0 {
 		return results, nil, ctx.Err()
 	}
-	name := opts.Name
-	if name == nil {
-		name = func(i int) string { return fmt.Sprintf("task-%d", i) }
-	}
-	scope := opts.Scope
-	if scope == "" {
-		scope = "run"
-	}
-	workers := opts.workerCount(n)
-	log := opts.Obs.Logger()
-	var tasksTotal, tasksFailed *obs.Counter
-	var taskSeconds *obs.Histogram
-	if reg := opts.Obs.Metrics(); reg != nil {
-		tasksTotal = reg.Counter(obs.Label("coevo_engine_tasks_total", "run", scope),
-			"Engine tasks completed (finished or failed).")
-		tasksFailed = reg.Counter(obs.Label("coevo_engine_task_failures_total", "run", scope),
-			"Engine tasks that returned an error or panicked.")
-		taskSeconds = reg.Histogram(obs.Label("coevo_engine_task_seconds", "run", scope),
-			"Per-task wall time in seconds.", obs.DurationBuckets)
-		reg.Gauge(obs.Label("coevo_engine_workers", "run", scope),
-			"Bounded worker pool size.").Set(float64(workers))
-	}
-	log.Debug("engine: run starting", "scope", scope, "tasks", n, "workers", workers,
-		"policy", opts.Policy.String())
-
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		mu       sync.Mutex // guards failures, trigger, done, and OnEvent
-		failures []*TaskError
-		trigger  *TaskError // chronologically first failure
-		done     int
-		next     int // next task index to hand out
-	)
-	emit := func(e Event) {
-		if opts.OnEvent != nil {
-			e.Scope = scope
-			opts.OnEvent(e)
-		}
-	}
-
-	var wg sync.WaitGroup
-	for w := workers; w > 0; w-- {
-		lane := w // 1-based trace lane owned by this worker
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if next >= n || runCtx.Err() != nil {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				emit(Event{Type: TaskStarted, Index: i, Name: name(i), Done: done, Total: n})
-				mu.Unlock()
-
-				rec := &stageRecorder{}
-				start := time.Now()
-				res, err := runTask(withStages(runCtx, rec), i, items[i], fn)
-				elapsed := time.Since(start)
-				stages := rec.finish(elapsed)
-
-				tasksTotal.Inc()
-				taskSeconds.Observe(elapsed.Seconds())
-				if opts.Obs.Tracing() {
-					opts.Obs.RecordSpan(name(i), lane, start, elapsed, "scope", scope)
-					for _, st := range stages {
-						opts.Obs.RecordSpan(st.Name, lane, st.Start, st.Elapsed, "task", name(i))
-					}
-				}
-				if reg := opts.Obs.Metrics(); reg != nil {
-					for _, st := range stages {
-						reg.Counter(obs.Label("coevo_engine_stage_seconds_total", "run", scope, "stage", st.Name),
-							"Wall time accumulated per named task stage.").Add(st.Elapsed.Seconds())
-					}
-				}
-				if err != nil {
-					tasksFailed.Inc()
-					log.Warn("engine: task failed", "scope", scope, "task", name(i),
-						"index", i, "elapsed", elapsed, "err", err)
-				} else {
-					log.Debug("engine: task done", "scope", scope, "task", name(i), "elapsed", elapsed)
-				}
-
-				mu.Lock()
-				done++
-				if err != nil {
-					te := &TaskError{Index: i, Name: name(i), Err: err}
-					failures = append(failures, te)
-					if trigger == nil {
-						trigger = te
-					}
-					if opts.Policy == FailFast {
-						cancel()
-					}
-					emit(Event{Type: TaskFailed, Index: i, Name: name(i), Err: err,
-						Elapsed: elapsed, Stages: stages, Done: done, Total: n})
-				} else {
-					results[i] = res
-					emit(Event{Type: TaskFinished, Index: i, Name: name(i),
-						Elapsed: elapsed, Stages: stages, Done: done, Total: n})
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-
-	sort.Slice(failures, func(a, b int) bool { return failures[a].Index < failures[b].Index })
-	log.Debug("engine: run finished", "scope", scope, "done", done, "failed", len(failures))
-	if err := ctx.Err(); err != nil {
-		log.Warn("engine: run cancelled", "scope", scope, "done", done, "total", n, "err", err)
-		return results, failures, err
-	}
-	if opts.Policy == FailFast && trigger != nil {
-		return results, failures, fmt.Errorf("engine: %w", trigger)
-	}
-	return results, failures, nil
+	// Map is the collect-all face of the streaming core: a slice source,
+	// an emitter that parks each result at its index, and no reorder
+	// window (every result is kept anyway, so bounding the re-sequencer
+	// would only stall fast workers behind a slow head-of-line task).
+	failures, err := Stream(ctx, SliceSource(items), fn,
+		func(i int, res R) error { results[i] = res; return nil },
+		StreamOptions{Options: opts, Window: -1, Total: n})
+	return results, failures, err
 }
 
 // runTask invokes fn with panic isolation: a panic is converted into a

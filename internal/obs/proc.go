@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ProcStats tracks the process's heap through sampled
+// runtime.ReadMemStats reads: the live heap at the last sample, a
+// high-water mark across samples, and the completed GC cycle count. The
+// peak is only as fine-grained as the sampling — callers sample at task
+// boundaries and exposition time, so short intra-task spikes between
+// samples can go unrecorded.
+//
+// All methods are safe for concurrent use and no-ops on a nil *ProcStats,
+// matching the zero-cost contract of a nil Observer.
+type ProcStats struct {
+	alloc atomic.Uint64 // live heap bytes at last sample
+	peak  atomic.Uint64 // max sampled live heap bytes
+	gc    atomic.Uint64 // completed GC cycles at last sample
+}
+
+// Sample reads the runtime memory statistics, updates the tracked
+// values and returns the live heap size in bytes.
+func (p *ProcStats) Sample() uint64 {
+	if p == nil {
+		return 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.alloc.Store(ms.HeapAlloc)
+	p.gc.Store(uint64(ms.NumGC))
+	for {
+		cur := p.peak.Load()
+		if ms.HeapAlloc <= cur || p.peak.CompareAndSwap(cur, ms.HeapAlloc) {
+			break
+		}
+	}
+	return ms.HeapAlloc
+}
+
+// Alloc returns the live heap bytes recorded by the last Sample.
+func (p *ProcStats) Alloc() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.alloc.Load()
+}
+
+// Peak returns the largest live heap any Sample has observed since start
+// (or the last Reset).
+func (p *ProcStats) Peak() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.peak.Load()
+}
+
+// GCCycles returns the completed GC cycle count at the last Sample.
+func (p *ProcStats) GCCycles() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.gc.Load()
+}
+
+// Reset re-arms the peak watermark at the current live heap and returns
+// it — how a benchmark isolates one phase's peak from the previous
+// phase's residue (typically after a runtime.GC()).
+func (p *ProcStats) Reset() uint64 {
+	if p == nil {
+		return 0
+	}
+	p.peak.Store(0)
+	return p.Sample()
+}
+
+// RegisterProcMetrics registers the process-memory metrics on reg —
+// coevo_proc_heap_alloc_bytes, coevo_proc_heap_peak_bytes and
+// coevo_proc_gc_total — and returns the ProcStats feeding them. The
+// gauges re-sample at exposition time, so a /metrics scrape always sees
+// the live heap, while callers may also Sample at their own cadence
+// (e.g. per completed task) to sharpen the peak. A nil registry returns
+// a nil ProcStats, on which every method is a no-op.
+func RegisterProcMetrics(reg *Registry) *ProcStats {
+	if reg == nil {
+		return nil
+	}
+	p := &ProcStats{}
+	p.Sample()
+	reg.GaugeFunc("coevo_proc_heap_alloc_bytes",
+		"Live heap bytes at the most recent sample (re-sampled at scrape).",
+		func() float64 { return float64(p.Sample()) })
+	reg.GaugeFunc("coevo_proc_heap_peak_bytes",
+		"High-water mark of sampled live heap bytes.",
+		func() float64 { p.Sample(); return float64(p.Peak()) })
+	reg.CounterFunc("coevo_proc_gc_total",
+		"Completed garbage-collection cycles at the most recent sample.",
+		func() float64 { p.Sample(); return float64(p.GCCycles()) })
+	return p
+}

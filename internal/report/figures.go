@@ -40,7 +40,16 @@ func WriteSyncHistogram(w io.Writer, h *study.SyncHistogram) error {
 		Labels: h.Labels,
 		Values: values,
 	}
-	return chart.Render(w)
+	if err := chart.Render(w); err != nil {
+		return err
+	}
+	// The paper's default θ never skips; surface the count only when a
+	// non-default θ dropped projects, so default output stays unchanged.
+	if h.Skipped > 0 {
+		_, err := fmt.Fprintf(w, "        (%d projects skipped: synchronicity undefined at this theta)\n", h.Skipped)
+		return err
+	}
+	return nil
 }
 
 // WriteScatter renders the Figure 5 duration-vs-synchronicity plot.
@@ -183,13 +192,25 @@ var csvHeader = []string{
 	"attain_50", "attain_75", "attain_80", "attain_100",
 }
 
-// WriteDatasetCSV exports the per-project measurements — the reproduction's
-// equivalent of the published Schema_Evo data set files.
-func WriteDatasetCSV(w io.Writer, d *study.Dataset) error {
+// DatasetCSVWriter streams the per-project CSV export one row at a time:
+// its Add method is a study.Sink, so a streaming run can emit the data
+// set while projects are analyzed, without retaining them. The bytes
+// produced are identical to WriteDatasetCSV over the same results in the
+// same order.
+type DatasetCSVWriter struct {
+	cw *csv.Writer
+}
+
+// NewDatasetCSVWriter writes the header and returns the row writer. A
+// header write error surfaces from Close (csv.Writer buffers).
+func NewDatasetCSVWriter(w io.Writer) *DatasetCSVWriter {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
-		return err
-	}
+	cw.Write(csvHeader) //nolint:errcheck // buffered; surfaced by Close
+	return &DatasetCSVWriter{cw: cw}
+}
+
+// Add appends one project's row.
+func (d *DatasetCSVWriter) Add(p *study.ProjectResult) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
 	b := func(v bool) string {
 		if v {
@@ -197,24 +218,36 @@ func WriteDatasetCSV(w io.Writer, d *study.Dataset) error {
 		}
 		return "0"
 	}
+	intended := ""
+	if p.IntendedTaxon != nil {
+		intended = p.IntendedTaxon.String()
+	}
+	m := p.Measures
+	return d.cw.Write([]string{
+		p.Name, p.Taxon.String(), intended, strconv.Itoa(p.DurationMonths),
+		strconv.Itoa(p.SchemaCommits), strconv.Itoa(p.ActiveSchemaCommits), strconv.Itoa(p.ProjectCommits),
+		strconv.Itoa(p.FileUpdates), strconv.Itoa(p.TotalSchemaActivity),
+		f(m.Sync5), f(m.Sync10), f(m.AdvanceTime), f(m.AdvanceSource),
+		b(m.AlwaysAheadOfTime), b(m.AlwaysAheadOfSource), b(m.AlwaysAheadOfBoth),
+		f(m.Attain50), f(m.Attain75), f(m.Attain80), f(m.Attain100),
+	})
+}
+
+// Close flushes the writer and reports the first buffered error.
+func (d *DatasetCSVWriter) Close() error {
+	d.cw.Flush()
+	return d.cw.Error()
+}
+
+// WriteDatasetCSV exports the per-project measurements — the reproduction's
+// equivalent of the published Schema_Evo data set files. It is the
+// collect-then-fold face of DatasetCSVWriter.
+func WriteDatasetCSV(w io.Writer, d *study.Dataset) error {
+	sw := NewDatasetCSVWriter(w)
 	for _, p := range d.Projects {
-		intended := ""
-		if p.IntendedTaxon != nil {
-			intended = p.IntendedTaxon.String()
-		}
-		m := p.Measures
-		row := []string{
-			p.Name, p.Taxon.String(), intended, strconv.Itoa(p.DurationMonths),
-			strconv.Itoa(p.SchemaCommits), strconv.Itoa(p.ActiveSchemaCommits), strconv.Itoa(p.ProjectCommits),
-			strconv.Itoa(p.FileUpdates), strconv.Itoa(p.TotalSchemaActivity),
-			f(m.Sync5), f(m.Sync10), f(m.AdvanceTime), f(m.AdvanceSource),
-			b(m.AlwaysAheadOfTime), b(m.AlwaysAheadOfSource), b(m.AlwaysAheadOfBoth),
-			f(m.Attain50), f(m.Attain75), f(m.Attain80), f(m.Attain100),
-		}
-		if err := cw.Write(row); err != nil {
+		if err := sw.Add(p); err != nil {
 			return err
 		}
 	}
-	cw.Flush()
-	return cw.Error()
+	return sw.Close()
 }

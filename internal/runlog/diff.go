@@ -99,6 +99,7 @@ func Diff(oldRun, newRun *Manifest, opts DiffOptions) *DiffReport {
 	add("p95_seconds", oldRun.P95Seconds, newRun.P95Seconds, HigherWorse)
 	add("max_seconds", oldRun.MaxSeconds, newRun.MaxSeconds, HigherWorse)
 	add("throughput_per_sec", oldRun.ThroughputPerSec, newRun.ThroughputPerSec, HigherBetter)
+	add("peak_heap_bytes", float64(oldRun.PeakHeapBytes), float64(newRun.PeakHeapBytes), HigherWorse)
 	add("projects", float64(oldRun.Projects), float64(newRun.Projects), Neutral)
 	add("failed", float64(oldRun.Failed), float64(newRun.Failed), HigherWorse)
 
@@ -142,7 +143,7 @@ func metricDirection(name string) Direction {
 	}
 	switch {
 	case strings.Contains(base, "failures"), strings.Contains(base, "misses"),
-		strings.Contains(base, "corrupt"):
+		strings.Contains(base, "corrupt"), strings.Contains(base, "heap_peak"):
 		return HigherWorse
 	case strings.HasSuffix(base, "_seconds_sum"), strings.HasSuffix(base, "_seconds_total"):
 		return HigherWorse
@@ -267,6 +268,9 @@ func WriteManifest(w io.Writer, m *Manifest) error {
 	if m.P95Seconds > 0 || m.ThroughputPerSec > 0 {
 		fmt.Fprintf(w, "latency   p50 %.4fs  p95 %.4fs  max %.4fs  (%.1f tasks/s)\n",
 			m.P50Seconds, m.P95Seconds, m.MaxSeconds, m.ThroughputPerSec)
+	}
+	if m.PeakHeapBytes > 0 {
+		fmt.Fprintf(w, "memory    peak heap %.1f MiB\n", float64(m.PeakHeapBytes)/(1<<20))
 	}
 	if len(m.StageSeconds) > 0 {
 		fmt.Fprint(w, "stages   ")

@@ -60,6 +60,10 @@ type Manifest struct {
 	P95Seconds       float64 `json:"p95_seconds,omitempty"`
 	MaxSeconds       float64 `json:"max_seconds,omitempty"`
 	ThroughputPerSec float64 `json:"throughput_per_sec,omitempty"`
+	// PeakHeapBytes is the high-water mark of the sampled live heap over
+	// the run (see obs.ProcStats) — the number the streaming pipeline
+	// exists to keep flat.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
 
 	// StageSeconds sums wall time per named pipeline stage across tasks.
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`

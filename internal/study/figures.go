@@ -3,7 +3,6 @@ package study
 import (
 	"fmt"
 
-	"coevo/internal/stats"
 	"coevo/internal/taxa"
 )
 
@@ -13,28 +12,18 @@ type SyncHistogram struct {
 	Theta   float64
 	Buckets []int // len = bucket count, low range first
 	Labels  []string
+	// Skipped counts the projects whose θ-synchronicity is undefined
+	// (degenerate joint series at a non-default θ) and therefore appear
+	// in no bucket. The paper's default θ=0.10 never skips — it reuses
+	// the measure computed during analysis.
+	Skipped int
 }
 
 // SynchronicityHistogram breaks the data set down by θ-synchronicity into
 // n equal buckets ([0-20), [20-40), ..., [80-100] for n = 5), reproducing
 // Figure 4.
 func (d *Dataset) SynchronicityHistogram(theta float64, n int) *SyncHistogram {
-	h := &SyncHistogram{Theta: theta, Buckets: make([]int, n), Labels: make([]string, n)}
-	for i := 0; i < n; i++ {
-		h.Labels[i] = stats.BucketLabel(i, n)
-	}
-	for _, p := range d.Projects {
-		sync := p.Measures.Sync10
-		if theta != 0.10 {
-			s, err := p.Joint.Synchronicity(theta)
-			if err != nil {
-				continue
-			}
-			sync = s
-		}
-		h.Buckets[stats.Bucket(sync, n)]++
-	}
-	return h
+	return fold(d, NewSyncHistogramAccumulator(theta, n)).Histogram()
 }
 
 // ScatterPoint is one project of the Figure 5 duration-vs-synchronicity
@@ -48,16 +37,7 @@ type ScatterPoint struct {
 
 // DurationSynchronicityScatter returns the Figure 5 point cloud.
 func (d *Dataset) DurationSynchronicityScatter() []ScatterPoint {
-	points := make([]ScatterPoint, 0, len(d.Projects))
-	for _, p := range d.Projects {
-		points = append(points, ScatterPoint{
-			Name:     p.Name,
-			Taxon:    p.Taxon,
-			Duration: p.DurationMonths,
-			Sync:     p.Measures.Sync10,
-		})
-	}
-	return points
+	return fold(d, NewScatterAccumulator()).Points()
 }
 
 // LongProjectSyncBand summarizes the Figure 5 finding: among projects
@@ -65,17 +45,7 @@ func (d *Dataset) DurationSynchronicityScatter() []ScatterPoint {
 // vs outside the [lo, hi] synchronicity band. The paper observes that the
 // extremes empty out after 5 years.
 func (d *Dataset) LongProjectSyncBand(thresholdMonths int, lo, hi float64) (inside, outside int) {
-	for _, p := range d.Projects {
-		if p.DurationMonths <= thresholdMonths {
-			continue
-		}
-		if p.Measures.Sync10 >= lo && p.Measures.Sync10 <= hi {
-			inside++
-		} else {
-			outside++
-		}
-	}
-	return inside, outside
+	return fold(d, NewSyncBandAccumulator(thresholdMonths, lo, hi)).Band()
 }
 
 // AdvanceRow is one range row of the Figure 6 table.
@@ -104,32 +74,7 @@ type AdvanceTable struct {
 // life percentage of schema advance over source and over time across ten
 // equal ranges.
 func (d *Dataset) AdvanceBreakdown() *AdvanceTable {
-	const n = 10
-	t := &AdvanceTable{Total: len(d.Projects)}
-	srcCounts := make([]int, n)
-	timeCounts := make([]int, n)
-	for _, p := range d.Projects {
-		if !p.Measures.AdvanceDefined {
-			t.BlankSource++
-			t.BlankTime++
-			continue
-		}
-		srcCounts[stats.Bucket(p.Measures.AdvanceSource, n)]++
-		timeCounts[stats.Bucket(p.Measures.AdvanceTime, n)]++
-	}
-	var srcCum, timeCum float64
-	for i := n - 1; i >= 0; i-- {
-		srcPct := pct(srcCounts[i], t.Total)
-		timePct := pct(timeCounts[i], t.Total)
-		srcCum += srcPct
-		timeCum += timePct
-		t.Rows = append(t.Rows, AdvanceRow{
-			Label:       advanceLabel(i, n),
-			SourceCount: srcCounts[i], SourcePct: srcPct, SourceCum: srcCum,
-			TimeCount: timeCounts[i], TimePct: timePct, TimeCum: timeCum,
-		})
-	}
-	return t
+	return fold(d, NewAdvanceAccumulator()).Table()
 }
 
 func advanceLabel(i, n int) string {
@@ -166,29 +111,7 @@ type AlwaysAdvanceSummary struct {
 // many projects have the schema always in advance of time, of source, and
 // of both.
 func (d *Dataset) AlwaysAdvance() *AlwaysAdvanceSummary {
-	s := &AlwaysAdvanceSummary{Total: len(d.Projects)}
-	cells := make([]AlwaysAdvanceCell, taxa.Count)
-	for i, taxon := range taxa.All() {
-		cells[i].Taxon = taxon
-	}
-	for _, p := range d.Projects {
-		cell := &cells[int(p.Taxon)]
-		cell.Projects++
-		if p.Measures.AlwaysAheadOfTime {
-			cell.Time++
-			s.Time++
-		}
-		if p.Measures.AlwaysAheadOfSource {
-			cell.Source++
-			s.Source++
-		}
-		if p.Measures.AlwaysAheadOfBoth {
-			cell.Both++
-			s.Both++
-		}
-	}
-	s.PerTaxon = cells
-	return s
+	return fold(d, NewAlwaysAdvanceAccumulator()).Summary()
 }
 
 // AttainmentBreakdown is the Figure 8 aggregation: for each α threshold,
@@ -212,52 +135,14 @@ func (d *Dataset) Attainment() *AttainmentBreakdown {
 
 // AttainmentWith computes the breakdown for arbitrary thresholds/ranges.
 func (d *Dataset) AttainmentWith(alphas, rangeEdges []float64) *AttainmentBreakdown {
-	b := &AttainmentBreakdown{Alphas: alphas, RangeEdges: rangeEdges, Total: len(d.Projects)}
-	b.Counts = make([][]int, len(alphas))
-	for i := range b.Counts {
-		b.Counts[i] = make([]int, len(rangeEdges))
-	}
-	for _, p := range d.Projects {
-		for ai, alpha := range alphas {
-			frac, err := p.Joint.AttainmentFraction(alpha)
-			if err != nil {
-				continue
-			}
-			for ri, edge := range rangeEdges {
-				if frac <= edge+1e-12 {
-					b.Counts[ai][ri]++
-					break
-				}
-			}
-		}
-	}
-	return b
+	return fold(d, NewAttainmentAccumulator(alphas, rangeEdges)).Breakdown()
 }
 
 // SynchronicityHistogramByTaxon computes one Figure 4-style histogram per
 // taxon — the paper observes "all kinds of behaviors ... both overall and
 // within the different taxa".
 func (d *Dataset) SynchronicityHistogramByTaxon(theta float64, n int) map[taxa.Taxon]*SyncHistogram {
-	out := make(map[taxa.Taxon]*SyncHistogram, taxa.Count)
-	for _, taxon := range taxa.All() {
-		h := &SyncHistogram{Theta: theta, Buckets: make([]int, n), Labels: make([]string, n)}
-		for i := 0; i < n; i++ {
-			h.Labels[i] = stats.BucketLabel(i, n)
-		}
-		out[taxon] = h
-	}
-	for _, p := range d.Projects {
-		sync := p.Measures.Sync10
-		if theta != 0.10 {
-			s, err := p.Joint.Synchronicity(theta)
-			if err != nil {
-				continue
-			}
-			sync = s
-		}
-		out[p.Taxon].Buckets[stats.Bucket(sync, n)]++
-	}
-	return out
+	return fold(d, NewTaxonSyncHistogramAccumulator(theta, n)).ByTaxon()
 }
 
 // LocalitySummary aggregates the change-locality finding over the corpus:
@@ -279,18 +164,5 @@ type LocalitySummary struct {
 // ChangeLocality computes the locality summary over projects with at
 // least minTables tables.
 func (d *Dataset) ChangeLocality(minTables int) *LocalitySummary {
-	var topShares, unchangedShares []float64
-	for _, p := range d.Projects {
-		loc := p.Locality
-		if loc.Tables < minTables || loc.TotalChanges == 0 {
-			continue
-		}
-		topShares = append(topShares, loc.TopShare)
-		unchangedShares = append(unchangedShares, loc.UnchangedShare)
-	}
-	return &LocalitySummary{
-		MedianTopShare:       stats.Median(topShares),
-		MedianUnchangedShare: stats.Median(unchangedShares),
-		Projects:             len(topShares),
-	}
+	return fold(d, NewLocalityAccumulator(minTables)).Summary()
 }

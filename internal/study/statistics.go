@@ -1,7 +1,6 @@
 package study
 
 import (
-	"fmt"
 	"math"
 
 	"coevo/internal/stats"
@@ -43,115 +42,12 @@ type StatsReport struct {
 const fisherIterations = 20000
 
 // Statistics computes the full Section 7 report. seed drives the
-// Monte-Carlo Fisher tests.
+// Monte-Carlo Fisher tests. It is the collect-then-fold face of
+// StatsAccumulator: folding the projects in dataset order reproduces the
+// batch per-taxon grouping (ByTaxon preserves dataset order within each
+// group), so batch and streaming reports are identical.
 func (d *Dataset) Statistics(seed int64) (*StatsReport, error) {
-	if len(d.Projects) < 10 {
-		return nil, fmt.Errorf("study: statistics need a populated dataset, have %d projects", len(d.Projects))
-	}
-	r := &StatsReport{Normality: map[string]stats.ShapiroWilkResult{}, TaxaOrder: taxa.All()}
-
-	// Normality over the study's per-project attributes.
-	attrs := map[string][]float64{
-		"duration_months":       {},
-		"sync_10":               {},
-		"sync_5":                {},
-		"advance_over_time":     {},
-		"advance_over_source":   {},
-		"attainment_75":         {},
-		"total_schema_activity": {},
-		"project_file_updates":  {},
-	}
-	for _, p := range d.Projects {
-		attrs["duration_months"] = append(attrs["duration_months"], float64(p.DurationMonths))
-		attrs["sync_10"] = append(attrs["sync_10"], p.Measures.Sync10)
-		attrs["sync_5"] = append(attrs["sync_5"], p.Measures.Sync5)
-		if p.Measures.AdvanceDefined {
-			attrs["advance_over_time"] = append(attrs["advance_over_time"], p.Measures.AdvanceTime)
-			attrs["advance_over_source"] = append(attrs["advance_over_source"], p.Measures.AdvanceSource)
-		}
-		attrs["attainment_75"] = append(attrs["attainment_75"], p.Measures.Attain75)
-		attrs["total_schema_activity"] = append(attrs["total_schema_activity"], float64(p.TotalSchemaActivity))
-		attrs["project_file_updates"] = append(attrs["project_file_updates"], float64(p.FileUpdates))
-	}
-	for name, xs := range attrs {
-		res, err := stats.ShapiroWilk(xs)
-		if err != nil {
-			return nil, fmt.Errorf("study: shapiro(%s): %w", name, err)
-		}
-		r.Normality[name] = res
-	}
-
-	// Kruskal-Wallis: taxon over synchronicity and attainment.
-	groups := d.ByTaxon()
-	var syncGroups, attainGroups [][]float64
-	for _, taxon := range taxa.All() {
-		var sync, attain []float64
-		for _, p := range groups[taxon] {
-			sync = append(sync, p.Measures.Sync10)
-			attain = append(attain, p.Measures.Attain75)
-		}
-		syncGroups = append(syncGroups, sync)
-		attainGroups = append(attainGroups, attain)
-	}
-	var err error
-	if r.SyncByTaxon, err = stats.KruskalWallis(syncGroups...); err != nil {
-		return nil, fmt.Errorf("study: kruskal sync: %w", err)
-	}
-	if r.AttainByTaxon, err = stats.KruskalWallis(attainGroups...); err != nil {
-		return nil, fmt.Errorf("study: kruskal attain: %w", err)
-	}
-
-	// Lag contingency tables: taxon × always-in-advance.
-	mk := func(pick func(*ProjectResult) bool) stats.Table {
-		t := stats.NewTable(taxa.Count, 2)
-		for _, p := range d.Projects {
-			col := 1
-			if pick(p) {
-				col = 0
-			}
-			t[int(p.Taxon)][col]++
-		}
-		return t
-	}
-	timeTbl := mk(func(p *ProjectResult) bool { return p.Measures.AlwaysAheadOfTime })
-	srcTbl := mk(func(p *ProjectResult) bool { return p.Measures.AlwaysAheadOfSource })
-	bothTbl := mk(func(p *ProjectResult) bool { return p.Measures.AlwaysAheadOfBoth })
-	if r.TimeLagChi2, err = stats.ChiSquareIndependence(timeTbl); err != nil {
-		return nil, fmt.Errorf("study: chi2 time lag: %w", err)
-	}
-	if r.SourceLagChi2, err = stats.ChiSquareIndependence(srcTbl); err != nil {
-		return nil, fmt.Errorf("study: chi2 source lag: %w", err)
-	}
-	if r.BothLagChi2, err = stats.ChiSquareIndependence(bothTbl); err != nil {
-		return nil, fmt.Errorf("study: chi2 both lag: %w", err)
-	}
-	if r.TimeLagFisher, err = stats.FisherExactMC(timeTbl, fisherIterations, seed); err != nil {
-		return nil, fmt.Errorf("study: fisher time lag: %w", err)
-	}
-	if r.SourceLagFisher, err = stats.FisherExactMC(srcTbl, fisherIterations, seed+1); err != nil {
-		return nil, fmt.Errorf("study: fisher source lag: %w", err)
-	}
-	if r.BothLagFisher, err = stats.FisherExactMC(bothTbl, fisherIterations, seed+2); err != nil {
-		return nil, fmt.Errorf("study: fisher both lag: %w", err)
-	}
-
-	// Kendall correlations.
-	var s5, s10, advT, advS []float64
-	for _, p := range d.Projects {
-		s5 = append(s5, p.Measures.Sync5)
-		s10 = append(s10, p.Measures.Sync10)
-		if p.Measures.AdvanceDefined {
-			advT = append(advT, p.Measures.AdvanceTime)
-			advS = append(advS, p.Measures.AdvanceSource)
-		}
-	}
-	if r.SyncThetaCorr, err = stats.KendallTau(s5, s10); err != nil {
-		return nil, fmt.Errorf("study: kendall sync: %w", err)
-	}
-	if r.AdvanceCorr, err = stats.KendallTau(advT, advS); err != nil {
-		return nil, fmt.Errorf("study: kendall advance: %w", err)
-	}
-	return r, nil
+	return fold(d, NewStatsAccumulator()).Report(seed)
 }
 
 // MaxNormalityP returns the largest Shapiro-Wilk p-value across all tested

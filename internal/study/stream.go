@@ -1,0 +1,113 @@
+package study
+
+// The streaming face of the study: generation and analysis fused into
+// one engine stream, with per-project results handed to a Sink in corpus
+// order and released immediately. Peak memory is O(workers + reorder
+// window) repositories instead of O(corpus); output is byte-identical to
+// the batch path because the sink observes the same results in the same
+// order the batch Dataset would hold them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"coevo/internal/corpus"
+	"coevo/internal/engine"
+)
+
+// StreamSummary reports what a streaming study run covered.
+type StreamSummary struct {
+	// Projects is the number of results delivered to the sink.
+	Projects int
+	// Failures lists the projects that could not be analyzed, in corpus
+	// order — the streaming counterpart of Dataset.Failures.
+	Failures []Failure
+}
+
+// DatasetSink collects streamed results into a Dataset — the bridge for
+// callers that want the batch aggregation API over the streaming engine,
+// and for equivalence tests. It forfeits the streaming path's memory
+// bound, since the Dataset retains every result.
+type DatasetSink struct{ d Dataset }
+
+// Add implements Sink.
+func (s *DatasetSink) Add(p *ProjectResult) error {
+	s.d.Projects = append(s.d.Projects, p)
+	return nil
+}
+
+// Dataset returns the collected results.
+func (s *DatasetSink) Dataset() *Dataset { return &s.d }
+
+// StreamCorpus generates and analyzes src's corpus as one fused stream:
+// the engine's workers pull projects from the source (generation runs as
+// the task's "generate" stage), analyze them, and the re-sequencer hands
+// each result to sink in corpus order, after which the project's
+// repository is unreferenced and collectable. The reorder window bounds
+// how many completed results wait for an earlier straggler, so peak
+// memory is O(workers) repositories regardless of corpus size.
+//
+// Failure semantics match AnalyzeCorpusContext: under the default
+// CollectErrors policy a failed project lands in StreamSummary.Failures
+// (its slot is skipped, later results still arrive in order) and the
+// returned error is non-nil only when the run itself stops — context
+// cancellation, FailFast, a generation error, or a sink error. The
+// summary always reports what was delivered before the stop.
+func StreamCorpus(ctx context.Context, src *corpus.Source, sink Sink, opts Options) (*StreamSummary, error) {
+	eopts := opts.Exec
+	if eopts.Name == nil {
+		eopts.Name = corpus.ProjectName
+	}
+	eopts.Obs = opts.Obs
+	eopts.Scope = "analyze"
+	ctx, span := opts.Obs.StartSpan(ctx, "analyze")
+	defer span.End()
+	span.SetArg("projects", fmt.Sprint(src.Len()))
+	log := opts.Obs.Logger()
+	log.Info("study: streaming corpus", "projects", src.Len())
+	sum := &StreamSummary{}
+	failures, err := engine.Stream(ctx, src.Indexed(),
+		func(ctx context.Context, _ int, p *corpus.Project) (*ProjectResult, error) {
+			res, err := analyzeProjectStaged(ctx, p, opts)
+			if err != nil {
+				return nil, err
+			}
+			intended := p.Taxon
+			res.IntendedTaxon = &intended
+			return res, nil
+		},
+		func(_ int, res *ProjectResult) error {
+			sum.Projects++
+			return sink.Add(res)
+		},
+		engine.StreamOptions{Options: eopts, Total: src.Len()})
+	for _, f := range failures {
+		sum.Failures = append(sum.Failures, Failure{Name: f.Name, Err: f.Err})
+	}
+	if err != nil {
+		// Surface the corpus's own (already project-labelled) cause; the
+		// engine's wrapping only says how the failure travelled.
+		var se *engine.SourceError
+		if errors.As(err, &se) {
+			return sum, se.Err
+		}
+		return sum, err
+	}
+	log.Info("study: corpus streamed", "projects", sum.Projects, "failures", len(sum.Failures))
+	return sum, nil
+}
+
+// RunStream is the streaming equivalent of Run: it generates the default
+// corpus for seed and feeds every analyzed project to sink in corpus
+// order, never holding the whole corpus or dataset. A sink built from
+// NewFigures reproduces every figure and statistic of the batch run.
+func RunStream(ctx context.Context, seed int64, opts Options, sink Sink) (*StreamSummary, error) {
+	ctx, span := opts.Obs.StartSpan(ctx, "run")
+	defer span.End()
+	opts.Obs.Logger().Info("study: streaming run starting", "seed", seed)
+	cfg := corpus.DefaultConfig(seed)
+	cfg.Cache = opts.effectiveCache()
+	cfg.Obs = opts.Obs
+	return StreamCorpus(ctx, corpus.NewSource(cfg), sink, opts)
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke
+.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,16 @@ SMOKE_ADDR ?= 127.0.0.1:9188
 
 smoke:
 	./scripts/telemetry-smoke.sh $(SMOKE_ADDR) $(RUNLOG_DIR)
+
+# jobs-smoke starts the analysis service, submits a study over the
+# /jobs HTTP API, asserts its figures match the same-seed CLI run byte
+# for byte, and that a duplicate submission from a second tenant is
+# served from the shared result cache.
+JOBS_SMOKE_ADDR ?= 127.0.0.1:9288
+JOBS_SMOKE_WORK ?= jobs-smoke-work
+
+jobs-smoke:
+	./scripts/jobs-smoke.sh $(JOBS_SMOKE_ADDR) $(JOBS_SMOKE_WORK)
 
 # stream-smoke runs a corpus ~10x the paper's through the streaming
 # pipeline under a GOMEMLIMIT the batch path cannot fit in, and asserts

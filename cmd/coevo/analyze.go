@@ -53,34 +53,8 @@ func pickProject(projects []*corpus.Project, which string) (*corpus.Project, err
 	return nil, fmt.Errorf("no project matches %q", which)
 }
 
+// printCaseStudy delegates to the shared report.CaseStudy renderer, the
+// same path ingest jobs use for their fetchable result.
 func printCaseStudy(w *os.File, res *study.ProjectResult) error {
-	m := res.Measures
-	fmt.Fprintf(w, "project   %s (ddl: %s)\n", res.Name, res.DDLPath)
-	fmt.Fprintf(w, "taxon     %s\n", res.Taxon)
-	fmt.Fprintf(w, "duration  %d months\n", res.DurationMonths)
-	fmt.Fprintf(w, "commits   %d total, %d touching the schema (%d active)\n",
-		res.ProjectCommits, res.SchemaCommits, res.ActiveSchemaCommits)
-	fmt.Fprintf(w, "activity  %d file updates, %d schema change units\n\n",
-		res.FileUpdates, res.TotalSchemaActivity)
-
-	fig := report.JointProgressFigure{Title: "joint cumulative fractional progress", Progress: res.Joint}
-	if err := report.Render(w, fig, report.Text); err != nil {
-		return err
-	}
-
-	fmt.Fprintf(w, "\nmeasures:\n")
-	fmt.Fprintf(w, "  5%%-synchronicity   %.2f\n", m.Sync5)
-	fmt.Fprintf(w, "  10%%-synchronicity  %.2f\n", m.Sync10)
-	if m.AdvanceDefined {
-		fmt.Fprintf(w, "  advance over time    %.2f  (always: %v)\n", m.AdvanceTime, m.AlwaysAheadOfTime)
-		fmt.Fprintf(w, "  advance over source  %.2f  (always: %v)\n", m.AdvanceSource, m.AlwaysAheadOfSource)
-	} else {
-		fmt.Fprintf(w, "  advance measures undefined (single-month project)\n")
-	}
-	fmt.Fprintf(w, "  attainment: 50%% @ %.2f of life, 75%% @ %.2f, 80%% @ %.2f, 100%% @ %.2f\n",
-		m.Attain50, m.Attain75, m.Attain80, m.Attain100)
-	if v, month, err := res.Joint.MaxDivergence(); err == nil {
-		fmt.Fprintf(w, "  max divergence %.2f at month %d of %d\n", v, month, res.DurationMonths)
-	}
-	return nil
+	return report.CaseStudy(w, res)
 }

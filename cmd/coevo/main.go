@@ -16,8 +16,11 @@
 //	           co-evolution measures
 //	taxa       per-taxon synchronicity breakdown and change locality
 //	cache      administer an on-disk result cache (stats, clear, verify)
-//	serve      run the observability server standalone: Prometheus
-//	           /metrics, /debug/pprof and the run-ledger browser at /runs
+//	serve      run the analysis service: the durable multi-tenant job
+//	           queue at /jobs plus Prometheus /metrics, /debug/pprof and
+//	           the run-ledger browser at /runs
+//	jobs       client for the job service: submit studies or ingest
+//	           payloads to a running `coevo serve`, watch and fetch them
 //	runs       browse the persistent run ledger (list, show, diff with
 //	           metric-regression flagging)
 //
@@ -72,6 +75,8 @@ func main() {
 		err = runCache(os.Args[2:])
 	case "serve":
 		err = runServe(ctx, os.Args[2:])
+	case "jobs":
+		err = runJobs(ctx, os.Args[2:])
 	case "runs":
 		err = runRuns(os.Args[2:])
 	case "-h", "--help", "help":
@@ -101,7 +106,8 @@ subcommands:
   taxa     per-taxon synchronicity breakdown and change locality
   cache    administer a result-cache directory (stats, clear, verify)
   bench    time study runs (cold/warm cache, serial/parallel) into a JSON report
-  serve    run the observability server standalone (metrics, pprof, /runs)
+  serve    run the analysis service (job queue at /jobs, metrics, pprof, /runs)
+  jobs     submit, watch and fetch jobs on a running serve instance
   runs     browse the run ledger (list, show, diff with regression flags)
 
 run 'coevo <subcommand> -h' for flags. The corpus-wide subcommands

@@ -16,6 +16,7 @@ func runRuns(args []string) error {
 	dir := fs.String("runlog-dir", "runs", "run-ledger directory to read")
 	threshold := fs.Float64("threshold", runlog.DefaultThreshold,
 		"relative drift that flags a regression in 'runs diff' (0.10 = 10%)")
+	jsonOut := fs.Bool("json", false, "print 'runs list' as a JSON summary array (the /runs document)")
 	fs.Usage = func() {
 		fmt.Fprint(os.Stderr, `usage: coevo runs [flags] <operation>
 
@@ -41,6 +42,13 @@ flags:
 		runs, err := runlog.List(*dir)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			summaries := make([]runlog.Summary, 0, len(runs))
+			for _, m := range runs {
+				summaries = append(summaries, runlog.Summarize(m))
+			}
+			return writeIndentedJSON(os.Stdout, summaries)
 		}
 		return runlog.WriteList(os.Stdout, runs)
 	case "show":

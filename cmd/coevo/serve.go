@@ -8,21 +8,31 @@ import (
 	"os"
 	"time"
 
+	"coevo/internal/cache"
+	"coevo/internal/jobs"
 	"coevo/internal/obs"
 	"coevo/internal/runlog"
 )
 
-// runServe runs the observability server standalone: no study attached,
-// just the metrics registry (seeded with run-ledger freshness gauges),
-// the pprof handlers and the ledger browser at /runs. This is the
-// long-lived deployment shape — scrape it with Prometheus, browse past
-// runs, pull profiles — while study runs elsewhere record into the same
-// -runlog-dir.
+// runServe runs the analysis service: the observability server (metrics
+// registry seeded with process and run-ledger gauges, pprof handlers,
+// the ledger browser at /runs) plus the durable multi-tenant job queue
+// at /jobs. Submitted studies execute on the streaming pipeline, share
+// one content-addressed cache across jobs and tenants, seal into the
+// run ledger, and — because the queue directory is durable — survive a
+// server crash: interrupted jobs re-queue on the next start. This is
+// the long-lived deployment shape.
 func runServe(ctx context.Context, args []string) error {
 	fs := newFlagSet("serve")
 	listen := fs.String("listen", "127.0.0.1:8080", "serve telemetry on this address (:0 picks a free port)")
-	runlogDir := fs.String("runlog-dir", "runs", "run-ledger directory served at /runs")
+	runlogDir := fs.String("runlog-dir", "runs", "run-ledger directory served at /runs; job runs seal into it")
 	logLevel := fs.String("log-level", "info", "log level on stderr (debug, info, warn, error)")
+	jobsDir := fs.String("jobs-dir", "jobs", "durable job-queue directory (interrupted jobs re-queue from it on restart)")
+	jobsWorkers := fs.Int("jobs-workers", 2, "jobs executing concurrently")
+	workers := fs.Int("workers", 0, "analysis workers inside each job (0 = GOMAXPROCS)")
+	tenantRunning := fs.Int("tenant-running", 1, "per-tenant concurrently running job limit")
+	tenantQuota := fs.Int("tenant-quota", 8, "per-tenant live (queued + running) job quota; submissions beyond it get 429")
+	cacheDir := fs.String("cache-dir", "", "content-addressed cache directory shared by every job (empty: in-memory only)")
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
 	}
@@ -31,25 +41,69 @@ func runServe(ctx context.Context, args []string) error {
 		return err
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
-
-	reg := obs.NewRegistry()
+	o := obs.New(obs.Options{Logger: logger})
+	reg := o.Metrics()
+	// The standalone server wants the same process gauges a study run
+	// registers: heap, GC and goroutine visibility for a long-lived service.
+	obs.RegisterProcMetrics(reg)
 	runlog.RegisterMetrics(reg, *runlogDir)
-	ledger := runlog.Handler(*runlogDir)
-	srv, err := obs.Serve(obs.ServeOptions{
-		Addr:     *listen,
-		Registry: reg,
-		Logger:   logger,
-		Handlers: map[string]http.Handler{"/runs": ledger, "/runs/": ledger},
+
+	// One cache serves every job: the cross-job, cross-tenant dedup plane.
+	var c *cache.Cache
+	if *cacheDir != "" {
+		c, err = cache.New(cache.Options{Dir: *cacheDir, Obs: o})
+		if err != nil {
+			return err
+		}
+	} else {
+		c = cache.NewMemory()
+		c.RegisterMetrics(reg)
+	}
+
+	exec := &jobs.Executor{Cache: c, Obs: o, Workers: *workers, LedgerDir: *runlogDir}
+	queue, err := jobs.Open(jobs.QueueOptions{
+		Dir:              *jobsDir,
+		Exec:             exec.Run,
+		Workers:          *jobsWorkers,
+		TenantMaxRunning: *tenantRunning,
+		TenantMaxQueued:  *tenantQuota,
+		Obs:              o,
 	})
 	if err != nil {
 		return err
 	}
-	// A standalone server has no corpus to load: it is ready as soon as it
-	// listens.
+	queue.RegisterMetrics(reg)
+
+	ledger := runlog.Handler(*runlogDir)
+	jobAPI := jobs.Handler(queue)
+	srv, err := obs.Serve(obs.ServeOptions{
+		Addr:     *listen,
+		Registry: reg,
+		Logger:   logger,
+		Handlers: map[string]http.Handler{
+			"/runs": ledger, "/runs/": ledger,
+			"/jobs": jobAPI, "/jobs/": jobAPI,
+		},
+	})
+	if err != nil {
+		cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		queue.Close(cctx) //nolint:errcheck // already failing; queue state is durable
+		return err
+	}
+	// The service is ready as soon as it listens: jobs arrive over HTTP.
 	srv.SetReady(true)
-	fmt.Printf("serving telemetry at %s (ledger %s); ctrl-c to stop\n", srv.URL(), *runlogDir)
+	fmt.Printf("serving analysis jobs and telemetry at %s (jobs %s, ledger %s); ctrl-c to stop\n",
+		srv.URL(), queue.Dir(), *runlogDir)
 	<-ctx.Done()
-	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Stop the queue first (interrupted jobs stay durable and re-queue on
+	// the next start), then the HTTP server.
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	return srv.Shutdown(sctx)
+	qerr := queue.Close(sctx)
+	serr := srv.Shutdown(sctx)
+	if qerr != nil {
+		return qerr
+	}
+	return serr
 }

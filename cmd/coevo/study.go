@@ -21,106 +21,20 @@ func workersLabel(workers int) string {
 	return fmt.Sprintf("workers=%d", workers)
 }
 
-// studyArtifacts holds every evaluation figure's input, computed either
-// by folding a batch Dataset or live by the streaming Figures sink — one
-// rendering path for both modes guarantees their output is identical.
-type studyArtifacts struct {
-	hist       *study.SyncHistogram
-	scatter    []study.ScatterPoint
-	bandIn     int
-	bandOut    int
-	advance    *study.AdvanceTable
-	always     *study.AlwaysAdvanceSummary
-	attainment *study.AttainmentBreakdown
-	stats      func() (*study.StatsReport, error)
-}
-
-// datasetArtifacts folds a batch dataset into the figure inputs.
-func datasetArtifacts(d *study.Dataset, seed int64) *studyArtifacts {
-	in, out := d.LongProjectSyncBand(60, 0.2, 0.8)
-	return &studyArtifacts{
-		hist:       d.SynchronicityHistogram(0.10, 5),
-		scatter:    d.DurationSynchronicityScatter(),
-		bandIn:     in,
-		bandOut:    out,
-		advance:    d.AdvanceBreakdown(),
-		always:     d.AlwaysAdvance(),
-		attainment: d.Attainment(),
-		stats:      func() (*study.StatsReport, error) { return d.Statistics(seed) },
-	}
-}
-
-// figuresArtifacts reads the finished online accumulators.
-func figuresArtifacts(f *study.Figures, seed int64) *studyArtifacts {
-	in, out := f.Band.Band()
-	return &studyArtifacts{
-		hist:       f.Sync.Histogram(),
-		scatter:    f.Scatter.Points(),
-		bandIn:     in,
-		bandOut:    out,
-		advance:    f.Advance.Table(),
-		always:     f.Always.Summary(),
-		attainment: f.Attainment.Breakdown(),
-		stats:      func() (*study.StatsReport, error) { return f.Stats.Report(seed) },
-	}
-}
-
-// studySection is one named output of the study run.
-type studySection struct {
-	name  string
-	write func(io.Writer) error
-}
-
-// studySections lists the evaluation artifacts in presentation order.
-func studySections(a *studyArtifacts) []studySection {
-	return []studySection{
-		{"figure4.txt", func(w io.Writer) error {
-			return report.Render(w, a.hist, report.Text)
-		}},
-		{"figure4.svg", func(w io.Writer) error {
-			return report.Render(w, a.hist, report.SVG)
-		}},
-		{"figure5.svg", func(w io.Writer) error {
-			return report.Render(w, a.scatter, report.SVG)
-		}},
-		{"figure5.txt", func(w io.Writer) error {
-			if err := report.Render(w, a.scatter, report.Text); err != nil {
-				return err
-			}
-			_, err := fmt.Fprintf(w, "projects older than 60 months: %d in the (0.2, 0.8) band, %d outside\n", a.bandIn, a.bandOut)
-			return err
-		}},
-		{"figure6.txt", func(w io.Writer) error {
-			return report.Render(w, a.advance, report.Text)
-		}},
-		{"figure7.txt", func(w io.Writer) error {
-			return report.Render(w, a.always, report.Text)
-		}},
-		{"figure8.txt", func(w io.Writer) error {
-			return report.Render(w, a.attainment, report.Text)
-		}},
-		{"section7.txt", func(w io.Writer) error {
-			st, err := a.stats()
-			if err != nil {
-				return err
-			}
-			return report.Render(w, st, report.Text)
-		}},
-	}
-}
-
 // renderStudySections prints the text sections to stdout and optionally
-// writes every section (text and SVG) into outDir.
-func renderStudySections(a *studyArtifacts, outDir string) error {
-	for _, s := range studySections(a) {
-		if !strings.HasSuffix(s.name, ".svg") {
-			if err := s.write(os.Stdout); err != nil {
+// writes every section (text and SVG) into outDir. The sections
+// themselves come from the shared report.StudySections path, so the CLI
+// and the job service render byte-identical figures.
+func renderStudySections(a *report.StudyArtifacts, outDir string) error {
+	for _, s := range report.StudySections(a) {
+		if !strings.HasSuffix(s.Name, ".svg") {
+			if err := s.Write(os.Stdout); err != nil {
 				return err
 			}
 			fmt.Println()
 		}
 		if outDir != "" {
-			if err := writeFile(filepath.Join(outDir, s.name), s.write); err != nil {
+			if err := writeFile(filepath.Join(outDir, s.Name), s.Write); err != nil {
 				return err
 			}
 		}
@@ -203,7 +117,7 @@ func runStudy(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("analyzed %d projects\n\n", d.Size())
 
-	if err := renderStudySections(datasetArtifacts(d, *seed), *outDir); err != nil {
+	if err := renderStudySections(report.DatasetArtifacts(d, *seed), *outDir); err != nil {
 		return err
 	}
 	if *csvPath != "" {
@@ -269,7 +183,7 @@ func runStudyStreaming(ctx context.Context, p *pipeline, src *corpus.Source, opt
 	}
 	fmt.Printf("analyzed %d projects\n\n", sum.Projects)
 
-	if err := renderStudySections(figuresArtifacts(figs, seed), outDir); err != nil {
+	if err := renderStudySections(report.FiguresArtifacts(figs, seed), outDir); err != nil {
 		return err
 	}
 	if csvPath != "" {

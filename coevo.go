@@ -31,11 +31,13 @@ package coevo
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"coevo/internal/cache"
 	"coevo/internal/coevolution"
 	"coevo/internal/corpus"
 	"coevo/internal/engine"
+	"coevo/internal/jobs"
 	"coevo/internal/obs"
 	"coevo/internal/report"
 	"coevo/internal/runlog"
@@ -105,6 +107,57 @@ type (
 	// DiffRuns.
 	RunDiffReport = runlog.DiffReport
 )
+
+// The job service: a durable, crash-recoverable, multi-tenant queue that
+// runs study and ingest submissions through the streaming pipeline —
+// what `coevo serve` mounts at /jobs. Open a JobQueue over a directory,
+// point it at a JobExecutor, and mount JobsHandler on any mux.
+type (
+	// JobQueue schedules, persists and recovers jobs; see OpenJobQueue.
+	JobQueue = jobs.Queue
+	// JobQueueOptions configures OpenJobQueue (directory, executor,
+	// concurrency bounds, per-tenant quotas).
+	JobQueueOptions = jobs.QueueOptions
+	// Job is one submission's persisted record and status document.
+	Job = jobs.Job
+	// JobSpec is the submitted work: a synthetic study or an ingest
+	// payload (git log plus dated DDL versions).
+	JobSpec = jobs.Spec
+	// JobResult is a finished job's rendered sections.
+	JobResult = jobs.Result
+	// JobExecutor runs jobs on the streaming pipeline with shared-cache
+	// dedup and run-ledger sealing; wire its Run into JobQueueOptions.Exec.
+	JobExecutor = jobs.Executor
+	// JobEvent is one entry of a job's live event stream.
+	JobEvent = jobs.Event
+	// JobState is a stop of the queued → running → done|failed|canceled
+	// state machine.
+	JobState = jobs.State
+)
+
+// OpenJobQueue loads (or creates) a durable job directory, re-queues any
+// jobs a previous process left running, and starts the scheduler.
+func OpenJobQueue(opts JobQueueOptions) (*JobQueue, error) { return jobs.Open(opts) }
+
+// SubmitJob validates, persists and enqueues a submission for tenant.
+func SubmitJob(q *JobQueue, tenant string, spec JobSpec) (*Job, error) {
+	return q.Submit(tenant, spec)
+}
+
+// JobStatus returns a snapshot of one job.
+func JobStatus(q *JobQueue, id string) (*Job, error) { return q.Get(id) }
+
+// CancelJob requests cancellation of a queued or running job.
+func CancelJob(q *JobQueue, id string) (*Job, error) { return q.Cancel(id) }
+
+// WaitJob blocks until the job reaches a terminal state or ctx fires.
+func WaitJob(ctx context.Context, q *JobQueue, id string) (*Job, error) {
+	return q.Wait(ctx, id)
+}
+
+// JobsHandler serves a queue's multi-tenant HTTP API (mount at /jobs
+// and /jobs/).
+func JobsHandler(q *JobQueue) http.Handler { return jobs.Handler(q) }
 
 // Execution-engine re-exports: the policies an ExecOptions can select.
 const (

@@ -1,0 +1,623 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coevo/internal/obs"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrInvalid reports a malformed spec (HTTP 400).
+	ErrInvalid = errors.New("jobs: invalid spec")
+	// ErrQuota reports a tenant over its queued-work quota (HTTP 429).
+	ErrQuota = errors.New("jobs: tenant quota exceeded")
+	// ErrNotFound reports an unknown job id (HTTP 404).
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrClosed reports a queue that is shutting down (HTTP 503).
+	ErrClosed = errors.New("jobs: queue is shut down")
+	// ErrNotDone reports a result request for an unfinished job (HTTP 409).
+	ErrNotDone = errors.New("jobs: job has no result yet")
+)
+
+// RunReport carries the callbacks a running executor reports through:
+// live analysis progress, the id of the run-ledger manifest it seals,
+// and whether the whole result was served from the shared cache.
+type RunReport struct {
+	Progress func(done, total int)
+	RunID    func(id string)
+	CacheHit func()
+}
+
+// ExecFunc executes one job and returns its result. The job value is a
+// private copy; the executor must watch ctx for cancellation (user
+// cancel or queue shutdown) and may call the report callbacks from any
+// goroutine.
+type ExecFunc func(ctx context.Context, j *Job, rep RunReport) (*Result, error)
+
+// QueueOptions configures Open.
+type QueueOptions struct {
+	// Dir is the durable job directory (required).
+	Dir string
+	// Exec executes jobs (required); see Executor.Run for the production
+	// implementation.
+	Exec ExecFunc
+	// Workers bounds how many jobs run concurrently (default 2). Each job
+	// additionally parallelizes internally through the engine, so this is
+	// a fairness knob, not the machine's parallelism.
+	Workers int
+	// TenantMaxRunning bounds one tenant's concurrently running jobs
+	// (default 1): a queue full of one tenant's work still interleaves
+	// other tenants.
+	TenantMaxRunning int
+	// TenantMaxQueued is the per-tenant quota on live (queued + running)
+	// jobs (default 8). Submissions beyond it fail with ErrQuota.
+	TenantMaxQueued int
+	// Obs, when non-nil, logs queue lifecycle events.
+	Obs *obs.Observer
+}
+
+func (o QueueOptions) withDefaults() QueueOptions {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.TenantMaxRunning <= 0 {
+		o.TenantMaxRunning = 1
+	}
+	if o.TenantMaxQueued <= 0 {
+		o.TenantMaxQueued = 8
+	}
+	return o
+}
+
+// Event is one entry of a job's live event stream (the per-job SSE feed):
+// a state transition or a progress tick.
+type Event struct {
+	Type  string `json:"type"` // "state" or "progress"
+	JobID string `json:"job_id"`
+	State State  `json:"state"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	Error string `json:"error,omitempty"`
+	RunID string `json:"run_id,omitempty"`
+}
+
+// watcherBuffer bounds one subscriber's backlog; slow readers lose
+// events instead of stalling the scheduler.
+const watcherBuffer = 64
+
+// Queue is the durable multi-tenant job queue: Submit validates, quotas
+// and persists; a bounded scheduler executes through ExecFunc; every
+// state transition is re-persisted so a crashed process resumes where it
+// stopped. All methods are safe for concurrent use.
+type Queue struct {
+	store *Store
+	opts  QueueOptions
+
+	mu        sync.Mutex
+	jobs      map[string]*Job
+	pending   []string // queued job ids, submission order
+	running   map[string]context.CancelFunc
+	perTenant map[string]int // running jobs per tenant
+	canceling map[string]bool
+	watchers  map[string][]chan Event
+	closed    bool
+	wg        sync.WaitGroup
+
+	// Counters for the coevo_jobs_* metric series.
+	submitted, rejected, requeued   atomic.Int64
+	completed, failed, canceledJobs atomic.Int64
+	dedupHits                       atomic.Int64
+}
+
+// Open loads (or creates) the job directory and starts the scheduler.
+// Recovery is part of opening: jobs found in the running state were
+// interrupted by a crash or shutdown and are re-queued ahead of newer
+// work; queued jobs simply re-enter the queue.
+func Open(opts QueueOptions) (*Queue, error) {
+	if opts.Exec == nil {
+		return nil, fmt.Errorf("jobs: QueueOptions.Exec is required")
+	}
+	store, err := OpenStore(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{
+		store:     store,
+		opts:      opts.withDefaults(),
+		jobs:      map[string]*Job{},
+		running:   map[string]context.CancelFunc{},
+		perTenant: map[string]int{},
+		canceling: map[string]bool{},
+		watchers:  map[string][]chan Event{},
+	}
+	recovered, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	log := q.opts.Obs.Logger()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range recovered {
+		if j.State == StateRunning {
+			// The previous process died (or shut down) mid-run: the work
+			// never finished, so it goes back in line.
+			j.State = StateQueued
+			j.Done, j.Total = 0, 0
+			if err := store.Put(j); err != nil {
+				return nil, err
+			}
+			q.requeued.Add(1)
+			log.Info("jobs: re-queued interrupted job", "job", j.ID, "tenant", j.Tenant)
+		}
+		q.jobs[j.ID] = j
+		if j.State == StateQueued {
+			q.pending = append(q.pending, j.ID)
+		}
+	}
+	q.maybeStartLocked()
+	return q, nil
+}
+
+// Dir returns the queue's durable directory.
+func (q *Queue) Dir() string { return q.store.Dir() }
+
+// Submit validates, quotas, persists and enqueues one submission,
+// returning the queued job. The spec is content-addressed immediately,
+// so a duplicate of earlier work will be served by the shared cache when
+// it runs.
+func (q *Queue) Submit(tenant string, spec Spec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	j := &Job{
+		ID:          NewID(time.Now()),
+		Tenant:      tenant,
+		State:       StateQueued,
+		Spec:        spec,
+		Fingerprint: spec.Fingerprint().String(),
+		Submitted:   time.Now().UTC(),
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	live := 0
+	for _, existing := range q.jobs {
+		if existing.Tenant == tenant && !existing.State.Terminal() {
+			live++
+		}
+	}
+	if live >= q.opts.TenantMaxQueued {
+		q.rejected.Add(1)
+		return nil, fmt.Errorf("%w: tenant %q has %d live jobs (max %d)",
+			ErrQuota, tenant, live, q.opts.TenantMaxQueued)
+	}
+	if err := q.store.Put(j); err != nil {
+		return nil, err
+	}
+	q.jobs[j.ID] = j
+	q.pending = append(q.pending, j.ID)
+	q.submitted.Add(1)
+	q.opts.Obs.Logger().Info("jobs: submitted", "job", j.ID, "tenant", tenant, "kind", spec.Kind)
+	q.maybeStartLocked()
+	return j.clone(), nil
+}
+
+// Get returns a snapshot of one job.
+func (q *Queue) Get(id string) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j.clone(), nil
+}
+
+// List returns all jobs (or one tenant's, when tenant is non-empty) in
+// submission order.
+func (q *Queue) List(tenant string) []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		if tenant == "" || j.Tenant == tenant {
+			out = append(out, j.clone())
+		}
+	}
+	sortJobs(out)
+	return out
+}
+
+// Result loads a finished job's artifact.
+func (q *Queue) Result(id string) (*Result, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	var state State
+	if ok {
+		state = j.State
+	}
+	q.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if state != StateDone {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, state)
+	}
+	return q.store.LoadResult(id)
+}
+
+// Cancel requests cancellation: a queued job is canceled immediately, a
+// running one has its context canceled and reaches the canceled state
+// once its executor unwinds. The returned snapshot reflects the state at
+// return time (still "running" while the executor drains).
+func (q *Queue) Cancel(id string) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	switch j.State {
+	case StateQueued:
+		q.dropPendingLocked(id)
+		j.State = StateCanceled
+		j.Finished = time.Now().UTC()
+		j.Error = "canceled before start"
+		q.canceledJobs.Add(1)
+		if err := q.store.Put(j); err != nil {
+			return nil, err
+		}
+		q.notifyLocked(j, Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Error})
+		q.closeWatchersLocked(id)
+	case StateRunning:
+		if !q.canceling[id] {
+			q.canceling[id] = true
+			q.running[id]() // cancel the job's context
+		}
+	}
+	return j.clone(), nil
+}
+
+// Watch subscribes to a job's live events. The channel is closed when
+// the job reaches a terminal state (after a final "state" event) or the
+// queue shuts down; call stop to unsubscribe early. A job already
+// terminal yields its final state immediately.
+func (q *Queue) Watch(id string) (<-chan Event, func(), error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	ch := make(chan Event, watcherBuffer)
+	if j.State.Terminal() {
+		ch <- Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Error, RunID: j.RunID}
+		close(ch)
+		return ch, func() {}, nil
+	}
+	q.watchers[id] = append(q.watchers[id], ch)
+	stop := func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		subs := q.watchers[id]
+		for i, c := range subs {
+			if c == ch {
+				q.watchers[id] = append(subs[:i], subs[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, stop, nil
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx fires) and
+// returns its final snapshot.
+func (q *Queue) Wait(ctx context.Context, id string) (*Job, error) {
+	ch, stop, err := q.Watch(id)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case _, open := <-ch:
+			j, err := q.Get(id)
+			if err != nil {
+				return nil, err
+			}
+			if j.State.Terminal() {
+				return j, nil
+			}
+			if !open {
+				// Queue shut down before the job finished.
+				return j, ErrClosed
+			}
+		}
+	}
+}
+
+// Close stops the scheduler: no new submissions are accepted, running
+// jobs have their contexts canceled and are awaited until ctx expires.
+// Interrupted jobs keep their on-disk running state, so the next Open
+// re-queues and finishes them — shutdown and crash recover identically.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	for _, cancel := range q.running {
+		cancel()
+	}
+	for id := range q.watchers {
+		q.closeWatchersLocked(id)
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { q.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// Stats is a point-in-time snapshot of the queue's counters and depths.
+type Stats struct {
+	Queued, Running                       int
+	Submitted, Rejected, Requeued         int64
+	Completed, Failed, Canceled, DedupHit int64
+}
+
+// Stats snapshots the queue.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	queued, running := len(q.pending), len(q.running)
+	q.mu.Unlock()
+	return Stats{
+		Queued: queued, Running: running,
+		Submitted: q.submitted.Load(), Rejected: q.rejected.Load(),
+		Requeued: q.requeued.Load(), Completed: q.completed.Load(),
+		Failed: q.failed.Load(), Canceled: q.canceledJobs.Load(),
+		DedupHit: q.dedupHits.Load(),
+	}
+}
+
+// RegisterMetrics exposes the queue in a metrics registry as the
+// coevo_jobs_* family — what a Prometheus watching the analysis service
+// alerts on.
+func (q *Queue) RegisterMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("coevo_jobs_queued", "Jobs waiting to run.",
+		func() float64 { q.mu.Lock(); defer q.mu.Unlock(); return float64(len(q.pending)) })
+	reg.GaugeFunc("coevo_jobs_running", "Jobs currently executing.",
+		func() float64 { q.mu.Lock(); defer q.mu.Unlock(); return float64(len(q.running)) })
+	reg.CounterFunc("coevo_jobs_submitted_total", "Accepted submissions.",
+		func() float64 { return float64(q.submitted.Load()) })
+	reg.CounterFunc("coevo_jobs_rejected_total", "Submissions rejected over tenant quota.",
+		func() float64 { return float64(q.rejected.Load()) })
+	reg.CounterFunc("coevo_jobs_requeued_total", "Interrupted jobs re-queued at startup.",
+		func() float64 { return float64(q.requeued.Load()) })
+	reg.CounterFunc("coevo_jobs_done_total", "Jobs finished successfully.",
+		func() float64 { return float64(q.completed.Load()) })
+	reg.CounterFunc("coevo_jobs_failed_total", "Jobs that failed.",
+		func() float64 { return float64(q.failed.Load()) })
+	reg.CounterFunc("coevo_jobs_canceled_total", "Jobs canceled by their tenant.",
+		func() float64 { return float64(q.canceledJobs.Load()) })
+	reg.CounterFunc("coevo_jobs_dedup_hits_total", "Jobs whose whole result was served from the shared cache.",
+		func() float64 { return float64(q.dedupHits.Load()) })
+}
+
+// maybeStartLocked launches as many eligible queued jobs as the global
+// and per-tenant concurrency bounds allow. Callers hold q.mu.
+func (q *Queue) maybeStartLocked() {
+	if q.closed {
+		return
+	}
+	for len(q.running) < q.opts.Workers {
+		idx := -1
+		for i, id := range q.pending {
+			if q.perTenant[q.jobs[id].Tenant] < q.opts.TenantMaxRunning {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		id := q.pending[idx]
+		q.pending = append(q.pending[:idx], q.pending[idx+1:]...)
+		j := q.jobs[id]
+		j.State = StateRunning
+		j.Started = time.Now().UTC()
+		j.Attempts++
+		if err := q.store.Put(j); err != nil {
+			// A job we cannot persist as running must not run: crash
+			// recovery would lose it. Fail it in memory and on a best-effort
+			// disk write.
+			j.State = StateFailed
+			j.Error = err.Error()
+			j.Finished = time.Now().UTC()
+			q.failed.Add(1)
+			q.store.Put(j) //nolint:errcheck // best effort after a failed write
+			q.notifyLocked(j, Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Error})
+			q.closeWatchersLocked(id)
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		q.running[id] = cancel
+		q.perTenant[j.Tenant]++
+		q.notifyLocked(j, Event{Type: "state", JobID: j.ID, State: StateRunning})
+		q.wg.Add(1)
+		go q.run(ctx, j.clone())
+	}
+}
+
+// run executes one job outside the lock and finalizes its state.
+func (q *Queue) run(ctx context.Context, j *Job) {
+	defer q.wg.Done()
+	log := q.opts.Obs.Logger()
+	log.Info("jobs: running", "job", j.ID, "tenant", j.Tenant, "kind", j.Spec.Kind, "attempt", j.Attempts)
+	rep := RunReport{
+		Progress: func(done, total int) { q.progress(j.ID, done, total) },
+		RunID:    func(runID string) { q.setRunID(j.ID, runID) },
+		CacheHit: func() { q.markCacheHit(j.ID) },
+	}
+	res, err := q.opts.Exec(ctx, j, rep)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	live := q.jobs[j.ID]
+	if cancel, ok := q.running[j.ID]; ok {
+		cancel()
+		delete(q.running, j.ID)
+	}
+	q.perTenant[live.Tenant]--
+	wasCanceling := q.canceling[j.ID]
+	delete(q.canceling, j.ID)
+
+	switch {
+	case err == nil:
+		live.State = StateDone
+		live.Finished = time.Now().UTC()
+		live.Error = ""
+		if res != nil {
+			res.JobID = live.ID
+			live.Projects = res.Projects
+			live.FailedProjects = res.FailedProjects
+			live.Done, live.Total = res.Projects, res.Projects
+			if perr := q.store.PutResult(res); perr != nil {
+				live.State = StateFailed
+				live.Error = perr.Error()
+			}
+		}
+		if live.State == StateDone {
+			q.completed.Add(1)
+			if live.CacheHit {
+				q.dedupHits.Add(1)
+			}
+		} else {
+			q.failed.Add(1)
+		}
+	case wasCanceling:
+		live.State = StateCanceled
+		live.Finished = time.Now().UTC()
+		live.Error = "canceled while running"
+		q.canceledJobs.Add(1)
+	case q.closed && errors.Is(err, context.Canceled):
+		// Shutdown interrupted the job: leave the on-disk record in the
+		// running state so the next Open re-queues it — the crash-recovery
+		// path, taken deliberately.
+		log.Info("jobs: interrupted by shutdown, will re-queue on restart", "job", j.ID)
+		return
+	default:
+		live.State = StateFailed
+		live.Finished = time.Now().UTC()
+		live.Error = err.Error()
+		q.failed.Add(1)
+	}
+	if perr := q.store.Put(live); perr != nil && live.Error == "" {
+		live.Error = perr.Error()
+	}
+	log.Info("jobs: finished", "job", live.ID, "state", string(live.State), "run", live.RunID)
+	q.notifyLocked(live, Event{Type: "state", JobID: live.ID, State: live.State, Error: live.Error, RunID: live.RunID})
+	q.closeWatchersLocked(live.ID)
+	q.maybeStartLocked()
+}
+
+// progress records a running job's live analysis progress and notifies
+// its watchers; progress is served from memory, never persisted.
+func (q *Queue) progress(id string, done, total int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.State != StateRunning {
+		return
+	}
+	j.Done, j.Total = done, total
+	q.notifyLocked(j, Event{Type: "progress", JobID: id, State: j.State, Done: done, Total: total})
+}
+
+// setRunID links the job to its sealed run-ledger manifest and persists
+// the linkage, so /runs and the job record agree even if the process
+// dies before the job finalizes.
+func (q *Queue) setRunID(id, runID string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return
+	}
+	j.RunID = runID
+	q.store.Put(j) //nolint:errcheck // linkage is best-effort; finalize re-persists
+}
+
+// markCacheHit flags the job as served by the shared cache; called by
+// the executor before returning.
+func (q *Queue) markCacheHit(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j, ok := q.jobs[id]; ok {
+		j.CacheHit = true
+	}
+}
+
+// dropPendingLocked removes id from the pending queue.
+func (q *Queue) dropPendingLocked(id string) {
+	for i, pid := range q.pending {
+		if pid == id {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// notifyLocked fans an event out to the job's watchers, dropping it for
+// any subscriber whose buffer is full.
+func (q *Queue) notifyLocked(j *Job, e Event) {
+	for _, ch := range q.watchers[j.ID] {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+}
+
+// closeWatchersLocked closes and forgets a job's subscriber channels.
+func (q *Queue) closeWatchersLocked(id string) {
+	for _, ch := range q.watchers[id] {
+		close(ch)
+	}
+	delete(q.watchers, id)
+}
+
+// sortJobs orders jobs by submission time, ties by id.
+func sortJobs(jobs []*Job) {
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && earlier(jobs[k], jobs[k-1]); k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+}
+
+func earlier(a, b *Job) bool {
+	if !a.Submitted.Equal(b.Submitted) {
+		return a.Submitted.Before(b.Submitted)
+	}
+	return a.ID < b.ID
+}

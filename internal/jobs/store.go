@@ -1,0 +1,138 @@
+package jobs
+
+// The queue's durability layer: one atomic JSON file per job (plus one
+// per result), runlog-style temp-and-rename writes, so a crashed server
+// never leaves a torn record and a restarted one reconstructs the whole
+// queue from the directory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store persists jobs and results under one directory: <id>.json holds
+// the job record, <id>.result.json the finished artifact. The directory
+// is rsync-able and greppable like the run ledger.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates (if needed) and opens a job directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: store directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+const resultSuffix = ".result.json"
+
+// Put writes the job record atomically.
+func (s *Store) Put(j *Job) error {
+	return s.writeJSON(j.ID+".json", j)
+}
+
+// PutResult writes a finished job's artifact atomically.
+func (s *Store) PutResult(r *Result) error {
+	return s.writeJSON(r.JobID+resultSuffix, r)
+}
+
+// Load reads one job by exact id.
+func (s *Store) Load(id string) (*Job, error) {
+	var j Job
+	if err := s.readJSON(id+".json", &j); err != nil {
+		return nil, err
+	}
+	if j.ID == "" {
+		return nil, fmt.Errorf("jobs: %s: record without an id", id)
+	}
+	return &j, nil
+}
+
+// LoadResult reads one job's artifact.
+func (s *Store) LoadResult(id string) (*Result, error) {
+	var r Result
+	if err := s.readJSON(id+resultSuffix, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// List reads every job record, sorted by submission time (ties by id).
+// Unreadable or torn entries are skipped — one bad file must not hide
+// the rest of the queue.
+func (s *Store) List() ([]*Job, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	var all []*Job
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || strings.HasPrefix(name, ".") ||
+			strings.HasSuffix(name, resultSuffix) || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		j, err := s.Load(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			continue
+		}
+		all = append(all, j)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if !all[a].Submitted.Equal(all[b].Submitted) {
+			return all[a].Submitted.Before(all[b].Submitted)
+		}
+		return all[a].ID < all[b].ID
+	})
+	return all, nil
+}
+
+// writeJSON writes v to name via a temp file and rename.
+func (s *Store) writeJSON(name string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: marshal %s: %w", name, err)
+	}
+	raw = append(raw, '\n')
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: write %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: commit %s: %w", name, err)
+	}
+	return nil
+}
+
+// readJSON reads name into v.
+func (s *Store) readJSON(name string, v any) error {
+	raw, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("jobs: %s: %w", name, err)
+	}
+	return nil
+}

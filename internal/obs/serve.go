@@ -161,41 +161,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // handleProgress streams the run's event feed as server-sent events:
 // one "project" event per completion or failure and one "snapshot" event
-// per latency-snapshot publish, each carrying a JSON payload.
+// per latency-snapshot publish, each carrying a JSON payload. The SSE
+// transport itself is the shared WriteSSE, the same one the job service
+// uses for per-job streams.
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
 	id, ch, ok := s.hub.subscribe()
 	if !ok {
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 		return
 	}
 	defer s.hub.unsubscribe(id)
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.Header().Set("Connection", "keep-alive")
-	// A comment line confirms the subscription before any event fires,
+	// The comment line confirms the subscription before any event fires,
 	// and the retry hint keeps browser reconnects polite.
-	fmt.Fprint(w, ": coevo progress stream\nretry: 1000\n\n")
-	flusher.Flush()
-
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case msg, open := <-ch:
-			if !open {
-				return // hub closed: run over, disconnect the client
-			}
-			if msg.event != "" {
-				fmt.Fprintf(w, "event: %s\n", msg.event)
-			}
-			fmt.Fprintf(w, "data: %s\n\n", msg.data)
-			flusher.Flush()
-		}
-	}
+	WriteSSE(w, r, ": coevo progress stream\nretry: 1000\n\n", ch) //nolint:errcheck // a non-streaming writer already got a 500
 }

@@ -2,8 +2,54 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"sync"
 )
+
+// SSEEvent is one server-sent event: an event name (empty = the unnamed
+// "message" event) and one JSON document as its data line.
+type SSEEvent struct {
+	Event string
+	Data  []byte
+}
+
+// WriteSSE streams events to w as server-sent events until the request's
+// context is done or the channel closes — the transport shared by the
+// run-wide /progress feed and the job service's per-job event streams.
+// The preamble (a comment line and retry hint, may be empty) is written
+// before the first event so clients see the subscription confirmed
+// immediately. Senders must never block: pair the channel with a
+// bounded, drop-on-full producer (see sseHub).
+func WriteSSE(w http.ResponseWriter, r *http.Request, preamble string, events <-chan SSEEvent) error {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return fmt.Errorf("obs: response writer cannot stream")
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	if preamble != "" {
+		fmt.Fprint(w, preamble)
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return nil
+		case msg, open := <-events:
+			if !open {
+				return nil // producer closed: stream over, disconnect the client
+			}
+			if msg.Event != "" {
+				fmt.Fprintf(w, "event: %s\n", msg.Event)
+			}
+			fmt.Fprintf(w, "data: %s\n\n", msg.Data)
+			flusher.Flush()
+		}
+	}
+}
 
 // sseHub fans published events out to every connected /progress client.
 // Each client owns a buffered channel; a client that cannot keep up has
@@ -18,14 +64,8 @@ type sseHub struct {
 
 // sseClient is one subscribed /progress connection.
 type sseClient struct {
-	ch      chan sseMessage
+	ch      chan SSEEvent
 	dropped int
-}
-
-// sseMessage is one formatted server-sent event.
-type sseMessage struct {
-	event string // SSE event name ("" = unnamed "message" event)
-	data  []byte // one JSON document (no raw newlines)
 }
 
 // clientBuffer is the per-client event backlog; 256 events hold an entire
@@ -39,7 +79,7 @@ func newSSEHub() *sseHub {
 
 // subscribe registers a new client and returns its id and channel. The
 // returned channel is closed when the hub shuts down.
-func (h *sseHub) subscribe() (int, <-chan sseMessage, bool) {
+func (h *sseHub) subscribe() (int, <-chan SSEEvent, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -47,7 +87,7 @@ func (h *sseHub) subscribe() (int, <-chan sseMessage, bool) {
 	}
 	id := h.nextID
 	h.nextID++
-	c := &sseClient{ch: make(chan sseMessage, clientBuffer)}
+	c := &sseClient{ch: make(chan SSEEvent, clientBuffer)}
 	h.clients[id] = c
 	return id, c.ch, true
 }
@@ -68,7 +108,7 @@ func (h *sseHub) publish(event string, data []byte) {
 	if h.closed {
 		return
 	}
-	msg := sseMessage{event: event, data: data}
+	msg := SSEEvent{Event: event, Data: data}
 	for _, c := range h.clients {
 		select {
 		case c.ch <- msg:

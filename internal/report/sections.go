@@ -1,0 +1,136 @@
+package report
+
+// The study's evaluation output as named sections: one shared rendering
+// path for every consumer — the CLI's stdout/-out files, the job
+// service's fetchable results — so a study run produces byte-identical
+// figures no matter which surface requested it.
+
+import (
+	"fmt"
+	"io"
+
+	"coevo/internal/study"
+)
+
+// StudyArtifacts holds every evaluation figure's input, computed either
+// by folding a batch Dataset or live by the streaming Figures sink — one
+// rendering path for both modes guarantees their output is identical.
+type StudyArtifacts struct {
+	Hist       *study.SyncHistogram
+	Scatter    []study.ScatterPoint
+	BandIn     int
+	BandOut    int
+	Advance    *study.AdvanceTable
+	Always     *study.AlwaysAdvanceSummary
+	Attainment *study.AttainmentBreakdown
+	Stats      func() (*study.StatsReport, error)
+}
+
+// DatasetArtifacts folds a batch dataset into the figure inputs.
+func DatasetArtifacts(d *study.Dataset, seed int64) *StudyArtifacts {
+	in, out := d.LongProjectSyncBand(60, 0.2, 0.8)
+	return &StudyArtifacts{
+		Hist:       d.SynchronicityHistogram(0.10, 5),
+		Scatter:    d.DurationSynchronicityScatter(),
+		BandIn:     in,
+		BandOut:    out,
+		Advance:    d.AdvanceBreakdown(),
+		Always:     d.AlwaysAdvance(),
+		Attainment: d.Attainment(),
+		Stats:      func() (*study.StatsReport, error) { return d.Statistics(seed) },
+	}
+}
+
+// FiguresArtifacts reads the finished online accumulators.
+func FiguresArtifacts(f *study.Figures, seed int64) *StudyArtifacts {
+	in, out := f.Band.Band()
+	return &StudyArtifacts{
+		Hist:       f.Sync.Histogram(),
+		Scatter:    f.Scatter.Points(),
+		BandIn:     in,
+		BandOut:    out,
+		Advance:    f.Advance.Table(),
+		Always:     f.Always.Summary(),
+		Attainment: f.Attainment.Breakdown(),
+		Stats:      func() (*study.StatsReport, error) { return f.Stats.Report(seed) },
+	}
+}
+
+// StudySection is one named output of the study run.
+type StudySection struct {
+	Name  string
+	Write func(io.Writer) error
+}
+
+// StudySections lists the evaluation artifacts in presentation order.
+func StudySections(a *StudyArtifacts) []StudySection {
+	return []StudySection{
+		{"figure4.txt", func(w io.Writer) error {
+			return Render(w, a.Hist, Text)
+		}},
+		{"figure4.svg", func(w io.Writer) error {
+			return Render(w, a.Hist, SVG)
+		}},
+		{"figure5.svg", func(w io.Writer) error {
+			return Render(w, a.Scatter, SVG)
+		}},
+		{"figure5.txt", func(w io.Writer) error {
+			if err := Render(w, a.Scatter, Text); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "projects older than 60 months: %d in the (0.2, 0.8) band, %d outside\n", a.BandIn, a.BandOut)
+			return err
+		}},
+		{"figure6.txt", func(w io.Writer) error {
+			return Render(w, a.Advance, Text)
+		}},
+		{"figure7.txt", func(w io.Writer) error {
+			return Render(w, a.Always, Text)
+		}},
+		{"figure8.txt", func(w io.Writer) error {
+			return Render(w, a.Attainment, Text)
+		}},
+		{"section7.txt", func(w io.Writer) error {
+			st, err := a.Stats()
+			if err != nil {
+				return err
+			}
+			return Render(w, st, Text)
+		}},
+	}
+}
+
+// CaseStudy renders the Section 3.3 single-project deep dive: history
+// statistics, the joint progress diagram and the full measure suite —
+// the output of `coevo analyze`, `coevo ingest` and ingest jobs.
+func CaseStudy(w io.Writer, res *study.ProjectResult) error {
+	m := res.Measures
+	fmt.Fprintf(w, "project   %s (ddl: %s)\n", res.Name, res.DDLPath)
+	fmt.Fprintf(w, "taxon     %s\n", res.Taxon)
+	fmt.Fprintf(w, "duration  %d months\n", res.DurationMonths)
+	fmt.Fprintf(w, "commits   %d total, %d touching the schema (%d active)\n",
+		res.ProjectCommits, res.SchemaCommits, res.ActiveSchemaCommits)
+	fmt.Fprintf(w, "activity  %d file updates, %d schema change units\n\n",
+		res.FileUpdates, res.TotalSchemaActivity)
+
+	fig := JointProgressFigure{Title: "joint cumulative fractional progress", Progress: res.Joint}
+	if err := Render(w, fig, Text); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nmeasures:\n")
+	fmt.Fprintf(w, "  5%%-synchronicity   %.2f\n", m.Sync5)
+	fmt.Fprintf(w, "  10%%-synchronicity  %.2f\n", m.Sync10)
+	if m.AdvanceDefined {
+		fmt.Fprintf(w, "  advance over time    %.2f  (always: %v)\n", m.AdvanceTime, m.AlwaysAheadOfTime)
+		fmt.Fprintf(w, "  advance over source  %.2f  (always: %v)\n", m.AdvanceSource, m.AlwaysAheadOfSource)
+	} else {
+		fmt.Fprintf(w, "  advance measures undefined (single-month project)\n")
+	}
+	fmt.Fprintf(w, "  attainment: 50%% @ %.2f of life, 75%% @ %.2f, 80%% @ %.2f, 100%% @ %.2f\n",
+		m.Attain50, m.Attain75, m.Attain80, m.Attain100)
+	if v, month, err := res.Joint.MaxDivergence(); err == nil {
+		fmt.Fprintf(w, "  max divergence %.2f at month %d of %d\n", v, month, res.DurationMonths)
+	}
+	return nil
+}

@@ -14,6 +14,8 @@ import (
 type Summary struct {
 	ID              string    `json:"id"`
 	Command         string    `json:"command"`
+	JobID           string    `json:"job_id,omitempty"`
+	Tenant          string    `json:"tenant,omitempty"`
 	Start           time.Time `json:"start"`
 	DurationSeconds float64   `json:"duration_seconds"`
 	Outcome         string    `json:"outcome"`
@@ -25,8 +27,8 @@ type Summary struct {
 // Summarize projects a manifest onto its list view.
 func Summarize(m *Manifest) Summary {
 	return Summary{
-		ID: m.ID, Command: m.Command, Start: m.Start,
-		DurationSeconds: m.DurationSeconds, Outcome: m.Outcome,
+		ID: m.ID, Command: m.Command, JobID: m.JobID, Tenant: m.Tenant,
+		Start: m.Start, DurationSeconds: m.DurationSeconds, Outcome: m.Outcome,
 		Projects: m.Projects, Failed: m.Failed, P95Seconds: m.P95Seconds,
 	}
 }

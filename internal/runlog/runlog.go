@@ -30,10 +30,18 @@ import (
 type Manifest struct {
 	// ID is the ledger key: sortable UTC timestamp plus a random suffix.
 	ID string `json:"id"`
-	// Command is the subcommand that ran ("study", "gen", "taxa", "bench").
+	// Command is the subcommand that ran ("study", "gen", "taxa", "bench")
+	// or "job" for runs executed by the job service.
 	Command string `json:"command"`
-	// Options records the explicitly-set command-line flags.
+	// Options records the explicitly-set command-line flags (for CLI runs)
+	// or the submitted spec's parameters (for job runs).
 	Options map[string]string `json:"options,omitempty"`
+
+	// JobID and Tenant link a manifest to the job-service submission that
+	// produced it (empty for CLI runs) — the job→run join key that makes a
+	// job's sealed result fetchable and diffable over /runs.
+	JobID  string `json:"job_id,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
 
 	Start           time.Time `json:"start"`
 	End             time.Time `json:"end"`

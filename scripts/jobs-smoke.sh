@@ -1,0 +1,91 @@
+#!/bin/sh
+# Job-service smoke test: start `coevo serve`, submit a study over the
+# HTTP API, wait for it, fetch its sections, and compare them byte for
+# byte with the same-seed `coevo study` output. Then submit the identical
+# spec as a second tenant and assert the duplicate is served from the
+# shared result cache (job reports cache_hit, coevo_cache_hits_total
+# grows, coevo_jobs_dedup_hits_total fires) and that every job sealed a
+# "job" entry into the run ledger served at /runs.
+#
+# Usage: scripts/jobs-smoke.sh [addr] [workdir]
+set -eu
+
+ADDR="${1:-127.0.0.1:9288}"
+WORK="${2:-jobs-smoke-work}"
+URL="http://$ADDR"
+SEED=7
+PER_TAXON=2
+
+go build -o /tmp/coevo-jobs-smoke ./cmd/coevo
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+/tmp/coevo-jobs-smoke serve -listen "$ADDR" -jobs-dir "$WORK/jobs" \
+    -runlog-dir "$WORK/runs" -cache-dir "$WORK/cache" \
+    >"$WORK/serve-stdout.txt" 2>"$WORK/serve-stderr.txt" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+    if curl -fsS "$URL/readyz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fsS "$URL/readyz" | grep -q ready || {
+    echo "serve never became ready"; cat "$WORK/serve-stderr.txt"; exit 1; }
+
+# 1. Submit over raw HTTP as tenant alice and wait with the CLI client.
+SPEC="{\"kind\":\"study\",\"study\":{\"seed\":$SEED,\"per_taxon\":$PER_TAXON}}"
+ID=$(curl -fsS -X POST -H 'X-Coevo-Tenant: alice' -d "$SPEC" "$URL/jobs" \
+    | sed -n 's/^  "id": "\(.*\)",$/\1/p')
+[ -n "$ID" ] || { echo "submission returned no job id"; exit 1; }
+
+/tmp/coevo-jobs-smoke jobs -server "$URL" wait "$ID" >/dev/null
+/tmp/coevo-jobs-smoke jobs -server "$URL" -json status "$ID" >"$WORK/status1.json"
+grep -q '"state": "done"' "$WORK/status1.json" || {
+    echo "job $ID did not finish"; cat "$WORK/status1.json"; exit 1; }
+/tmp/coevo-jobs-smoke jobs -server "$URL" -out "$WORK/job-out" result "$ID" >/dev/null
+
+# 2. The acceptance bar: the job's sections must be byte-identical to the
+# same-seed CLI study run.
+/tmp/coevo-jobs-smoke study -seed "$SEED" -per-taxon "$PER_TAXON" \
+    -out "$WORK/cli-out" >/dev/null 2>&1
+[ -n "$(ls "$WORK/job-out")" ] || { echo "job result has no sections"; exit 1; }
+for f in "$WORK/job-out"/*; do
+    name=$(basename "$f")
+    cmp -s "$f" "$WORK/cli-out/$name" || {
+        echo "section $name differs between the job and the CLI"; exit 1; }
+done
+
+# 3. A second tenant submits the identical spec: the shared cache must
+# serve it without re-analysis.
+HITS_BEFORE=$(curl -fsS "$URL/metrics" | sed -n 's/^coevo_cache_hits_total //p')
+ID2=$(curl -fsS -X POST -H 'X-Coevo-Tenant: bob' -d "$SPEC" "$URL/jobs" \
+    | sed -n 's/^  "id": "\(.*\)",$/\1/p')
+/tmp/coevo-jobs-smoke jobs -server "$URL" wait "$ID2" >/dev/null
+/tmp/coevo-jobs-smoke jobs -server "$URL" -json status "$ID2" >"$WORK/status2.json"
+grep -q '"state": "done"' "$WORK/status2.json" || {
+    echo "duplicate job did not finish"; cat "$WORK/status2.json"; exit 1; }
+grep -q '"cache_hit": true' "$WORK/status2.json" || {
+    echo "duplicate submission was not served from the cache"; cat "$WORK/status2.json"; exit 1; }
+
+curl -fsS "$URL/metrics" >"$WORK/metrics.txt"
+HITS_AFTER=$(sed -n 's/^coevo_cache_hits_total //p' "$WORK/metrics.txt")
+awk "BEGIN { exit !($HITS_AFTER > $HITS_BEFORE) }" || {
+    echo "coevo_cache_hits_total did not grow ($HITS_BEFORE -> $HITS_AFTER)"; exit 1; }
+grep -q '^coevo_jobs_done_total 2' "$WORK/metrics.txt" || {
+    echo "metrics lack the finished jobs"; grep '^coevo_jobs' "$WORK/metrics.txt"; exit 1; }
+grep -q '^coevo_jobs_dedup_hits_total 1' "$WORK/metrics.txt" || {
+    echo "metrics lack the dedup hit"; grep '^coevo_jobs' "$WORK/metrics.txt"; exit 1; }
+
+# 4. Both executions sealed ledger entries visible over /runs and the CLI.
+curl -fsS "$URL/runs" | grep -q '"command": "job"' || {
+    echo "/runs lacks the job manifests"; exit 1; }
+/tmp/coevo-jobs-smoke runs -runlog-dir "$WORK/runs" -json list >"$WORK/runs.json"
+JOB_RUNS=$(grep -c '"command": "job"' "$WORK/runs.json")
+[ "$JOB_RUNS" -ge 2 ] || { echo "ledger has $JOB_RUNS job runs, want 2"; exit 1; }
+
+kill "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+trap - EXIT
+
+echo "jobs smoke OK: $URL ran $ID and deduped $ID2 from the shared cache"

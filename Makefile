@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke
+.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke perf-gate perf-gate-self-test
 
 build:
 	$(GO) build ./...
@@ -24,15 +24,30 @@ verify:
 
 # bench times full study runs — cold and warm cache, workers=1 vs
 # NumCPU, batch vs streaming — and writes the machine-readable report
-# (with per-case peak heap) CI archives with every build, plus a ledger
-# manifest 'coevo runs diff' can compare across builds. The Go benchmark
-# pass adds the streaming-vs-batch allocation profile.
-BENCH_OUT ?= BENCH_pr5.json
+# (per-case peak heap, allocs/project, alloc bytes/project) CI archives
+# with every build, plus a ledger manifest 'coevo runs diff' can compare
+# across builds. The Go benchmark pass adds the streaming-vs-batch
+# allocation profile.
+BENCH_OUT ?= BENCH_pr7.json
 RUNLOG_DIR ?= runs
 
 bench:
 	$(GO) run ./cmd/coevo bench -out $(BENCH_OUT) -runlog-dir $(RUNLOG_DIR)
 	$(GO) test -run NONE -bench BenchmarkStudyStreaming -benchmem .
+
+# perf-gate is the hard CI performance gate: a fresh workers=1 bench run
+# is diffed against the baseline manifest embedded in the committed
+# BENCH report, and any wall-time / allocs-per-project / peak-heap
+# regression past PERF_GATE_THRESHOLD (default 25%) fails the build.
+# The self-test fabricates a 1.5x-regressed run and asserts the gate
+# catches it.
+PERF_BASELINE ?= BENCH_pr7.json
+
+perf-gate:
+	./scripts/perf-gate.sh $(PERF_BASELINE)
+
+perf-gate-self-test:
+	./scripts/perf-gate.sh --self-test $(PERF_BASELINE)
 
 # smoke runs a full study with the live telemetry plane enabled and
 # checks every endpoint of the embedded server answers while the process

@@ -37,6 +37,12 @@ type benchCase struct {
 	// (watermark reset after a forced GC at case start) — the number the
 	// streaming mode exists to keep flat as the corpus grows.
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// AllocsPerProject and AllocBytesPerProject normalize the case's heap
+	// allocation count and volume (runtime.MemStats deltas) per analyzed
+	// project — the machine-independent signal the allocation-budget work
+	// moves and the perf gate watches.
+	AllocsPerProject     float64 `json:"allocs_per_project"`
+	AllocBytesPerProject float64 `json:"alloc_bytes_per_project"`
 }
 
 // benchReport is the JSON document runBench writes. The provenance block
@@ -53,6 +59,11 @@ type benchReport struct {
 	CPUModel      string      `json:"cpu_model,omitempty"`
 	Seed          int64       `json:"seed"`
 	Results       []benchCase `json:"results"`
+	// Runlog embeds the run's sealed ledger manifest, per-case wall times
+	// and allocation metrics included — 'coevo runs import' lifts it into
+	// a ledger so scripts/perf-gate.sh can diff a fresh bench run against
+	// a committed baseline report with 'coevo runs diff'.
+	Runlog *runlog.Manifest `json:"runlog,omitempty"`
 }
 
 // runBench times full study runs — cold and warm cache, serial and
@@ -65,9 +76,10 @@ type benchReport struct {
 // regressions between bench runs.
 func runBench(ctx context.Context, args []string) error {
 	fs := newFlagSet("bench")
-	out := fs.String("out", "BENCH_pr5.json", "write the benchmark report JSON to this path")
+	out := fs.String("out", "BENCH_pr7.json", "write the benchmark report JSON to this path")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	perTaxon := fs.Int("per-taxon", 0, "shrink the corpus to N projects per taxon (0 = the full 195-project corpus)")
+	workers := fs.Int("workers", 0, "pin the matrix to exactly this worker count (0 = 1 plus NumCPU); the perf gate pins 1 so stage keys match across machines")
 	runlogDir := fs.String("runlog-dir", "", "also record the bench run as a manifest in this ledger directory")
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
@@ -90,7 +102,7 @@ func runBench(ctx context.Context, args []string) error {
 			proc.Sample()
 		}
 	}
-	runOnce := func(mode string, workers int, c *cache.Cache) (int, float64, uint64, error) {
+	runOnce := func(mode string, workers int, c *cache.Cache) (caseRun, error) {
 		cfg := corpus.DefaultConfig(*seed)
 		cfg.Profiles = profiles
 		cfg.Exec.Workers = workers
@@ -104,33 +116,46 @@ func runBench(ctx context.Context, args []string) error {
 		// garbage before timing starts.
 		runtime.GC()
 		proc.Reset()
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		var n int
 		if mode == "stream" {
 			sum, err := study.StreamCorpus(ctx, corpus.NewSource(cfg), study.NewFigures(), opts)
 			if err != nil {
-				return 0, 0, 0, err
+				return caseRun{}, err
 			}
 			n = sum.Projects
 		} else {
 			projects, err := corpus.GenerateContext(ctx, cfg)
 			if err != nil {
-				return 0, 0, 0, err
+				return caseRun{}, err
 			}
 			d, err := study.AnalyzeCorpusContext(ctx, projects, opts)
 			if err != nil {
-				return 0, 0, 0, err
+				return caseRun{}, err
 			}
 			n = d.Size()
 		}
 		secs := time.Since(start).Seconds()
 		proc.Sample()
-		return n, secs, proc.Peak(), nil
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		return caseRun{
+			projects:   n,
+			seconds:    secs,
+			peakHeap:   proc.Peak(),
+			allocs:     msAfter.Mallocs - msBefore.Mallocs,
+			allocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
+		}, nil
 	}
 
 	workerSettings := []int{1}
 	if n := runtime.NumCPU(); n > 1 {
 		workerSettings = append(workerSettings, n)
+	}
+	if *workers > 0 {
+		workerSettings = []int{*workers}
 	}
 	rep := benchReport{
 		Timestamp:     manifest.Start.Format(time.RFC3339),
@@ -156,31 +181,54 @@ func runBench(ctx context.Context, args []string) error {
 			}
 			for _, phase := range []string{"cold", "warm"} {
 				before := c.Stats()
-				n, secs, peak, err := runOnce(mode, workers, c)
+				run, err := runOnce(mode, workers, c)
 				if err != nil {
 					return err
 				}
 				after := c.Stats()
 				bc := benchCase{
 					Name: fmt.Sprintf("%s/%s/workers=%d", prefix, phase, workers),
-					Mode: mode, Cache: phase, Workers: workers, Projects: n, Seconds: secs,
+					Mode: mode, Cache: phase, Workers: workers, Projects: run.projects, Seconds: run.seconds,
 					CacheHits:     after.Hits - before.Hits,
 					CacheMisses:   after.Misses - before.Misses,
-					PeakHeapBytes: peak,
+					PeakHeapBytes: run.peakHeap,
+				}
+				if run.projects > 0 {
+					bc.AllocsPerProject = float64(run.allocs) / float64(run.projects)
+					bc.AllocBytesPerProject = float64(run.allocBytes) / float64(run.projects)
 				}
 				rep.Results = append(rep.Results, bc)
 				totalHits += bc.CacheHits
 				totalMisses += bc.CacheMisses
-				if peak > peakHeap {
-					peakHeap = peak
+				if run.peakHeap > peakHeap {
+					peakHeap = run.peakHeap
 				}
-				manifest.Projects = n
-				manifest.StageSeconds = appendStage(manifest.StageSeconds, bc.Name, secs)
-				fmt.Fprintf(os.Stderr, "bench %-34s %8.3fs  (%d projects, %d cache hits / %d misses, peak heap %.1f MiB)\n",
-					bc.Name, bc.Seconds, bc.Projects, bc.CacheHits, bc.CacheMisses, float64(bc.PeakHeapBytes)/(1<<20))
+				manifest.Projects = run.projects
+				manifest.StageSeconds = appendStage(manifest.StageSeconds, bc.Name, run.seconds)
+				// Per-case metrics ride in the manifest so 'coevo runs diff'
+				// (and the perf gate built on it) watches allocation budgets
+				// and heap ceilings, not just wall time.
+				manifest.Metrics = appendStage(manifest.Metrics, "bench/"+bc.Name+"/allocs_per_project", bc.AllocsPerProject)
+				manifest.Metrics = appendStage(manifest.Metrics, "bench/"+bc.Name+"/alloc_bytes_per_project", bc.AllocBytesPerProject)
+				manifest.Metrics = appendStage(manifest.Metrics, "bench/"+bc.Name+"/heap_peak_bytes", float64(bc.PeakHeapBytes))
+				fmt.Fprintf(os.Stderr, "bench %-34s %8.3fs  (%d projects, %d cache hits / %d misses, peak heap %.1f MiB, %.0f allocs/project)\n",
+					bc.Name, bc.Seconds, bc.Projects, bc.CacheHits, bc.CacheMisses, float64(bc.PeakHeapBytes)/(1<<20), bc.AllocsPerProject)
 			}
 		}
 	}
+
+	// Seal the manifest before writing the report: the report embeds it, so
+	// a committed BENCH_*.json is a complete, importable baseline for the
+	// perf gate even when no -runlog-dir was given at record time.
+	if total := totalHits + totalMisses; total > 0 {
+		manifest.Cache = &runlog.CacheStats{
+			Hits: totalHits, Misses: totalMisses,
+			HitRate: float64(totalHits) / float64(total),
+		}
+	}
+	manifest.PeakHeapBytes = peakHeap
+	manifest.Finish(time.Now(), nil)
+	rep.Runlog = manifest
 
 	if err := writeFile(*out, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
@@ -192,14 +240,6 @@ func runBench(ctx context.Context, args []string) error {
 	fmt.Printf("wrote benchmark report to %s\n", *out)
 
 	if *runlogDir != "" {
-		if total := totalHits + totalMisses; total > 0 {
-			manifest.Cache = &runlog.CacheStats{
-				Hits: totalHits, Misses: totalMisses,
-				HitRate: float64(totalHits) / float64(total),
-			}
-		}
-		manifest.PeakHeapBytes = peakHeap
-		manifest.Finish(time.Now(), nil)
 		path, err := runlog.Write(*runlogDir, manifest)
 		if err != nil {
 			return err
@@ -207,6 +247,15 @@ func runBench(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "recorded bench run %s in %s\n", manifest.ID, path)
 	}
 	return nil
+}
+
+// caseRun is one timed measurement of a bench matrix cell.
+type caseRun struct {
+	projects   int
+	seconds    float64
+	peakHeap   uint64
+	allocs     uint64
+	allocBytes uint64
 }
 
 // appendStage inserts into a possibly-nil stage map.

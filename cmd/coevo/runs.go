@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
@@ -17,6 +18,8 @@ func runRuns(args []string) error {
 	threshold := fs.Float64("threshold", runlog.DefaultThreshold,
 		"relative drift that flags a regression in 'runs diff' (0.10 = 10%)")
 	jsonOut := fs.Bool("json", false, "print 'runs list' as a JSON summary array (the /runs document)")
+	scale := fs.Float64("scale", 1,
+		"multiply an imported run's timing/alloc metrics by this factor (used by the perf-gate self-test to fabricate a regressed run)")
 	fs.Usage = func() {
 		fmt.Fprint(os.Stderr, `usage: coevo runs [flags] <operation>
 
@@ -26,6 +29,9 @@ operations:
   diff [old] [new]     compare two runs metric by metric and flag
                        regressions beyond -threshold
                        (default: previous latest)
+  import <file>        copy a run manifest into the ledger, from either a
+                       bare manifest JSON or a bench report's embedded
+                       "runlog" block; prints the imported run id
 
 ids resolve exactly, by unique prefix, or as "latest"/"previous".
 
@@ -84,10 +90,78 @@ flags:
 			return fmt.Errorf("%d metric regression(s) between %s and %s", r.Regressions, oldRun.ID, newRun.ID)
 		}
 		return nil
+	case "import":
+		path := fs.Arg(1)
+		if path == "" {
+			return fmt.Errorf("runs import: missing manifest or bench-report file")
+		}
+		m, err := readImportable(path)
+		if err != nil {
+			return err
+		}
+		if *scale != 1 {
+			scaleManifest(m, *scale)
+			// A distinct id keeps a scaled copy from overwriting the
+			// unscaled entry when both land in one ledger.
+			m.ID += "-scaled"
+		}
+		written, err := runlog.Write(*dir, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "imported %s into %s\n", path, written)
+		fmt.Println(m.ID)
+		return nil
 	case "":
 		fs.Usage()
-		return fmt.Errorf("runs: missing operation (list, show or diff)")
+		return fmt.Errorf("runs: missing operation (list, show, diff or import)")
 	default:
-		return fmt.Errorf("runs: unknown operation %q (want list, show or diff)", op)
+		return fmt.Errorf("runs: unknown operation %q (want list, show, diff or import)", op)
+	}
+}
+
+// readImportable loads a run manifest from path, accepting either a bare
+// manifest JSON or a bench report that embeds one under "runlog" — the
+// shape of a committed BENCH_*.json baseline.
+func readImportable(path string) (*runlog.Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report struct {
+		Runlog *runlog.Manifest `json:"runlog"`
+	}
+	if err := json.Unmarshal(raw, &report); err == nil && report.Runlog != nil && report.Runlog.ID != "" {
+		return report.Runlog, nil
+	}
+	var m runlog.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("runs import: %s: %w", path, err)
+	}
+	if m.ID == "" {
+		return nil, fmt.Errorf("runs import: %s carries no run manifest (no \"runlog\" block and no top-level id)", path)
+	}
+	return &m, nil
+}
+
+// scaleManifest multiplies every cost metric by factor, fabricating a
+// uniformly slower (factor > 1) or faster run: wall times, per-stage
+// seconds, heap peak and the metrics snapshot scale up; throughput
+// scales down. The perf-gate self-test uses this to prove the gate
+// fails on a known regression.
+func scaleManifest(m *runlog.Manifest, factor float64) {
+	m.DurationSeconds *= factor
+	m.P50Seconds *= factor
+	m.P95Seconds *= factor
+	m.MaxSeconds *= factor
+	m.PeakHeapBytes = uint64(float64(m.PeakHeapBytes) * factor)
+	if factor > 0 {
+		m.ThroughputPerSec /= factor
+	}
+	for k, v := range m.StageSeconds {
+		m.StageSeconds[k] = v * factor
+	}
+	for k, v := range m.Metrics {
+		m.Metrics[k] = v * factor
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -16,8 +17,38 @@ type Enc struct {
 	buf []byte
 }
 
-// Bytes returns the encoded value.
+// Bytes returns the encoded value. The slice aliases the encoder's
+// buffer: it is invalidated by Reset and by PutEnc.
 func (e *Enc) Bytes() []byte { return e.buf }
+
+// Reset empties the buffer, retaining capacity for reuse.
+func (e *Enc) Reset() { e.buf = e.buf[:0] }
+
+// Copy returns an owned, exact-size copy of the encoded value — the form
+// to hand to Cache.Put (which retains value slices) when the encoder is
+// pooled or about to be reset.
+func (e *Enc) Copy() []byte {
+	p := make([]byte, len(e.buf))
+	copy(p, e.buf)
+	return p
+}
+
+// encPool amortizes encoder buffers across the hot per-version codec
+// paths (schema, delta, measure bundles). Steady-state encoding then
+// allocates only the final Copy handed to the cache.
+var encPool = sync.Pool{New: func() any { return new(Enc) }}
+
+// GetEnc returns an empty pooled encoder. Release it with PutEnc once
+// the encoded bytes have been copied out (Copy) or fully consumed.
+func GetEnc() *Enc {
+	e := encPool.Get().(*Enc)
+	e.Reset()
+	return e
+}
+
+// PutEnc recycles a pooled encoder. Slices previously returned by Bytes
+// become invalid.
+func PutEnc(e *Enc) { encPool.Put(e) }
 
 // Uvarint appends an unsigned varint.
 func (e *Enc) Uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
@@ -137,6 +168,19 @@ func (d *Dec) Bool() bool {
 
 // Blob reads a length-prefixed byte slice (copied out of the buffer).
 func (d *Dec) Blob() []byte {
+	p := d.BlobRef()
+	if p == nil {
+		return nil
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+// BlobRef reads a length-prefixed byte slice without copying: the result
+// aliases the buffer passed to NewDec and is valid for its lifetime. Use
+// it when the blob is decoded further and discarded.
+func (d *Dec) BlobRef() []byte {
 	n := d.Uvarint()
 	if d.err != nil {
 		return nil
@@ -145,8 +189,7 @@ func (d *Dec) Blob() []byte {
 		d.fail("blob length")
 		return nil
 	}
-	p := make([]byte, n)
-	copy(p, d.buf[:n])
+	p := d.buf[:n:n]
 	d.buf = d.buf[n:]
 	return p
 }

@@ -1,9 +1,7 @@
 package corpus
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 )
 
 // columnTypes is the pool of realistic SQL types the generator draws from.
@@ -40,6 +38,9 @@ type schemaBuilder struct {
 	// cosmeticSeq counts comment-only edits; it changes the rendered text
 	// without any logical schema change (an inactive schema commit).
 	cosmeticSeq int
+	// renderBuf is reused across renders; the returned bytes are only
+	// valid until the next render call.
+	renderBuf []byte
 }
 
 func newSchemaBuilder(rng *rand.Rand) *schemaBuilder {
@@ -53,7 +54,8 @@ func (b *schemaBuilder) addTable(attrs int) int {
 		attrs = 1
 	}
 	b.tableSeq++
-	t := &genTable{name: fmt.Sprintf("tbl_%03d", b.tableSeq), heat: b.sampleHeat()}
+	name := appendPadInt(append(make([]byte, 0, 8), "tbl_"...), b.tableSeq, 3)
+	t := &genTable{name: string(name), heat: b.sampleHeat()}
 	t.cols = append(t.cols, genColumn{name: "id", typ: "INT"})
 	for i := 1; i < attrs; i++ {
 		t.cols = append(t.cols, b.newColumn())
@@ -97,8 +99,9 @@ func (b *schemaBuilder) pickWeightedTable() *genTable {
 
 func (b *schemaBuilder) newColumn() genColumn {
 	b.colSeq++
+	name := appendPadInt(append(make([]byte, 0, 9), "col_"...), b.colSeq, 4)
 	return genColumn{
-		name: fmt.Sprintf("col_%04d", b.colSeq),
+		name: string(name),
 		typ:  columnTypes[b.rng.Intn(len(columnTypes))],
 	}
 }
@@ -229,21 +232,31 @@ func (b *schemaBuilder) pickUntouchedColumn(touched map[string]bool, key func(*g
 func (b *schemaBuilder) cosmeticEdit() { b.cosmeticSeq++ }
 
 // render emits the schema as a single-file MySQL-flavoured DDL script.
-func (b *schemaBuilder) render() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "-- Schema definition (generated corpus project, revision note %d)\n", b.cosmeticSeq)
-	sb.WriteString("SET NAMES utf8;\n\n")
+func (b *schemaBuilder) render() string { return string(b.renderBytes()) }
+
+// renderBytes emits the same script into a buffer reused across renders;
+// the result is valid only until the next render and must be copied by
+// callers that retain it (vcs.Stage copies on intake).
+func (b *schemaBuilder) renderBytes() []byte {
+	out := append(b.renderBuf[:0], "-- Schema definition (generated corpus project, revision note "...)
+	out = appendPadInt(out, b.cosmeticSeq, 0)
+	out = append(out, ")\nSET NAMES utf8;\n\n"...)
 	for _, t := range b.tables {
-		fmt.Fprintf(&sb, "CREATE TABLE `%s` (\n", t.name)
+		out = append(out, "CREATE TABLE `"...)
+		out = append(out, t.name...)
+		out = append(out, "` (\n"...)
 		for _, c := range t.cols {
-			fmt.Fprintf(&sb, "  `%s` %s", c.name, c.typ)
+			out = append(out, "  `"...)
+			out = append(out, c.name...)
+			out = append(out, "` "...)
+			out = append(out, c.typ...)
 			if c.name == "id" {
-				sb.WriteString(" NOT NULL")
+				out = append(out, " NOT NULL"...)
 			}
-			sb.WriteString(",\n")
+			out = append(out, ",\n"...)
 		}
-		sb.WriteString("  PRIMARY KEY (`id`)\n")
-		sb.WriteString(") ENGINE=InnoDB DEFAULT CHARSET=utf8;\n\n")
+		out = append(out, "  PRIMARY KEY (`id`)\n) ENGINE=InnoDB DEFAULT CHARSET=utf8;\n\n"...)
 	}
-	return sb.String()
+	b.renderBuf = out
+	return out
 }

@@ -51,7 +51,8 @@ func projectKey(cfg Config, prof Profile, idx int) cache.Key {
 // commit with its author, time, message and file operations, plus the
 // expected head hash as an end-to-end fidelity check.
 func encodeProject(p *Project) ([]byte, error) {
-	var e cache.Enc
+	e := cache.GetEnc()
+	defer cache.PutEnc(e)
 	e.String(p.Name)
 	e.Int(int64(p.Taxon))
 	e.String(p.DDLPath)
@@ -71,9 +72,14 @@ func encodeProject(p *Project) ([]byte, error) {
 			if ch.Status == vcs.Deleted {
 				continue
 			}
-			content, err := p.Repo.FileAt(c.Hash, ch.Path)
-			if err != nil {
-				return nil, err
+			content, ok := p.Repo.ChangedContent(ch)
+			if !ok {
+				// Change records from a foreign log carry no blob hash;
+				// fall back to a snapshot lookup.
+				var err error
+				if content, err = p.Repo.FileAt(c.Hash, ch.Path); err != nil {
+					return nil, err
+				}
 			}
 			e.Blob(content)
 		}
@@ -83,7 +89,7 @@ func encodeProject(p *Project) ([]byte, error) {
 		return nil, fmt.Errorf("corpus: empty generated repository")
 	}
 	e.String(string(head.Hash))
-	return e.Bytes(), nil
+	return e.Copy(), nil
 }
 
 // decodeProject replays an encoded project into a fresh repository. Any

@@ -1,8 +1,8 @@
 package corpus
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"coevo/internal/heartbeat"
@@ -20,9 +20,26 @@ type projectWriter struct {
 	repo  *vcs.Repository
 	start time.Time
 	dev   string
-	seq   int // global commit sequence for content uniqueness
+	email string // dev + "@example.org", built once
+	seq   int    // global commit sequence for content uniqueness
 	pool  []string
 	ext   string
+	// scratch reused across commits; corpus generation is the cold path's
+	// biggest allocator and every byte here used to go through fmt.
+	contentBuf []byte
+	msgBuf     []byte
+	seenBuf    []bool
+}
+
+// appendPadInt appends n zero-padded to at least width digits, matching
+// fmt's %0*d for non-negative values.
+func appendPadInt(b []byte, n, width int) []byte {
+	var tmp [20]byte
+	s := strconv.AppendInt(tmp[:0], int64(n), 10)
+	for pad := width - len(s); pad > 0; pad-- {
+		b = append(b, '0')
+	}
+	return append(b, s...)
 }
 
 // filePool lazily builds the project's source file name pool.
@@ -32,7 +49,12 @@ func (w *projectWriter) filePool() []string {
 		n := 12 + w.rng.Intn(30)
 		for i := 0; i < n; i++ {
 			dir := sourceDirs[w.rng.Intn(len(sourceDirs))]
-			w.pool = append(w.pool, fmt.Sprintf("%s/file_%02d%s", dir, i, w.ext))
+			name := make([]byte, 0, len(dir)+len("/file_00")+len(w.ext))
+			name = append(name, dir...)
+			name = append(name, "/file_"...)
+			name = appendPadInt(name, i, 2)
+			name = append(name, w.ext...)
+			w.pool = append(w.pool, string(name))
 		}
 	}
 	return w.pool
@@ -48,9 +70,12 @@ func (w *projectWriter) commitTime(month, index int) time.Time {
 
 // sig returns the author signature for a commit at the given time.
 func (w *projectWriter) sig(when time.Time) vcs.Signature {
+	if w.email == "" {
+		w.email = w.dev + "@example.org"
+	}
 	return vcs.Signature{
 		Name:  w.dev,
-		Email: w.dev + "@example.org",
+		Email: w.email,
 		When:  when,
 	}
 }
@@ -76,7 +101,7 @@ func (w *projectWriter) emitMonth(month, commits, schemaUnits int, cosmetic bool
 		case cosmetic:
 			sb.cosmeticEdit()
 		}
-		w.repo.StageString(ddlPath, sb.render())
+		w.repo.Stage(ddlPath, sb.renderBytes())
 		// Schema commits usually ship with adjacent source changes — the
 		// co-change the study looks for.
 		w.stageSourceFiles(1 + w.rng.Intn(3))
@@ -94,7 +119,10 @@ func (w *projectWriter) emitMonth(month, commits, schemaUnits int, cosmetic bool
 
 	for c := 0; c < commits; c++ {
 		w.stageSourceFiles(randRange(w.rng, prof.FilesPerCommit))
-		if err := commitOnce(fmt.Sprintf("work: change %d", w.seq)); err != nil {
+		b := append(w.msgBuf[:0], "work: change "...)
+		b = strconv.AppendInt(b, int64(w.seq), 10)
+		w.msgBuf = b
+		if err := commitOnce(string(b)); err != nil {
 			return err
 		}
 	}
@@ -107,14 +135,30 @@ func (w *projectWriter) stageSourceFiles(n int) {
 	if n > len(pool) {
 		n = len(pool)
 	}
-	seen := map[int]bool{}
-	for len(seen) < n {
+	if len(w.seenBuf) < len(pool) {
+		w.seenBuf = make([]bool, len(pool))
+	}
+	seen := w.seenBuf[:len(pool)]
+	for i := range seen {
+		seen[i] = false
+	}
+	staged := 0
+	for staged < n {
 		i := w.rng.Intn(len(pool))
 		if seen[i] {
 			continue
 		}
 		seen[i] = true
+		staged++
 		w.seq++
-		w.repo.StageString(pool[i], fmt.Sprintf("// revision %d of %s\ncontent body %d\n", w.seq, pool[i], w.seq))
+		b := append(w.contentBuf[:0], "// revision "...)
+		b = strconv.AppendInt(b, int64(w.seq), 10)
+		b = append(b, " of "...)
+		b = append(b, pool[i]...)
+		b = append(b, "\ncontent body "...)
+		b = strconv.AppendInt(b, int64(w.seq), 10)
+		b = append(b, '\n')
+		w.contentBuf = b
+		w.repo.Stage(pool[i], b)
 	}
 }

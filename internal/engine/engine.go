@@ -119,6 +119,14 @@ type Options struct {
 	OnEvent func(Event)
 	// Name labels task i in events and errors; defaults to "task-<i>".
 	Name func(i int) string
+	// WorkerState, when non-nil, is invoked once per worker goroutine at
+	// pool start; the returned value rides every task context of that
+	// worker and is retrieved with State. It hands each worker a private
+	// arena of reusable scratch (parsers, diff maps, measure buffers)
+	// that tasks may mutate freely without locking or pool traffic —
+	// ownership rules are in DESIGN.md. The value is never shared across
+	// workers and never reused after the run returns.
+	WorkerState func() any
 	// Obs, when non-nil, receives the run's observability: each completed
 	// task becomes a span on its worker's trace lane with nested stage
 	// spans, and the run feeds the unified metrics registry
@@ -182,6 +190,22 @@ func runTask[T, R any](ctx context.Context, i int, item T, fn func(context.Conte
 		}
 	}()
 	return fn(ctx, i, item)
+}
+
+// stateKey carries the worker's private state through the context.
+type stateKey struct{}
+
+// withState injects a worker's state value into ctx.
+func withState(ctx context.Context, state any) context.Context {
+	return context.WithValue(ctx, stateKey{}, state)
+}
+
+// State returns the value Options.WorkerState produced for the worker
+// running the current task, or nil outside an engine task (or when no
+// WorkerState was configured). Task code treats a nil result as "allocate
+// locally": the same function then works in serial callers too.
+func State(ctx context.Context) any {
+	return ctx.Value(stateKey{})
 }
 
 // stageKey carries the per-task stage recorder through the context.

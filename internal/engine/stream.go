@@ -188,6 +188,12 @@ func Stream[T, R any](ctx context.Context, src Source[T], fn func(ctx context.Co
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// The worker's private state context is built once: every task
+			// this goroutine runs sees the same state value via State.
+			workerCtx := runCtx
+			if opts.WorkerState != nil {
+				workerCtx = withState(runCtx, opts.WorkerState())
+			}
 			for {
 				mu.Lock()
 				for window > 0 && issued-emitted >= window && !stopped() {
@@ -203,7 +209,7 @@ func Stream[T, R any](ctx context.Context, src Source[T], fn func(ctx context.Co
 				// Pull outside the lock: sources materialize items here,
 				// concurrently, inside the task's stage-recording context.
 				rec := &stageRecorder{}
-				tctx := withStages(runCtx, rec)
+				tctx := withStages(workerCtx, rec)
 				start := time.Now()
 				item, i, ok, err := pullItem(tctx, src)
 				if err != nil || !ok {

@@ -222,13 +222,20 @@ func FromRepository(repo *vcs.Repository, noMerges bool) []Entry {
 	log := repo.Log(vcs.LogOptions{NoMerges: noMerges})
 	entries := make([]Entry, 0, len(log))
 	for _, le := range log {
+		// Rebuild the change records from their text-format fields only, so
+		// a derived log round-trips through Emit/Parse exactly (the vcs
+		// originals carry internal state the format does not persist).
+		changes := make([]vcs.FileChange, len(le.Changes))
+		for i, ch := range le.Changes {
+			changes[i] = vcs.FileChange{Status: ch.Status, Path: ch.Path, OldPath: ch.OldPath}
+		}
 		e := Entry{
 			Hash:    string(le.Commit.Hash),
 			Author:  le.Commit.Author.Name,
 			Email:   le.Commit.Author.Email,
 			Date:    le.Commit.Author.When,
 			Message: le.Commit.Message,
-			Changes: le.Changes,
+			Changes: changes,
 		}
 		if le.Commit.IsMerge() {
 			for _, p := range le.Commit.Parents {

@@ -155,8 +155,8 @@ func ScanRepository(repo *vcs.Repository, ddlPath string, s *schema.Schema, opts
 		return nil, fmt.Errorf("impact: %s: empty repository", repo.Name())
 	}
 	ix := &Index{byElement: map[string][]string{}}
-	paths := make([]string, 0, len(head.Tree))
-	for path := range head.Tree {
+	paths := make([]string, 0, len(head.Tree()))
+	for path := range head.Tree() {
 		paths = append(paths, path)
 	}
 	sort.Strings(paths)
@@ -320,8 +320,8 @@ func ScanRepositoryQueries(repo *vcs.Repository, ddlPath string, s *schema.Schem
 		return nil, fmt.Errorf("impact: %s: empty repository", repo.Name())
 	}
 	ix := &Index{byElement: map[string][]string{}}
-	paths := make([]string, 0, len(head.Tree))
-	for path := range head.Tree {
+	paths := make([]string, 0, len(head.Tree()))
+	for path := range head.Tree() {
 		paths = append(paths, path)
 	}
 	sort.Strings(paths)

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race exposes whether the race detector is compiled in, so
+// allocation-budget tests can skip themselves under -race (the detector's
+// instrumentation allocates shadow state and breaks testing.AllocsPerRun
+// accounting) while still running everywhere else.
+package race
+
+// Enabled reports whether the build has the race detector enabled.
+const Enabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package race
+
+// Enabled reports whether the build has the race detector enabled.
+const Enabled = true

@@ -143,7 +143,8 @@ func metricDirection(name string) Direction {
 	}
 	switch {
 	case strings.Contains(base, "failures"), strings.Contains(base, "misses"),
-		strings.Contains(base, "corrupt"), strings.Contains(base, "heap_peak"):
+		strings.Contains(base, "corrupt"), strings.Contains(base, "heap_peak"),
+		strings.Contains(base, "allocs"), strings.Contains(base, "alloc_bytes"):
 		return HigherWorse
 	case strings.HasSuffix(base, "_seconds_sum"), strings.HasSuffix(base, "_seconds_total"):
 		return HigherWorse

@@ -19,9 +19,19 @@ import (
 const ParseStage = "schema/parse/v1"
 
 // EncodeBinary serializes the schema: tables in creation order, each with
-// its attributes in definition order and its primary key.
+// its attributes in definition order and its primary key. The result is
+// owned by the caller; hot paths that only hash the encoding can avoid
+// the copy with AppendBinary on a pooled encoder.
 func EncodeBinary(s *Schema) []byte {
-	var e cache.Enc
+	e := cache.GetEnc()
+	AppendBinary(e, s)
+	out := e.Copy()
+	cache.PutEnc(e)
+	return out
+}
+
+// AppendBinary appends the schema's binary encoding to e.
+func AppendBinary(e *cache.Enc, s *Schema) {
 	e.Uvarint(uint64(len(s.tables)))
 	for _, t := range s.tables {
 		e.String(t.Name)
@@ -38,7 +48,6 @@ func EncodeBinary(s *Schema) []byte {
 			e.String(k)
 		}
 	}
-	return e.Bytes()
 }
 
 // DecodeBinary reconstructs a schema encoded by EncodeBinary.
@@ -78,13 +87,18 @@ func DecodeBinary(p []byte) (*Schema, error) {
 // encodeParseValue frames a ParseAndBuild result: the diagnostics (as
 // messages) followed by the schema.
 func encodeParseValue(s *Schema, diags []error) []byte {
-	var e cache.Enc
+	e := cache.GetEnc()
 	e.Uvarint(uint64(len(diags)))
 	for _, err := range diags {
 		e.String(err.Error())
 	}
-	e.Blob(EncodeBinary(s))
-	return e.Bytes()
+	inner := cache.GetEnc()
+	AppendBinary(inner, s)
+	e.Blob(inner.Bytes())
+	cache.PutEnc(inner)
+	out := e.Copy()
+	cache.PutEnc(e)
+	return out
 }
 
 func decodeParseValue(p []byte) (*Schema, []error, error) {
@@ -94,7 +108,7 @@ func decodeParseValue(p []byte) (*Schema, []error, error) {
 	for i := uint64(0); i < nDiags && !d.Failed(); i++ {
 		diags = append(diags, errors.New(d.String()))
 	}
-	enc := d.Blob()
+	enc := d.BlobRef()
 	if err := d.Err(); err != nil {
 		return nil, nil, err
 	}

@@ -243,7 +243,18 @@ func (s *Schema) SortedTableNames() []string {
 	return names
 }
 
-func foldName(name string) string { return strings.ToLower(name) }
+// foldName lower-cases a name for case-insensitive lookup. Names that
+// are already lower-case ASCII — the overwhelmingly common case — are
+// returned unchanged without allocating.
+func foldName(name string) string {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 0x80 || ('A' <= c && c <= 'Z') {
+			return strings.ToLower(name)
+		}
+	}
+	return name
+}
 
 func removeString(ss []string, s string) []string {
 	for i, v := range ss {
@@ -282,6 +293,9 @@ func NormalizeType(dt sqlddl.DataType) string {
 	name := dt.Name
 	if canon, ok := typeSynonyms[name]; ok {
 		name = canon
+	}
+	if len(dt.Args) == 0 && !dt.Unsigned && !dt.Zerofill && !dt.Array {
+		return name // bare canonical name, no rendering needed
 	}
 	canon := sqlddl.DataType{
 		Name:     name,
@@ -512,8 +526,12 @@ func Build(script *sqlddl.Script) (*Schema, []error) {
 }
 
 // ParseAndBuild parses src leniently and builds the schema it declares.
+// Parsing runs on a pooled reusable parser: Build copies everything it
+// keeps out of the AST (attribute values and strings, never nodes), so
+// the script can be recycled the moment the schema is built.
 func ParseAndBuild(src string) (*Schema, []error) {
-	script, parseErrs := sqlddl.ParseLenient(src)
+	script, parseErrs, release := sqlddl.ParseLenientPooled(src)
 	s, buildErrs := Build(script)
+	release()
 	return s, append(parseErrs, buildErrs...)
 }

@@ -17,7 +17,8 @@ const CompareStage = "schemadiff/compare/v1"
 // EncodeDelta serializes a delta: the eight counters followed by the full
 // change list.
 func EncodeDelta(d *Delta) []byte {
-	var e cache.Enc
+	e := cache.GetEnc()
+	defer cache.PutEnc(e)
 	e.Int(int64(d.TablesCreated))
 	e.Int(int64(d.TablesDropped))
 	e.Int(int64(d.AttrsBornWithTable))
@@ -34,7 +35,7 @@ func EncodeDelta(d *Delta) []byte {
 		e.String(ch.OldType)
 		e.String(ch.NewType)
 	}
-	return e.Bytes()
+	return e.Copy()
 }
 
 // DecodeDelta reconstructs a delta encoded by EncodeDelta.
@@ -94,16 +95,25 @@ func SequenceCached(versions []*schema.Schema, c *cache.Cache) []*Delta {
 	if len(versions) < 2 {
 		return nil
 	}
-	encs := make([][]byte, len(versions))
-	for i, s := range versions {
+	// Each version's encoding is needed exactly twice — as the new side of
+	// one pair and the old side of the next — so two pooled encoders
+	// ping-ponged through the walk replace a per-version [][]byte.
+	encode := func(e *cache.Enc, s *schema.Schema) {
+		e.Reset()
 		if s == nil {
-			s = schema.New()
+			s = emptySchema
 		}
-		encs[i] = schema.EncodeBinary(s)
+		schema.AppendBinary(e, s)
 	}
+	prev, cur := cache.GetEnc(), cache.GetEnc()
+	defer cache.PutEnc(prev)
+	defer cache.PutEnc(cur)
+	encode(prev, versions[0])
 	deltas := make([]*Delta, 0, len(versions)-1)
 	for i := 1; i < len(versions); i++ {
-		deltas = append(deltas, CompareCached(versions[i-1], versions[i], encs[i-1], encs[i], c))
+		encode(cur, versions[i])
+		deltas = append(deltas, CompareCached(versions[i-1], versions[i], prev.Bytes(), cur.Bytes(), c))
+		prev, cur = cur, prev
 	}
 	return deltas
 }

@@ -121,21 +121,21 @@ func (d *Delta) String() string {
 	return strings.Join(parts, ", ")
 }
 
+// emptySchema is the shared read-only stand-in for a nil side of Compare.
+var emptySchema = schema.New()
+
 // Compare diffs two schema versions (old may be nil for the birth of the
 // schema, in which case every attribute of new is born with its table).
 func Compare(old, new *schema.Schema) *Delta {
 	d := &Delta{}
 	if old == nil {
-		old = schema.New()
+		old = emptySchema
 	}
 	if new == nil {
-		new = schema.New()
+		new = emptySchema
 	}
 
-	seen := make(map[string]bool)
 	for _, nt := range new.Tables() {
-		key := strings.ToLower(nt.Name)
-		seen[key] = true
 		ot, existed := old.Table(nt.Name)
 		if !existed {
 			d.TablesCreated++
@@ -148,7 +148,9 @@ func Compare(old, new *schema.Schema) *Delta {
 		compareTables(d, ot, nt)
 	}
 	for _, ot := range old.Tables() {
-		if seen[strings.ToLower(ot.Name)] {
+		// Membership in new doubles as the "already diffed above" set, so
+		// no scratch map is needed: both sides fold names identically.
+		if _, survives := new.Table(ot.Name); survives {
 			continue
 		}
 		d.TablesDropped++
@@ -214,13 +216,25 @@ func TotalActivity(deltas []*Delta) int {
 	return total
 }
 
+// foldLower lower-cases a table name for counting keys, skipping the
+// copy when the name is already lower-case ASCII.
+func foldLower(name string) string {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 0x80 || ('A' <= c && c <= 'Z') {
+			return strings.ToLower(name)
+		}
+	}
+	return name
+}
+
 // TableChangeCounts aggregates, over a delta sequence, how many attribute-
 // level changes each table attracted (keyed by lower-cased table name).
 func TableChangeCounts(deltas []*Delta) map[string]int {
 	counts := map[string]int{}
 	for _, d := range deltas {
 		for _, ch := range d.Changes {
-			counts[strings.ToLower(ch.Table)]++
+			counts[foldLower(ch.Table)]++
 		}
 	}
 	return counts
@@ -253,7 +267,7 @@ func MeasureLocality(deltas []*Delta, allTables []string) Locality {
 	counts := TableChangeCounts(deltas)
 	seen := map[string]bool{}
 	for _, t := range allTables {
-		seen[strings.ToLower(t)] = true
+		seen[foldLower(t)] = true
 	}
 	for t := range counts {
 		seen[t] = true

@@ -1,0 +1,42 @@
+package schemadiff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"coevo/internal/cache"
+	"coevo/internal/schema"
+	"coevo/internal/schematest"
+)
+
+// TestSequenceCachedMatchesPlainSequence is the differential test of the
+// pooled-codec diff path: SequenceCached (ping-ponged pooled encoders,
+// cache round-trips) must produce deltas byte-identical to the naive
+// Sequence over the same version list, on a cold and then a warm cache.
+func TestSequenceCachedMatchesPlainSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c, err := cache.New(cache.Options{})
+	if err != nil {
+		t.Fatalf("cache: %v", err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		vs := make([]*schema.Schema, n)
+		for i := range vs {
+			vs[i] = schematest.RandomSchema(rng)
+		}
+		want := Sequence(vs)
+		for _, label := range []string{"cold", "warm"} {
+			got := SequenceCached(vs, c)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s: delta count %d, want %d", trial, label, len(got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(EncodeDelta(got[i]), EncodeDelta(want[i])) {
+					t.Fatalf("trial %d %s: delta %d diverged:\ncached: %v\nplain:  %v", trial, label, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -1,11 +1,17 @@
 package schemadiff_test
 
 import (
+	"bytes"
 	"testing"
 
+	"coevo/internal/cache"
 	"coevo/internal/schema"
 	"coevo/internal/schemadiff"
 )
+
+// fuzzCache is shared across fuzz iterations so the cached diff path is
+// exercised with a store progressively filled by earlier inputs.
+var fuzzCache, _ = cache.New(cache.Options{})
 
 // FuzzCompare asserts the diff engine's safety net over arbitrary —
 // including unparseable — DDL pairs: Compare never panics, every counter
@@ -51,6 +57,18 @@ func FuzzCompare(f *testing.F) {
 		for _, s := range []*schema.Schema{oldSchema, newSchema} {
 			if self := schemadiff.Compare(s, s); !self.IsEmpty() {
 				t.Fatalf("Compare(s, s) not empty: %s", self)
+			}
+		}
+		// Differential: the pooled-codec cached path (and ParseAndBuild's
+		// internal reusable parser) must agree byte-for-byte with the
+		// direct Compare, both on first sight and when served from cache.
+		for i := 0; i < 2; i++ {
+			cached := schemadiff.SequenceCached([]*schema.Schema{oldSchema, newSchema}, fuzzCache)
+			if len(cached) != 1 {
+				t.Fatalf("SequenceCached yielded %d deltas, want 1", len(cached))
+			}
+			if !bytes.Equal(schemadiff.EncodeDelta(cached[0]), schemadiff.EncodeDelta(d)) {
+				t.Fatalf("cached diff diverged (pass %d):\ncached: %s\ndirect: %s", i, cached[0], d)
 			}
 		}
 	})

@@ -34,7 +34,15 @@ func (t TableName) String() string {
 // Key returns the case-folded lookup key for the table. The study treats
 // identifiers case-insensitively, as both MySQL (on the default file
 // systems of FOSS projects) and unquoted Postgres identifiers fold case.
-func (t TableName) Key() string { return strings.ToLower(t.Name) }
+func (t TableName) Key() string {
+	for i := 0; i < len(t.Name); i++ {
+		c := t.Name[i]
+		if c >= 0x80 || ('A' <= c && c <= 'Z') {
+			return strings.ToLower(t.Name)
+		}
+	}
+	return t.Name // already folded, no copy needed
+}
 
 // DataType is a parsed SQL data type, e.g. VARCHAR(255) or NUMERIC(10,2)
 // UNSIGNED or TIMESTAMP WITH TIME ZONE.
@@ -55,8 +63,12 @@ type DataType struct {
 // IsZero reports whether the type is unset.
 func (d DataType) IsZero() bool { return d.Name == "" }
 
-// String renders the type in canonical form.
+// String renders the type in canonical form. The common bare-name case
+// (no arguments or modifiers) returns the name without allocating.
 func (d DataType) String() string {
+	if len(d.Args) == 0 && !d.Unsigned && !d.Zerofill && !d.Array {
+		return d.Name
+	}
 	var b strings.Builder
 	b.WriteString(d.Name)
 	if len(d.Args) > 0 {

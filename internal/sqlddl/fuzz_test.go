@@ -2,7 +2,18 @@ package sqlddl
 
 import (
 	"fmt"
+	"reflect"
+	"sync"
 	"testing"
+)
+
+// fuzzParser is one Parser shared across every fuzz iteration — exactly
+// the reuse pattern of the mining hot path. The mutex serializes access
+// so the target stays safe if the harness ever runs iterations in
+// parallel within one process.
+var (
+	fuzzParserMu sync.Mutex
+	fuzzParser   = NewParser()
 )
 
 // FuzzParseLenient asserts the mining pipeline's hard requirement: no SQL
@@ -28,10 +39,41 @@ func FuzzParseLenient(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		script, _ := ParseLenient(src)
+		script, errs := ParseLenient(src)
 		if script == nil {
 			t.Fatal("ParseLenient returned nil script")
 		}
+		// Differential: the reusable parser — the same instance across all
+		// fuzz iterations, slabs loaded with whatever earlier inputs left
+		// behind — must reproduce the fresh parse exactly.
+		fuzzParserMu.Lock()
+		pooled, pooledErrs := fuzzParser.ParseLenient(src)
+		if pooled == nil {
+			fuzzParserMu.Unlock()
+			t.Fatal("reused Parser returned nil script")
+		}
+		if len(pooledErrs) != len(errs) {
+			fuzzParserMu.Unlock()
+			t.Fatalf("reused Parser error count %d, fresh %d", len(pooledErrs), len(errs))
+		}
+		for i := range errs {
+			if errs[i].Error() != pooledErrs[i].Error() {
+				fuzzParserMu.Unlock()
+				t.Fatalf("reused Parser error %d diverged: %v vs %v", i, pooledErrs[i], errs[i])
+			}
+		}
+		if len(pooled.Statements) != len(script.Statements) {
+			fuzzParserMu.Unlock()
+			t.Fatalf("reused Parser yielded %d statements, fresh %d", len(pooled.Statements), len(script.Statements))
+		}
+		for i := range script.Statements {
+			if !reflect.DeepEqual(script.Statements[i], pooled.Statements[i]) {
+				fuzzParserMu.Unlock()
+				t.Fatalf("reused Parser statement %d diverged:\nfresh:  %#v\npooled: %#v",
+					i, script.Statements[i], pooled.Statements[i])
+			}
+		}
+		fuzzParserMu.Unlock()
 		// Round-trip invariant: every statement carries its raw text, and
 		// re-parsing that text alone reproduces a single statement of the
 		// same kind. This is what lets cached results be keyed by

@@ -140,14 +140,30 @@ func (l *lexer) next() (token, error) {
 		return token{kind: tokIdent, text: l.ident(), line: startLine, pos: start}, nil
 	default:
 		// Multi-character operators that matter for expression skipping.
-		for _, op := range []string{"::", "<=", ">=", "<>", "!=", "||"} {
-			if strings.HasPrefix(l.src[l.off:], op) {
-				l.off += len(op)
+		// Matched against constants so lexing a symbol never allocates.
+		if l.off+1 < len(l.src) {
+			var op string
+			switch c2 := l.src[l.off+1]; {
+			case c == ':' && c2 == ':':
+				op = "::"
+			case c == '<' && c2 == '=':
+				op = "<="
+			case c == '>' && c2 == '=':
+				op = ">="
+			case c == '<' && c2 == '>':
+				op = "<>"
+			case c == '!' && c2 == '=':
+				op = "!="
+			case c == '|' && c2 == '|':
+				op = "||"
+			}
+			if op != "" {
+				l.off += 2
 				return token{kind: tokSymbol, text: op, line: startLine, pos: start}, nil
 			}
 		}
 		l.off++
-		return token{kind: tokSymbol, text: string(c), line: startLine, pos: start}, nil
+		return token{kind: tokSymbol, text: l.src[start:l.off], line: startLine, pos: start}, nil
 	}
 }
 
@@ -198,11 +214,39 @@ func (l *lexer) skipBlockComment() error {
 }
 
 // quoted reads a delimiter-quoted identifier, honoring doubled delimiters
-// as escapes (“ a“b “ and "a""b").
+// as escapes (“ a“b “ and "a""b"). The common escape-free case returns a
+// zero-copy slice of the input buffer; only escaped identifiers build a
+// decoded copy.
 func (l *lexer) quoted(open, close byte) (string, error) {
 	startLine := l.line
 	l.off++ // consume opening quote
+	start := l.off
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c == '\n' {
+			l.line++
+		}
+		if c == close {
+			if l.off+1 < len(l.src) && l.src[l.off+1] == close {
+				return l.quotedSlow(open, close, startLine, l.src[start:l.off])
+			}
+			text := l.src[start:l.off]
+			l.off++
+			return text, nil
+		}
+		l.off++
+	}
+	return "", &LexError{startLine, fmt.Sprintf("unterminated quoted identifier (%c)", open)}
+}
+
+// quotedSlow continues a quoted identifier from the first doubled
+// delimiter, building the decoded text. The cursor sits on the doubled
+// delimiter pair.
+func (l *lexer) quotedSlow(open, close byte, startLine int, prefix string) (string, error) {
 	var b strings.Builder
+	b.WriteString(prefix)
+	b.WriteByte(close)
+	l.off += 2
 	for l.off < len(l.src) {
 		c := l.src[l.off]
 		if c == '\n' {
@@ -253,11 +297,40 @@ func (l *lexer) tryBracketIdent() (string, bool) {
 
 // sqlString reads a single-quoted string literal with both ” and \'
 // escape conventions (MySQL accepts backslash escapes; Postgres the
-// doubled-quote form).
+// doubled-quote form). Escape-free literals — the overwhelmingly common
+// case — return a zero-copy slice of the input buffer.
 func (l *lexer) sqlString() (string, error) {
 	startLine := l.line
 	l.off++ // consume opening quote
+	start := l.off
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch c {
+		case '\n':
+			l.line++
+			l.off++
+		case '\\':
+			return l.sqlStringSlow(startLine, l.src[start:l.off])
+		case '\'':
+			if l.off+1 < len(l.src) && l.src[l.off+1] == '\'' {
+				return l.sqlStringSlow(startLine, l.src[start:l.off])
+			}
+			text := l.src[start:l.off]
+			l.off++
+			return text, nil
+		default:
+			l.off++
+		}
+	}
+	return "", &LexError{startLine, "unterminated string literal"}
+}
+
+// sqlStringSlow continues a string literal from the first escape
+// sequence, building the decoded text. The cursor sits on the escape's
+// first byte ('\\' or the first of a doubled quote).
+func (l *lexer) sqlStringSlow(startLine int, prefix string) (string, error) {
 	var b strings.Builder
+	b.WriteString(prefix)
 	for l.off < len(l.src) {
 		c := l.src[l.off]
 		switch c {

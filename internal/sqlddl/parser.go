@@ -16,25 +16,26 @@ func (e *ParseError) Error() string { return fmt.Sprintf("sqlddl: line %d: %s", 
 // Parse parses src strictly: any malformed DDL statement yields an error.
 // Statements outside the DDL subset (INSERTs, SETs, ...) are still accepted
 // and preserved as SkippedStatement values — that is tolerance by design,
-// not an error condition.
+// not an error condition. The returned script uses a dedicated parser and
+// is safe to retain indefinitely; see Parser for the reusable variant.
 func Parse(src string) (*Script, error) {
-	script, errs := parse(src, true)
-	if len(errs) > 0 {
-		return nil, errs[0]
-	}
-	return script, nil
+	var p Parser
+	return p.Parse(src)
 }
 
 // ParseLenient parses src, demoting malformed DDL statements to
 // SkippedStatement and collecting their diagnostics. This is the mode the
 // mining pipeline uses: one broken statement must not discard a schema
-// version.
+// version. The returned script uses a dedicated parser and is safe to
+// retain indefinitely; see Parser for the reusable variant.
 func ParseLenient(src string) (*Script, []error) {
-	return parse(src, false)
+	var p Parser
+	return p.ParseLenient(src)
 }
 
-func parse(src string, strict bool) (*Script, []error) {
-	stmts, splitErr := splitStatements(src)
+func (p *Parser) parse(src string, strict bool) (*Script, []error) {
+	p.Reset()
+	splitErr := p.split(src)
 	var errs []error
 	if splitErr != nil {
 		// A lexical error (unterminated string/comment) poisons the rest of
@@ -44,32 +45,24 @@ func parse(src string, strict bool) (*Script, []error) {
 			return nil, errs
 		}
 	}
-	script := &Script{}
-	for _, st := range stmts {
-		parsed, err := parseStatement(st)
+	out := p.out[:0]
+	for _, st := range p.spans {
+		parsed, err := p.parseStatement(st)
 		if err != nil {
 			if strict {
 				return nil, []error{err}
 			}
 			errs = append(errs, err)
-			script.Statements = append(script.Statements, &SkippedStatement{
-				stmtBase: stmtBase{RawSQL: st.text, Line: st.line},
-				Keyword:  leadingKeyword(st.tokens),
-			})
+			out = append(out, p.newSkipped(st.text, st.line, leadingKeyword(p.toks[st.start:st.end])))
 			continue
 		}
 		if parsed != nil {
-			script.Statements = append(script.Statements, parsed)
+			out = append(out, parsed)
 		}
 	}
-	return script, errs
-}
-
-// stmtText is one statement's raw text plus its pre-lexed tokens.
-type stmtText struct {
-	text   string
-	line   int
-	tokens []token
+	p.out = out
+	p.script = Script{Statements: out}
+	return &p.script, errs
 }
 
 // lexWhitespace is exactly the byte set the lexer skips between tokens.
@@ -79,46 +72,49 @@ type stmtText struct {
 // of what was lexed.
 const lexWhitespace = " \t\r\n\f\v"
 
-// splitStatements tokenizes src and cuts it at top-level semicolons.
-func splitStatements(src string) ([]stmtText, error) {
-	lex := newLexer(src)
-	var (
-		stmts   []stmtText
-		current []token
-		start   = 0
-	)
+// split tokenizes src into the parser's flat token slab and cuts it at
+// top-level semicolons, recording one span per statement.
+func (p *Parser) split(src string) error {
+	lex := lexer{src: src, line: 1}
+	toks := p.toks[:0]
+	spans := p.spans[:0]
+	start := 0
+	stmtStart := 0 // index into toks of the current statement's first token
 	flush := func(end int) {
-		if len(current) == 0 {
+		if len(toks) == stmtStart {
 			start = end
 			return
 		}
-		stmts = append(stmts, stmtText{
-			text:   strings.Trim(src[start:end], lexWhitespace),
-			line:   current[0].line,
-			tokens: current,
+		spans = append(spans, stmtSpan{
+			text:  strings.Trim(src[start:end], lexWhitespace),
+			line:  toks[stmtStart].line,
+			start: stmtStart,
+			end:   len(toks),
 		})
-		current = nil
+		stmtStart = len(toks)
 		start = end
 	}
 	for {
 		tok, err := lex.next()
 		if err != nil {
 			flush(len(src))
-			return stmts, err
+			p.toks, p.spans = toks, spans
+			return err
 		}
 		if tok.kind == tokEOF {
 			flush(len(src))
-			return stmts, nil
+			p.toks, p.spans = toks, spans
+			return nil
 		}
 		if tok.symbolIs(";") {
 			flush(tok.pos)
 			start = tok.pos + 1
 			continue
 		}
-		if len(current) == 0 {
+		if len(toks) == stmtStart {
 			start = tok.pos
 		}
-		current = append(current, tok)
+		toks = append(toks, tok)
 	}
 }
 
@@ -127,7 +123,7 @@ func leadingKeyword(toks []token) string {
 		return ""
 	}
 	if toks[0].kind == tokIdent {
-		return strings.ToUpper(toks[0].text)
+		return upperASCII(toks[0].text)
 	}
 	return ""
 }
@@ -135,11 +131,13 @@ func leadingKeyword(toks []token) string {
 // parseStatement dispatches one statement. A nil, nil return means the
 // statement was empty. Statements outside the DDL subset come back as
 // *SkippedStatement, never as an error.
-func parseStatement(st stmtText) (Statement, error) {
-	if len(st.tokens) == 0 {
+func (ps *Parser) parseStatement(st stmtSpan) (Statement, error) {
+	toks := ps.toks[st.start:st.end]
+	if len(toks) == 0 {
 		return nil, nil
 	}
-	p := &stmtParser{toks: st.tokens, raw: st.text, line: st.line}
+	p := &ps.sp
+	*p = stmtParser{toks: toks, raw: st.text, line: st.line, arena: ps}
 	head := p.peek()
 	switch {
 	case head.keywordIs("CREATE"):
@@ -163,16 +161,18 @@ func parseStatement(st stmtText) (Statement, error) {
 		}
 		return p.skipped("RENAME"), nil
 	default:
-		return p.skipped(leadingKeyword(st.tokens)), nil
+		return p.skipped(leadingKeyword(toks)), nil
 	}
 }
 
-// stmtParser walks the token list of a single statement.
+// stmtParser walks the token list of a single statement. Its arena is
+// the owning Parser, whose slabs provide statement and column storage.
 type stmtParser struct {
-	toks []token
-	pos  int
-	raw  string
-	line int
+	toks  []token
+	pos   int
+	raw   string
+	line  int
+	arena *Parser
 }
 
 var eofToken = token{kind: tokEOF}
@@ -216,7 +216,7 @@ func (p *stmtParser) lookaheadIsTable(i int) bool {
 }
 
 func (p *stmtParser) skipped(keyword string) *SkippedStatement {
-	return &SkippedStatement{stmtBase: stmtBase{RawSQL: p.raw, Line: p.line}, Keyword: keyword}
+	return p.arena.newSkipped(p.raw, p.line, keyword)
 }
 
 func (p *stmtParser) errf(format string, args ...any) error {
@@ -301,7 +301,7 @@ func (p *stmtParser) parseTableName() (TableName, error) {
 // --- CREATE TABLE ---
 
 func (p *stmtParser) parseCreateTable() (Statement, error) {
-	ct := &CreateTable{stmtBase: stmtBase{RawSQL: p.raw, Line: p.line}}
+	ct := p.arena.newCreateTable(p.raw, p.line)
 	p.advance() // CREATE
 	for {
 		switch {
@@ -334,6 +334,9 @@ table:
 	if err := p.expectSymbol("("); err != nil {
 		return nil, err
 	}
+	// Columns accumulate in the arena's shared ColumnDef slab; the
+	// table's span is capped off once the element list closes.
+	colStart := len(p.arena.colSlab)
 	for {
 		if p.acceptSymbol(")") {
 			break
@@ -342,19 +345,19 @@ table:
 			return nil, p.errf("unterminated CREATE TABLE element list for %s", ct.Name)
 		}
 		if isConstraintStart(p) {
-			c, err := p.parseTableConstraint()
+			c, ok, err := p.parseTableConstraint()
 			if err != nil {
 				return nil, err
 			}
-			if c != nil {
-				ct.Constraints = append(ct.Constraints, *c)
+			if ok {
+				ct.Constraints = append(ct.Constraints, c)
 			}
 		} else {
 			col, err := p.parseColumnDef()
 			if err != nil {
 				return nil, err
 			}
-			ct.Columns = append(ct.Columns, col)
+			p.arena.colSlab = append(p.arena.colSlab, col)
 		}
 		if p.acceptSymbol(",") {
 			continue
@@ -363,6 +366,12 @@ table:
 			return nil, err
 		}
 		break
+	}
+	// An empty element list leaves Columns nil — not an empty slice into
+	// the slab — so a reused parser's output is structurally identical to
+	// a fresh parser's (where the untouched slab is nil).
+	if colEnd := len(p.arena.colSlab); colEnd > colStart {
+		ct.Columns = p.arena.colSlab[colStart:colEnd:colEnd]
 	}
 	// Everything after the element list is table options (ENGINE=...,
 	// charset, partitioning); irrelevant at the logical level.
@@ -445,7 +454,7 @@ func (p *stmtParser) parseDataType() (DataType, error) {
 	if err != nil {
 		return dt, p.errf("expected data type: %v", err)
 	}
-	dt.Name = strings.ToUpper(first)
+	dt.Name = upperASCII(first)
 	if conts, ok := multiWordTypes[dt.Name]; ok {
 		for _, cont := range conts {
 			if p.acceptKeywords(cont...) {
@@ -518,7 +527,9 @@ func (p *stmtParser) parseTypeArgs() ([]string, error) {
 			current.Reset()
 		case t.kind == tokString:
 			p.advance()
-			fmt.Fprintf(&current, "'%s'", t.text)
+			current.WriteByte('\'')
+			current.WriteString(t.text)
+			current.WriteByte('\'')
 		default:
 			p.advance()
 			current.WriteString(t.text)
@@ -649,34 +660,43 @@ func (p *stmtParser) parseExprText() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(&b, "(%s)", inner)
+		b.WriteByte('(')
+		b.WriteString(inner)
+		b.WriteByte(')')
 	case t.symbolIs("-") || t.symbolIs("+"):
 		p.advance()
 		rest, err := p.parseExprText()
 		if err != nil {
 			return "", err
 		}
-		b.WriteString(t.text + rest)
+		b.WriteString(t.text)
+		b.WriteString(rest)
 		return b.String(), nil
 	case t.kind == tokString:
 		p.advance()
-		fmt.Fprintf(&b, "'%s'", t.text)
+		b.WriteByte('\'')
+		b.WriteString(t.text)
+		b.WriteByte('\'')
 	case t.kind == tokNumber:
 		p.advance()
 		b.WriteString(t.text)
 	case t.kind == tokIdent || t.kind == tokQuotedIdent:
 		p.advance()
-		b.WriteString(strings.ToUpper(t.text))
+		b.WriteString(upperASCII(t.text))
 		// b'0' / x'ff' typed literals and function calls.
 		if p.peek().kind == tokString && (strings.EqualFold(t.text, "b") || strings.EqualFold(t.text, "x") || strings.EqualFold(t.text, "n")) {
-			fmt.Fprintf(&b, "'%s'", p.advance().text)
+			b.WriteByte('\'')
+			b.WriteString(p.advance().text)
+			b.WriteByte('\'')
 		} else if p.peek().symbolIs("(") {
 			p.advance()
 			inner, err := p.parseBalancedTail()
 			if err != nil {
 				return "", err
 			}
-			fmt.Fprintf(&b, "(%s)", inner)
+			b.WriteByte('(')
+			b.WriteString(inner)
+			b.WriteByte(')')
 		}
 	default:
 		p.advance()
@@ -688,9 +708,11 @@ func (p *stmtParser) parseExprText() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		b.WriteString("::" + strings.ToUpper(name))
+		b.WriteString("::")
+		b.WriteString(upperASCII(name))
 		for p.peek().kind == tokIdent {
-			b.WriteString(" " + strings.ToUpper(p.advance().text))
+			b.WriteByte(' ')
+			b.WriteString(upperASCII(p.advance().text))
 		}
 		if p.peek().symbolIs("(") {
 			p.advance()
@@ -698,7 +720,9 @@ func (p *stmtParser) parseExprText() (string, error) {
 			if err != nil {
 				return "", err
 			}
-			fmt.Fprintf(&b, "(%s)", inner)
+			b.WriteByte('(')
+			b.WriteString(inner)
+			b.WriteByte(')')
 		}
 	}
 	return b.String(), nil
@@ -737,7 +761,9 @@ func (p *stmtParser) parseBalancedTail() (string, error) {
 			b.WriteByte(' ')
 		}
 		if t.kind == tokString {
-			fmt.Fprintf(&b, "'%s'", t.text)
+			b.WriteByte('\'')
+			b.WriteString(t.text)
+			b.WriteByte('\'')
 		} else {
 			b.WriteString(t.text)
 		}
@@ -841,12 +867,12 @@ func (p *stmtParser) parseKeyColumns() ([]string, error) {
 }
 
 // parseTableConstraint parses one table-level constraint element.
-func (p *stmtParser) parseTableConstraint() (*TableConstraint, error) {
+func (p *stmtParser) parseTableConstraint() (TableConstraint, bool, error) {
 	var c TableConstraint
 	if p.acceptKeyword("CONSTRAINT") {
 		name, err := p.parseIdent()
 		if err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		c.Name = name
 	}
@@ -856,7 +882,7 @@ func (p *stmtParser) parseTableConstraint() (*TableConstraint, error) {
 		p.skipIndexOptions()
 		cols, err := p.openKeyColumns()
 		if err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		c.Columns = cols
 	case p.acceptKeyword("UNIQUE"):
@@ -869,7 +895,7 @@ func (p *stmtParser) parseTableConstraint() (*TableConstraint, error) {
 		p.skipIndexOptions()
 		cols, err := p.openKeyColumns()
 		if err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		c.Columns = cols
 	case p.acceptKeywords("FOREIGN", "KEY"):
@@ -879,22 +905,22 @@ func (p *stmtParser) parseTableConstraint() (*TableConstraint, error) {
 		}
 		cols, err := p.openKeyColumns()
 		if err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		c.Columns = cols
 		if err := p.expectKeyword("REFERENCES"); err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		ref, err := p.parseForeignKeyRef()
 		if err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		c.Ref = ref
 	case p.acceptKeyword("CHECK"):
 		c.Kind = ConstraintCheck
 		body, err := p.parseBalancedText()
 		if err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		c.Check = body
 		p.acceptKeywords("NOT", "ENFORCED")
@@ -907,7 +933,7 @@ func (p *stmtParser) parseTableConstraint() (*TableConstraint, error) {
 		p.skipIndexOptions()
 		cols, err := p.openKeyColumns()
 		if err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		c.Columns = cols
 	case p.acceptKeyword("FULLTEXT"), p.acceptKeyword("SPATIAL"):
@@ -919,16 +945,16 @@ func (p *stmtParser) parseTableConstraint() (*TableConstraint, error) {
 		}
 		cols, err := p.openKeyColumns()
 		if err != nil {
-			return nil, err
+			return TableConstraint{}, false, err
 		}
 		c.Columns = cols
 	case p.acceptKeyword("EXCLUDE"), p.acceptKeyword("LIKE"):
 		// Postgres EXCLUDE constraints and LIKE clauses: consume through
 		// the element's end; they carry no attribute-level information.
 		p.skipElement()
-		return nil, nil
+		return TableConstraint{}, false, nil
 	default:
-		return nil, p.errf("expected table constraint, found %q", p.peek().text)
+		return TableConstraint{}, false, p.errf("expected table constraint, found %q", p.peek().text)
 	}
 	// Trailing constraint attributes (USING BTREE, DEFERRABLE, comments).
 	p.skipIndexOptions()
@@ -939,7 +965,7 @@ func (p *stmtParser) parseTableConstraint() (*TableConstraint, error) {
 		case p.acceptKeyword("COMMENT"):
 			p.advance()
 		default:
-			return &c, nil
+			return c, true, nil
 		}
 	}
 }
@@ -997,7 +1023,7 @@ func (p *stmtParser) skipElement() {
 // --- DROP TABLE ---
 
 func (p *stmtParser) parseDropTable() (Statement, error) {
-	dt := &DropTable{stmtBase: stmtBase{RawSQL: p.raw, Line: p.line}}
+	dt := p.arena.newDropTable(p.raw, p.line)
 	p.advance() // DROP
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -1026,7 +1052,7 @@ func (p *stmtParser) parseDropTable() (Statement, error) {
 // --- RENAME TABLE ---
 
 func (p *stmtParser) parseRenameTable() (Statement, error) {
-	rt := &RenameTable{stmtBase: stmtBase{RawSQL: p.raw, Line: p.line}}
+	rt := p.arena.newRenameTable(p.raw, p.line)
 	p.advance() // RENAME
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -1054,7 +1080,7 @@ func (p *stmtParser) parseRenameTable() (Statement, error) {
 // --- ALTER TABLE ---
 
 func (p *stmtParser) parseAlterTable() (Statement, error) {
-	at := &AlterTable{stmtBase: stmtBase{RawSQL: p.raw, Line: p.line}}
+	at := p.arena.newAlterTable(p.raw, p.line)
 	p.advance() // ALTER
 	if err := p.expectKeyword("TABLE"); err != nil {
 		return nil, err
@@ -1144,7 +1170,7 @@ func (p *stmtParser) parseAlterAction() (AlterAction, error) {
 		}
 	default:
 		t := p.peek()
-		return p.unknownAction(strings.ToUpper(t.text)), nil
+		return p.unknownAction(upperASCII(t.text)), nil
 	}
 }
 
@@ -1164,14 +1190,14 @@ func (p *stmtParser) parseColumnDefUntilActionEnd() (ColumnDef, error) {
 
 func (p *stmtParser) parseAddAction() (AlterAction, error) {
 	if isConstraintStart(p) {
-		c, err := p.parseTableConstraint()
+		c, ok, err := p.parseTableConstraint()
 		if err != nil {
 			return nil, err
 		}
-		if c == nil {
+		if !ok {
 			return nil, nil
 		}
-		return AddConstraint{Constraint: *c}, nil
+		return AddConstraint{Constraint: c}, nil
 	}
 	p.acceptKeyword("COLUMN")
 	var ifNotExists bool

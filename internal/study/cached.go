@@ -10,18 +10,19 @@
 package study
 
 import (
-	"bytes"
-	"encoding/gob"
-
 	"coevo/internal/cache"
+	"coevo/internal/coevolution"
+	"coevo/internal/heartbeat"
 	"coevo/internal/history"
+	"coevo/internal/taxa"
 	"coevo/internal/vcs"
 )
 
 // MeasureStage is the measure-bundle stage's cache version. Bump whenever
 // analyze()'s observable output changes (new measures, changed
-// classification, changed locality rules).
-const MeasureStage = "study/measure/v1"
+// classification, changed locality rules) or the bundle codec changes.
+// v2: reflection-free cache.Enc codec replaced encoding/gob.
+const MeasureStage = "study/measure/v2"
 
 // effectiveCache resolves the cache the pipeline should use: the study
 // option, falling back to the history option so callers configuring only
@@ -86,15 +87,53 @@ func measureKeyFromHistory(sh *history.SchemaHistory, ph *history.ProjectHistory
 	return h.Sum()
 }
 
-// storeBundle persists one analysis result. Identity fields (Name,
-// DDLPath, IntendedTaxon) are overwritten on load, so identical-content
-// projects share one entry.
+// storeBundle persists one analysis result with the explicit cache.Enc
+// codec (no reflection, pooled scratch). Identity fields (Name, DDLPath,
+// IntendedTaxon) are overwritten on load, so identical-content projects
+// share one entry.
 func storeBundle(c *cache.Cache, key cache.Key, res *ProjectResult) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(res); err != nil {
-		return // unencodable results are simply not cached
+	e := cache.GetEnc()
+	defer cache.PutEnc(e)
+	e.Uvarint(uint64(res.Taxon))
+	e.Int(int64(res.DurationMonths))
+	e.Int(int64(res.SchemaCommits))
+	e.Int(int64(res.ActiveSchemaCommits))
+	e.Int(int64(res.ProjectCommits))
+	e.Int(int64(res.FileUpdates))
+	e.Int(int64(res.TotalSchemaActivity))
+
+	e.Bool(res.Joint != nil)
+	if j := res.Joint; j != nil {
+		e.Int(int64(j.Start))
+		encodeFloats(e, j.Project)
+		encodeFloats(e, j.Schema)
+		encodeFloats(e, j.Time)
 	}
-	c.Put(key, buf.Bytes())
+
+	e.Bool(res.Measures != nil)
+	if m := res.Measures; m != nil {
+		e.Int(int64(m.DurationMonths))
+		e.Float(m.Sync5)
+		e.Float(m.Sync10)
+		e.Float(m.AdvanceTime)
+		e.Float(m.AdvanceSource)
+		e.Bool(m.AdvanceDefined)
+		e.Bool(m.AlwaysAheadOfTime)
+		e.Bool(m.AlwaysAheadOfSource)
+		e.Bool(m.AlwaysAheadOfBoth)
+		e.Float(m.Attain50)
+		e.Float(m.Attain75)
+		e.Float(m.Attain80)
+		e.Float(m.Attain100)
+	}
+
+	e.Int(int64(res.Locality.Tables))
+	e.Int(int64(res.Locality.ChangedTables))
+	e.Float(res.Locality.TopShare)
+	e.Float(res.Locality.UnchangedShare)
+	e.Int(int64(res.Locality.TotalChanges))
+
+	c.Put(key, e.Copy())
 }
 
 // loadBundle retrieves one analysis result; a decode failure (stale or
@@ -104,10 +143,71 @@ func loadBundle(c *cache.Cache, key cache.Key) (*ProjectResult, bool) {
 	if !ok {
 		return nil, false
 	}
-	res := &ProjectResult{}
-	if err := gob.NewDecoder(bytes.NewReader(v)).Decode(res); err != nil {
+	d := cache.NewDec(v)
+	res := &ProjectResult{
+		Taxon:               taxa.Taxon(d.Uvarint()),
+		DurationMonths:      int(d.Int()),
+		SchemaCommits:       int(d.Int()),
+		ActiveSchemaCommits: int(d.Int()),
+		ProjectCommits:      int(d.Int()),
+		FileUpdates:         int(d.Int()),
+		TotalSchemaActivity: int(d.Int()),
+	}
+	if d.Bool() {
+		res.Joint = &coevolution.JointProgress{
+			Start:   heartbeat.Month(d.Int()),
+			Project: decodeFloats(d),
+			Schema:  decodeFloats(d),
+			Time:    decodeFloats(d),
+		}
+	}
+	if d.Bool() {
+		res.Measures = &coevolution.Measures{
+			DurationMonths:      int(d.Int()),
+			Sync5:               d.Float(),
+			Sync10:              d.Float(),
+			AdvanceTime:         d.Float(),
+			AdvanceSource:       d.Float(),
+			AdvanceDefined:      d.Bool(),
+			AlwaysAheadOfTime:   d.Bool(),
+			AlwaysAheadOfSource: d.Bool(),
+			AlwaysAheadOfBoth:   d.Bool(),
+			Attain50:            d.Float(),
+			Attain75:            d.Float(),
+			Attain80:            d.Float(),
+			Attain100:           d.Float(),
+		}
+	}
+	res.Locality.Tables = int(d.Int())
+	res.Locality.ChangedTables = int(d.Int())
+	res.Locality.TopShare = d.Float()
+	res.Locality.UnchangedShare = d.Float()
+	res.Locality.TotalChanges = int(d.Int())
+	if d.Err() != nil {
 		return nil, false
 	}
-	res.Name, res.DDLPath, res.IntendedTaxon = "", "", nil
 	return res, true
+}
+
+func encodeFloats(e *cache.Enc, v []float64) {
+	e.Uvarint(uint64(len(v)))
+	for _, f := range v {
+		e.Float(f)
+	}
+}
+
+func decodeFloats(d *cache.Dec) []float64 {
+	n := d.Uvarint()
+	if d.Failed() || n == 0 {
+		return nil
+	}
+	capHint := n
+	if capHint > 4096 { // don't trust a corrupt length for preallocation
+		capHint = 4096
+	}
+	v := make([]float64, 0, capHint)
+	for i := uint64(0); i < n && !d.Failed(); i++ {
+		v = append(v, d.Float())
+	}
+	return v
 }

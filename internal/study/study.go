@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"coevo/internal/cache"
 	"coevo/internal/coevolution"
@@ -140,7 +141,7 @@ func analyzeRepository(ctx context.Context, name, ddlPath string, repo *vcs.Repo
 		return nil, fmt.Errorf("study: %s: %w", name, err)
 	}
 	engine.Stage(ctx, "measure")
-	res, err := analyze(name, ddlPath, sh, ph, opts)
+	res, err := analyze(ctx, name, ddlPath, sh, ph, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -161,14 +162,14 @@ func analyzeRepository(ctx context.Context, name, ddlPath string, repo *vcs.Repo
 func AnalyzeHistories(name, ddlPath string, sh *history.SchemaHistory, ph *history.ProjectHistory, opts Options) (*ProjectResult, error) {
 	c := opts.effectiveCache()
 	if c == nil {
-		return analyze(name, ddlPath, sh, ph, opts)
+		return analyze(context.Background(), name, ddlPath, sh, ph, opts)
 	}
 	key := measureKeyFromHistory(sh, ph, opts)
 	if res, ok := loadBundle(c, key); ok {
 		res.Name, res.DDLPath = name, ddlPath
 		return res, nil
 	}
-	res, err := analyze(name, ddlPath, sh, ph, opts)
+	res, err := analyze(context.Background(), name, ddlPath, sh, ph, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +177,24 @@ func AnalyzeHistories(name, ddlPath string, sh *history.SchemaHistory, ph *histo
 	return res, nil
 }
 
-func analyze(name, ddlPath string, sh *history.SchemaHistory, ph *history.ProjectHistory, opts Options) (*ProjectResult, error) {
+// measureScratch holds the per-project working set of analyze() — the
+// ever-existed table set and its flattened name list. Both are consumed
+// within one analyze call (MeasureLocality does not retain allTables), so
+// the scratch is reusable across projects: engine workers each carry a
+// private instance via Options.WorkerState, and serial callers fall back
+// to a sync.Pool.
+type measureScratch struct {
+	tableSet  map[string]bool
+	allTables []string
+}
+
+func newMeasureScratch() *measureScratch {
+	return &measureScratch{tableSet: make(map[string]bool, 32)}
+}
+
+var measureScratchPool = sync.Pool{New: func() any { return newMeasureScratch() }}
+
+func analyze(ctx context.Context, name, ddlPath string, sh *history.SchemaHistory, ph *history.ProjectHistory, opts Options) (*ProjectResult, error) {
 	shb, err := sh.Heartbeat()
 	if err != nil {
 		return nil, fmt.Errorf("study: %s: schema heartbeat: %w", name, err)
@@ -197,15 +215,23 @@ func analyze(name, ddlPath string, sh *history.SchemaHistory, ph *history.Projec
 	// Change locality: every table that ever existed in the history,
 	// measured over the post-birth deltas only (the initial declaration
 	// "changes" every table and would mask the locality of evolution).
-	tableSet := map[string]bool{}
+	sc, ownedByWorker := engine.State(ctx).(*measureScratch)
+	if !ownedByWorker {
+		sc = measureScratchPool.Get().(*measureScratch)
+	}
+	clear(sc.tableSet)
 	for _, v := range sh.Versions {
 		for _, t := range v.Schema.Tables() {
-			tableSet[strings.ToLower(t.Name)] = true
+			sc.tableSet[strings.ToLower(t.Name)] = true
 		}
 	}
-	allTables := make([]string, 0, len(tableSet))
-	for t := range tableSet {
-		allTables = append(allTables, t)
+	sc.allTables = sc.allTables[:0]
+	for t := range sc.tableSet {
+		sc.allTables = append(sc.allTables, t)
+	}
+	locality := schemadiff.MeasureLocality(postBirthDeltas(sh), sc.allTables)
+	if !ownedByWorker {
+		measureScratchPool.Put(sc)
 	}
 
 	return &ProjectResult{
@@ -220,7 +246,7 @@ func analyze(name, ddlPath string, sh *history.SchemaHistory, ph *history.Projec
 		TotalSchemaActivity: sh.TotalActivity(),
 		Joint:               joint,
 		Measures:            measures,
-		Locality:            schemadiff.MeasureLocality(postBirthDeltas(sh), allTables),
+		Locality:            locality,
 	}, nil
 }
 
@@ -278,6 +304,11 @@ func AnalyzeCorpusContext(ctx context.Context, projects []*corpus.Project, opts 
 	}
 	eopts.Obs = opts.Obs
 	eopts.Scope = "analyze"
+	if eopts.WorkerState == nil {
+		// Each engine worker carries its own measure scratch: tasks mutate
+		// it lock-free and nothing crosses worker boundaries.
+		eopts.WorkerState = func() any { return newMeasureScratch() }
+	}
 	ctx, span := opts.Obs.StartSpan(ctx, "analyze")
 	defer span.End()
 	span.SetArg("projects", fmt.Sprint(len(projects)))

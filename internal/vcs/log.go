@@ -75,12 +75,21 @@ func (r *Repository) Changes(h Hash) ([]FileChange, error) {
 	return r.changesLocked(c), nil
 }
 
-// changesLocked diffs a commit's tree against its first parent's tree.
+// changesLocked returns a commit's name-status list against its first
+// parent's tree. Commits created by this repository carry the list
+// memoized from commit time; the returned slice is shared and must not
+// be modified by callers.
 func (r *Repository) changesLocked(c *Commit) []FileChange {
+	if c.changesOK {
+		return c.changes
+	}
+	// Fallback for commits not created through this repository's commit()
+	// (which memoizes at creation): full parent/child snapshot diff.
 	var parentTree map[string]Hash
 	if len(c.Parents) > 0 {
-		parentTree = r.commits[c.Parents[0]].Tree
+		parentTree = r.commits[c.Parents[0]].Tree()
 	}
+	tree := c.Tree()
 	renamed := r.renameIntents[c.Hash]
 
 	var changes []FileChange
@@ -89,31 +98,31 @@ func (r *Repository) changesLocked(c *Commit) []FileChange {
 		// An explicit rename is reported as a single R entry when the old
 		// path disappeared and the new path exists.
 		_, hadOld := parentTree[oldPath]
-		_, hasNew := c.Tree[newPath]
-		_, stillHasOld := c.Tree[oldPath]
+		_, hasNew := tree[newPath]
+		_, stillHasOld := tree[oldPath]
 		if hadOld && hasNew && !stillHasOld {
-			changes = append(changes, FileChange{Status: Renamed, Path: newPath, OldPath: oldPath})
+			changes = append(changes, FileChange{Status: Renamed, Path: newPath, OldPath: oldPath, blob: tree[newPath]})
 			renamedFrom[oldPath] = true
 			renamedFrom[newPath] = true
 		}
 	}
-	for path, blob := range c.Tree {
+	for path, blob := range tree {
 		if renamedFrom[path] {
 			continue
 		}
 		old, ok := parentTree[path]
 		switch {
 		case !ok:
-			changes = append(changes, FileChange{Status: Added, Path: path})
+			changes = append(changes, FileChange{Status: Added, Path: path, blob: blob})
 		case old != blob:
-			changes = append(changes, FileChange{Status: Modified, Path: path})
+			changes = append(changes, FileChange{Status: Modified, Path: path, blob: blob})
 		}
 	}
 	for path := range parentTree {
 		if renamedFrom[path] {
 			continue
 		}
-		if _, ok := c.Tree[path]; !ok {
+		if _, ok := tree[path]; !ok {
 			changes = append(changes, FileChange{Status: Deleted, Path: path})
 		}
 	}
@@ -153,11 +162,11 @@ func (r *Repository) FileVersions(path string) []FileVersion {
 			switch {
 			case ch.Status == Renamed && ch.OldPath == current:
 				current = ch.Path
-				versions = append(versions, FileVersion{Commit: e.Commit, Content: r.blobs[e.Commit.Tree[current]]})
+				versions = append(versions, FileVersion{Commit: e.Commit, Content: r.blobs[ch.blob]})
 			case ch.Path == current && ch.Status == Deleted:
 				versions = append(versions, FileVersion{Commit: e.Commit, Deleted: true})
 			case ch.Path == current:
-				versions = append(versions, FileVersion{Commit: e.Commit, Content: r.blobs[e.Commit.Tree[current]]})
+				versions = append(versions, FileVersion{Commit: e.Commit, Content: r.blobs[ch.blob]})
 			}
 		}
 	}

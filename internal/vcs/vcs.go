@@ -17,7 +17,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -71,16 +73,62 @@ type FileChange struct {
 	Status  ChangeStatus
 	Path    string
 	OldPath string // set only for Renamed
+
+	// blob is the content hash of Path after the change (unset for
+	// Deleted), letting FileVersions read historical content without
+	// materializing per-commit tree snapshots.
+	blob Hash
 }
 
-// Commit is an immutable node of the history DAG. Tree maps repository
-// paths to blob hashes and represents the full snapshot at the commit.
+// Commit is an immutable node of the history DAG. The snapshot is stored
+// as a delta against the first parent (the staged adds/updates and
+// deletions); the full path→blob map is materialized on demand by Tree.
 type Commit struct {
 	Hash    Hash
 	Parents []Hash
 	Author  Signature
 	Message string
-	Tree    map[string]Hash
+
+	// The snapshot delta: paths added or updated by this commit with
+	// their blob hashes, paths removed, and the first parent (nil for a
+	// root commit).
+	adds   map[string]Hash
+	dels   []string
+	parent *Commit
+
+	// tree memoizes the materialized snapshot.
+	treeOnce sync.Once
+	tree     map[string]Hash
+
+	// changes memoizes the name-status list against the first parent,
+	// computed once at commit time. Log-time recomputation used to
+	// dominate history extraction; the memo makes every Log call a read.
+	changes   []FileChange
+	changesOK bool
+}
+
+// Tree returns the commit's full path→blob snapshot, materialized from
+// the first-parent delta chain on first use and memoized. The map must
+// not be mutated.
+func (c *Commit) Tree() map[string]Hash {
+	c.treeOnce.Do(func() {
+		var chain []*Commit
+		for cur := c; cur != nil; cur = cur.parent {
+			chain = append(chain, cur)
+		}
+		t := make(map[string]Hash)
+		for i := len(chain) - 1; i >= 0; i-- {
+			cc := chain[i]
+			for p, b := range cc.adds {
+				t[p] = b
+			}
+			for _, p := range cc.dels {
+				delete(t, p)
+			}
+		}
+		c.tree = t
+	})
+	return c.tree
 }
 
 // IsMerge reports whether the commit has more than one parent.
@@ -109,16 +157,42 @@ type Repository struct {
 	commits  map[Hash]*Commit
 	order    []Hash // commit creation order (used as the log order)
 	branches map[string]Hash
-	current  string
-	staged   map[string]*stagedChange
+	// workTrees holds the mutable current snapshot of each branch, so
+	// committing applies the staged delta in place instead of copying the
+	// whole parent tree into every commit.
+	workTrees map[string]map[string]Hash
+	current   string
+	staged    map[string]*stagedChange
 	// renameIntents records explicit renames per commit, outside the
 	// immutable Commit value so hashing stays content-only.
 	renameIntents map[Hash]map[string]string
+	// hashBuf is header scratch reused across commits while the write
+	// lock is held, keeping hashing allocation-free.
+	hashBuf []byte
+	// The blob-line memo: the "blob <hash> <path>\n" region of the hash
+	// pre-image for the tree of commit hashHead, with sortedPaths the
+	// tree's paths in hash order and blobOff[i] the byte offset of path
+	// i's hex hash inside blobLines. A child commit that does not add or
+	// remove paths — the overwhelmingly common case — patches only its
+	// staged paths' hashes in place instead of re-collecting, re-sorting
+	// and re-rendering the whole tree.
+	hashHead    Hash
+	sortedPaths []string
+	blobLines   []byte
+	blobOff     []int
+	// blobSums interns blob hashes by raw digest, so re-storing content the
+	// repository already holds costs neither the hex string nor a copy.
+	blobSums map[[sha256.Size]byte]Hash
+	// freeStaged recycles stagedChange records across commits, and digest
+	// is the commit hasher reused under the write lock.
+	freeStaged []*stagedChange
+	digest     hash.Hash
 }
 
 type stagedChange struct {
 	content []byte // nil means deletion
 	delete  bool
+	owned   bool   // content is repository-private and may be stored without copying
 	renamed string // old path if this stage is the destination of a rename
 }
 
@@ -129,12 +203,38 @@ func NewRepository(name string) *Repository {
 	return &Repository{
 		name:          name,
 		blobs:         make(map[Hash][]byte),
+		blobSums:      make(map[[sha256.Size]byte]Hash),
 		commits:       make(map[Hash]*Commit),
 		branches:      map[string]Hash{"main": ""},
+		workTrees:     map[string]map[string]Hash{"main": {}},
 		current:       "main",
 		staged:        make(map[string]*stagedChange),
 		renameIntents: make(map[Hash]map[string]string),
 	}
+}
+
+// newStagedLocked returns a zeroed stagedChange, reusing a recycled record
+// when one is available.
+func (r *Repository) newStagedLocked() *stagedChange {
+	if n := len(r.freeStaged); n > 0 {
+		st := r.freeStaged[n-1]
+		r.freeStaged = r.freeStaged[:n-1]
+		return st
+	}
+	return &stagedChange{}
+}
+
+// resetStagedLocked empties the staging area, returning its records to the
+// free list. The map itself is kept and cleared in place.
+func (r *Repository) resetStagedLocked() {
+	if len(r.staged) == 0 {
+		return
+	}
+	for _, st := range r.staged {
+		st.content, st.delete, st.owned, st.renamed = nil, false, false, ""
+		r.freeStaged = append(r.freeStaged, st)
+	}
+	clear(r.staged)
 }
 
 // Name returns the repository's slug.
@@ -142,23 +242,33 @@ func (r *Repository) Name() string { return r.name }
 
 // Stage schedules path to contain content in the next commit.
 func (r *Repository) Stage(path string, content []byte) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	buf := make([]byte, len(content))
 	copy(buf, content)
-	r.staged[path] = &stagedChange{content: buf}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.newStagedLocked()
+	st.content, st.owned = buf, true
+	r.staged[path] = st
 }
 
-// StageString is a convenience wrapper over Stage for text files.
+// StageString is a convenience wrapper over Stage for text files. The
+// string conversion already yields a private copy, so none is added.
 func (r *Repository) StageString(path, content string) {
-	r.Stage(path, []byte(content))
+	buf := []byte(content)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.newStagedLocked()
+	st.content, st.owned = buf, true
+	r.staged[path] = st
 }
 
 // Remove schedules path for deletion in the next commit.
 func (r *Repository) Remove(path string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.staged[path] = &stagedChange{delete: true}
+	st := r.newStagedLocked()
+	st.delete = true
+	r.staged[path] = st
 }
 
 // Move schedules a rename of oldPath to newPath, keeping the current
@@ -171,19 +281,20 @@ func (r *Repository) Move(oldPath, newPath string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchFile, oldPath)
 	}
-	r.staged[oldPath] = &stagedChange{delete: true}
-	r.staged[newPath] = &stagedChange{content: r.blobs[blob], renamed: oldPath}
+	st := r.newStagedLocked()
+	st.delete = true
+	r.staged[oldPath] = st
+	st = r.newStagedLocked()
+	st.content, st.renamed = r.blobs[blob], oldPath
+	r.staged[newPath] = st
 	return nil
 }
 
-// headTreeLocked returns the tree of the current branch head, or an empty
-// tree for an unborn branch. Callers must hold at least the read lock.
+// headTreeLocked returns the current branch's mutable work tree — the
+// snapshot at its head. Callers must hold at least the read lock and
+// must not mutate the map outside commit.
 func (r *Repository) headTreeLocked() map[string]Hash {
-	head := r.branches[r.current]
-	if head == "" {
-		return map[string]Hash{}
-	}
-	return r.commits[head].Tree
+	return r.workTrees[r.current]
 }
 
 // Head returns the commit the current branch points at, or nil if the
@@ -214,6 +325,12 @@ func (r *Repository) CreateBranch(name string) error {
 		return fmt.Errorf("%w: %s", ErrBranchExists, name)
 	}
 	r.branches[name] = r.branches[r.current]
+	cur := r.workTrees[r.current]
+	wt := make(map[string]Hash, len(cur))
+	for p, b := range cur {
+		wt[p] = b
+	}
+	r.workTrees[name] = wt
 	return nil
 }
 
@@ -226,7 +343,7 @@ func (r *Repository) Checkout(name string) error {
 		return fmt.Errorf("%w: %s", ErrNoSuchBranch, name)
 	}
 	r.current = name
-	r.staged = make(map[string]*stagedChange)
+	r.resetStagedLocked()
 	return nil
 }
 
@@ -266,25 +383,107 @@ func (r *Repository) commit(message string, author Signature, extraParents []Has
 		return nil, ErrEmptyCommit
 	}
 
-	tree := make(map[string]Hash, len(r.headTreeLocked())+len(r.staged))
-	for p, b := range r.headTreeLocked() {
-		tree[p] = b
+	// The whole staged delta is evaluated against the branch work tree
+	// BEFORE it is mutated: blob hashes, added/removed path detection, the
+	// name-status list and the rename records all derive from (pre-state,
+	// staged) alone — the post-state is exactly pre-state plus the delta,
+	// so no full tree scan or copy is needed anywhere.
+	wt := r.workTrees[r.current]
+	// has reports whether path exists in the post-commit snapshot.
+	has := func(path string) bool {
+		if st, ok := r.staged[path]; ok {
+			return !st.delete
+		}
+		_, ok := wt[path]
+		return ok
 	}
-	renames := make(map[string]string)
+
+	keysChanged := false
+	var adds map[string]Hash
+	var dels []string
+	var renames map[string]string
+	changes := make([]FileChange, 0, len(r.staged))
+	var renamedFrom map[string]bool
 	for path, st := range r.staged {
-		if st.delete {
-			delete(tree, path)
+		if st.renamed == "" {
 			continue
 		}
-		tree[path] = r.putBlobLocked(st.content)
-		if st.renamed != "" {
-			renames[path] = st.renamed
+		if renames == nil {
+			renames = make(map[string]string)
+		}
+		renames[path] = st.renamed
+		// An explicit rename is reported as a single R entry when the old
+		// path disappeared and the new path exists.
+		_, hadOld := wt[st.renamed]
+		if hadOld && has(path) && !has(st.renamed) {
+			if renamedFrom == nil {
+				renamedFrom = make(map[string]bool)
+			}
+			// blob is filled in below, once the staged content is stored.
+			changes = append(changes, FileChange{Status: Renamed, Path: path, OldPath: st.renamed})
+			renamedFrom[st.renamed] = true
+			renamedFrom[path] = true
+		}
+	}
+	for path, st := range r.staged {
+		old, had := wt[path]
+		if st.delete {
+			if had {
+				keysChanged = true
+				dels = append(dels, path)
+				if !renamedFrom[path] {
+					changes = append(changes, FileChange{Status: Deleted, Path: path})
+				}
+			}
+			continue
+		}
+		if !had {
+			keysChanged = true
+		}
+		blob := r.putBlobLocked(st.content, st.owned)
+		if adds == nil {
+			adds = make(map[string]Hash, len(r.staged))
+		}
+		adds[path] = blob
+		if renamedFrom[path] {
+			continue
+		}
+		switch {
+		case !had:
+			changes = append(changes, FileChange{Status: Added, Path: path, blob: blob})
+		case old != blob:
+			changes = append(changes, FileChange{Status: Modified, Path: path, blob: blob})
+		}
+	}
+	for i := range changes {
+		if changes[i].Status == Renamed {
+			changes[i].blob = adds[changes[i].Path]
+		}
+	}
+	// Change lists are a handful of entries; an insertion sort by the
+	// unique Path avoids sort.Slice's reflection-based swapper.
+	for i := 1; i < len(changes); i++ {
+		for j := i; j > 0 && changes[j].Path < changes[j-1].Path; j-- {
+			changes[j], changes[j-1] = changes[j-1], changes[j]
 		}
 	}
 
+	// Apply the delta to the branch work tree (the post-commit snapshot).
+	for path, blob := range adds {
+		wt[path] = blob
+	}
+	for _, path := range dels {
+		delete(wt, path)
+	}
+
 	var parents []Hash
+	var parentCommit *Commit
+	if head != "" || len(extraParents) > 0 {
+		parents = make([]Hash, 0, 1+len(extraParents))
+	}
 	if head != "" {
 		parents = append(parents, head)
+		parentCommit = r.commits[head]
 	}
 	parents = append(parents, extraParents...)
 
@@ -292,53 +491,119 @@ func (r *Repository) commit(message string, author Signature, extraParents []Has
 		Parents: parents,
 		Author:  author,
 		Message: message,
-		Tree:    tree,
+		adds:    adds,
+		dels:    dels,
+		parent:  parentCommit,
 	}
-	c.Hash = hashCommit(c, len(r.order))
+	c.Hash = r.hashCommitLocked(c, len(r.order), head, keysChanged, wt)
+	r.hashHead = c.Hash
 	r.commits[c.Hash] = c
 	r.order = append(r.order, c.Hash)
 	r.branches[r.current] = c.Hash
-	r.staged = make(map[string]*stagedChange)
 	// Remember explicit renames so Log can report R statuses.
 	if len(renames) > 0 {
 		r.renameIntents[c.Hash] = renames
 	}
+	// Memoize the name-status list: Log, FileVersions and Changes all
+	// reuse it read-only afterwards.
+	c.changes = changes
+	c.changesOK = true
+	r.resetStagedLocked()
 	return c, nil
 }
 
 // putBlobLocked stores content in the blob store and returns its hash.
-func (r *Repository) putBlobLocked(content []byte) Hash {
+// When the caller owns content (it is already a repository-private copy)
+// the bytes are stored without another copy.
+func (r *Repository) putBlobLocked(content []byte, owned bool) Hash {
 	sum := sha256.Sum256(content)
+	if h, ok := r.blobSums[sum]; ok {
+		return h
+	}
 	h := Hash(hex.EncodeToString(sum[:]))
-	if _, ok := r.blobs[h]; !ok {
+	if owned {
+		r.blobs[h] = content
+	} else {
 		buf := make([]byte, len(content))
 		copy(buf, content)
 		r.blobs[h] = buf
 	}
+	r.blobSums[sum] = h
 	return h
 }
 
-// hashCommit derives a commit hash from the commit's content plus a
-// creation sequence number (which keeps hashes unique even for identical
-// content committed twice).
-func hashCommit(c *Commit, seq int) Hash {
-	var b strings.Builder
-	fmt.Fprintf(&b, "seq %d\n", seq)
+// hashCommitLocked derives a commit hash from the commit's content plus
+// a creation sequence number (which keeps hashes unique even for
+// identical content committed twice). The pre-image layout is frozen —
+// cached corpus replays verify themselves by head hash — so this builds
+// exactly the bytes the original fmt-based writer produced. When the
+// parent's blob-line memo is current and no path was added or removed,
+// only the staged paths' hashes are patched in place (every blob hash is
+// the same fixed-width hex, so offsets are stable).
+func (r *Repository) hashCommitLocked(c *Commit, seq int, parent Hash, keysChanged bool, tree map[string]Hash) Hash {
+	b := r.hashBuf[:0]
+	b = append(b, "seq "...)
+	b = strconv.AppendInt(b, int64(seq), 10)
+	b = append(b, '\n')
 	for _, p := range c.Parents {
-		fmt.Fprintf(&b, "parent %s\n", p)
+		b = append(b, "parent "...)
+		b = append(b, p...)
+		b = append(b, '\n')
 	}
-	fmt.Fprintf(&b, "author %s <%s> %d\n", c.Author.Name, c.Author.Email, c.Author.When.UnixNano())
-	fmt.Fprintf(&b, "message %s\n", c.Message)
-	paths := make([]string, 0, len(c.Tree))
-	for p := range c.Tree {
+	b = append(b, "author "...)
+	b = append(b, c.Author.Name...)
+	b = append(b, " <"...)
+	b = append(b, c.Author.Email...)
+	b = append(b, "> "...)
+	b = strconv.AppendInt(b, c.Author.When.UnixNano(), 10)
+	b = append(b, '\n')
+	b = append(b, "message "...)
+	b = append(b, c.Message...)
+	b = append(b, '\n')
+	r.hashBuf = b
+
+	if parent != "" && parent == r.hashHead && !keysChanged {
+		for path, blob := range c.adds {
+			i := sort.SearchStrings(r.sortedPaths, path)
+			copy(r.blobLines[r.blobOff[i]:], blob)
+		}
+	} else {
+		r.rebuildBlobLinesLocked(tree)
+	}
+
+	if r.digest == nil {
+		r.digest = sha256.New()
+	} else {
+		r.digest.Reset()
+	}
+	d := r.digest
+	d.Write(b)
+	d.Write(r.blobLines)
+	var sum [sha256.Size]byte
+	d.Sum(sum[:0])
+	return Hash(hex.EncodeToString(sum[:]))
+}
+
+// rebuildBlobLinesLocked re-renders the blob-line memo for tree from
+// scratch — the slow path, taken only when the path set changed or the
+// memo belongs to a different head (branch switch, foreign parent).
+func (r *Repository) rebuildBlobLinesLocked(tree map[string]Hash) {
+	paths := r.sortedPaths[:0]
+	for p := range tree {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
+	b := r.blobLines[:0]
+	off := r.blobOff[:0]
 	for _, p := range paths {
-		fmt.Fprintf(&b, "blob %s %s\n", c.Tree[p], p)
+		b = append(b, "blob "...)
+		off = append(off, len(b))
+		b = append(b, tree[p]...)
+		b = append(b, ' ')
+		b = append(b, p...)
+		b = append(b, '\n')
 	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return Hash(hex.EncodeToString(sum[:]))
+	r.sortedPaths, r.blobLines, r.blobOff = paths, b, off
 }
 
 // CommitByHash resolves a commit, also accepting abbreviated hashes when
@@ -372,7 +637,7 @@ func (r *Repository) FileAt(h Hash, path string) ([]byte, error) {
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	blob, ok := c.Tree[path]
+	blob, ok := c.Tree()[path]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s at %s", ErrNoSuchFile, path, h.Short())
 	}
@@ -380,6 +645,20 @@ func (r *Repository) FileAt(h Hash, path string) ([]byte, error) {
 	buf := make([]byte, len(content))
 	copy(buf, content)
 	return buf, nil
+}
+
+// ChangedContent returns the content a change introduced (the post-change
+// blob recorded at commit time). ok is false for Deleted changes or
+// changes not produced by this repository's log. The returned slice is
+// the repository's internal buffer and must not be modified.
+func (r *Repository) ChangedContent(ch FileChange) ([]byte, bool) {
+	if ch.blob == "" {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	b, ok := r.blobs[ch.blob]
+	return b, ok
 }
 
 // Commits returns all commits in creation order (oldest first). The slice

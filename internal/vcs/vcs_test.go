@@ -361,7 +361,7 @@ func TestQuickReplayConsistency(t *testing.T) {
 		// expected state by replay: simpler to just verify committed tree
 		// is a subset-consistent view: every path in head tree must exist
 		// with some content we wrote at some point.
-		for p := range head.Tree {
+		for p := range head.Tree() {
 			content, err := r.FileAt(head.Hash, p)
 			if err != nil || len(content) == 0 {
 				return false
@@ -411,7 +411,7 @@ func TestQuickTreeSizeInvariant(t *testing.T) {
 		if head == nil {
 			return adds == 0 && dels == 0
 		}
-		return adds-dels == len(head.Tree)
+		return adds-dels == len(head.Tree())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Perf gate: compare a fresh `coevo bench` run against the committed
+# baseline report and fail on metric regressions.
+#
+# The committed BENCH_*.json embeds the baseline run's sealed ledger
+# manifest under "runlog". The gate imports that manifest into a throwaway
+# ledger, records a fresh bench run (pinned to -workers 1 so per-case
+# stage keys match the baseline regardless of the host's core count) into
+# the same ledger, and lets `coevo runs diff` flag any wall-time,
+# allocs-per-project, alloc-bytes-per-project or peak-heap metric that
+# drifted past the threshold in its bad direction. Non-zero exit on any
+# regression — this is a hard CI gate, not a report.
+#
+# Usage: scripts/perf-gate.sh [baseline.json]
+#        scripts/perf-gate.sh --self-test [baseline.json]
+#
+# --self-test proves the gate has teeth without waiting for a real
+# regression: it imports the baseline twice, the second copy with every
+# cost metric scaled up 1.5x, and asserts the diff FAILS.
+#
+# PERF_GATE_THRESHOLD tunes the relative drift that trips the gate
+# (default 0.25 — generous, because shared CI runners are noisy; the
+# alloc budgets in the test suite are the tight screws, this gate catches
+# order-of-magnitude slips).
+set -eu
+
+SELF_TEST=0
+if [ "${1:-}" = "--self-test" ]; then
+    SELF_TEST=1
+    shift
+fi
+BASELINE="${1:-BENCH_pr7.json}"
+THRESHOLD="${PERF_GATE_THRESHOLD:-0.25}"
+
+[ -f "$BASELINE" ] || { echo "perf-gate: baseline $BASELINE not found" >&2; exit 1; }
+
+go build -o /tmp/coevo-perf-gate ./cmd/coevo
+
+LEDGER=$(mktemp -d)
+trap 'rm -rf "$LEDGER"' EXIT
+
+if [ "$SELF_TEST" = "1" ]; then
+    echo "perf-gate: self-test — importing baseline and a 1.5x-regressed copy"
+    BASE_ID=$(/tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" import "$BASELINE")
+    BAD_ID=$(/tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" -scale 1.5 import "$BASELINE")
+    if /tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" -threshold "$THRESHOLD" \
+        diff "$BASE_ID" "$BAD_ID"; then
+        echo "perf-gate: SELF-TEST FAIL — a 1.5x uniform regression passed the gate" >&2
+        exit 1
+    fi
+    echo "perf-gate: self-test ok — the gate fails on a deliberate regression"
+    exit 0
+fi
+
+echo "perf-gate: baseline $BASELINE, threshold $THRESHOLD"
+/tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" import "$BASELINE" >/dev/null
+/tmp/coevo-perf-gate bench -workers 1 -out "$LEDGER/bench-candidate.json" \
+    -runlog-dir "$LEDGER"
+if ! /tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" -threshold "$THRESHOLD" \
+    diff previous latest; then
+    echo "perf-gate: FAIL — candidate regressed against $BASELINE" >&2
+    exit 1
+fi
+echo "perf-gate: ok"

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke perf-gate perf-gate-self-test
+.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke parse-health-smoke perf-gate perf-gate-self-test
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,15 @@ STREAM_SMOKE_RUNLOG ?= stream-smoke-runs
 stream-smoke:
 	./scripts/stream-smoke.sh $(STREAM_SMOKE_PER_TAXON) $(STREAM_SMOKE_RUNLOG)
 
+# parse-health-smoke runs `coevo parse` over the messy per-dialect DDL
+# fixture corpus: every fixture must yield statements, every diagnostic
+# must carry a taxonomy code, and auto-detection must agree with the
+# explicit dialect. Reports land in PARSE_HEALTH_OUT for CI upload.
+PARSE_HEALTH_OUT ?= parse-health
+
+parse-health-smoke:
+	./scripts/parse-health-smoke.sh $(PARSE_HEALTH_OUT)
+
 # microbench runs the per-figure/table and ablation Go benchmarks.
 microbench:
 	$(GO) test -bench=. -benchmem ./...
@@ -86,6 +95,10 @@ microbench:
 # a dedicated fuzzing box.
 FUZZTIME ?= 30s
 
+# FuzzParseLenient sweeps every dialect (plus Auto) per input;
+# FuzzParseValueCodec round-trips partial scripts through the versioned
+# parse-value codec.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParseLenient -fuzztime $(FUZZTIME) ./internal/sqlddl
+	$(GO) test -run NONE -fuzz FuzzParseValueCodec -fuzztime $(FUZZTIME) ./internal/schema
 	$(GO) test -run NONE -fuzz FuzzCompare -fuzztime $(FUZZTIME) ./internal/schemadiff

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"flag"
+
+	"coevo/internal/sqlddl"
+)
+
+// dialectFlag registers the -dialect flag shared by every subcommand
+// that parses DDL. The value is resolved with resolveDialect after
+// parsing, so aliases ("pg", "sqlite3", "tsql", ...) work everywhere.
+func dialectFlag(fs *flag.FlagSet) *string {
+	return fs.String("dialect", "",
+		"SQL dialect adapter for DDL parsing: generic (default), mysql, postgres, sqlite, mssql, or auto (detect per version)")
+}
+
+// resolveDialect validates a -dialect value; an unknown name fails the
+// subcommand before any work starts.
+func resolveDialect(raw string) (sqlddl.Dialect, error) {
+	return sqlddl.ParseDialect(raw)
+}

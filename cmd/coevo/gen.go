@@ -20,8 +20,14 @@ func runGen(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	list := fs.Bool("list", false, "list every generated project")
 	streamMode := fs.Bool("stream", true, "generate and summarize one project at a time instead of materializing the corpus")
+	dialect := dialectFlag(fs)
 	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	// gen only counts raw DDL versions, never parses them: the flag is
+	// accepted (and validated) for CLI symmetry with study/taxa/ingest.
+	if _, err := resolveDialect(*dialect); err != nil {
 		return err
 	}
 	p, err := buildPipeline()

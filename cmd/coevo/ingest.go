@@ -26,7 +26,12 @@ func runIngest(args []string) error {
 	logPath := fs.String("log", "", "path to the git log file (required)")
 	ddlDir := fs.String("ddl-dir", "", "directory of dated DDL versions (YYYY-MM-DD[.n].sql)")
 	name := fs.String("name", "", "project name for the report (default: log file name)")
+	dialect := dialectFlag(fs)
 	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	d, err := resolveDialect(*dialect)
+	if err != nil {
 		return err
 	}
 	if *logPath == "" {
@@ -58,11 +63,18 @@ func runIngest(args []string) error {
 	if err != nil {
 		return err
 	}
-	sh, err := history.SchemaHistoryFromContents("schema.sql", versions, history.DefaultOptions())
+	// The dialect goes to both option sets: the history options drive the
+	// actual extraction, the study options keep the measure-cache
+	// fingerprint truthful about what parsed the DDL.
+	hopts := history.DefaultOptions()
+	hopts.Dialect = d
+	sh, err := history.SchemaHistoryFromContents("schema.sql", versions, hopts)
 	if err != nil {
 		return err
 	}
-	res, err := study.AnalyzeHistories(*name, "schema.sql", sh, ph, study.DefaultOptions())
+	sopts := study.DefaultOptions()
+	sopts.History.Dialect = d
+	res, err := study.AnalyzeHistories(*name, "schema.sql", sh, ph, sopts)
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,7 @@ func runJobs(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 2023, "study submission: corpus generation seed")
 	perTaxon := fs.Int("per-taxon", 0, "study submission: per-taxon project count override (0 = the paper's corpus)")
 	csv := fs.Bool("csv", false, "study submission: include the per-project CSV data set in the result")
+	dialect := dialectFlag(fs)
 	specPath := fs.String("spec", "", "submit this spec file (JSON) instead of building a study spec from flags")
 	wait := fs.Bool("wait", false, "after submitting, block until the job reaches a terminal state")
 	outDir := fs.String("out", "", "result: write each section to a file in this directory instead of stdout")
@@ -58,7 +59,7 @@ flags:
 	}
 	switch op {
 	case "submit":
-		spec, err := buildSpec(*specPath, *seed, *perTaxon, *csv)
+		spec, err := buildSpec(*specPath, *seed, *perTaxon, *csv, *dialect)
 		if err != nil {
 			return err
 		}
@@ -127,9 +128,12 @@ flags:
 	}
 }
 
-// buildSpec assembles the submission: a spec file verbatim, or a study
-// spec from the flags.
-func buildSpec(specPath string, seed int64, perTaxon int, csv bool) (*jobs.Spec, error) {
+// buildSpec assembles the submission: a spec file (with -dialect as an
+// override of the payload's dialect), or a study spec from the flags.
+func buildSpec(specPath string, seed int64, perTaxon int, csv bool, dialect string) (*jobs.Spec, error) {
+	if _, err := resolveDialect(dialect); err != nil {
+		return nil, err
+	}
 	if specPath != "" {
 		raw, err := os.ReadFile(specPath)
 		if err != nil {
@@ -139,11 +143,19 @@ func buildSpec(specPath string, seed int64, perTaxon int, csv bool) (*jobs.Spec,
 		if err := json.Unmarshal(raw, &spec); err != nil {
 			return nil, fmt.Errorf("jobs: %s: %w", specPath, err)
 		}
+		if dialect != "" {
+			switch {
+			case spec.Study != nil:
+				spec.Study.Dialect = dialect
+			case spec.Ingest != nil:
+				spec.Ingest.Dialect = dialect
+			}
+		}
 		return &spec, nil
 	}
 	return &jobs.Spec{
 		Kind:  jobs.KindStudy,
-		Study: &jobs.StudySpec{Seed: seed, PerTaxon: perTaxon, CSV: csv},
+		Study: &jobs.StudySpec{Seed: seed, PerTaxon: perTaxon, CSV: csv, Dialect: dialect},
 	}, nil
 }
 

@@ -14,6 +14,8 @@
 //	           `git log --name-status --no-merges --date=iso` file, and,
 //	           when a directory of dated DDL versions is given, the full
 //	           co-evolution measures
+//	parse      debug the recovering DDL parser: print dialect, statement
+//	           stats and categorized diagnostics for one DDL file
 //	taxa       per-taxon synchronicity breakdown and change locality
 //	cache      administer an on-disk result cache (stats, clear, verify)
 //	serve      run the analysis service: the durable multi-tenant job
@@ -63,6 +65,8 @@ func main() {
 		err = runBench(ctx, os.Args[2:])
 	case "ingest":
 		err = runIngest(os.Args[2:])
+	case "parse":
+		err = runParse(os.Args[2:])
 	case "impact":
 		err = runImpact(os.Args[2:])
 	case "smo":
@@ -103,6 +107,8 @@ subcommands:
   impact   windowed co-change analysis around schema commits
   smo      derive a schema-modification-operation migration between versions
   export   write the Schema_Evo-style per-history statistics as JSON
+  parse    print the parse-health report for one DDL file (-dialect selects
+           the adapter; exits nonzero on uncategorized diagnostics)
   taxa     per-taxon synchronicity breakdown and change locality
   cache    administer a result-cache directory (stats, clear, verify)
   bench    time study runs (cold/warm cache, serial/parallel) into a JSON report

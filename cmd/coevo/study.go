@@ -70,8 +70,13 @@ func runStudy(ctx context.Context, args []string) error {
 	outDir := fs.String("out", "", "also write each figure to a file in this directory")
 	streamMode := fs.Bool("stream", true, "fuse generation and analysis into one bounded-memory stream (false: materialize the whole corpus, then analyze)")
 	perTaxon := fs.Int("per-taxon", 0, "override the per-taxon project count (0 = the paper's 195-project corpus)")
+	dialect := dialectFlag(fs)
 	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	dial, err := resolveDialect(*dialect)
+	if err != nil {
 		return err
 	}
 	p, err := buildPipeline()
@@ -83,6 +88,7 @@ func runStudy(ctx context.Context, args []string) error {
 	opts.Exec = p.exec
 	opts.Cache = p.cache
 	opts.Obs = p.obs
+	opts.History.Dialect = dial
 	cfg := studyCorpusConfig(p, *seed, *perTaxon)
 	src := corpus.NewSource(cfg)
 	mode := "batch"

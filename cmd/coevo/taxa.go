@@ -17,8 +17,13 @@ func runTaxa(ctx context.Context, args []string) error {
 	fs := newFlagSet("taxa")
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	theta := fs.Float64("theta", 0.10, "synchronicity acceptance band")
+	dialect := dialectFlag(fs)
 	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
+		return err
+	}
+	dial, err := resolveDialect(*dialect)
+	if err != nil {
 		return err
 	}
 	p, err := buildPipeline()
@@ -30,6 +35,7 @@ func runTaxa(ctx context.Context, args []string) error {
 	opts.Exec = p.exec
 	opts.Cache = p.cache
 	opts.Obs = p.obs
+	opts.History.Dialect = dial
 	d, err := study.Run(ctx, *seed, opts)
 	p.recordDataset(d)
 	ferr := p.finish(ctx, err)

@@ -6,6 +6,7 @@
 package history
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"coevo/internal/heartbeat"
 	"coevo/internal/schema"
 	"coevo/internal/schemadiff"
+	"coevo/internal/sqlddl"
 	"coevo/internal/textdiff"
 	"coevo/internal/vcs"
 )
@@ -43,6 +45,11 @@ type Options struct {
 	// its raw bytes) and diffing a version pair (keyed by the two logical
 	// schemas). Results are byte-identical with and without a cache.
 	Cache *cache.Cache
+
+	// Dialect selects the SQL dialect adapter used to parse every version.
+	// The zero value (Generic) reproduces the historical pipeline exactly;
+	// sqlddl.Auto detects the dialect per version from its content.
+	Dialect sqlddl.Dialect
 }
 
 // DefaultOptions returns the study's configuration.
@@ -56,8 +63,12 @@ type SchemaVersion struct {
 	// Schema is the logical schema reconstructed from Raw (an empty schema
 	// for a deleted or unparseable file).
 	Schema *schema.Schema
-	// Diagnostics collects lenient-parse and build warnings.
+	// Diagnostics collects lenient-parse and build warnings in their
+	// legacy error form; Report carries the same problems structured.
 	Diagnostics []error
+	// Report is the structured parse outcome: resolved dialect, statement
+	// accounting and coded diagnostics. Zero for deleted versions.
+	Report schema.ParseReport
 	// Deleted marks the version where the file was removed.
 	Deleted bool
 }
@@ -72,7 +83,11 @@ type SchemaHistory struct {
 	// Deltas is aligned with Versions: Deltas[0] is the birth delta (from
 	// the empty schema) and Deltas[i] compares version i-1 to i.
 	Deltas []*schemadiff.Delta
-	opts   Options
+	// NoOpCommits counts versions whose content was byte-identical to the
+	// previous one — commits the substrate or the parser would otherwise
+	// absorb silently. Surfaced in the parse-health report.
+	NoOpCommits int
+	opts        Options
 }
 
 // Activity returns the study's Activity for version i: attribute-level
@@ -156,14 +171,21 @@ func ExtractSchemaHistoryFromVersions(path string, fileVersions []vcs.FileVersio
 	schemas := make([]*schema.Schema, 0, len(fileVersions)+1)
 	schemas = append(schemas, schema.New()) // the pre-birth empty schema
 	anyCreate := false
+	var prevRaw []byte
+	havePrev := false
 	for _, fv := range fileVersions {
 		sv := SchemaVersion{Commit: fv.Commit, Raw: fv.Content, Deleted: fv.Deleted}
 		if fv.Deleted {
 			sv.Schema = schema.New()
 		} else {
-			s, diags := schema.ParseAndBuildCached(fv.Content, opts.Cache)
+			if havePrev && bytes.Equal(prevRaw, fv.Content) {
+				h.NoOpCommits++
+			}
+			prevRaw, havePrev = fv.Content, true
+			s, rep := schema.ParseAndBuildCachedDialect(fv.Content, opts.Dialect, opts.Cache)
 			sv.Schema = s
-			sv.Diagnostics = diags
+			sv.Report = rep
+			sv.Diagnostics = rep.Errors()
 			if s.TableCount() > 0 {
 				anyCreate = true
 			}
@@ -245,6 +267,10 @@ type ProjectCommit struct {
 // ProjectHistory is the file-update history of the whole project.
 type ProjectHistory struct {
 	Commits []ProjectCommit
+	// MergesSkipped counts the merge commits excluded from the history.
+	// They used to vanish silently; the parse-health report surfaces them
+	// so a project's commit accounting is auditable.
+	MergesSkipped int
 }
 
 // CommitCount returns the number of non-merge commits.
@@ -299,7 +325,10 @@ func ExtractProjectHistory(repo *vcs.Repository) (*ProjectHistory, error) {
 		return nil, ErrEmptyRepo
 	}
 	entries := repo.Log(vcs.LogOptions{NoMerges: true, Reverse: true})
-	p := &ProjectHistory{Commits: make([]ProjectCommit, 0, len(entries))}
+	p := &ProjectHistory{
+		Commits:       make([]ProjectCommit, 0, len(entries)),
+		MergesSkipped: repo.CommitCount() - len(entries),
+	}
 	for _, e := range entries {
 		p.Commits = append(p.Commits, ProjectCommit{
 			Hash:  e.Commit.Hash,
@@ -321,6 +350,7 @@ func ProjectHistoryFromLog(entries []gitlog.Entry) (*ProjectHistory, error) {
 	for i := len(entries) - 1; i >= 0; i-- {
 		e := entries[i]
 		if e.IsMerge() {
+			p.MergesSkipped++
 			continue
 		}
 		p.Commits = append(p.Commits, ProjectCommit{
@@ -355,6 +385,16 @@ func SchemaHistoryFromContents(path string, versions []DatedContent, opts Option
 	sorted := append([]DatedContent(nil), versions...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].When.Before(sorted[j].When) })
 
+	// Count byte-identical consecutive versions up front: the replay below
+	// perturbs their content to keep the substrate from absorbing them, so
+	// the extraction itself can no longer see that they were no-ops.
+	noOps := 0
+	for i := 1; i < len(sorted); i++ {
+		if bytes.Equal(sorted[i-1].Content, sorted[i].Content) {
+			noOps++
+		}
+	}
+
 	// Replay the versions into a throwaway repository so the extraction
 	// path is byte-for-byte the one used for real repositories.
 	repo := vcs.NewRepository("ingest")
@@ -375,7 +415,12 @@ func SchemaHistoryFromContents(path string, versions []DatedContent, opts Option
 		}
 		prev = content
 	}
-	return ExtractSchemaHistory(repo, path, opts)
+	h, err := ExtractSchemaHistory(repo, path, opts)
+	if err != nil {
+		return nil, err
+	}
+	h.NoOpCommits = noOps
+	return h, nil
 }
 
 // ExtractProjectHistoryWithLines reads the non-merge commit log and counts
@@ -388,7 +433,10 @@ func ExtractProjectHistoryWithLines(repo *vcs.Repository) (*ProjectHistory, erro
 		return nil, ErrEmptyRepo
 	}
 	entries := repo.Log(vcs.LogOptions{NoMerges: true, Reverse: true})
-	p := &ProjectHistory{Commits: make([]ProjectCommit, 0, len(entries))}
+	p := &ProjectHistory{
+		Commits:       make([]ProjectCommit, 0, len(entries)),
+		MergesSkipped: repo.CommitCount() - len(entries),
+	}
 	for _, e := range entries {
 		lines := 0
 		for _, ch := range e.Changes {

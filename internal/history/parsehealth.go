@@ -1,0 +1,105 @@
+// Parse health: the per-project aggregate of what the recovering parser
+// did to every version of the DDL file. The study folds these into a
+// corpus-wide accumulator and renders them as a report section, so a
+// mining run can audit exactly how much input it parsed cleanly, how much
+// it recovered, and how much it had to drop.
+package history
+
+import (
+	"coevo/internal/sqlddl"
+)
+
+// ParseHealth aggregates parse outcomes across one project's schema
+// history, plus the commit-accounting counters the extraction used to
+// drop silently (merge commits, byte-identical no-op versions).
+type ParseHealth struct {
+	// Dialect is the dialect the extraction was configured with ("auto"
+	// when per-version detection was requested).
+	Dialect string
+	// Versions counts the parsed (non-deleted) versions of the DDL file;
+	// CleanVersions those that produced no diagnostic at all.
+	Versions      int
+	CleanVersions int
+	// Stats sums statement accounting over all versions.
+	Stats sqlddl.ParseStats
+	// Lex, Syntax and Semantic count diagnostics by category;
+	// Uncategorized counts codes outside the taxonomy (always zero unless
+	// a decoder or future code drifts — surfaced so it cannot hide).
+	Lex, Syntax, Semantic, Uncategorized int
+	// MergesSkipped and NoOpCommits surface the commits excluded from the
+	// histories (see ProjectHistory.MergesSkipped and
+	// SchemaHistory.NoOpCommits).
+	MergesSkipped int
+	NoOpCommits   int
+}
+
+// Add accumulates other into h. The dialect is kept when consistent and
+// degrades to "mixed" when projects disagree, which keeps corpus-level
+// aggregation honest.
+func (h *ParseHealth) Add(other ParseHealth) {
+	switch {
+	case h.Versions == 0 && h.Dialect == "":
+		h.Dialect = other.Dialect
+	case h.Dialect != other.Dialect:
+		h.Dialect = "mixed"
+	}
+	h.Versions += other.Versions
+	h.CleanVersions += other.CleanVersions
+	h.Stats.Add(other.Stats)
+	h.Lex += other.Lex
+	h.Syntax += other.Syntax
+	h.Semantic += other.Semantic
+	h.Uncategorized += other.Uncategorized
+	h.MergesSkipped += other.MergesSkipped
+	h.NoOpCommits += other.NoOpCommits
+}
+
+// Diagnostics returns the total diagnostic count.
+func (h ParseHealth) Diagnostics() int {
+	return h.Lex + h.Syntax + h.Semantic + h.Uncategorized
+}
+
+// Clean reports whether every version parsed and applied without a
+// single diagnostic.
+func (h ParseHealth) Clean() bool {
+	return h.Stats.Clean() && h.Diagnostics() == 0
+}
+
+// countDiag files one diagnostic under its category.
+func (h *ParseHealth) countDiag(d sqlddl.Diagnostic) {
+	switch d.Category {
+	case sqlddl.CategoryLex:
+		h.Lex++
+	case sqlddl.CategorySyntax:
+		h.Syntax++
+	case sqlddl.CategorySemantic:
+		h.Semantic++
+	default:
+		h.Uncategorized++
+	}
+}
+
+// ParseHealth aggregates the history's per-version parse reports. The
+// MergesSkipped counter lives on the project history, not here; callers
+// assembling a project-level report fold it in afterwards.
+func (h *SchemaHistory) ParseHealth() ParseHealth {
+	ph := ParseHealth{
+		Dialect:     h.opts.Dialect.String(),
+		NoOpCommits: h.NoOpCommits,
+	}
+	for i := range h.Versions {
+		v := &h.Versions[i]
+		if v.Deleted {
+			continue
+		}
+		ph.Versions++
+		ph.Stats.Add(v.Report.Stats)
+		if v.Report.Clean() {
+			ph.CleanVersions++
+		}
+		for _, d := range v.Report.Diags {
+			ph.countDiag(d)
+		}
+	}
+	return ph
+}

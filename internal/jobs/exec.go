@@ -108,6 +108,7 @@ func (e *Executor) runStudy(ctx context.Context, j *Job, rep RunReport, metrics 
 	opts.Exec = eopts
 	opts.Cache = e.Cache
 	opts.Obs = e.Obs
+	opts.History.Dialect = specDialect(spec.Dialect)
 
 	cfg := corpus.DefaultConfig(spec.Seed)
 	if spec.PerTaxon > 0 {
@@ -147,6 +148,7 @@ func (e *Executor) runStudy(ctx context.Context, j *Job, rep RunReport, metrics 
 	return &Result{
 		JobID: j.ID, Kind: KindStudy, Sections: sections,
 		Projects: sum.Projects, FailedProjects: len(sum.Failures),
+		ParseHealth: figs.Health.Summary(),
 	}, nil
 }
 
@@ -173,6 +175,7 @@ func (e *Executor) runIngest(ctx context.Context, j *Job, rep RunReport) (*Resul
 	opts := study.DefaultOptions()
 	opts.Cache = e.Cache
 	opts.Obs = e.Obs
+	opts.History.Dialect = specDialect(spec.Dialect)
 	sh, err := history.SchemaHistoryFromContents("schema.sql", versions, opts.History)
 	if err != nil {
 		return nil, err
@@ -192,10 +195,13 @@ func (e *Executor) runIngest(ctx context.Context, j *Job, rep RunReport) (*Resul
 	if err := report.CaseStudy(&buf, res); err != nil {
 		return nil, err
 	}
+	health := study.NewParseHealthAccumulator()
+	health.Add(res)
 	return &Result{
 		JobID: j.ID, Kind: KindIngest,
-		Sections: map[string]string{"casestudy.txt": buf.String()},
-		Projects: 1,
+		Sections:    map[string]string{"casestudy.txt": buf.String()},
+		Projects:    1,
+		ParseHealth: health.Summary(),
 	}, nil
 }
 
@@ -326,8 +332,14 @@ func specOptions(s *Spec) map[string]string {
 		if s.Study.CSV {
 			opts["csv"] = "true"
 		}
+		if s.Study.Dialect != "" {
+			opts["dialect"] = specDialect(s.Study.Dialect).String()
+		}
 	case KindIngest:
 		opts["ddl-versions"] = fmt.Sprint(len(s.Ingest.DDLVersions))
+		if s.Ingest.Dialect != "" {
+			opts["dialect"] = specDialect(s.Ingest.Dialect).String()
+		}
 	}
 	return opts
 }

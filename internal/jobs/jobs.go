@@ -25,7 +25,21 @@ import (
 	"time"
 
 	"coevo/internal/cache"
+	"coevo/internal/sqlddl"
+	"coevo/internal/study"
 )
+
+// specDialect resolves a spec's dialect string; Validate has already
+// rejected unknown names, so a parse failure degrades to Generic. The
+// normalized form keys the fingerprint, so "pg" and "postgres" dedup to
+// the same work.
+func specDialect(raw string) sqlddl.Dialect {
+	d, err := sqlddl.ParseDialect(raw)
+	if err != nil {
+		return sqlddl.Generic
+	}
+	return d
+}
 
 // State is one stop of the job state machine.
 type State string
@@ -77,6 +91,9 @@ type StudySpec struct {
 	PerTaxon int `json:"per_taxon,omitempty"`
 	// CSV adds the per-project dataset export to the result's sections.
 	CSV bool `json:"csv,omitempty"`
+	// Dialect selects the SQL dialect adapter used to parse every DDL
+	// version ("" = generic; also mysql, postgres, sqlite, mssql, auto).
+	Dialect string `json:"dialect,omitempty"`
 }
 
 // maxPerTaxon bounds a single submission's corpus scale; larger studies
@@ -90,6 +107,9 @@ const maxPerTaxon = 2000
 type IngestSpec struct {
 	GitLog      string            `json:"git_log"`
 	DDLVersions map[string]string `json:"ddl_versions"`
+	// Dialect selects the SQL dialect adapter for the submitted DDL
+	// ("" = generic; "auto" detects it per version).
+	Dialect string `json:"dialect,omitempty"`
 }
 
 // Validate checks the spec is well-formed; the HTTP API maps a failure
@@ -105,6 +125,9 @@ func (s *Spec) Validate() error {
 		}
 		if s.Study.PerTaxon < 0 || s.Study.PerTaxon > maxPerTaxon {
 			return fmt.Errorf("jobs: per_taxon %d out of range [0, %d]", s.Study.PerTaxon, maxPerTaxon)
+		}
+		if _, err := sqlddl.ParseDialect(s.Study.Dialect); err != nil {
+			return fmt.Errorf("jobs: study spec: %w", err)
 		}
 	case KindIngest:
 		if s.Ingest == nil {
@@ -124,6 +147,9 @@ func (s *Spec) Validate() error {
 				return err
 			}
 		}
+		if _, err := sqlddl.ParseDialect(s.Ingest.Dialect); err != nil {
+			return fmt.Errorf("jobs: ingest spec: %w", err)
+		}
 	case "":
 		return fmt.Errorf("jobs: spec missing kind (want %q or %q)", KindStudy, KindIngest)
 	default:
@@ -142,7 +168,9 @@ func (s *Spec) Label() string {
 
 // fingerprintStage versions the whole-result memoization; bump it when
 // the result schema or any rendered section changes observable output.
-const fingerprintStage = "jobs/result/v1"
+// v2: results carry parse health (new section and result field) and the
+// fingerprint folds the normalized parse dialect.
+const fingerprintStage = "jobs/result/v2"
 
 // Fingerprint content-addresses the spec: the key under which the whole
 // rendered result is memoized in the shared cache, and the dedup
@@ -154,7 +182,9 @@ func (s *Spec) Fingerprint() cache.Key {
 	switch s.Kind {
 	case KindStudy:
 		h.Int(s.Study.Seed).Int(int64(s.Study.PerTaxon)).Bool(s.Study.CSV)
+		h.String(specDialect(s.Study.Dialect).String())
 	case KindIngest:
+		h.String(specDialect(s.Ingest.Dialect).String())
 		h.String(s.Ingest.GitLog)
 		names := make([]string, 0, len(s.Ingest.DDLVersions))
 		for name := range s.Ingest.DDLVersions {
@@ -222,6 +252,10 @@ type Result struct {
 	// cache-served duplicate still reports what the work covered.
 	Projects       int `json:"projects"`
 	FailedProjects int `json:"failed_projects,omitempty"`
+	// ParseHealth aggregates what the recovering parser did across the
+	// job's DDL input — the structured counterpart of the rendered
+	// parsehealth.txt section.
+	ParseHealth *study.ParseHealthSummary `json:"parse_health,omitempty"`
 }
 
 // NewID builds a job id: a sortable UTC timestamp plus four random bytes

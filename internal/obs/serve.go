@@ -12,6 +12,13 @@ import (
 	"time"
 )
 
+// APIPrefix is the versioned mount point of the HTTP API. Every route —
+// built-in telemetry and extra Handlers alike — is reachable both at its
+// legacy unversioned path and under this prefix; new clients should use
+// the prefixed form, which is the surface future versions will keep
+// stable.
+const APIPrefix = "/api/v1"
+
 // ServeOptions configures the embedded observability server.
 type ServeOptions struct {
 	// Addr is the listen address (host:port). A ":0" port picks a free
@@ -57,11 +64,21 @@ func Serve(opts ServeOptions) (*Server, error) {
 	s := &Server{ln: ln, hub: newSSEHub(), log: log, done: make(chan struct{})}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Every route mounts twice: under the versioned /api/v1 prefix — the
+	// stable API surface — and at its legacy unversioned path, kept as an
+	// alias for existing clients and scrape configs. The versioned mount
+	// strips the prefix, so path-parsing handlers (jobs, runs) see the
+	// same URL shape either way.
+	handle := func(path string, h http.Handler) {
+		mux.Handle(path, h)
+		mux.Handle(APIPrefix+path, http.StripPrefix(APIPrefix, h))
+	}
+	handleFunc := func(path string, f http.HandlerFunc) { handle(path, f) }
+	handleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if !s.ready.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -70,21 +87,21 @@ func Serve(opts ServeOptions) (*Server, error) {
 		}
 		fmt.Fprintln(w, "ready")
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	handleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := opts.Registry.WritePrometheus(w); err != nil {
 			s.log.Warn("obs: /metrics write failed", "err", err)
 		}
 	})
-	mux.HandleFunc("/progress", s.handleProgress)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	handleFunc("/progress", s.handleProgress)
+	handleFunc("/debug/pprof/", pprof.Index)
+	handleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	handleFunc("/debug/pprof/profile", pprof.Profile)
+	handleFunc("/debug/pprof/symbol", pprof.Symbol)
+	handleFunc("/debug/pprof/trace", pprof.Trace)
 	paths := []string{"/healthz", "/readyz", "/metrics", "/progress", "/debug/pprof/"}
 	for path, h := range opts.Handlers {
-		mux.Handle(path, h)
+		handle(path, h)
 		paths = append(paths, path)
 	}
 	sort.Strings(paths)
@@ -98,6 +115,7 @@ func Serve(opts ServeOptions) (*Server, error) {
 		for _, p := range paths {
 			fmt.Fprintln(w, "  "+p)
 		}
+		fmt.Fprintf(w, "every route is also mounted under %s (the stable, versioned surface)\n", APIPrefix)
 	})
 
 	// Count connected live-progress clients in the unified registry, so a

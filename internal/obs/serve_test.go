@@ -100,6 +100,38 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestAPIVersionedAliases asserts every route is mounted under /api/v1
+// with the prefix stripped before path-parsing handlers see the URL, and
+// that the legacy unversioned paths answer identically.
+func TestAPIVersionedAliases(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("coevo_engine_tasks_total", "Tasks.").Add(3)
+	extra := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Echo the path the handler observed: the versioned mount must
+		// deliver the same legacy shape ("/runs/...") after stripping.
+		fmt.Fprint(w, "path="+r.URL.Path)
+	})
+	s := startTestServer(t, ServeOptions{
+		Registry: reg,
+		Handlers: map[string]http.Handler{"/runs": extra, "/runs/": extra},
+	})
+	s.SetReady(true)
+
+	for _, path := range []string{"/healthz", "/readyz", "/metrics"} {
+		legacyCode, legacyBody := get(t, s.URL()+path)
+		v1Code, v1Body := get(t, s.URL()+APIPrefix+path)
+		if v1Code != legacyCode || v1Body != legacyBody {
+			t.Errorf("%s: versioned (%d, %q) != legacy (%d, %q)", path, v1Code, v1Body, legacyCode, legacyBody)
+		}
+	}
+	if code, body := get(t, s.URL()+APIPrefix+"/runs/abc"); code != http.StatusOK || body != "path=/runs/abc" {
+		t.Errorf("%s/runs/abc = %d %q, want the stripped legacy path", APIPrefix, code, body)
+	}
+	if code, _ := get(t, s.URL()+APIPrefix+"/nope"); code != http.StatusNotFound {
+		t.Errorf("%s/nope = %d, want 404", APIPrefix, code)
+	}
+}
+
 // sseEvent is one parsed server-sent event.
 type sseEvent struct {
 	name string

@@ -24,6 +24,7 @@ type StudyArtifacts struct {
 	Always     *study.AlwaysAdvanceSummary
 	Attainment *study.AttainmentBreakdown
 	Stats      func() (*study.StatsReport, error)
+	Health     *study.ParseHealthSummary
 }
 
 // DatasetArtifacts folds a batch dataset into the figure inputs.
@@ -38,6 +39,7 @@ func DatasetArtifacts(d *study.Dataset, seed int64) *StudyArtifacts {
 		Always:     d.AlwaysAdvance(),
 		Attainment: d.Attainment(),
 		Stats:      func() (*study.StatsReport, error) { return d.Statistics(seed) },
+		Health:     d.ParseHealth(),
 	}
 }
 
@@ -53,6 +55,7 @@ func FiguresArtifacts(f *study.Figures, seed int64) *StudyArtifacts {
 		Always:     f.Always.Summary(),
 		Attainment: f.Attainment.Breakdown(),
 		Stats:      func() (*study.StatsReport, error) { return f.Stats.Report(seed) },
+		Health:     f.Health.Summary(),
 	}
 }
 
@@ -97,7 +100,38 @@ func StudySections(a *StudyArtifacts) []StudySection {
 			}
 			return Render(w, st, Text)
 		}},
+		{"parsehealth.txt", func(w io.Writer) error {
+			return WriteParseHealth(w, a.Health)
+		}},
 	}
+}
+
+// WriteParseHealth renders the corpus-wide parse-health report: how much
+// DDL the recovering parser handled cleanly, what it recovered or
+// dropped, the diagnostic mix, and the commits the extraction excluded.
+func WriteParseHealth(w io.Writer, h *study.ParseHealthSummary) error {
+	if h == nil {
+		_, err := fmt.Fprintln(w, "parse health: not collected")
+		return err
+	}
+	t := h.Total
+	fmt.Fprintf(w, "parse health (dialect %s):\n", orUnknown(t.Dialect))
+	fmt.Fprintf(w, "  projects    %d (%d clean)\n", h.Projects, h.CleanProjects)
+	fmt.Fprintf(w, "  versions    %d (%d clean)\n", t.Versions, t.CleanVersions)
+	fmt.Fprintf(w, "  statements  %d attempted: %d parsed, %d recovered, %d dropped\n",
+		t.Stats.Attempted, t.Stats.Parsed, t.Stats.Recovered, t.Stats.Dropped)
+	fmt.Fprintf(w, "  diagnostics %d (%d lex, %d syntax, %d semantic, %d uncategorized)\n",
+		t.Diagnostics(), t.Lex, t.Syntax, t.Semantic, t.Uncategorized)
+	_, err := fmt.Fprintf(w, "  excluded    %d merge commits, %d no-op schema versions\n",
+		t.MergesSkipped, t.NoOpCommits)
+	return err
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }
 
 // CaseStudy renders the Section 3.3 single-project deep dive: history
@@ -110,8 +144,14 @@ func CaseStudy(w io.Writer, res *study.ProjectResult) error {
 	fmt.Fprintf(w, "duration  %d months\n", res.DurationMonths)
 	fmt.Fprintf(w, "commits   %d total, %d touching the schema (%d active)\n",
 		res.ProjectCommits, res.SchemaCommits, res.ActiveSchemaCommits)
-	fmt.Fprintf(w, "activity  %d file updates, %d schema change units\n\n",
+	fmt.Fprintf(w, "activity  %d file updates, %d schema change units\n",
 		res.FileUpdates, res.TotalSchemaActivity)
+	h := res.ParseHealth
+	fmt.Fprintf(w, "parsing   dialect %s: %d versions (%d clean); %d statements (%d parsed, %d recovered, %d dropped)\n",
+		orUnknown(h.Dialect), h.Versions, h.CleanVersions,
+		h.Stats.Attempted, h.Stats.Parsed, h.Stats.Recovered, h.Stats.Dropped)
+	fmt.Fprintf(w, "          %d diagnostics (%d lex, %d syntax, %d semantic); excluded %d merges, %d no-op versions\n\n",
+		h.Diagnostics(), h.Lex, h.Syntax, h.Semantic, h.MergesSkipped, h.NoOpCommits)
 
 	fig := JointProgressFigure{Title: "joint cumulative fractional progress", Progress: res.Joint}
 	if err := Render(w, fig, Text); err != nil {

@@ -6,17 +6,19 @@
 package schema
 
 import (
-	"errors"
 	"fmt"
 
 	"coevo/internal/cache"
+	"coevo/internal/sqlddl"
 )
 
 // ParseStage is the parse stage's cache version. Bump it whenever parsing
 // or schema building changes observable output (new statement support,
 // type-normalization changes, codec format changes) — old entries then
-// simply miss and are recomputed.
-const ParseStage = "schema/parse/v1"
+// simply miss and are recomputed. v2: the cached value carries the
+// resolved dialect, parse stats and structured diagnostics instead of
+// bare error strings, and the requested dialect participates in the key.
+const ParseStage = "schema/parse/v2"
 
 // EncodeBinary serializes the schema: tables in creation order, each with
 // its attributes in definition order and its primary key. The result is
@@ -84,13 +86,22 @@ func DecodeBinary(p []byte) (*Schema, error) {
 	return s, nil
 }
 
-// encodeParseValue frames a ParseAndBuild result: the diagnostics (as
-// messages) followed by the schema.
-func encodeParseValue(s *Schema, diags []error) []byte {
+// encodeParseValue frames a ParseAndBuildDialect result: the resolved
+// dialect, the parse stats, each structured diagnostic, then the schema.
+func encodeParseValue(s *Schema, rep ParseReport) []byte {
 	e := cache.GetEnc()
-	e.Uvarint(uint64(len(diags)))
-	for _, err := range diags {
-		e.String(err.Error())
+	e.Uvarint(uint64(rep.Dialect))
+	e.Uvarint(uint64(rep.Stats.Attempted))
+	e.Uvarint(uint64(rep.Stats.Parsed))
+	e.Uvarint(uint64(rep.Stats.Recovered))
+	e.Uvarint(uint64(rep.Stats.Dropped))
+	e.Uvarint(uint64(len(rep.Diags)))
+	for _, diag := range rep.Diags {
+		e.String(diag.Code)
+		e.Uvarint(uint64(diag.Line))
+		e.Uvarint(uint64(diag.Col))
+		e.String(diag.Msg)
+		e.String(diag.Snippet)
 	}
 	inner := cache.GetEnc()
 	AppendBinary(inner, s)
@@ -101,39 +112,62 @@ func encodeParseValue(s *Schema, diags []error) []byte {
 	return out
 }
 
-func decodeParseValue(p []byte) (*Schema, []error, error) {
+func decodeParseValue(p []byte) (*Schema, ParseReport, error) {
 	d := cache.NewDec(p)
+	var rep ParseReport
+	rep.Dialect = sqlddl.Dialect(d.Uvarint())
+	rep.Stats.Attempted = int(d.Uvarint())
+	rep.Stats.Parsed = int(d.Uvarint())
+	rep.Stats.Recovered = int(d.Uvarint())
+	rep.Stats.Dropped = int(d.Uvarint())
 	nDiags := d.Uvarint()
-	var diags []error
 	for i := uint64(0); i < nDiags && !d.Failed(); i++ {
-		diags = append(diags, errors.New(d.String()))
+		diag := sqlddl.Diagnostic{
+			Code: d.String(),
+			Line: int(d.Uvarint()),
+			Col:  int(d.Uvarint()),
+			Msg:  d.String(),
+		}
+		diag.Snippet = d.String()
+		diag.Category = sqlddl.CategoryOf(diag.Code)
+		rep.Diags = append(rep.Diags, diag)
 	}
 	enc := d.BlobRef()
 	if err := d.Err(); err != nil {
-		return nil, nil, err
+		return nil, ParseReport{}, err
 	}
 	s, err := DecodeBinary(enc)
 	if err != nil {
-		return nil, nil, err
+		return nil, ParseReport{}, err
 	}
-	return s, diags, nil
+	s.dialect = rep.Dialect
+	return s, rep, nil
 }
 
-// ParseAndBuildCached is ParseAndBuild memoized through c, keyed by the
-// raw DDL bytes under ParseStage. Diagnostics survive caching as their
-// messages (the pipeline only counts and prints them). A nil cache — or a
-// corrupt or malformed entry — degrades to a plain ParseAndBuild.
-func ParseAndBuildCached(src []byte, c *cache.Cache) (*Schema, []error) {
+// ParseAndBuildCachedDialect is ParseAndBuildDialect memoized through c,
+// keyed by the raw DDL bytes and the requested dialect under ParseStage.
+// Auto keys on "auto": detection is a pure function of the bytes, so the
+// cached entry resolves identically. A nil cache — or a corrupt or
+// malformed entry — degrades to a plain ParseAndBuildDialect.
+func ParseAndBuildCachedDialect(src []byte, dialect sqlddl.Dialect, c *cache.Cache) (*Schema, ParseReport) {
 	if c == nil {
-		return ParseAndBuild(string(src))
+		return ParseAndBuildDialect(string(src), dialect)
 	}
-	key := cache.NewKey(ParseStage, src)
+	key := cache.NewKey(ParseStage+"/"+dialect.String(), src)
 	if v, ok := c.Get(key); ok {
-		if s, diags, err := decodeParseValue(v); err == nil {
-			return s, diags
+		if s, rep, err := decodeParseValue(v); err == nil {
+			return s, rep
 		}
 	}
-	s, diags := ParseAndBuild(string(src))
-	c.Put(key, encodeParseValue(s, diags))
-	return s, diags
+	s, rep := ParseAndBuildDialect(string(src), dialect)
+	c.Put(key, encodeParseValue(s, rep))
+	return s, rep
+}
+
+// ParseAndBuildCached is the legacy Generic-dialect entry point: the same
+// memoized parse with diagnostics rendered back to their historical error
+// strings. Prefer ParseAndBuildCachedDialect, which keeps the structure.
+func ParseAndBuildCached(src []byte, c *cache.Cache) (*Schema, []error) {
+	s, rep := ParseAndBuildCachedDialect(src, sqlddl.Generic, c)
+	return s, rep.Errors()
 }

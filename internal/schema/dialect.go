@@ -1,0 +1,151 @@
+// Dialect-aware schema building: per-dialect type canonicalization and
+// the structured parse report the mining pipeline aggregates into a
+// project's parse health. The Generic dialect deliberately reproduces the
+// historical NormalizeType output byte for byte, so existing goldens and
+// cached measurements are unaffected unless a dialect is requested.
+package schema
+
+import (
+	"fmt"
+
+	"coevo/internal/sqlddl"
+)
+
+// dialectSynonyms canonicalizes type spellings that only exist in one
+// vendor's dialect. The maps apply before the cross-vendor typeSynonyms
+// table, so e.g. MSSQL NVARCHAR first becomes VARCHAR and then flows
+// through the shared canon. Generic has no entry on purpose: its output
+// must stay identical to the pre-dialect pipeline.
+var dialectSynonyms = map[sqlddl.Dialect]map[string]string{
+	sqlddl.MSSQL: {
+		"NVARCHAR":         "VARCHAR",
+		"NCHAR":            "CHAR",
+		"NTEXT":            "TEXT",
+		"DATETIME2":        "DATETIME",
+		"SMALLDATETIME":    "DATETIME",
+		"DATETIMEOFFSET":   "TIMESTAMP WITH TIME ZONE",
+		"MONEY":            "DECIMAL",
+		"SMALLMONEY":       "DECIMAL",
+		"IMAGE":            "BLOB",
+		"UNIQUEIDENTIFIER": "UUID",
+		"BIT":              "BOOLEAN",
+	},
+	sqlddl.SQLite: {
+		"CLOB": "TEXT",
+	},
+}
+
+// NormalizeTypeForDialect renders a parsed data type in canonical
+// comparison form, first folding vendor-only spellings of the given
+// dialect. For Generic (and dialects with no synonym table) it is exactly
+// NormalizeType.
+func NormalizeTypeForDialect(dt sqlddl.DataType, d sqlddl.Dialect) string {
+	if syn := dialectSynonyms[d]; syn != nil {
+		if canon, ok := syn[dt.Name]; ok {
+			dt.Name = canon // dt is a copy; the AST is untouched
+		}
+	}
+	return NormalizeType(dt)
+}
+
+// ParseReport is the structured outcome of parsing and building one DDL
+// version: the dialect the parser actually used (detection already
+// resolved when Auto was requested), per-statement accounting, and every
+// diagnostic — lex and syntax problems from the parser plus semantic
+// apply problems from this package, each carrying the source line of the
+// statement that caused it.
+type ParseReport struct {
+	Dialect sqlddl.Dialect
+	Stats   sqlddl.ParseStats
+	Diags   []sqlddl.Diagnostic
+}
+
+// Clean reports whether the version parsed and applied without a single
+// diagnostic.
+func (r ParseReport) Clean() bool { return r.Stats.Clean() && len(r.Diags) == 0 }
+
+// CountByCategory tallies the report's diagnostics per category. Unknown
+// codes land under "" so report layers can flag them.
+func (r ParseReport) CountByCategory() map[string]int {
+	if len(r.Diags) == 0 {
+		return nil
+	}
+	out := make(map[string]int)
+	for _, d := range r.Diags {
+		out[d.Category]++
+	}
+	return out
+}
+
+// BuildDialect replays a parsed script against an empty schema like
+// Build, but reports apply problems as semantic diagnostics anchored to
+// the offending statement's line instead of bare errors.
+func BuildDialect(script *sqlddl.Script) (*Schema, []sqlddl.Diagnostic) {
+	s := New()
+	s.dialect = script.Dialect
+	var diags []sqlddl.Diagnostic
+	for _, stmt := range script.Statements {
+		for _, err := range s.Apply(stmt) {
+			diags = append(diags, sqlddl.Diagnostic{
+				Code:     sqlddl.CodeSemApply,
+				Category: sqlddl.CategorySemantic,
+				Line:     stmt.StartLine(),
+				Col:      1,
+				Msg:      err.Error(),
+				Snippet:  firstLine(stmt.Raw()),
+			})
+		}
+	}
+	return s, diags
+}
+
+// ParseAndBuildDialect parses src with the recovering dialect-aware
+// parser and builds the schema it declares, returning the always non-nil
+// schema together with the full parse report. Parsing runs on a pooled
+// reusable parser; everything kept from the AST is copied out before the
+// script is recycled.
+func ParseAndBuildDialect(src string, d sqlddl.Dialect) (*Schema, ParseReport) {
+	script, parseDiags, release := sqlddl.ParseWithDiagnosticsPooled(src, d)
+	s, buildDiags := BuildDialect(script)
+	rep := ParseReport{
+		Dialect: script.Dialect,
+		Stats:   script.Stats,
+		Diags:   append(parseDiags, buildDiags...),
+	}
+	release()
+	return s, rep
+}
+
+// Errors renders the report's diagnostics in the error form the
+// pre-dialect ParseAndBuild returned: parser problems keep the exact
+// "sqlddl: line N: msg" spelling, semantic problems keep their bare
+// message. Callers that only count or print diagnostics see no change.
+func (r ParseReport) Errors() []error {
+	if len(r.Diags) == 0 {
+		return nil
+	}
+	out := make([]error, len(r.Diags))
+	for i, d := range r.Diags {
+		if d.Category == sqlddl.CategorySemantic {
+			out[i] = fmt.Errorf("%s", d.Msg)
+		} else {
+			out[i] = fmt.Errorf("sqlddl: line %d: %s", d.Line, d.Msg)
+		}
+	}
+	return out
+}
+
+// firstLine trims a statement's raw text to its first line for snippet
+// display.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			s = s[:i]
+			break
+		}
+	}
+	if len(s) > 120 {
+		s = s[:120] + "..."
+	}
+	return s
+}

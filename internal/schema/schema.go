@@ -145,6 +145,10 @@ func (t *Table) clone() *Table {
 type Schema struct {
 	tables     []*Table
 	tableIndex map[string]int
+	// dialect selects vendor-specific type canonicalization while DDL is
+	// applied. The zero value (Generic) reproduces the historical
+	// normalization exactly.
+	dialect sqlddl.Dialect
 }
 
 // New creates an empty schema.
@@ -181,6 +185,7 @@ func (s *Schema) AttributeCount() int {
 // Clone returns a deep copy of the schema.
 func (s *Schema) Clone() *Schema {
 	ns := New()
+	ns.dialect = s.dialect
 	for _, t := range s.tables {
 		ns.addTable(t.clone())
 	}
@@ -358,7 +363,7 @@ func (s *Schema) applyCreate(ct *sqlddl.CreateTable) []error {
 	var pk []string
 	for i := range ct.Columns {
 		col := &ct.Columns[i]
-		attr := attributeFromDef(col)
+		attr := attributeFromDef(col, s.dialect)
 		if !t.addAttribute(attr) {
 			errs = append(errs, fmt.Errorf("%w: %s.%s", ErrColumnExists, ct.Name.Name, col.Name))
 			continue
@@ -380,10 +385,10 @@ func (s *Schema) applyCreate(ct *sqlddl.CreateTable) []error {
 	return errs
 }
 
-func attributeFromDef(col *sqlddl.ColumnDef) *Attribute {
+func attributeFromDef(col *sqlddl.ColumnDef, d sqlddl.Dialect) *Attribute {
 	attr := &Attribute{
 		Name:          col.Name,
-		Type:          NormalizeType(col.Type),
+		Type:          NormalizeTypeForDialect(col.Type, d),
 		NotNull:       col.NotNull,
 		HasDefault:    col.HasDefault,
 		AutoIncrement: col.AutoIncrement,
@@ -426,7 +431,7 @@ func (s *Schema) applyAlter(at *sqlddl.AlterTable) []error {
 	for _, action := range at.Actions {
 		switch a := action.(type) {
 		case sqlddl.AddColumn:
-			attr := attributeFromDef(&a.Column)
+			attr := attributeFromDef(&a.Column, s.dialect)
 			if !t.addAttribute(attr) {
 				if !a.IfNotExists {
 					errs = append(errs, fmt.Errorf("%w: %s.%s", ErrColumnExists, t.Name, a.Column.Name))
@@ -446,14 +451,14 @@ func (s *Schema) applyAlter(at *sqlddl.AlterTable) []error {
 				errs = append(errs, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, a.Column.Name))
 				continue
 			}
-			*attr = *attributeFromDef(&a.Column)
+			*attr = *attributeFromDef(&a.Column, s.dialect)
 		case sqlddl.ChangeColumn:
 			attr, ok := t.Attribute(a.OldName)
 			if !ok {
 				errs = append(errs, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, a.OldName))
 				continue
 			}
-			newDef := attributeFromDef(&a.Column)
+			newDef := attributeFromDef(&a.Column, s.dialect)
 			if !t.renameAttribute(a.OldName, a.Column.Name) {
 				errs = append(errs, fmt.Errorf("%w: %s.%s -> %s", ErrNameCollision, t.Name, a.OldName, a.Column.Name))
 				continue
@@ -471,7 +476,7 @@ func (s *Schema) applyAlter(at *sqlddl.AlterTable) []error {
 				errs = append(errs, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.Name, a.Name))
 				continue
 			}
-			attr.Type = NormalizeType(a.Type)
+			attr.Type = NormalizeTypeForDialect(a.Type, s.dialect)
 		case sqlddl.AlterColumnNullability:
 			attr, ok := t.Attribute(a.Name)
 			if !ok {
@@ -518,6 +523,7 @@ func (s *Schema) applyAlter(at *sqlddl.AlterTable) []error {
 // non-nil) schema.
 func Build(script *sqlddl.Script) (*Schema, []error) {
 	s := New()
+	s.dialect = script.Dialect
 	var errs []error
 	for _, stmt := range script.Statements {
 		errs = append(errs, s.Apply(stmt)...)

@@ -7,6 +7,8 @@ type Statement interface {
 	stmtNode()
 	// Raw returns the original SQL text of the statement.
 	Raw() string
+	// StartLine returns the 1-based source line the statement starts on.
+	StartLine() int
 }
 
 // stmtBase carries the original SQL text for every statement type.
@@ -16,6 +18,11 @@ type stmtBase struct {
 }
 
 func (s stmtBase) Raw() string { return s.RawSQL }
+
+// StartLine returns the 1-based source line the statement starts on,
+// letting downstream layers (schema application) anchor their own
+// diagnostics to the statement.
+func (s stmtBase) StartLine() int { return s.Line }
 
 // TableName is a possibly schema-qualified table name.
 type TableName struct {
@@ -316,6 +323,11 @@ func (*SkippedStatement) stmtNode() {}
 // Script is a parsed SQL file.
 type Script struct {
 	Statements []Statement
+	// Dialect is the dialect the script was parsed under (the resolved
+	// dialect when Auto was requested).
+	Dialect Dialect
+	// Stats counts what happened to each statement of the parse.
+	Stats ParseStats
 }
 
 // CreateTables returns the CREATE TABLE statements of the script, a

@@ -1,0 +1,172 @@
+package sqlddl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dialect selects the SQL dialect the lexer and parser adapt to. The zero
+// value is Generic — the permissive union grammar every prior release
+// spoke — so existing call sites and encoded cache entries keep their
+// meaning. A Dialect owns the lexical rules that genuinely differ between
+// vendors (quoting, comment syntax, batch separators); grammar the
+// dialects share stays in the common parser.
+type Dialect int
+
+// The supported dialects. Generic accepts the union of all vendor syntax
+// the parser knows, which is what mining unlabeled FOSS repositories
+// needs; the named dialects tighten or extend the lexical rules:
+//
+//	MySQL    — '"' quotes a string literal (ANSI_QUOTES off), '#' comments
+//	Postgres — '#' is an operator, not a comment; dollar quoting, '::'
+//	SQLite   — double-quoted identifiers, AUTOINCREMENT, WITHOUT ROWID
+//	MSSQL    — [bracket] identifiers, GO batch separators, N'...' strings
+//
+// Auto is a sentinel meaning "detect from the source text"; it never
+// reaches the lexer (ParseWithDiagnostics resolves it via DetectDialect).
+const (
+	Generic Dialect = iota
+	MySQL
+	Postgres
+	SQLite
+	MSSQL
+	Auto
+)
+
+// String names the dialect in the lower-case form ParseDialect accepts.
+func (d Dialect) String() string {
+	switch d {
+	case Generic:
+		return "generic"
+	case MySQL:
+		return "mysql"
+	case Postgres:
+		return "postgres"
+	case SQLite:
+		return "sqlite"
+	case MSSQL:
+		return "mssql"
+	case Auto:
+		return "auto"
+	default:
+		return fmt.Sprintf("dialect(%d)", int(d))
+	}
+}
+
+// ParseDialect maps a flag or payload value to a Dialect. The empty
+// string is Generic, keeping "no dialect given" backward compatible.
+func ParseDialect(s string) (Dialect, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "generic":
+		return Generic, nil
+	case "mysql", "mariadb":
+		return MySQL, nil
+	case "postgres", "postgresql", "pg":
+		return Postgres, nil
+	case "sqlite", "sqlite3":
+		return SQLite, nil
+	case "mssql", "sqlserver", "tsql":
+		return MSSQL, nil
+	case "auto":
+		return Auto, nil
+	default:
+		return Generic, fmt.Errorf("sqlddl: unknown dialect %q (want generic, mysql, postgres, sqlite, mssql or auto)", s)
+	}
+}
+
+// Dialects lists the concrete (non-Auto) dialects, for tests and fuzzing
+// that want to sweep every adapter.
+func Dialects() []Dialect { return []Dialect{Generic, MySQL, Postgres, SQLite, MSSQL} }
+
+// doubleQuoteIsString reports whether '"' opens a string literal rather
+// than a quoted identifier. Only MySQL (with the default SQL mode, no
+// ANSI_QUOTES) treats it that way.
+func (d Dialect) doubleQuoteIsString() bool { return d == MySQL }
+
+// hashComments reports whether '#' starts a line comment. MySQL and the
+// permissive Generic mode say yes; Postgres uses '#' as an operator and
+// MSSQL/SQLite have no hash comments.
+func (d Dialect) hashComments() bool { return d == Generic || d == MySQL }
+
+// goSeparators reports whether a bare GO alone on a line separates
+// batches (the sqlcmd/SSMS convention in MSSQL scripts).
+func (d Dialect) goSeparators() bool { return d == MSSQL }
+
+// DetectDialect guesses the dialect of a DDL source from vendor-specific
+// lexical fingerprints, for ingest paths where the user gave no explicit
+// -dialect. The heuristics are ordered from most to least distinctive;
+// sources with no vendor tell stay Generic, which parses everything the
+// named dialects do.
+func DetectDialect(src string) Dialect {
+	upper := strings.ToUpper(src)
+	switch {
+	case containsAny(upper, "NVARCHAR", "[DBO].", "IDENTITY(") || hasGOSeparator(src):
+		return MSSQL
+	case strings.ContainsRune(src, '`') ||
+		containsAny(upper, "ENGINE=", "ENGINE =", "AUTO_INCREMENT"):
+		return MySQL
+	case containsAny(upper, "WITHOUT ROWID", "AUTOINCREMENT", "PRAGMA "):
+		return SQLite
+	case strings.Contains(src, "$$") || strings.Contains(src, "::") ||
+		containsAny(upper, " SERIAL", "BIGSERIAL", "SMALLSERIAL"):
+		return Postgres
+	default:
+		return Generic
+	}
+}
+
+// containsAny reports whether s contains any of the needles.
+func containsAny(s string, needles ...string) bool {
+	for _, n := range needles {
+		if strings.Contains(s, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasGOSeparator reports whether src contains a GO batch separator alone
+// on a line — the strongest MSSQL script fingerprint.
+func hasGOSeparator(src string) bool {
+	for off := 0; off < len(src); {
+		end := strings.IndexByte(src[off:], '\n')
+		if end < 0 {
+			end = len(src)
+		} else {
+			end += off
+		}
+		line := strings.Trim(src[off:end], " \t\r")
+		if len(line) == 2 && (line[0] == 'G' || line[0] == 'g') && (line[1] == 'O' || line[1] == 'o') {
+			return true
+		}
+		off = end + 1
+	}
+	return false
+}
+
+// goSeparatorAt reports whether the GO token at pos sits alone on its
+// line (possibly followed by a comment), which is what makes it a batch
+// separator rather than an identifier named "go".
+func goSeparatorAt(src string, pos int) bool {
+	for i := pos - 1; i >= 0; i-- {
+		c := src[i]
+		if c == '\n' {
+			break
+		}
+		if c != ' ' && c != '\t' && c != '\r' {
+			return false
+		}
+	}
+	for i := pos + 2; i < len(src); i++ {
+		switch c := src[i]; {
+		case c == '\n':
+			return true
+		case c == ' ' || c == '\t' || c == '\r':
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			return true
+		default:
+			return false
+		}
+	}
+	return true
+}

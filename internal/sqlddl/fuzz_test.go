@@ -74,6 +74,33 @@ func FuzzParseLenient(f *testing.F) {
 			}
 		}
 		fuzzParserMu.Unlock()
+		// Dialect sweep: the recovering parser must survive every adapter
+		// (quoting rules, GO separators, hash-comment gating) on arbitrary
+		// input — never panicking, never dropping the script, always
+		// accounting for every statement and categorizing every
+		// diagnostic. Auto additionally exercises dialect detection.
+		for _, d := range append(Dialects(), Auto) {
+			dialectScript, diags := ParseWithDiagnostics(src, d)
+			if dialectScript == nil {
+				t.Fatalf("ParseWithDiagnostics(%s) returned nil script", d)
+			}
+			st := dialectScript.Stats
+			if st.Attempted != st.Parsed+st.Recovered+st.Dropped {
+				t.Fatalf("ParseWithDiagnostics(%s) stats don't add up: %+v", d, st)
+			}
+			if st.Parsed+st.Recovered < len(dialectScript.Statements) {
+				t.Fatalf("ParseWithDiagnostics(%s) returned %d statements but accounted for %d",
+					d, len(dialectScript.Statements), st.Parsed+st.Recovered)
+			}
+			for _, diag := range diags {
+				if diag.Category == "" {
+					t.Fatalf("ParseWithDiagnostics(%s) uncategorized diagnostic %+v", d, diag)
+				}
+				if diag.Line < 1 || diag.Col < 1 {
+					t.Fatalf("ParseWithDiagnostics(%s) diagnostic without position: %+v", d, diag)
+				}
+			}
+		}
 		// Round-trip invariant: every statement carries its raw text, and
 		// re-parsing that text alone reproduces a single statement of the
 		// same kind. This is what lets cached results be keyed by

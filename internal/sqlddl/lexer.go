@@ -67,20 +67,27 @@ func (t token) symbolIs(s string) bool {
 	return t.kind == tokSymbol && t.text == s
 }
 
-// LexError reports a lexical problem with its line number.
+// LexError reports a lexical problem with its line number. Pos is the
+// byte offset of the offending construct and Code its diagnostic code;
+// Error keeps the historical "sqlddl: line N: msg" shape.
 type LexError struct {
 	Line int
 	Msg  string
+	Pos  int
+	Code string
 }
 
 func (e *LexError) Error() string { return fmt.Sprintf("sqlddl: line %d: %s", e.Line, e.Msg) }
 
 // lexer tokenizes SQL text. Comments are skipped; strings and quoted
-// identifiers are decoded.
+// identifiers are decoded. The dialect adapts the few lexical rules that
+// differ between vendors; the zero value (Generic) is the permissive
+// union.
 type lexer struct {
-	src  string
-	off  int
-	line int
+	src     string
+	off     int
+	line    int
+	dialect Dialect
 }
 
 func newLexer(src string) *lexer {
@@ -106,6 +113,15 @@ func (l *lexer) next() (token, error) {
 		}
 		return token{kind: tokQuotedIdent, text: text, line: startLine, pos: start}, nil
 	case c == '"':
+		if l.dialect.doubleQuoteIsString() {
+			// MySQL without ANSI_QUOTES: '"' delimits a string literal
+			// with the same escape conventions as '...'.
+			text, err := l.sqlString('"')
+			if err != nil {
+				return token{}, err
+			}
+			return token{kind: tokString, text: text, line: startLine, pos: start}, nil
+		}
 		text, err := l.quoted('"', '"')
 		if err != nil {
 			return token{}, err
@@ -121,7 +137,7 @@ func (l *lexer) next() (token, error) {
 		l.off++
 		return token{kind: tokSymbol, text: "[", line: startLine, pos: start}, nil
 	case c == '\'':
-		text, err := l.sqlString()
+		text, err := l.sqlString('\'')
 		if err != nil {
 			return token{}, err
 		}
@@ -178,7 +194,7 @@ func (l *lexer) skipSpaceAndComments() error {
 			l.off++
 		case c == '-' && l.off+1 < len(l.src) && l.src[l.off+1] == '-':
 			l.skipToLineEnd()
-		case c == '#':
+		case c == '#' && l.dialect.hashComments():
 			l.skipToLineEnd()
 		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
 			if err := l.skipBlockComment(); err != nil {
@@ -198,7 +214,7 @@ func (l *lexer) skipToLineEnd() {
 }
 
 func (l *lexer) skipBlockComment() error {
-	startLine := l.line
+	startLine, startPos := l.line, l.off
 	l.off += 2
 	for l.off+1 < len(l.src) {
 		if l.src[l.off] == '\n' {
@@ -210,7 +226,7 @@ func (l *lexer) skipBlockComment() error {
 		}
 		l.off++
 	}
-	return &LexError{startLine, "unterminated block comment"}
+	return &LexError{Line: startLine, Msg: "unterminated block comment", Pos: startPos, Code: CodeLexComment}
 }
 
 // quoted reads a delimiter-quoted identifier, honoring doubled delimiters
@@ -218,7 +234,7 @@ func (l *lexer) skipBlockComment() error {
 // zero-copy slice of the input buffer; only escaped identifiers build a
 // decoded copy.
 func (l *lexer) quoted(open, close byte) (string, error) {
-	startLine := l.line
+	startLine, startPos := l.line, l.off
 	l.off++ // consume opening quote
 	start := l.off
 	for l.off < len(l.src) {
@@ -228,7 +244,7 @@ func (l *lexer) quoted(open, close byte) (string, error) {
 		}
 		if c == close {
 			if l.off+1 < len(l.src) && l.src[l.off+1] == close {
-				return l.quotedSlow(open, close, startLine, l.src[start:l.off])
+				return l.quotedSlow(open, close, startLine, startPos, l.src[start:l.off])
 			}
 			text := l.src[start:l.off]
 			l.off++
@@ -236,13 +252,13 @@ func (l *lexer) quoted(open, close byte) (string, error) {
 		}
 		l.off++
 	}
-	return "", &LexError{startLine, fmt.Sprintf("unterminated quoted identifier (%c)", open)}
+	return "", &LexError{Line: startLine, Msg: fmt.Sprintf("unterminated quoted identifier (%c)", open), Pos: startPos, Code: CodeLexQuoted}
 }
 
 // quotedSlow continues a quoted identifier from the first doubled
 // delimiter, building the decoded text. The cursor sits on the doubled
 // delimiter pair.
-func (l *lexer) quotedSlow(open, close byte, startLine int, prefix string) (string, error) {
+func (l *lexer) quotedSlow(open, close byte, startLine, startPos int, prefix string) (string, error) {
 	var b strings.Builder
 	b.WriteString(prefix)
 	b.WriteByte(close)
@@ -264,7 +280,7 @@ func (l *lexer) quotedSlow(open, close byte, startLine int, prefix string) (stri
 		b.WriteByte(c)
 		l.off++
 	}
-	return "", &LexError{startLine, fmt.Sprintf("unterminated quoted identifier (%c)", open)}
+	return "", &LexError{Line: startLine, Msg: fmt.Sprintf("unterminated quoted identifier (%c)", open), Pos: startPos, Code: CodeLexQuoted}
 }
 
 // tryBracketIdent attempts to read a [bracketed] identifier; it backtracks
@@ -295,12 +311,14 @@ func (l *lexer) tryBracketIdent() (string, bool) {
 	return "", false
 }
 
-// sqlString reads a single-quoted string literal with both ” and \'
-// escape conventions (MySQL accepts backslash escapes; Postgres the
-// doubled-quote form). Escape-free literals — the overwhelmingly common
-// case — return a zero-copy slice of the input buffer.
-func (l *lexer) sqlString() (string, error) {
-	startLine := l.line
+// sqlString reads a quote-delimited string literal with both doubled
+// quote and backslash escape conventions (MySQL accepts backslash
+// escapes; Postgres the doubled-quote form). The quote is '\'' for every
+// dialect, plus '"' when the dialect treats double quotes as strings.
+// Escape-free literals — the overwhelmingly common case — return a
+// zero-copy slice of the input buffer.
+func (l *lexer) sqlString(quote byte) (string, error) {
+	startLine, startPos := l.line, l.off
 	l.off++ // consume opening quote
 	start := l.off
 	for l.off < len(l.src) {
@@ -310,10 +328,10 @@ func (l *lexer) sqlString() (string, error) {
 			l.line++
 			l.off++
 		case '\\':
-			return l.sqlStringSlow(startLine, l.src[start:l.off])
-		case '\'':
-			if l.off+1 < len(l.src) && l.src[l.off+1] == '\'' {
-				return l.sqlStringSlow(startLine, l.src[start:l.off])
+			return l.sqlStringSlow(quote, startLine, startPos, l.src[start:l.off])
+		case quote:
+			if l.off+1 < len(l.src) && l.src[l.off+1] == quote {
+				return l.sqlStringSlow(quote, startLine, startPos, l.src[start:l.off])
 			}
 			text := l.src[start:l.off]
 			l.off++
@@ -322,13 +340,13 @@ func (l *lexer) sqlString() (string, error) {
 			l.off++
 		}
 	}
-	return "", &LexError{startLine, "unterminated string literal"}
+	return "", &LexError{Line: startLine, Msg: "unterminated string literal", Pos: startPos, Code: CodeLexString}
 }
 
 // sqlStringSlow continues a string literal from the first escape
 // sequence, building the decoded text. The cursor sits on the escape's
 // first byte ('\\' or the first of a doubled quote).
-func (l *lexer) sqlStringSlow(startLine int, prefix string) (string, error) {
+func (l *lexer) sqlStringSlow(quote byte, startLine, startPos int, prefix string) (string, error) {
 	var b strings.Builder
 	b.WriteString(prefix)
 	for l.off < len(l.src) {
@@ -345,9 +363,9 @@ func (l *lexer) sqlStringSlow(startLine int, prefix string) (string, error) {
 				continue
 			}
 			l.off++
-		case '\'':
-			if l.off+1 < len(l.src) && l.src[l.off+1] == '\'' {
-				b.WriteByte('\'')
+		case quote:
+			if l.off+1 < len(l.src) && l.src[l.off+1] == quote {
+				b.WriteByte(quote)
 				l.off += 2
 				continue
 			}
@@ -358,7 +376,7 @@ func (l *lexer) sqlStringSlow(startLine int, prefix string) (string, error) {
 			l.off++
 		}
 	}
-	return "", &LexError{startLine, "unterminated string literal"}
+	return "", &LexError{Line: startLine, Msg: "unterminated string literal", Pos: startPos, Code: CodeLexString}
 }
 
 // tryDollarString reads a Postgres dollar-quoted string ($$...$$ or
@@ -378,7 +396,7 @@ func (l *lexer) tryDollarString() (string, bool, error) {
 	body := rest[len(tag):]
 	closeIdx := strings.Index(body, tag)
 	if closeIdx < 0 {
-		return "", false, &LexError{l.line, "unterminated dollar-quoted string"}
+		return "", false, &LexError{Line: l.line, Msg: "unterminated dollar-quoted string", Pos: l.off, Code: CodeLexDollar}
 	}
 	content := body[:closeIdx]
 	l.line += strings.Count(rest[:len(tag)+closeIdx+len(tag)], "\n")

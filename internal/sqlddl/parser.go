@@ -5,10 +5,14 @@ import (
 	"strings"
 )
 
-// ParseError reports a syntactic problem inside one statement.
+// ParseError reports a syntactic problem inside one statement. Pos is
+// the byte offset of the offending token and Code its diagnostic code;
+// Error keeps the historical "sqlddl: line N: msg" shape.
 type ParseError struct {
 	Line int
 	Msg  string
+	Pos  int
+	Code string
 }
 
 func (e *ParseError) Error() string { return fmt.Sprintf("sqlddl: line %d: %s", e.Line, e.Msg) }
@@ -24,27 +28,43 @@ func Parse(src string) (*Script, error) {
 }
 
 // ParseLenient parses src, demoting malformed DDL statements to
-// SkippedStatement and collecting their diagnostics. This is the mode the
-// mining pipeline uses: one broken statement must not discard a schema
-// version. The returned script uses a dedicated parser and is safe to
-// retain indefinitely; see Parser for the reusable variant.
+// SkippedStatement and collecting their diagnostics. The returned script
+// uses a dedicated parser and is safe to retain indefinitely; see Parser
+// for the reusable variant.
+//
+// Deprecated: use ParseWithDiagnostics, which adds dialect selection and
+// returns structured, categorized diagnostics instead of bare errors.
 func ParseLenient(src string) (*Script, []error) {
 	var p Parser
 	return p.ParseLenient(src)
 }
 
-func (p *Parser) parse(src string, strict bool) (*Script, []error) {
+// ParseWithDiagnostics parses src leniently in the given dialect,
+// demoting malformed DDL statements to SkippedStatement values and
+// resynchronizing past lexical errors at the next statement boundary, so
+// a partial *Script always comes back. Every problem survived is
+// reported as a categorized Diagnostic with line/column information;
+// per-statement accounting is on the script's Stats. Auto resolves the
+// dialect via DetectDialect first. This is the mode the mining pipeline
+// uses: one broken statement must not discard a schema version. The
+// returned script uses a dedicated parser and is safe to retain
+// indefinitely; see Parser for the reusable variant.
+func ParseWithDiagnostics(src string, d Dialect) (*Script, []Diagnostic) {
+	var p Parser
+	return p.ParseWithDiagnostics(src, d)
+}
+
+func (p *Parser) parse(src string, d Dialect, strict bool) (*Script, []error) {
 	p.Reset()
-	splitErr := p.split(src)
-	var errs []error
-	if splitErr != nil {
-		// A lexical error (unterminated string/comment) poisons the rest of
-		// the file; keep what was split so far.
-		errs = append(errs, splitErr)
-		if strict {
-			return nil, errs
-		}
+	if d == Auto {
+		d = DetectDialect(src)
 	}
+	p.dialect = d
+	dropped, errs := p.split(src)
+	if strict && len(errs) > 0 {
+		return nil, errs[:1]
+	}
+	stats := ParseStats{Dropped: dropped}
 	out := p.out[:0]
 	for _, st := range p.spans {
 		parsed, err := p.parseStatement(st)
@@ -54,14 +74,17 @@ func (p *Parser) parse(src string, strict bool) (*Script, []error) {
 			}
 			errs = append(errs, err)
 			out = append(out, p.newSkipped(st.text, st.line, leadingKeyword(p.toks[st.start:st.end])))
+			stats.Recovered++
 			continue
 		}
 		if parsed != nil {
 			out = append(out, parsed)
+			stats.Parsed++
 		}
 	}
+	stats.Attempted = stats.Parsed + stats.Recovered + stats.Dropped
 	p.out = out
-	p.script = Script{Statements: out}
+	p.script = Script{Statements: out, Dialect: d, Stats: stats}
 	return &p.script, errs
 }
 
@@ -73,9 +96,14 @@ func (p *Parser) parse(src string, strict bool) (*Script, []error) {
 const lexWhitespace = " \t\r\n\f\v"
 
 // split tokenizes src into the parser's flat token slab and cuts it at
-// top-level semicolons, recording one span per statement.
-func (p *Parser) split(src string) error {
-	lex := lexer{src: src, line: 1}
+// top-level semicolons, recording one span per statement. A lexical
+// error (unterminated string/comment) no longer poisons the rest of the
+// file: the statement being tokenized is dropped, the error collected,
+// and lexing resumes after the next semicolon — statement-level
+// recovery, so one stray quote costs one statement, not the file. The
+// returned dropped count is the number of such abandoned statements.
+func (p *Parser) split(src string) (dropped int, errs []error) {
+	lex := lexer{src: src, line: 1, dialect: p.dialect}
 	toks := p.toks[:0]
 	spans := p.spans[:0]
 	start := 0
@@ -97,18 +125,43 @@ func (p *Parser) split(src string) error {
 	for {
 		tok, err := lex.next()
 		if err != nil {
-			flush(len(src))
-			p.toks, p.spans = toks, spans
-			return err
+			errs = append(errs, err)
+			dropped++
+			toks = toks[:stmtStart] // the statement's tokens cannot be trusted
+			le, ok := err.(*LexError)
+			resume := len(src)
+			if ok && le.Pos+1 < len(src) {
+				if idx := strings.IndexByte(src[le.Pos+1:], ';'); idx >= 0 {
+					resume = le.Pos + 1 + idx + 1
+				}
+			}
+			if resume >= len(src) {
+				p.toks, p.spans = toks, spans
+				return dropped, errs
+			}
+			line := 1
+			if ok {
+				line = le.Line + strings.Count(src[le.Pos:resume], "\n")
+			}
+			lex = lexer{src: src, off: resume, line: line, dialect: p.dialect}
+			start = resume
+			continue
 		}
 		if tok.kind == tokEOF {
 			flush(len(src))
 			p.toks, p.spans = toks, spans
-			return nil
+			return dropped, errs
 		}
 		if tok.symbolIs(";") {
 			flush(tok.pos)
 			start = tok.pos + 1
+			continue
+		}
+		if p.dialect.goSeparators() && tok.kind == tokIdent && len(tok.text) == 2 &&
+			tok.text[0]|0x20 == 'g' && tok.text[1]|0x20 == 'o' && goSeparatorAt(src, tok.pos) {
+			// An MSSQL batch separator ends the statement like ';' does.
+			flush(tok.pos)
+			start = tok.pos + 2
 			continue
 		}
 		if len(toks) == stmtStart {
@@ -220,11 +273,22 @@ func (p *stmtParser) skipped(keyword string) *SkippedStatement {
 }
 
 func (p *stmtParser) errf(format string, args ...any) error {
-	line := p.line
-	if !p.done() {
-		line = p.peek().line
+	return p.errc(CodeSynToken, format, args...)
+}
+
+// errc builds a coded ParseError at the cursor. At end of statement the
+// position points just past the last token — where input ran out.
+func (p *stmtParser) errc(code, format string, args ...any) error {
+	line, pos := p.line, 0
+	switch {
+	case !p.done():
+		t := p.peek()
+		line, pos = t.line, t.pos
+	case len(p.toks) > 0:
+		t := p.toks[len(p.toks)-1]
+		line, pos = t.line, t.pos+len(t.text)
 	}
-	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...), Pos: pos, Code: code}
 }
 
 // acceptKeyword consumes the next token if it is the given keyword.
@@ -342,7 +406,7 @@ table:
 			break
 		}
 		if p.done() {
-			return nil, p.errf("unterminated CREATE TABLE element list for %s", ct.Name)
+			return nil, p.errc(CodeSynList, "unterminated CREATE TABLE element list for %s", ct.Name)
 		}
 		if isConstraintStart(p) {
 			c, ok, err := p.parseTableConstraint()
@@ -514,7 +578,7 @@ func (p *stmtParser) parseTypeArgs() ([]string, error) {
 		t := p.peek()
 		switch {
 		case t.kind == tokEOF:
-			return nil, p.errf("unterminated type argument list")
+			return nil, p.errc(CodeSynList, "unterminated type argument list")
 		case t.symbolIs(")"):
 			p.advance()
 			if current.Len() > 0 {
@@ -746,7 +810,7 @@ func (p *stmtParser) parseBalancedTail() (string, error) {
 		t := p.peek()
 		switch {
 		case t.kind == tokEOF:
-			return "", p.errf("unbalanced parentheses")
+			return "", p.errc(CodeSynList, "unbalanced parentheses")
 		case t.symbolIs("("):
 			depth++
 		case t.symbolIs(")"):
@@ -835,7 +899,7 @@ func (p *stmtParser) parseKeyColumns() ([]string, error) {
 		t := p.peek()
 		switch {
 		case t.kind == tokEOF:
-			return nil, p.errf("unterminated key column list")
+			return nil, p.errc(CodeSynList, "unterminated key column list")
 		case t.symbolIs("("):
 			p.advance()
 			if _, err := p.parseBalancedTail(); err != nil {
@@ -1044,7 +1108,7 @@ func (p *stmtParser) parseDropTable() (Statement, error) {
 	p.acceptKeyword("CASCADE")
 	p.acceptKeyword("RESTRICT")
 	if !p.done() {
-		return nil, p.errf("unexpected trailing tokens in DROP TABLE: %q", p.peek().text)
+		return nil, p.errc(CodeSynTrail, "unexpected trailing tokens in DROP TABLE: %q", p.peek().text)
 	}
 	return dt, nil
 }
@@ -1111,7 +1175,7 @@ func (p *stmtParser) parseAlterTable() (Statement, error) {
 		break
 	}
 	if !p.done() {
-		return nil, p.errf("unexpected trailing tokens in ALTER TABLE: %q", p.peek().text)
+		return nil, p.errc(CodeSynTrail, "unexpected trailing tokens in ALTER TABLE: %q", p.peek().text)
 	}
 	return at, nil
 }

@@ -26,10 +26,11 @@ import (
 // A Parser is not safe for concurrent use; use one per goroutine or the
 // package-level pooled helpers.
 type Parser struct {
-	toks  []token
-	spans []stmtSpan
-	out   []Statement
-	sp    stmtParser
+	toks    []token
+	spans   []stmtSpan
+	out     []Statement
+	sp      stmtParser
+	dialect Dialect
 
 	ctSlab  []CreateTable
 	atSlab  []AlterTable
@@ -70,7 +71,7 @@ func (p *Parser) Reset() {
 // Parse parses src strictly, like the package-level Parse, reusing the
 // parser's buffers. See the type comment for the ownership contract.
 func (p *Parser) Parse(src string) (*Script, error) {
-	script, errs := p.parse(src, true)
+	script, errs := p.parse(src, Generic, true)
 	if len(errs) > 0 {
 		return nil, errs[0]
 	}
@@ -80,8 +81,19 @@ func (p *Parser) Parse(src string) (*Script, error) {
 // ParseLenient parses src leniently, like the package-level
 // ParseLenient, reusing the parser's buffers. See the type comment for
 // the ownership contract.
+//
+// Deprecated: use ParseWithDiagnostics, which adds dialect selection and
+// returns structured, categorized diagnostics instead of bare errors.
 func (p *Parser) ParseLenient(src string) (*Script, []error) {
-	return p.parse(src, false)
+	return p.parse(src, Generic, false)
+}
+
+// ParseWithDiagnostics parses src leniently in the given dialect, like
+// the package-level ParseWithDiagnostics, reusing the parser's buffers.
+// See the type comment for the ownership contract.
+func (p *Parser) ParseWithDiagnostics(src string, d Dialect) (*Script, []Diagnostic) {
+	script, errs := p.parse(src, d, false)
+	return script, diagnosticsFromErrors(src, errs)
 }
 
 // Arena constructors: statement nodes are appended to per-type slabs and
@@ -124,8 +136,18 @@ var parserPool = sync.Pool{New: func() any { return NewParser() }}
 // consuming (or copy) the AST first, then release.
 func ParseLenientPooled(src string) (script *Script, errs []error, release func()) {
 	p := parserPool.Get().(*Parser)
-	script, errs = p.parse(src, false)
+	script, errs = p.parse(src, Generic, false)
 	return script, errs, func() { parserPool.Put(p) }
+}
+
+// ParseWithDiagnosticsPooled parses src in the given dialect with a
+// pooled reusable parser, returning structured diagnostics. The script
+// is valid only until release is called; callers must finish consuming
+// (or copy) the AST first, then release.
+func ParseWithDiagnosticsPooled(src string, d Dialect) (script *Script, diags []Diagnostic, release func()) {
+	p := parserPool.Get().(*Parser)
+	script, errs := p.parse(src, d, false)
+	return script, diagnosticsFromErrors(src, errs), func() { parserPool.Put(p) }
 }
 
 // upperASCII returns strings.ToUpper(s), but without allocating when s

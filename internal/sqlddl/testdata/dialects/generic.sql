@@ -1,0 +1,20 @@
+-- generic messy fixture: vendor noise, truncated DDL, a stray quote
+CREATE TABLE users (
+  id INT NOT NULL,
+  name VARCHAR(100) DEFAULT 'n/a',
+  PRIMARY KEY (id)
+);
+
+INSERT INTO users VALUES (1, 'it''s fine');
+
+CREATE TABLE broken (
+  id INT,
+  label VARCHAR(10;
+
+ALTER TABLE users ADD COLUMN bio TEXT;
+
+INSERT INTO notes VALUES (1, 'oops unterminated);
+
+CREATE TABLE after_recovery (id INT);
+
+DROP TABLE old_stuff;

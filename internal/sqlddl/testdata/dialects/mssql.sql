@@ -1,0 +1,22 @@
+CREATE TABLE [dbo].[Employees] (
+    [Id] INT IDENTITY(1,1) NOT NULL,
+    [FullName] NVARCHAR(200) NOT NULL,
+    [HiredAt] DATETIME2 DEFAULT GETDATE(),
+    CONSTRAINT [PK_Employees] PRIMARY KEY ([Id])
+)
+GO
+
+CREATE TABLE [dbo].[Depts] (
+    [Id] INT NOT NULL,
+    [Name] NVARCHAR(100)
+)
+GO
+
+ALTER TABLE [dbo].[Employees] ADD [DeptId] INT
+GO
+
+CREATE TABLE [dbo].[Broken] (
+    [Id] INT,
+    [Notes] NVARCHAR(MAX,
+)
+GO

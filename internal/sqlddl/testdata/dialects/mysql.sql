@@ -1,0 +1,14 @@
+# MySQL-style hash comment
+/*!40101 SET @OLD_CHARACTER_SET_CLIENT=@@CHARACTER_SET_CLIENT */;
+CREATE TABLE `posts` (
+  `id` bigint(20) unsigned NOT NULL AUTO_INCREMENT,
+  `title` varchar(200) NOT NULL DEFAULT "untitled",
+  `status` enum('draft','live') DEFAULT 'draft',
+  PRIMARY KEY (`id`)
+) ENGINE=InnoDB DEFAULT CHARSET=utf8mb4;
+
+ALTER TABLE `posts` ADD COLUMN `views` int NOT NULL DEFAULT 0;
+
+CREATE TABLE ok_after (id INT);
+
+CREATE TABLE `broken (id INT);

@@ -1,0 +1,15 @@
+CREATE TABLE accounts (
+    id BIGSERIAL PRIMARY KEY,
+    email TEXT NOT NULL UNIQUE,
+    meta JSONB DEFAULT '{}'::jsonb,
+    created TIMESTAMP WITH TIME ZONE DEFAULT now()
+);
+
+CREATE FUNCTION noop() RETURNS void AS $$ BEGIN END; $$ LANGUAGE plpgsql;
+
+CREATE TABLE broken (
+    id INT,
+    CHECK (id > 0
+);
+
+ALTER TABLE accounts ALTER COLUMN email SET DEFAULT 'unknown';

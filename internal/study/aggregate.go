@@ -498,6 +498,7 @@ type Figures struct {
 	Attainment  *AttainmentAccumulator         // Figure 8
 	Locality    *LocalityAccumulator           // change-locality summary
 	Stats       *StatsAccumulator              // Section 7
+	Health      *ParseHealthAccumulator        // parse-health report
 	count       int
 }
 
@@ -515,6 +516,7 @@ func NewFigures() *Figures {
 		Attainment:  NewAttainmentAccumulator([]float64{0.50, 0.75, 0.80, 1.00}, []float64{0.2, 0.5, 0.8, 1.0}),
 		Locality:    NewLocalityAccumulator(5),
 		Stats:       NewStatsAccumulator(),
+		Health:      NewParseHealthAccumulator(),
 	}
 }
 
@@ -530,6 +532,7 @@ func (f *Figures) Add(p *ProjectResult) error {
 	f.Attainment.Add(p)
 	f.Locality.Add(p)
 	f.Stats.Add(p)
+	f.Health.Add(p)
 	return nil
 }
 

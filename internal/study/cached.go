@@ -22,7 +22,9 @@ import (
 // analyze()'s observable output changes (new measures, changed
 // classification, changed locality rules) or the bundle codec changes.
 // v2: reflection-free cache.Enc codec replaced encoding/gob.
-const MeasureStage = "study/measure/v2"
+// v3: the bundle carries the project's parse health and the key folds the
+// configured parse dialect.
+const MeasureStage = "study/measure/v3"
 
 // effectiveCache resolves the cache the pipeline should use: the study
 // option, falling back to the history option so callers configuring only
@@ -38,6 +40,7 @@ func (o Options) effectiveCache() *cache.Cache {
 // key: the birth-counting convention and every taxon threshold.
 func measureConfig(h *cache.Hasher, opts Options) {
 	h.Bool(opts.History.CountBirth)
+	h.Int(int64(opts.History.Dialect))
 	h.Float(opts.Taxa.AlmostFrozenMax)
 	h.Float(opts.Taxa.ActiveMin)
 	h.Float(opts.Taxa.SpikeMin)
@@ -133,6 +136,21 @@ func storeBundle(c *cache.Cache, key cache.Key, res *ProjectResult) {
 	e.Float(res.Locality.UnchangedShare)
 	e.Int(int64(res.Locality.TotalChanges))
 
+	hp := res.ParseHealth
+	e.String(hp.Dialect)
+	e.Int(int64(hp.Versions))
+	e.Int(int64(hp.CleanVersions))
+	e.Int(int64(hp.Stats.Attempted))
+	e.Int(int64(hp.Stats.Parsed))
+	e.Int(int64(hp.Stats.Recovered))
+	e.Int(int64(hp.Stats.Dropped))
+	e.Int(int64(hp.Lex))
+	e.Int(int64(hp.Syntax))
+	e.Int(int64(hp.Semantic))
+	e.Int(int64(hp.Uncategorized))
+	e.Int(int64(hp.MergesSkipped))
+	e.Int(int64(hp.NoOpCommits))
+
 	c.Put(key, e.Copy())
 }
 
@@ -183,6 +201,21 @@ func loadBundle(c *cache.Cache, key cache.Key) (*ProjectResult, bool) {
 	res.Locality.TopShare = d.Float()
 	res.Locality.UnchangedShare = d.Float()
 	res.Locality.TotalChanges = int(d.Int())
+	res.ParseHealth = history.ParseHealth{
+		Dialect:       d.String(),
+		Versions:      int(d.Int()),
+		CleanVersions: int(d.Int()),
+	}
+	res.ParseHealth.Stats.Attempted = int(d.Int())
+	res.ParseHealth.Stats.Parsed = int(d.Int())
+	res.ParseHealth.Stats.Recovered = int(d.Int())
+	res.ParseHealth.Stats.Dropped = int(d.Int())
+	res.ParseHealth.Lex = int(d.Int())
+	res.ParseHealth.Syntax = int(d.Int())
+	res.ParseHealth.Semantic = int(d.Int())
+	res.ParseHealth.Uncategorized = int(d.Int())
+	res.ParseHealth.MergesSkipped = int(d.Int())
+	res.ParseHealth.NoOpCommits = int(d.Int())
 	if d.Err() != nil {
 		return nil, false
 	}

@@ -1,0 +1,49 @@
+package study
+
+import (
+	"coevo/internal/history"
+)
+
+// ParseHealthSummary is the corpus-wide parse-health aggregate: every
+// project's per-version statement accounting and diagnostic counts folded
+// together, plus project-level cleanliness.
+type ParseHealthSummary struct {
+	// Total is the element-wise sum of every project's parse health.
+	Total history.ParseHealth
+	// Projects counts the projects folded in; CleanProjects those whose
+	// every version parsed and applied without a diagnostic.
+	Projects      int
+	CleanProjects int
+}
+
+// ParseHealthAccumulator folds per-project parse health online, the same
+// one-result-at-a-time shape as the figure accumulators, so a streaming
+// study aggregates parse health without holding the corpus.
+type ParseHealthAccumulator struct {
+	summary ParseHealthSummary
+}
+
+// NewParseHealthAccumulator returns an empty accumulator.
+func NewParseHealthAccumulator() *ParseHealthAccumulator {
+	return &ParseHealthAccumulator{}
+}
+
+// Add implements Aggregator.
+func (a *ParseHealthAccumulator) Add(p *ProjectResult) {
+	a.summary.Total.Add(p.ParseHealth)
+	a.summary.Projects++
+	if p.ParseHealth.Clean() {
+		a.summary.CleanProjects++
+	}
+}
+
+// Summary returns the aggregate built so far.
+func (a *ParseHealthAccumulator) Summary() *ParseHealthSummary {
+	s := a.summary
+	return &s
+}
+
+// ParseHealth aggregates parse health over the whole dataset.
+func (d *Dataset) ParseHealth() *ParseHealthSummary {
+	return fold(d, NewParseHealthAccumulator()).Summary()
+}

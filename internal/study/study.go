@@ -49,6 +49,11 @@ type ProjectResult struct {
 	// Locality summarizes how concentrated the schema's change was across
 	// its tables (the related-work locality finding).
 	Locality schemadiff.Locality
+
+	// ParseHealth aggregates what the recovering parser did to every
+	// version of the project's DDL file, plus the commits the extraction
+	// excluded (merges, byte-identical no-ops).
+	ParseHealth history.ParseHealth
 }
 
 // Options configures the analysis.
@@ -234,10 +239,14 @@ func analyze(ctx context.Context, name, ddlPath string, sh *history.SchemaHistor
 		measureScratchPool.Put(sc)
 	}
 
+	health := sh.ParseHealth()
+	health.MergesSkipped = ph.MergesSkipped
+
 	return &ProjectResult{
 		Name:                name,
 		DDLPath:             ddlPath,
 		Taxon:               taxa.ClassifyHistory(sh, opts.Taxa),
+		ParseHealth:         health,
 		DurationMonths:      measures.DurationMonths,
 		SchemaCommits:       sh.CommitCount(),
 		ActiveSchemaCommits: sh.ActiveCommits(),

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Parse-health smoke test: run `coevo parse` over the committed messy
+# per-dialect DDL fixture corpus — each fixture with its matching
+# -dialect and once more under auto-detection — and fail the build when
+# any parse yields zero statements or a diagnostic outside the code
+# taxonomy (coevo parse exits nonzero on both). The per-fixture reports
+# are collected into an artifact directory for CI upload.
+#
+# Usage: scripts/parse-health-smoke.sh [artifact-dir]
+set -eu
+
+OUT_DIR="${1:-parse-health}"
+FIXTURE_DIR="internal/sqlddl/testdata/dialects"
+
+go build -o /tmp/coevo-parse-smoke ./cmd/coevo
+mkdir -p "$OUT_DIR"
+
+ran=0
+for fixture in "$FIXTURE_DIR"/*.sql; do
+    dialect="$(basename "$fixture" .sql)"
+    report="$OUT_DIR/$dialect.txt"
+    echo "parse-health: $fixture (dialect $dialect)"
+    # No pipe to tee: plain sh would swallow the tool's exit code.
+    /tmp/coevo-parse-smoke parse -dialect "$dialect" "$fixture" >"$report"
+    cat "$report"
+
+    # The fixtures are written to be detectable: auto must resolve to the
+    # same dialect and produce the same report minus the source line.
+    /tmp/coevo-parse-smoke parse -dialect auto "$fixture" >"$OUT_DIR/$dialect.auto.txt"
+    tail -n +2 "$report" >"$OUT_DIR/.explicit.tmp"
+    tail -n +2 "$OUT_DIR/$dialect.auto.txt" >"$OUT_DIR/.auto.tmp"
+    if ! diff -u "$OUT_DIR/.explicit.tmp" "$OUT_DIR/.auto.tmp"; then
+        echo "parse-health: auto-detection diverged for $fixture" >&2
+        exit 1
+    fi
+    rm -f "$OUT_DIR/.explicit.tmp" "$OUT_DIR/.auto.tmp"
+
+    # Belt and braces over the tool's own exit code: the report must show
+    # at least one parsed statement and no uncategorized diagnostics.
+    grep -q '^stmt: ' "$report" || { echo "parse-health: no statements in $fixture" >&2; exit 1; }
+    if grep '^diag: ' "$report" | grep -v -E 'DDL-(LEX|SYN|SEM)-[0-9]{3} \[(lex|syntax|semantic)\]'; then
+        echo "parse-health: uncategorized diagnostic in $fixture" >&2
+        exit 1
+    fi
+    ran=$((ran + 1))
+done
+
+[ "$ran" -gt 0 ] || { echo "parse-health: no fixtures found in $FIXTURE_DIR" >&2; exit 1; }
+echo "parse-health smoke OK: $ran fixtures, reports in $OUT_DIR/"

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke parse-health-smoke perf-gate perf-gate-self-test
+.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke trace-smoke parse-health-smoke perf-gate perf-gate-self-test
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,16 @@ JOBS_SMOKE_WORK ?= jobs-smoke-work
 
 jobs-smoke:
 	./scripts/jobs-smoke.sh $(JOBS_SMOKE_ADDR) $(JOBS_SMOKE_WORK)
+
+# trace-smoke proves end-to-end correlation: one submitted traceparent's
+# trace id must surface in the job record, the sealed run manifest, the
+# access log and the exported span timeline (queue-wait span included),
+# and a forced-failure job must leave a correlated flight-recorder dump.
+TRACE_SMOKE_ADDR ?= 127.0.0.1:9289
+TRACE_SMOKE_WORK ?= trace-smoke-work
+
+trace-smoke:
+	./scripts/trace-smoke.sh $(TRACE_SMOKE_ADDR) $(TRACE_SMOKE_WORK)
 
 # stream-smoke runs a corpus ~10x the paper's through the streaming
 # pipeline under a GOMEMLIMIT the batch path cannot fit in, and asserts

@@ -40,6 +40,7 @@ operations:
   result <id>          fetch a finished job's rendered sections
   cancel <id>          request cancellation
   wait <id>            block until the job reaches a terminal state
+  flight <id>          fetch a failed job's flight-recorder dump
   list                 list jobs (all tenants; -tenant filters)
 
 flags:
@@ -110,6 +111,15 @@ flags:
 			return err
 		}
 		return printJob(j, *jsonOut)
+	case "flight":
+		if err := needID(); err != nil {
+			return err
+		}
+		var d jobs.FlightDump
+		if err := cl.get(ctx, "/jobs/"+id+"/flight", &d); err != nil {
+			return err
+		}
+		return printFlight(&d, *jsonOut)
 	case "list":
 		path := "/jobs"
 		if *tenant != "" {
@@ -122,9 +132,9 @@ flags:
 		return printJobList(list, *jsonOut)
 	case "":
 		fs.Usage()
-		return fmt.Errorf("jobs: missing operation (submit, status, result, cancel, wait or list)")
+		return fmt.Errorf("jobs: missing operation (submit, status, result, cancel, wait, flight or list)")
 	default:
-		return fmt.Errorf("jobs: unknown operation %q (want submit, status, result, cancel, wait or list)", op)
+		return fmt.Errorf("jobs: unknown operation %q (want submit, status, result, cancel, wait, flight or list)", op)
 	}
 }
 
@@ -256,6 +266,35 @@ func printJob(j *jobs.Job, jsonOut bool) error {
 	}
 	if j.Error != "" {
 		fmt.Printf("error     %s\n", j.Error)
+	}
+	return nil
+}
+
+// printFlight renders a failed job's black-box dump: the job's final
+// diagnostics, then the correlated event slice in sequence order.
+func printFlight(d *jobs.FlightDump, jsonOut bool) error {
+	if jsonOut {
+		return writeIndentedJSON(os.Stdout, d)
+	}
+	fmt.Printf("flight    %s\n", d.JobID)
+	if d.TraceID != "" {
+		fmt.Printf("trace     %s\n", d.TraceID)
+	}
+	fmt.Printf("dumped    %s\n", d.DumpedAt.Format(time.RFC3339))
+	if j := d.Job; j != nil {
+		fmt.Printf("state     %s\n", j.State)
+		if j.Error != "" {
+			fmt.Printf("error     %s\n", j.Error)
+		}
+	}
+	fmt.Printf("events    %d correlated\n", len(d.Events))
+	for _, e := range d.Events {
+		detail := e.Detail
+		if i := strings.IndexByte(detail, '\n'); i >= 0 {
+			detail = detail[:i] + " ..."
+		}
+		fmt.Printf("  %6d %s %s/%s %s %s\n",
+			e.Seq, e.When.Format("15:04:05.000"), e.Source, e.Kind, e.Name, detail)
 	}
 	return nil
 }

@@ -17,7 +17,7 @@ func runRuns(args []string) error {
 	dir := fs.String("runlog-dir", "runs", "run-ledger directory to read")
 	threshold := fs.Float64("threshold", runlog.DefaultThreshold,
 		"relative drift that flags a regression in 'runs diff' (0.10 = 10%)")
-	jsonOut := fs.Bool("json", false, "print 'runs list' as a JSON summary array (the /runs document)")
+	jsonOut := fs.Bool("json", false, "print 'runs list' as a JSON summary array (the /runs document) and 'runs diff' as the structured regression report")
 	scale := fs.Float64("scale", 1,
 		"multiply an imported run's timing/alloc metrics by this factor (used by the perf-gate self-test to fabricate a regressed run)")
 	fs.Usage = func() {
@@ -83,7 +83,14 @@ flags:
 			return err
 		}
 		r := runlog.Diff(oldRun, newRun, runlog.DiffOptions{Threshold: *threshold})
-		if err := r.Write(os.Stdout); err != nil {
+		// -json emits the structured report (what the perf gate parses);
+		// either way regressions still fail the command, so exit codes
+		// gate CI identically in both modes.
+		if *jsonOut {
+			if err := writeIndentedJSON(os.Stdout, r); err != nil {
+				return err
+			}
+		} else if err := r.Write(os.Stdout); err != nil {
 			return err
 		}
 		if r.Regressions > 0 {

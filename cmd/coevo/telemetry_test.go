@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -326,5 +328,77 @@ func TestTelemetryFlagKitErrors(t *testing.T) {
 	}
 	if _, err := builder(); err == nil {
 		t.Error("unbindable -listen should fail the build")
+	}
+}
+
+// TestConcurrentMetricsScrapeDuringStudy hammers /metrics from several
+// scrapers while a study is live, the way a Prometheus pair plus an
+// impatient operator would. Every scrape must serve a complete, valid
+// exposition; run under -race by make verify, this also proves the
+// registry and the engine's metric writes don't tear.
+func TestConcurrentMetricsScrapeDuringStudy(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "runs")
+	fs := newFlagSet("study")
+	builder := pipelineFlags(fs)
+	if ok, err := parseFlags(fs, []string{
+		"-listen", "127.0.0.1:0", "-runlog-dir", ledger, "-workers", "2"}); !ok {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := builder()
+	if err != nil {
+		t.Fatalf("build pipeline: %v", err)
+	}
+	url := p.server.URL()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapes atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, body := getBody(t, url+"/metrics")
+				if code != 200 {
+					t.Errorf("/metrics mid-study = %d", code)
+					return
+				}
+				// A torn write would show as a truncated exposition; every
+				// scrape must end in a newline and carry the process gauges.
+				if !strings.HasSuffix(body, "\n") || !strings.Contains(body, "coevo_proc_heap_alloc_bytes") {
+					t.Errorf("scrape looks torn:\n%.200s", body)
+					return
+				}
+				scrapes.Add(1)
+			}
+		}()
+	}
+
+	opts := study.DefaultOptions()
+	opts.Exec = p.exec
+	opts.Cache = p.cache
+	opts.Obs = p.obs
+	d, err := study.AnalyzeCorpusContext(context.Background(), smallProjects(t), opts)
+	if err != nil {
+		t.Fatalf("study: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrape completed during the study")
+	}
+
+	// The post-run scrape serves the engine's final counters.
+	if _, body := getBody(t, url+"/metrics"); !strings.Contains(body, `coevo_engine_tasks_total{run="analyze"}`) {
+		t.Errorf("final scrape missing engine series:\n%.300s", body)
+	}
+	p.recordDataset(d)
+	if err := p.finish(context.Background(), nil); err != nil {
+		t.Fatalf("finish: %v", err)
 	}
 }

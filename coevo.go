@@ -140,8 +140,10 @@ type (
 func OpenJobQueue(opts JobQueueOptions) (*JobQueue, error) { return jobs.Open(opts) }
 
 // SubmitJob validates, persists and enqueues a submission for tenant.
-func SubmitJob(q *JobQueue, tenant string, spec JobSpec) (*Job, error) {
-	return q.Submit(tenant, spec)
+// The context carries trace correlation only (a W3C trace context, if
+// present, stamps the job); it does not bound the job's execution.
+func SubmitJob(ctx context.Context, q *JobQueue, tenant string, spec JobSpec) (*Job, error) {
+	return q.Submit(ctx, tenant, spec)
 }
 
 // JobStatus returns a snapshot of one job.

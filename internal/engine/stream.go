@@ -131,6 +131,11 @@ func Stream[T, R any](ctx context.Context, src Source[T], fn func(ctx context.Co
 	}
 
 	log := opts.Obs.Logger()
+	// The correlation identity and the black box are resolved once per
+	// stream: per-task use is a nil/empty check, keeping the zero-alloc
+	// budget of unobserved runs intact.
+	traceID := obs.TraceIDFrom(ctx)
+	flight := opts.Obs.Flight()
 	var tasksTotal, tasksFailed *obs.Counter
 	var taskSeconds *obs.Histogram
 	if reg := opts.Obs.Metrics(); reg != nil {
@@ -236,7 +241,11 @@ func Stream[T, R any](ctx context.Context, src Source[T], fn func(ctx context.Co
 				tasksTotal.Inc()
 				taskSeconds.Observe(elapsed.Seconds())
 				if opts.Obs.Tracing() {
-					opts.Obs.RecordSpan(name(i), lane, start, elapsed, "scope", scope)
+					if traceID != "" {
+						opts.Obs.RecordSpan(name(i), lane, start, elapsed, "scope", scope, "trace_id", traceID)
+					} else {
+						opts.Obs.RecordSpan(name(i), lane, start, elapsed, "scope", scope)
+					}
 					for _, st := range stages {
 						opts.Obs.RecordSpan(st.Name, lane, st.Start, st.Elapsed, "task", name(i))
 					}
@@ -249,9 +258,17 @@ func Stream[T, R any](ctx context.Context, src Source[T], fn func(ctx context.Co
 				}
 				if err != nil {
 					tasksFailed.Inc()
+					if flight != nil {
+						flight.Record(obs.FlightEvent{Source: "engine", Kind: "task-failed",
+							TraceID: traceID, Name: name(i), Detail: scope + ": " + err.Error()})
+					}
 					log.Warn("engine: task failed", "scope", scope, "task", name(i),
-						"index", i, "elapsed", elapsed, "err", err)
+						"index", i, "elapsed", elapsed, "err", err, "trace_id", traceID)
 				} else {
+					if flight != nil {
+						flight.Record(obs.FlightEvent{Source: "engine", Kind: "task-finished",
+							TraceID: traceID, Name: name(i), Detail: scope + ": " + elapsed.String()})
+					}
 					log.Debug("engine: task done", "scope", scope, "task", name(i), "elapsed", elapsed)
 				}
 

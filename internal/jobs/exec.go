@@ -280,10 +280,12 @@ func (e *Executor) seal(j *Job, res *Result, start time.Time, metrics *engine.Me
 	if e.LedgerDir == "" {
 		return
 	}
+	sealStart := time.Now()
 	before := e.Cache.Stats()
 	m := runlog.NewManifest("job", start)
 	m.JobID = j.ID
 	m.Tenant = j.Tenant
+	m.TraceID = j.TraceID
 	m.Workers = e.Workers
 	m.Options = specOptions(&j.Spec)
 	if res != nil {
@@ -310,6 +312,13 @@ func (e *Executor) seal(j *Job, res *Result, start time.Time, metrics *engine.Me
 	if _, err := runlog.Write(e.LedgerDir, m); err != nil {
 		e.Obs.Logger().Warn("jobs: run manifest not recorded", "job", j.ID, "err", err)
 		return
+	}
+	// The closing leg of the job's trace: one lane-0 span covering the
+	// seal itself, so the exported timeline reads
+	// submit → queue-wait → job-run (stages inside) → sealed.
+	if e.Obs.Tracing() {
+		e.Obs.RecordSpan("sealed", 0, sealStart, time.Since(sealStart),
+			"job", j.ID, "run", m.ID, "trace_id", j.TraceID)
 	}
 	if rep.RunID != nil {
 		rep.RunID(m.ID)

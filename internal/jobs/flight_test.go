@@ -1,0 +1,248 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"coevo/internal/obs"
+)
+
+// failExec fails every job with a fixed error.
+func failExec(msg string) ExecFunc {
+	return func(_ context.Context, j *Job, _ RunReport) (*Result, error) {
+		return nil, errors.New(msg)
+	}
+}
+
+// flightObs builds an observer with a live flight recorder.
+func flightObs(t *testing.T) *obs.Observer {
+	t.Helper()
+	return obs.New(obs.Options{FlightEvents: 256})
+}
+
+func TestSubmitPropagatesTraceContext(t *testing.T) {
+	q := openQueue(t, QueueOptions{Exec: okExec(t)})
+	tc := obs.NewTraceContext()
+	ctx := obs.WithTraceContext(context.Background(), tc)
+	j, err := q.Submit(ctx, "alice", studySpec(1))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j.TraceID != tc.TraceID {
+		t.Errorf("job trace id = %q, want the submitter's %q", j.TraceID, tc.TraceID)
+	}
+	done, err := q.Wait(waitCtx(t), j.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if done.TraceID != tc.TraceID {
+		t.Errorf("terminal record trace id = %q, want %q", done.TraceID, tc.TraceID)
+	}
+	// The durable record carries it too: correlation survives a restart.
+	onDisk, err := q.store.Load(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.TraceID != tc.TraceID {
+		t.Errorf("on-disk trace id = %q, want %q", onDisk.TraceID, tc.TraceID)
+	}
+
+	// A submission without a trace context mints one rather than leaving
+	// the job uncorrelated.
+	j2, err := q.Submit(context.Background(), "alice", studySpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.TraceID == "" || j2.TraceID == tc.TraceID {
+		t.Errorf("minted trace id = %q", j2.TraceID)
+	}
+}
+
+func TestWatchEventsCarryTraceID(t *testing.T) {
+	q := openQueue(t, QueueOptions{Exec: okExec(t)})
+	tc := obs.NewTraceContext()
+	j, err := q.Submit(obs.WithTraceContext(context.Background(), tc), "t", studySpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(waitCtx(t), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Watching a terminal job replays its final state as one event; it
+	// must carry the trace id like every live event.
+	ch, cancel, err := q.Watch(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	e, ok := <-ch
+	if !ok {
+		t.Fatal("watch channel closed without an event")
+	}
+	if e.TraceID != tc.TraceID {
+		t.Errorf("event trace id = %q, want %q", e.TraceID, tc.TraceID)
+	}
+}
+
+func TestFailedJobDumpsFlight(t *testing.T) {
+	o := flightObs(t)
+	q := openQueue(t, QueueOptions{Exec: failExec("synthetic failure"), Obs: o})
+	tc := obs.NewTraceContext()
+	j, err := q.Submit(obs.WithTraceContext(context.Background(), tc), "alice", studySpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := q.Wait(waitCtx(t), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateFailed {
+		t.Fatalf("state = %s, want failed", done.State)
+	}
+
+	d, err := q.Flight(j.ID)
+	if err != nil {
+		t.Fatalf("Flight: %v", err)
+	}
+	if d.JobID != j.ID || d.TraceID != tc.TraceID {
+		t.Errorf("dump identity = %s / %s, want %s / %s", d.JobID, d.TraceID, j.ID, tc.TraceID)
+	}
+	if d.Job == nil || d.Job.State != StateFailed || !strings.Contains(d.Job.Error, "synthetic failure") {
+		t.Errorf("dump job diagnostics = %+v", d.Job)
+	}
+	if len(d.Events) == 0 {
+		t.Fatal("dump carries no correlated events")
+	}
+	kinds := map[string]bool{}
+	for _, e := range d.Events {
+		if e.TraceID != tc.TraceID && e.JobID != j.ID {
+			t.Errorf("uncorrelated event in dump: %+v", e)
+		}
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{"job-submitted", "job-started", "job-failed"} {
+		if !kinds[want] {
+			t.Errorf("dump missing %q event; have %v", want, kinds)
+		}
+	}
+}
+
+func TestFlightErrors(t *testing.T) {
+	q := openQueue(t, QueueOptions{Exec: okExec(t)})
+	if _, err := q.Flight("no-such-job"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown job: err = %v, want ErrNotFound", err)
+	}
+	j, err := q.Submit(context.Background(), "t", studySpec(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(waitCtx(t), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	// A successful job has no dump: distinct from "no such job".
+	if _, err := q.Flight(j.ID); !errors.Is(err, ErrNoFlight) {
+		t.Errorf("successful job: err = %v, want ErrNoFlight", err)
+	}
+}
+
+func TestPanicIsolatedAndDumped(t *testing.T) {
+	o := flightObs(t)
+	boom := func(_ context.Context, _ *Job, _ RunReport) (*Result, error) {
+		panic("executor exploded")
+	}
+	q := openQueue(t, QueueOptions{Exec: boom, Obs: o})
+	j, err := q.Submit(context.Background(), "t", studySpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := q.Wait(waitCtx(t), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateFailed || !strings.Contains(done.Error, "panicked") {
+		t.Fatalf("state = %s, error = %q; want failed with panic message", done.State, done.Error)
+	}
+	d, err := q.Flight(j.ID)
+	if err != nil {
+		t.Fatalf("Flight after panic: %v", err)
+	}
+	found := false
+	for _, e := range d.Events {
+		if e.Kind == "job-panic" && strings.Contains(e.Detail, "executor exploded") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dump missing the job-panic event: %+v", d.Events)
+	}
+	// The queue survived: the next job still runs.
+	q2 := openQueue(t, QueueOptions{Exec: okExec(t), Dir: t.TempDir()})
+	j2, _ := q2.Submit(context.Background(), "t", studySpec(7))
+	if done2, err := q2.Wait(waitCtx(t), j2.ID); err != nil || done2.State != StateDone {
+		t.Errorf("follow-up job = %+v, %v", done2, err)
+	}
+}
+
+func TestTenantsStatus(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	q := openQueue(t, QueueOptions{
+		Exec: blockingExec(started, release), Workers: 1,
+		TenantMaxRunning: 1, TenantMaxQueued: 8,
+	})
+	if _, err := q.Submit(context.Background(), "bob", studySpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := q.Submit(context.Background(), "alice", studySpec(2)); err != nil {
+		t.Fatal(err)
+	}
+	ts := q.Tenants()
+	if len(ts) != 2 || ts[0].Tenant != "alice" || ts[1].Tenant != "bob" {
+		t.Fatalf("Tenants = %+v, want alice then bob", ts)
+	}
+	if ts[1].Running != 1 || ts[0].Queued != 1 {
+		t.Errorf("Tenants = %+v, want bob running 1, alice queued 1", ts)
+	}
+	if ts[0].MaxRunning != 1 || ts[0].Quota != 8 {
+		t.Errorf("limits = %+v", ts[0])
+	}
+	close(release)
+}
+
+func TestQueueWaitMetricBounded(t *testing.T) {
+	// The queue-wait histogram resolves its tenant label through the
+	// shared guard: past the cap, new tenants collapse into "other".
+	o := obs.New(obs.Options{})
+	reg := o.Metrics()
+	guard := obs.NewLabelGuard(1)
+	q := openQueue(t, QueueOptions{Exec: okExec(t), Obs: o, TenantGuard: guard, Workers: 2})
+	for i, tenant := range []string{"alice", "mallory"} {
+		j, err := q.Submit(context.Background(), tenant, studySpec(int64(10+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Wait(waitCtx(t), j.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `coevo_jobs_queue_wait_seconds_count{tenant="alice"}`) {
+		t.Errorf("metrics missing alice queue-wait series:\n%s", text)
+	}
+	if !strings.Contains(text, `coevo_jobs_queue_wait_seconds_count{tenant="other"}`) {
+		t.Errorf("metrics missing collapsed queue-wait series:\n%s", text)
+	}
+	if strings.Contains(text, "mallory") {
+		t.Errorf("over-cap tenant leaked into metrics:\n%s", text)
+	}
+	if !strings.Contains(text, `coevo_jobs_exec_seconds_count{tenant="alice"}`) {
+		t.Errorf("metrics missing execution-duration series:\n%s", text)
+	}
+}

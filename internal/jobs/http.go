@@ -8,6 +8,7 @@ package jobs
 //	GET  /jobs/{id}         one job's status document
 //	GET  /jobs/{id}/result  a finished job's rendered sections (409 until done)
 //	GET  /jobs/{id}/events  live state/progress stream (SSE)
+//	GET  /jobs/{id}/flight  a failed job's flight-recorder dump (404 until failed)
 //	POST /jobs/{id}/cancel  request cancellation
 //
 // The tenant is the X-Coevo-Tenant header (or ?tenant=), defaulting to
@@ -80,6 +81,17 @@ func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		h.events(w, r, id)
+	case "flight":
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		d, err := h.q.Flight(id)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, d)
 	case "cancel":
 		if r.Method != http.MethodPost {
 			methodNotAllowed(w, "POST")
@@ -105,17 +117,26 @@ func (h *handler) submit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("jobs: malformed spec: %v", err), http.StatusBadRequest)
 		return
 	}
-	tenant := r.Header.Get("X-Coevo-Tenant")
-	if tenant == "" {
-		tenant = r.URL.Query().Get("tenant")
-	}
-	j, err := h.q.Submit(tenant, spec)
+	// The request context carries the obs.TraceContext the server's
+	// middleware injected, so the job inherits the request's trace id.
+	j, err := h.q.Submit(r.Context(), TenantFromRequest(r), spec)
 	if err != nil {
 		httpError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+j.ID)
 	writeJSON(w, http.StatusAccepted, j)
+}
+
+// TenantFromRequest resolves the request's tenant identity: the
+// X-Coevo-Tenant header, then ?tenant=, else "" (read as anonymous).
+// The submit path and the server's access-log/RED middleware share it,
+// so every per-tenant signal agrees on who a request belongs to.
+func TenantFromRequest(r *http.Request) string {
+	if tenant := r.Header.Get("X-Coevo-Tenant"); tenant != "" {
+		return tenant
+	}
+	return r.URL.Query().Get("tenant")
 }
 
 // events streams a job's state transitions and progress ticks as SSE
@@ -153,7 +174,7 @@ func httpError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrInvalid):
 		code = http.StatusBadRequest
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoFlight):
 		code = http.StatusNotFound
 	case errors.Is(err, ErrNotDone):
 		code = http.StatusConflict

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"coevo/internal/obs"
 )
 
 // newAPI starts an httptest server over a fresh queue, mirroring how
@@ -299,5 +301,109 @@ func TestHTTPTenantQueryFallback(t *testing.T) {
 	}
 	if got.Tenant != "carol" {
 		t.Errorf("queue sees tenant %q, want carol", got.Tenant)
+	}
+}
+
+// TestHTTPFlight drives the flight-dump route: a failed job serves its
+// correlated dump, a successful one 404s with a distinct message.
+func TestHTTPFlight(t *testing.T) {
+	o := flightObs(t)
+	srv, q := newAPI(t, QueueOptions{Exec: failExec("forced"), Obs: o})
+	resp := postSpec(t, srv, "alice", studyBody)
+	j := decodeJob(t, resp)
+	if _, err := q.Wait(waitCtx(t), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	fresp, err := http.Get(srv.URL + "/jobs/" + j.ID + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET flight = %d", fresp.StatusCode)
+	}
+	var d FlightDump
+	if err := json.NewDecoder(fresp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.JobID != j.ID || d.TraceID != j.TraceID || len(d.Events) == 0 {
+		t.Errorf("dump = job %s trace %s with %d events; want job %s trace %s, non-empty",
+			d.JobID, d.TraceID, len(d.Events), j.ID, j.TraceID)
+	}
+
+	// Unknown job and dump-less job both 404.
+	if resp, err := http.Get(srv.URL + "/jobs/nope/flight"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Errorf("flight of unknown job = %v, %v", resp.StatusCode, err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestHTTPSubmitStampsTrace asserts the job record returned by POST
+// carries a trace id even when the client sends no traceparent (the
+// serve middleware usually mints one; the queue must cope without it).
+func TestHTTPSubmitStampsTrace(t *testing.T) {
+	srv, _ := newAPI(t, QueueOptions{Exec: okExec(t)})
+	j := decodeJob(t, postSpec(t, srv, "", studyBody))
+	if j.TraceID == "" {
+		t.Error("submitted job has no trace id")
+	}
+}
+
+// TestStatusEndpoint exercises the /status document over HTTP.
+func TestStatusEndpoint(t *testing.T) {
+	o := flightObs(t)
+	q := openQueue(t, QueueOptions{Exec: okExec(t), Obs: o, TenantMaxRunning: 1, TenantMaxQueued: 8})
+	red := obs.NewRED(obs.NewRegistry(), nil)
+	red.Observe("/jobs", "alice", 200, 0.01)
+	red.Observe("/jobs", "alice", 502, 0.02)
+	h := NewStatusHandler(StatusOptions{Queue: q, RED: red, Flight: o.Flight()})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+
+	j, err := q.Submit(context.Background(), "alice", studySpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(waitCtx(t), j.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc ServiceStatus
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.UptimeSeconds < 0 || doc.Now.IsZero() {
+		t.Errorf("uptime/now = %v / %v", doc.UptimeSeconds, doc.Now)
+	}
+	if doc.Jobs.Submitted != 1 || doc.Jobs.Completed != 1 {
+		t.Errorf("jobs = %+v", doc.Jobs)
+	}
+	if doc.HTTP == nil || doc.HTTP.Requests != 2 || doc.HTTP.Errors != 1 {
+		t.Errorf("http window = %+v", doc.HTTP)
+	}
+	if doc.Flight == nil || doc.Flight.Capacity == 0 {
+		t.Errorf("flight = %+v", doc.Flight)
+	}
+
+	// Writes are rejected.
+	presp, err := http.Post(ts.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /status = %d, want 405", presp.StatusCode)
 	}
 }

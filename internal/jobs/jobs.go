@@ -209,6 +209,10 @@ type Job struct {
 	// Fingerprint is the spec's content address (hex) — equal
 	// fingerprints mean equal work, whatever the tenant.
 	Fingerprint string `json:"fingerprint"`
+	// TraceID is the W3C trace id correlating this job with the HTTP
+	// request that submitted it, its SSE events, the access log, the
+	// sealed run manifest and every exported span.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`

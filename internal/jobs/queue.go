@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +26,9 @@ var (
 	ErrClosed = errors.New("jobs: queue is shut down")
 	// ErrNotDone reports a result request for an unfinished job (HTTP 409).
 	ErrNotDone = errors.New("jobs: job has no result yet")
+	// ErrNoFlight reports a flight-dump request for a job that has none —
+	// it has not failed (HTTP 404).
+	ErrNoFlight = errors.New("jobs: job has no flight record")
 )
 
 // RunReport carries the callbacks a running executor reports through:
@@ -58,8 +64,15 @@ type QueueOptions struct {
 	// TenantMaxQueued is the per-tenant quota on live (queued + running)
 	// jobs (default 8). Submissions beyond it fail with ErrQuota.
 	TenantMaxQueued int
-	// Obs, when non-nil, logs queue lifecycle events.
+	// Obs, when non-nil, logs queue lifecycle events, records spans for
+	// the job timeline (queue-wait, job-run) and feeds the flight
+	// recorder.
 	Obs *obs.Observer
+	// TenantGuard bounds the tenant label on the queue's per-tenant
+	// metric series (queue wait, execution time). Share it with the HTTP
+	// layer's RED recorder so one cap governs every tenant-labelled
+	// series; nil creates a private guard with the default cap.
+	TenantGuard *obs.LabelGuard
 }
 
 func (o QueueOptions) withDefaults() QueueOptions {
@@ -72,19 +85,23 @@ func (o QueueOptions) withDefaults() QueueOptions {
 	if o.TenantMaxQueued <= 0 {
 		o.TenantMaxQueued = 8
 	}
+	if o.TenantGuard == nil {
+		o.TenantGuard = obs.NewLabelGuard(0)
+	}
 	return o
 }
 
 // Event is one entry of a job's live event stream (the per-job SSE feed):
 // a state transition or a progress tick.
 type Event struct {
-	Type  string `json:"type"` // "state" or "progress"
-	JobID string `json:"job_id"`
-	State State  `json:"state"`
-	Done  int    `json:"done,omitempty"`
-	Total int    `json:"total,omitempty"`
-	Error string `json:"error,omitempty"`
-	RunID string `json:"run_id,omitempty"`
+	Type    string `json:"type"` // "state" or "progress"
+	JobID   string `json:"job_id"`
+	TraceID string `json:"trace_id,omitempty"`
+	State   State  `json:"state"`
+	Done    int    `json:"done,omitempty"`
+	Total   int    `json:"total,omitempty"`
+	Error   string `json:"error,omitempty"`
+	RunID   string `json:"run_id,omitempty"`
 }
 
 // watcherBuffer bounds one subscriber's backlog; slow readers lose
@@ -170,13 +187,19 @@ func (q *Queue) Dir() string { return q.store.Dir() }
 // Submit validates, quotas, persists and enqueues one submission,
 // returning the queued job. The spec is content-addressed immediately,
 // so a duplicate of earlier work will be served by the shared cache when
-// it runs.
-func (q *Queue) Submit(tenant string, spec Spec) (*Job, error) {
+// it runs. When ctx carries an obs.TraceContext (the HTTP layer injects
+// one for every request) its trace id becomes the job's correlation
+// identity; otherwise the job starts a fresh trace.
+func (q *Queue) Submit(ctx context.Context, tenant string, spec Spec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
 	}
 	if tenant == "" {
 		tenant = "anonymous"
+	}
+	tc, ok := obs.TraceContextFrom(ctx)
+	if !ok {
+		tc = obs.NewTraceContext()
 	}
 	j := &Job{
 		ID:          NewID(time.Now()),
@@ -184,6 +207,7 @@ func (q *Queue) Submit(tenant string, spec Spec) (*Job, error) {
 		State:       StateQueued,
 		Spec:        spec,
 		Fingerprint: spec.Fingerprint().String(),
+		TraceID:     tc.TraceID,
 		Submitted:   time.Now().UTC(),
 	}
 	q.mu.Lock()
@@ -208,7 +232,12 @@ func (q *Queue) Submit(tenant string, spec Spec) (*Job, error) {
 	q.jobs[j.ID] = j
 	q.pending = append(q.pending, j.ID)
 	q.submitted.Add(1)
-	q.opts.Obs.Logger().Info("jobs: submitted", "job", j.ID, "tenant", tenant, "kind", spec.Kind)
+	q.opts.Obs.Logger().Info("jobs: submitted", "job", j.ID, "tenant", tenant,
+		"kind", spec.Kind, "trace_id", j.TraceID)
+	if fl := q.opts.Obs.Flight(); fl != nil {
+		fl.Record(obs.FlightEvent{Source: "jobs", Kind: "job-submitted",
+			TraceID: j.TraceID, JobID: j.ID, Name: spec.Label(), Detail: "tenant " + tenant})
+	}
 	q.maybeStartLocked()
 	return j.clone(), nil
 }
@@ -302,7 +331,7 @@ func (q *Queue) Watch(id string) (<-chan Event, func(), error) {
 	}
 	ch := make(chan Event, watcherBuffer)
 	if j.State.Terminal() {
-		ch <- Event{Type: "state", JobID: j.ID, State: j.State, Error: j.Error, RunID: j.RunID}
+		ch <- Event{Type: "state", JobID: j.ID, TraceID: j.TraceID, State: j.State, Error: j.Error, RunID: j.RunID}
 		close(ch)
 		return ch, func() {}, nil
 	}
@@ -459,7 +488,30 @@ func (q *Queue) maybeStartLocked() {
 			q.closeWatchersLocked(id)
 			continue
 		}
-		ctx, cancel := context.WithCancel(context.Background())
+		// The time spent queued becomes a lane-0 span and a per-tenant
+		// histogram observation: the submit→queued→running leg of the
+		// job's timeline.
+		wait := j.Started.Sub(j.Submitted)
+		if reg := q.opts.Obs.Metrics(); reg != nil {
+			reg.Histogram(obs.Label("coevo_jobs_queue_wait_seconds",
+				"tenant", q.opts.TenantGuard.Resolve(j.Tenant)),
+				"Seconds jobs spend queued before starting, by tenant.",
+				obs.DurationBuckets).Observe(wait.Seconds())
+		}
+		if q.opts.Obs.Tracing() {
+			q.opts.Obs.RecordSpan("queue-wait", 0, j.Submitted, wait,
+				"job", j.ID, "tenant", j.Tenant, "trace_id", j.TraceID)
+		}
+		if fl := q.opts.Obs.Flight(); fl != nil {
+			fl.Record(obs.FlightEvent{Source: "jobs", Kind: "job-started",
+				TraceID: j.TraceID, JobID: j.ID, Name: j.Spec.Label(),
+				Detail: fmt.Sprintf("attempt %d after %s queued", j.Attempts, wait)})
+		}
+		// The job's execution context resumes its trace, so the executor,
+		// the engine workers and every span they record stay correlated
+		// with the submitting request.
+		ctx, cancel := context.WithCancel(
+			obs.WithTraceContext(context.Background(), obs.ResumeTrace(j.TraceID)))
 		q.running[id] = cancel
 		q.perTenant[j.Tenant]++
 		q.notifyLocked(j, Event{Type: "state", JobID: j.ID, State: StateRunning})
@@ -472,13 +524,14 @@ func (q *Queue) maybeStartLocked() {
 func (q *Queue) run(ctx context.Context, j *Job) {
 	defer q.wg.Done()
 	log := q.opts.Obs.Logger()
-	log.Info("jobs: running", "job", j.ID, "tenant", j.Tenant, "kind", j.Spec.Kind, "attempt", j.Attempts)
+	log.Info("jobs: running", "job", j.ID, "tenant", j.Tenant, "kind", j.Spec.Kind,
+		"attempt", j.Attempts, "trace_id", j.TraceID)
 	rep := RunReport{
 		Progress: func(done, total int) { q.progress(j.ID, done, total) },
 		RunID:    func(runID string) { q.setRunID(j.ID, runID) },
 		CacheHit: func() { q.markCacheHit(j.ID) },
 	}
-	res, err := q.opts.Exec(ctx, j, rep)
+	res, err := q.execute(ctx, j, rep)
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -534,10 +587,145 @@ func (q *Queue) run(ctx context.Context, j *Job) {
 	if perr := q.store.Put(live); perr != nil && live.Error == "" {
 		live.Error = perr.Error()
 	}
-	log.Info("jobs: finished", "job", live.ID, "state", string(live.State), "run", live.RunID)
+	// The running→terminal leg of the job's telemetry: a per-tenant
+	// execution-duration histogram, the lane-0 job-run span, a flight
+	// event — and for failures, the correlated black-box dump persisted
+	// next to the job record.
+	if !live.Finished.IsZero() && !live.Started.IsZero() {
+		execDur := live.Finished.Sub(live.Started)
+		if reg := q.opts.Obs.Metrics(); reg != nil {
+			reg.Histogram(obs.Label("coevo_jobs_exec_seconds",
+				"tenant", q.opts.TenantGuard.Resolve(live.Tenant)),
+				"Job execution wall time in seconds, by tenant.",
+				obs.DurationBuckets).Observe(execDur.Seconds())
+		}
+		if q.opts.Obs.Tracing() {
+			q.opts.Obs.RecordSpan("job-run", 0, live.Started, execDur,
+				"job", live.ID, "tenant", live.Tenant, "state", string(live.State),
+				"trace_id", live.TraceID)
+		}
+	}
+	if fl := q.opts.Obs.Flight(); fl != nil {
+		fl.Record(obs.FlightEvent{Source: "jobs", Kind: "job-" + string(live.State),
+			TraceID: live.TraceID, JobID: live.ID, Name: live.Spec.Label(), Detail: live.Error})
+	}
+	if live.State == StateFailed {
+		q.dumpFlightLocked(live)
+	}
+	log.Info("jobs: finished", "job", live.ID, "state", string(live.State),
+		"run", live.RunID, "trace_id", live.TraceID)
 	q.notifyLocked(live, Event{Type: "state", JobID: live.ID, State: live.State, Error: live.Error, RunID: live.RunID})
 	q.closeWatchersLocked(live.ID)
 	q.maybeStartLocked()
+}
+
+// execute runs the ExecFunc with panic isolation: a panicking executor
+// fails its job (and leaves its stack in the flight recorder) instead
+// of crashing the whole service.
+func (q *Queue) execute(ctx context.Context, j *Job, rep RunReport) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			stack := debug.Stack()
+			if fl := q.opts.Obs.Flight(); fl != nil {
+				fl.Record(obs.FlightEvent{Source: "jobs", Kind: "job-panic",
+					TraceID: j.TraceID, JobID: j.ID, Name: j.Spec.Label(),
+					Detail: fmt.Sprintf("%v\n%s", v, stack)})
+			}
+			q.opts.Obs.Logger().Error("jobs: executor panicked",
+				"job", j.ID, "trace_id", j.TraceID, "panic", v)
+			res, err = nil, fmt.Errorf("jobs: executor panicked: %v", v)
+		}
+	}()
+	return q.opts.Exec(ctx, j, rep)
+}
+
+// FlightDump is a failed job's black-box record: the job's final
+// diagnostics plus the correlated slice of the flight-recorder ring at
+// failure time, persisted next to the job record and served at
+// GET /jobs/{id}/flight.
+type FlightDump struct {
+	JobID    string            `json:"job_id"`
+	TraceID  string            `json:"trace_id,omitempty"`
+	DumpedAt time.Time         `json:"dumped_at"`
+	Job      *Job              `json:"job"`
+	Events   []obs.FlightEvent `json:"events"`
+}
+
+// dumpFlightLocked persists the failed job's flight dump (best-effort;
+// a dump that cannot be written must not mask the job's own failure).
+// Callers hold q.mu.
+func (q *Queue) dumpFlightLocked(j *Job) {
+	d := &FlightDump{
+		JobID:    j.ID,
+		TraceID:  j.TraceID,
+		DumpedAt: time.Now().UTC(),
+		Job:      j.clone(),
+		Events:   q.opts.Obs.Flight().Correlated(j.TraceID, j.ID),
+	}
+	if err := q.store.PutFlight(d); err != nil {
+		q.opts.Obs.Logger().Warn("jobs: flight dump not recorded", "job", j.ID, "err", err)
+	}
+}
+
+// Flight loads a job's persisted flight dump. Jobs that have not failed
+// have none (ErrNoFlight, HTTP 404).
+func (q *Queue) Flight(id string) (*FlightDump, error) {
+	q.mu.Lock()
+	_, ok := q.jobs[id]
+	q.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	d, err := q.store.LoadFlight(id)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNoFlight, id)
+		}
+		return nil, err
+	}
+	return d, nil
+}
+
+// TenantStatus is one tenant's live view in the /status document.
+type TenantStatus struct {
+	Tenant  string `json:"tenant"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	// MaxRunning and Quota echo the queue's per-tenant bounds, so a
+	// dashboard can show utilization against the limits.
+	MaxRunning int `json:"max_running"`
+	Quota      int `json:"quota"`
+}
+
+// Tenants summarizes every tenant with live (queued or running) jobs,
+// sorted by name.
+func (q *Queue) Tenants() []TenantStatus {
+	q.mu.Lock()
+	byTenant := map[string]*TenantStatus{}
+	for _, j := range q.jobs {
+		if j.State.Terminal() {
+			continue
+		}
+		ts := byTenant[j.Tenant]
+		if ts == nil {
+			ts = &TenantStatus{Tenant: j.Tenant,
+				MaxRunning: q.opts.TenantMaxRunning, Quota: q.opts.TenantMaxQueued}
+			byTenant[j.Tenant] = ts
+		}
+		switch j.State {
+		case StateQueued:
+			ts.Queued++
+		case StateRunning:
+			ts.Running++
+		}
+	}
+	q.mu.Unlock()
+	out := make([]TenantStatus, 0, len(byTenant))
+	for _, ts := range byTenant {
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Tenant < out[b].Tenant })
+	return out
 }
 
 // progress records a running job's live analysis progress and notifies
@@ -588,8 +776,13 @@ func (q *Queue) dropPendingLocked(id string) {
 }
 
 // notifyLocked fans an event out to the job's watchers, dropping it for
-// any subscriber whose buffer is full.
+// any subscriber whose buffer is full. Every event carries the job's
+// trace id, so an SSE consumer can join the stream with the rest of the
+// telemetry.
 func (q *Queue) notifyLocked(j *Job, e Event) {
+	if e.TraceID == "" {
+		e.TraceID = j.TraceID
+	}
 	for _, ch := range q.watchers[j.ID] {
 		select {
 		case ch <- e:

@@ -72,7 +72,7 @@ func waitCtx(t *testing.T) context.Context {
 // checks the durable record and result.
 func TestQueueLifecycle(t *testing.T) {
 	q := openQueue(t, QueueOptions{Exec: okExec(t)})
-	j, err := q.Submit("alice", studySpec(7))
+	j, err := q.Submit(context.Background(), "alice", studySpec(7))
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -134,7 +134,7 @@ func TestSubmitInvalid(t *testing.T) {
 		{Kind: KindIngest, Ingest: &IngestSpec{GitLog: "x", DDLVersions: map[string]string{"2020-01-01.x": ""}}},
 	}
 	for i, spec := range cases {
-		if _, err := q.Submit("t", spec); !errors.Is(err, ErrInvalid) {
+		if _, err := q.Submit(context.Background(), "t", spec); !errors.Is(err, ErrInvalid) {
 			t.Errorf("case %d: err = %v, want ErrInvalid", i, err)
 		}
 	}
@@ -153,14 +153,14 @@ func TestTenantQuota(t *testing.T) {
 		Exec: blockingExec(started, release), Workers: 1, TenantMaxQueued: 2,
 	})
 	for i := 0; i < 2; i++ {
-		if _, err := q.Submit("alice", studySpec(int64(i))); err != nil {
+		if _, err := q.Submit(context.Background(), "alice", studySpec(int64(i))); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
-	if _, err := q.Submit("alice", studySpec(99)); !errors.Is(err, ErrQuota) {
+	if _, err := q.Submit(context.Background(), "alice", studySpec(99)); !errors.Is(err, ErrQuota) {
 		t.Fatalf("3rd submit err = %v, want ErrQuota", err)
 	}
-	if _, err := q.Submit("bob", studySpec(99)); err != nil {
+	if _, err := q.Submit(context.Background(), "bob", studySpec(99)); err != nil {
 		t.Fatalf("other tenant rejected: %v", err)
 	}
 	if s := q.Stats(); s.Rejected != 1 {
@@ -177,8 +177,8 @@ func TestTenantRunningLimit(t *testing.T) {
 	q := openQueue(t, QueueOptions{
 		Exec: blockingExec(started, release), Workers: 2, TenantMaxRunning: 1,
 	})
-	a1, _ := q.Submit("alice", studySpec(1))
-	if _, err := q.Submit("alice", studySpec(2)); err != nil {
+	a1, _ := q.Submit(context.Background(), "alice", studySpec(1))
+	if _, err := q.Submit(context.Background(), "alice", studySpec(2)); err != nil {
 		t.Fatalf("submit: %v", err)
 	}
 	first := <-started
@@ -192,7 +192,7 @@ func TestTenantRunningLimit(t *testing.T) {
 	case <-time.After(100 * time.Millisecond):
 	}
 	// ...while bob's job takes the free slot immediately.
-	b, _ := q.Submit("bob", studySpec(3))
+	b, _ := q.Submit(context.Background(), "bob", studySpec(3))
 	select {
 	case id := <-started:
 		if id != b.ID {
@@ -209,9 +209,9 @@ func TestCancelQueued(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	q := openQueue(t, QueueOptions{Exec: blockingExec(started, release), Workers: 1})
-	q.Submit("t", studySpec(1)) //nolint:errcheck // occupies the only worker
+	q.Submit(context.Background(), "t", studySpec(1)) //nolint:errcheck // occupies the only worker
 	<-started
-	second, _ := q.Submit("t", studySpec(2))
+	second, _ := q.Submit(context.Background(), "t", studySpec(2))
 	j, err := q.Cancel(second.ID)
 	if err != nil {
 		t.Fatalf("Cancel: %v", err)
@@ -231,7 +231,7 @@ func TestCancelRunning(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	q := openQueue(t, QueueOptions{Exec: blockingExec(started, release)})
-	j, _ := q.Submit("t", studySpec(1))
+	j, _ := q.Submit(context.Background(), "t", studySpec(1))
 	<-started
 	if _, err := q.Cancel(j.ID); err != nil {
 		t.Fatalf("Cancel: %v", err)
@@ -252,7 +252,7 @@ func TestExecFailure(t *testing.T) {
 			return nil, fmt.Errorf("corpus exploded")
 		},
 	})
-	j, _ := q.Submit("t", studySpec(1))
+	j, _ := q.Submit(context.Background(), "t", studySpec(1))
 	done, err := q.Wait(waitCtx(t), j.ID)
 	if err != nil {
 		t.Fatalf("Wait: %v", err)
@@ -276,7 +276,7 @@ func TestCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Open: %v", err)
 	}
-	j, err := q1.Submit("alice", studySpec(42))
+	j, err := q1.Submit(context.Background(), "alice", studySpec(42))
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -333,7 +333,7 @@ func TestWatch(t *testing.T) {
 	// Submit while holding the scheduler back is racy from outside; watch
 	// immediately after submitting and tolerate missing the "running"
 	// event, but the terminal close must always arrive.
-	j, _ := q.Submit("t", studySpec(1))
+	j, _ := q.Submit(context.Background(), "t", studySpec(1))
 	ch, stop, err := q.Watch(j.ID)
 	if err != nil {
 		t.Fatalf("Watch: %v", err)
@@ -397,7 +397,7 @@ func TestSubmitAfterClose(t *testing.T) {
 	if err := q.Close(ctx); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	if _, err := q.Submit("t", studySpec(1)); !errors.Is(err, ErrClosed) {
+	if _, err := q.Submit(context.Background(), "t", studySpec(1)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }

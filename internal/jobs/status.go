@@ -1,0 +1,106 @@
+package jobs
+
+// The service's dashboard document: GET /status (and /api/v1/status)
+// returns one JSON summary of uptime, queue counters and dedup ratio,
+// per-tenant in-flight work against its quotas, the recent HTTP
+// error-rate window, cache effectiveness and the flight recorder's
+// fill — everything a "is the service healthy, and for whom" panel
+// needs in one scrape-free request.
+
+import (
+	"net/http"
+	"time"
+
+	"coevo/internal/cache"
+	"coevo/internal/obs"
+)
+
+// StatusOptions wires the status handler to the service's components;
+// every field except Queue is optional.
+type StatusOptions struct {
+	Queue  *Queue
+	Cache  *cache.Cache
+	RED    *obs.RED
+	Flight *obs.FlightRecorder
+	// Start anchors the uptime report (zero: handler construction time).
+	Start time.Time
+}
+
+// ServiceStatus is the /status response document.
+type ServiceStatus struct {
+	Now           time.Time        `json:"now"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Jobs          StatusJobs       `json:"jobs"`
+	Tenants       []TenantStatus   `json:"tenants"`
+	HTTP          *obs.REDSnapshot `json:"http,omitempty"`
+	Cache         *StatusCache     `json:"cache,omitempty"`
+	Flight        *StatusFlight    `json:"flight,omitempty"`
+}
+
+// StatusJobs summarizes the queue's lifetime counters plus the dedup
+// ratio — the fraction of completed jobs served whole from the shared
+// result cache.
+type StatusJobs struct {
+	Queued     int     `json:"queued"`
+	Running    int     `json:"running"`
+	Submitted  int64   `json:"submitted"`
+	Completed  int64   `json:"completed"`
+	Failed     int64   `json:"failed"`
+	Canceled   int64   `json:"canceled"`
+	Rejected   int64   `json:"rejected"`
+	DedupHits  int64   `json:"dedup_hits"`
+	DedupRatio float64 `json:"dedup_ratio"`
+}
+
+// StatusCache summarizes the shared result cache.
+type StatusCache struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// StatusFlight summarizes the flight recorder's ring.
+type StatusFlight struct {
+	Capacity int    `json:"capacity"`
+	Recorded uint64 `json:"recorded"`
+}
+
+// NewStatusHandler builds the /status handler.
+func NewStatusHandler(opts StatusOptions) http.Handler {
+	if opts.Start.IsZero() {
+		opts.Start = time.Now()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			methodNotAllowed(w, "GET")
+			return
+		}
+		now := time.Now()
+		doc := &ServiceStatus{
+			Now:           now.UTC(),
+			UptimeSeconds: now.Sub(opts.Start).Seconds(),
+		}
+		if q := opts.Queue; q != nil {
+			s := q.Stats()
+			doc.Jobs = StatusJobs{
+				Queued: s.Queued, Running: s.Running,
+				Submitted: s.Submitted, Completed: s.Completed,
+				Failed: s.Failed, Canceled: s.Canceled,
+				Rejected: s.Rejected, DedupHits: s.DedupHit,
+			}
+			if s.Completed > 0 {
+				doc.Jobs.DedupRatio = float64(s.DedupHit) / float64(s.Completed)
+			}
+			doc.Tenants = q.Tenants()
+		}
+		doc.HTTP = opts.RED.Snapshot()
+		if opts.Cache != nil {
+			cs := opts.Cache.Stats()
+			doc.Cache = &StatusCache{Hits: cs.Hits, Misses: cs.Misses, HitRate: cs.HitRate()}
+		}
+		if opts.Flight != nil {
+			doc.Flight = &StatusFlight{Capacity: opts.Flight.Cap(), Recorded: opts.Flight.Len()}
+		}
+		writeJSON(w, http.StatusOK, doc)
+	})
+}

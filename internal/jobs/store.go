@@ -35,7 +35,10 @@ func OpenStore(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-const resultSuffix = ".result.json"
+const (
+	resultSuffix = ".result.json"
+	flightSuffix = ".flight.json"
+)
 
 // Put writes the job record atomically.
 func (s *Store) Put(j *Job) error {
@@ -45,6 +48,21 @@ func (s *Store) Put(j *Job) error {
 // PutResult writes a finished job's artifact atomically.
 func (s *Store) PutResult(r *Result) error {
 	return s.writeJSON(r.JobID+resultSuffix, r)
+}
+
+// PutFlight writes a failed job's flight-recorder dump atomically,
+// next to its record and (absent) result.
+func (s *Store) PutFlight(d *FlightDump) error {
+	return s.writeJSON(d.JobID+flightSuffix, d)
+}
+
+// LoadFlight reads one job's flight dump.
+func (s *Store) LoadFlight(id string) (*FlightDump, error) {
+	var d FlightDump
+	if err := s.readJSON(id+flightSuffix, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
 }
 
 // Load reads one job by exact id.
@@ -80,7 +98,8 @@ func (s *Store) List() ([]*Job, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || strings.HasPrefix(name, ".") ||
-			strings.HasSuffix(name, resultSuffix) || !strings.HasSuffix(name, ".json") {
+			strings.HasSuffix(name, resultSuffix) || strings.HasSuffix(name, flightSuffix) ||
+			!strings.HasSuffix(name, ".json") {
 			continue
 		}
 		j, err := s.Load(strings.TrimSuffix(name, ".json"))

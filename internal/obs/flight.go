@@ -1,0 +1,120 @@
+package obs
+
+// The flight recorder: a fixed-size, lock-free ring of recent events —
+// the service's black box. Producers (the HTTP layer, the job queue,
+// the engine workers) append with one atomic counter bump and one
+// atomic pointer store; there is no lock to contend on and a slow
+// reader can never stall a writer. When a job fails, the correlated
+// slice of the ring (same trace id or job id) is dumped next to the
+// job record, so the diagnosis ships with the failure instead of
+// having to be reconstructed from logs.
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEvent is one ring entry.
+type FlightEvent struct {
+	// Seq is the event's global sequence number (1-based, assigned by
+	// Record); the ring holds the highest-Seq window.
+	Seq  uint64    `json:"seq"`
+	When time.Time `json:"when"`
+	// Source names the producing subsystem: "http", "jobs" or "engine".
+	Source string `json:"source"`
+	// Kind classifies the event ("job-started", "task-failed", ...).
+	Kind    string `json:"kind"`
+	TraceID string `json:"trace_id,omitempty"`
+	JobID   string `json:"job_id,omitempty"`
+	// Name labels the unit of work (a task name, a route).
+	Name string `json:"name,omitempty"`
+	// Detail carries the payload (an error message, a status code).
+	Detail string `json:"detail,omitempty"`
+}
+
+// FlightRecorder is the ring. Construct with NewFlightRecorder; a nil
+// *FlightRecorder is a valid no-op, so producers record unconditionally
+// and an unobserved process pays one nil check.
+type FlightRecorder struct {
+	slots []atomic.Pointer[FlightEvent]
+	mask  uint64
+	head  atomic.Uint64
+}
+
+// DefaultFlightEvents is the ring capacity used when none is given.
+const DefaultFlightEvents = 4096
+
+// NewFlightRecorder builds a ring holding the most recent size events
+// (rounded up to a power of two, minimum 64).
+func NewFlightRecorder(size int) *FlightRecorder {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &FlightRecorder{slots: make([]atomic.Pointer[FlightEvent], n), mask: uint64(n - 1)}
+}
+
+// Record appends one event, overwriting the oldest entry once the ring
+// is full. The sequence number and (when unset) timestamp are stamped
+// here. Safe on nil and for concurrent use.
+func (f *FlightRecorder) Record(e FlightEvent) {
+	if f == nil {
+		return
+	}
+	if e.When.IsZero() {
+		e.When = time.Now().UTC()
+	}
+	seq := f.head.Add(1)
+	e.Seq = seq
+	f.slots[(seq-1)&f.mask].Store(&e)
+}
+
+// Len reports how many events have ever been recorded (not the ring's
+// current occupancy). Safe on nil.
+func (f *FlightRecorder) Len() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.head.Load()
+}
+
+// Cap reports the ring capacity. Safe on nil.
+func (f *FlightRecorder) Cap() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.slots)
+}
+
+// Snapshot returns the ring's current contents in sequence order. The
+// copy is taken slot by slot with atomic loads, so it is safe against
+// concurrent writers; an entry being overwritten mid-snapshot appears
+// as either its old or new value, never torn. Safe on nil.
+func (f *FlightRecorder) Snapshot() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	out := make([]FlightEvent, 0, len(f.slots))
+	for i := range f.slots {
+		if e := f.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Correlated returns the snapshot filtered to events matching the given
+// trace id or job id (either match suffices; empty arguments never
+// match). Safe on nil.
+func (f *FlightRecorder) Correlated(traceID, jobID string) []FlightEvent {
+	all := f.Snapshot()
+	out := make([]FlightEvent, 0, len(all))
+	for _, e := range all {
+		if (traceID != "" && e.TraceID == traceID) || (jobID != "" && e.JobID == jobID) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderOrderAndWraparound(t *testing.T) {
+	f := NewFlightRecorder(64)
+	if f.Cap() != 64 {
+		t.Fatalf("Cap = %d, want 64", f.Cap())
+	}
+	// Overfill by 2x: the ring must retain exactly the newest window, in
+	// sequence order.
+	for i := 0; i < 128; i++ {
+		f.Record(FlightEvent{Source: "test", Kind: "tick", Name: fmt.Sprintf("e%03d", i)})
+	}
+	if f.Len() != 128 {
+		t.Errorf("Len = %d, want 128 (total recorded, not occupancy)", f.Len())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 64 {
+		t.Fatalf("Snapshot holds %d events, want 64", len(snap))
+	}
+	for i, e := range snap {
+		if want := uint64(65 + i); e.Seq != want {
+			t.Fatalf("snap[%d].Seq = %d, want %d (newest window, ordered)", i, e.Seq, want)
+		}
+		if want := fmt.Sprintf("e%03d", 64+i); e.Name != want {
+			t.Fatalf("snap[%d].Name = %q, want %q", i, e.Name, want)
+		}
+		if e.When.IsZero() {
+			t.Fatalf("snap[%d] missing timestamp", i)
+		}
+	}
+}
+
+func TestFlightRecorderSizing(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 64}, {-5, 64}, {64, 64}, {65, 128}, {1000, 1024},
+	} {
+		if got := NewFlightRecorder(tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewFlightRecorder(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestFlightRecorderCorrelated(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.Record(FlightEvent{Source: "http", Kind: "request-failed", TraceID: "aaa"})
+	f.Record(FlightEvent{Source: "jobs", Kind: "job-started", TraceID: "aaa", JobID: "j1"})
+	f.Record(FlightEvent{Source: "jobs", Kind: "job-started", TraceID: "bbb", JobID: "j2"})
+	f.Record(FlightEvent{Source: "engine", Kind: "task-failed", JobID: "j1"})
+	f.Record(FlightEvent{Source: "engine", Kind: "task-finished"}) // uncorrelated
+
+	byTrace := f.Correlated("aaa", "")
+	if len(byTrace) != 2 {
+		t.Errorf("Correlated(trace aaa) = %d events, want 2: %+v", len(byTrace), byTrace)
+	}
+	// Either key matching suffices: trace aaa OR job j1 covers three events.
+	both := f.Correlated("aaa", "j1")
+	if len(both) != 3 {
+		t.Errorf("Correlated(aaa, j1) = %d events, want 3: %+v", len(both), both)
+	}
+	for i := 1; i < len(both); i++ {
+		if both[i].Seq <= both[i-1].Seq {
+			t.Errorf("correlated slice out of order: %+v", both)
+		}
+	}
+	// Empty keys never match, so "" does not sweep up unkeyed events.
+	if got := f.Correlated("", ""); len(got) != 0 {
+		t.Errorf("Correlated(\"\", \"\") = %d events, want 0", len(got))
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEvent{Kind: "x"}) // must not panic
+	if f.Len() != 0 || f.Cap() != 0 {
+		t.Error("nil recorder should report zero")
+	}
+	if s := f.Snapshot(); s != nil {
+		t.Errorf("nil Snapshot = %v", s)
+	}
+	if c := f.Correlated("a", "b"); len(c) != 0 {
+		t.Errorf("nil Correlated = %v", c)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers the ring from many writers with
+// readers snapshotting mid-flight; run under -race by make verify.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Record(FlightEvent{Source: "test", Kind: "tick", TraceID: fmt.Sprintf("t%d", w)})
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, e := range f.Snapshot() {
+					if e.Seq == 0 || e.Kind != "tick" {
+						t.Errorf("torn event observed: %+v", e)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Len() != 8*500 {
+		t.Errorf("Len = %d, want %d", f.Len(), 8*500)
+	}
+	if got := len(f.Snapshot()); got != 256 {
+		t.Errorf("final snapshot = %d events, want full ring 256", got)
+	}
+}

@@ -38,6 +38,9 @@ type Options struct {
 	Logger *slog.Logger
 	// Trace enables span recording for WriteTrace.
 	Trace bool
+	// FlightEvents, when > 0, enables the flight recorder with a ring of
+	// (at least) that many recent events.
+	FlightEvents int
 }
 
 // Observer is the unified observability handle: spans, metrics, logs and
@@ -47,6 +50,7 @@ type Observer struct {
 	logger *slog.Logger
 	reg    *Registry
 	tracer *tracer
+	flight *FlightRecorder
 }
 
 // New builds an Observer from opts.
@@ -66,6 +70,9 @@ func New(opts Options) *Observer {
 	}
 	if opts.Trace {
 		o.tracer = newTracer(time.Now())
+	}
+	if opts.FlightEvents > 0 {
+		o.flight = NewFlightRecorder(opts.FlightEvents)
 	}
 	return o
 }
@@ -102,3 +109,13 @@ func (o *Observer) Metrics() *Registry {
 // Tracing reports whether spans are being recorded — callers can skip
 // building span metadata when they are not.
 func (o *Observer) Tracing() bool { return o != nil && o.tracer != nil }
+
+// Flight returns the flight recorder, or nil when none was enabled.
+// Callers on hot paths should keep the returned pointer and nil-check
+// it before building event payloads.
+func (o *Observer) Flight() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.flight
+}

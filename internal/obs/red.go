@@ -1,0 +1,225 @@
+package obs
+
+// Per-tenant RED (rate / errors / duration) metrics for the HTTP
+// surface, plus the bounded-cardinality label guard that keeps a
+// hostile or misconfigured client from minting unbounded labelled
+// series: after the cap, unknown tenants collapse into one "other"
+// bucket. The registry series are what a Prometheus scrapes; the
+// in-process sliding window backs the /status endpoint's "recent
+// error rate" summary without needing a scraper in the loop.
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// DefaultTenantLabelCap bounds distinct tenant label values (the cap
+// counts real tenants; the "other" overflow bucket is free).
+const DefaultTenantLabelCap = 32
+
+// overflowLabel is the bucket unknown values collapse into once the
+// guard's cap is reached.
+const overflowLabel = "other"
+
+// LabelGuard bounds the cardinality of one label dimension. Resolve
+// returns the value itself while capacity remains and the shared
+// overflow bucket afterwards, so the set of labelled series a client
+// can create is finite whatever it sends.
+type LabelGuard struct {
+	mu   sync.Mutex
+	cap  int
+	seen map[string]bool
+}
+
+// NewLabelGuard builds a guard admitting at most cap distinct values
+// (cap <= 0 uses DefaultTenantLabelCap).
+func NewLabelGuard(cap int) *LabelGuard {
+	if cap <= 0 {
+		cap = DefaultTenantLabelCap
+	}
+	return &LabelGuard{cap: cap, seen: make(map[string]bool, cap)}
+}
+
+// Resolve maps v onto its bounded label value. Safe on nil (identity).
+func (g *LabelGuard) Resolve(v string) string {
+	if g == nil || v == "" || v == overflowLabel {
+		return v
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.seen[v] {
+		return v
+	}
+	if len(g.seen) >= g.cap {
+		return overflowLabel
+	}
+	g.seen[v] = true
+	return v
+}
+
+// Seen reports how many distinct values the guard has admitted.
+func (g *LabelGuard) Seen() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.seen)
+}
+
+// redWindowSeconds is the sliding window the recent-error-rate summary
+// covers: one slot per second, summed at snapshot time.
+const redWindowSeconds = 60
+
+// redCounts is one (requests, errors) tally.
+type redCounts struct {
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+// redSlot is one second of the sliding window.
+type redSlot struct {
+	sec       int64
+	total     redCounts
+	perTenant map[string]redCounts
+}
+
+// RED records per-route, per-tenant request metrics: request and error
+// counters plus a latency histogram in the registry, and a sliding
+// one-minute window for the /status summary. Construct with NewRED; a
+// nil *RED is a valid no-op.
+type RED struct {
+	reg     *Registry
+	tenants *LabelGuard
+
+	mu    sync.Mutex
+	slots [redWindowSeconds]redSlot
+}
+
+// NewRED builds the recorder. The guard bounds the tenant label; nil
+// creates one with the default cap. The registry may be nil (window
+// only).
+func NewRED(reg *Registry, tenants *LabelGuard) *RED {
+	if tenants == nil {
+		tenants = NewLabelGuard(0)
+	}
+	return &RED{reg: reg, tenants: tenants}
+}
+
+// Tenants exposes the guard, so other per-tenant series (queue wait,
+// execution time) bound their labels identically.
+func (r *RED) Tenants() *LabelGuard {
+	if r == nil {
+		return nil
+	}
+	return r.tenants
+}
+
+// Observe records one served request. route must already be a bounded
+// template (see the server's routeLabel); tenant is bounded here. Safe
+// on nil.
+func (r *RED) Observe(route, tenant string, status int, seconds float64) {
+	if r == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	tenant = r.tenants.Resolve(tenant)
+	isErr := status >= http.StatusInternalServerError
+	if r.reg != nil {
+		r.reg.Counter(Label("coevo_http_requests_total", "route", route, "tenant", tenant),
+			"HTTP requests served, by route template and tenant.").Inc()
+		if isErr {
+			r.reg.Counter(Label("coevo_http_errors_total", "route", route, "tenant", tenant),
+				"HTTP responses with a 5xx status, by route template and tenant.").Inc()
+		}
+		r.reg.Histogram(Label("coevo_http_request_seconds", "route", route, "tenant", tenant),
+			"HTTP request latency in seconds, by route template and tenant.",
+			DurationBuckets).Observe(seconds)
+	}
+
+	now := time.Now().Unix()
+	r.mu.Lock()
+	slot := &r.slots[now%redWindowSeconds]
+	if slot.sec != now {
+		slot.sec = now
+		slot.total = redCounts{}
+		slot.perTenant = nil
+	}
+	slot.total.Requests++
+	if isErr {
+		slot.total.Errors++
+	}
+	if slot.perTenant == nil {
+		slot.perTenant = map[string]redCounts{}
+	}
+	c := slot.perTenant[tenant]
+	c.Requests++
+	if isErr {
+		c.Errors++
+	}
+	slot.perTenant[tenant] = c
+	r.mu.Unlock()
+}
+
+// TenantRate is one tenant's recent-window summary.
+type TenantRate struct {
+	Tenant    string  `json:"tenant"`
+	Requests  uint64  `json:"requests"`
+	Errors    uint64  `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// REDSnapshot summarizes the recent window for /status.
+type REDSnapshot struct {
+	WindowSeconds int          `json:"window_seconds"`
+	Requests      uint64       `json:"requests"`
+	Errors        uint64       `json:"errors"`
+	ErrorRate     float64      `json:"error_rate"`
+	Tenants       []TenantRate `json:"tenants,omitempty"`
+}
+
+// Snapshot sums the live window. Safe on nil.
+func (r *RED) Snapshot() *REDSnapshot {
+	if r == nil {
+		return nil
+	}
+	now := time.Now().Unix()
+	snap := &REDSnapshot{WindowSeconds: redWindowSeconds}
+	byTenant := map[string]redCounts{}
+	r.mu.Lock()
+	for i := range r.slots {
+		slot := &r.slots[i]
+		if slot.sec == 0 || now-slot.sec >= redWindowSeconds {
+			continue
+		}
+		snap.Requests += slot.total.Requests
+		snap.Errors += slot.total.Errors
+		for tenant, c := range slot.perTenant {
+			agg := byTenant[tenant]
+			agg.Requests += c.Requests
+			agg.Errors += c.Errors
+			byTenant[tenant] = agg
+		}
+	}
+	r.mu.Unlock()
+	if snap.Requests > 0 {
+		snap.ErrorRate = float64(snap.Errors) / float64(snap.Requests)
+	}
+	for tenant, c := range byTenant {
+		tr := TenantRate{Tenant: tenant, Requests: c.Requests, Errors: c.Errors}
+		if c.Requests > 0 {
+			tr.ErrorRate = float64(c.Errors) / float64(c.Requests)
+		}
+		snap.Tenants = append(snap.Tenants, tr)
+	}
+	// Deterministic order for the JSON document and its tests.
+	for i := 1; i < len(snap.Tenants); i++ {
+		for k := i; k > 0 && snap.Tenants[k].Tenant < snap.Tenants[k-1].Tenant; k-- {
+			snap.Tenants[k], snap.Tenants[k-1] = snap.Tenants[k-1], snap.Tenants[k]
+		}
+	}
+	return snap
+}

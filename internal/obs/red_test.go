@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestLabelGuardCollapsesOverflow(t *testing.T) {
+	g := NewLabelGuard(3)
+	for _, v := range []string{"a", "b", "c"} {
+		if got := g.Resolve(v); got != v {
+			t.Errorf("Resolve(%q) under cap = %q", v, got)
+		}
+	}
+	// Re-resolving an admitted value stays stable...
+	if got := g.Resolve("b"); got != "b" {
+		t.Errorf("Resolve of an admitted value = %q", got)
+	}
+	// ...but the cap is full: every unknown value lands in "other", and
+	// keeps landing there no matter how many distinct names arrive.
+	for i := 0; i < 100; i++ {
+		v := fmt.Sprintf("hostile-%d", i)
+		if got := g.Resolve(v); got != overflowLabel {
+			t.Fatalf("Resolve(%q) past cap = %q, want %q", v, got, overflowLabel)
+		}
+	}
+	if g.Seen() != 3 {
+		t.Errorf("Seen = %d, want 3", g.Seen())
+	}
+	// Identity cases: empty and the overflow bucket pass through, nil
+	// guard resolves to identity.
+	if got := g.Resolve(""); got != "" {
+		t.Errorf("Resolve(\"\") = %q", got)
+	}
+	if got := g.Resolve(overflowLabel); got != overflowLabel {
+		t.Errorf("Resolve(%q) = %q", overflowLabel, got)
+	}
+	var nilGuard *LabelGuard
+	if got := nilGuard.Resolve("x"); got != "x" || nilGuard.Seen() != 0 {
+		t.Error("nil guard should resolve to identity")
+	}
+}
+
+func TestREDSeriesAndSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	red := NewRED(reg, NewLabelGuard(2))
+
+	red.Observe("/jobs", "alice", 200, 0.01)
+	red.Observe("/jobs", "alice", 500, 0.02)
+	red.Observe("/jobs/{id}", "bob", 200, 0.03)
+	red.Observe("/jobs", "", 200, 0.01)       // "" reads as anonymous -> collapses past cap
+	red.Observe("/jobs", "mallory", 200, 0.5) // past cap -> other
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`coevo_http_requests_total{route="/jobs",tenant="alice"} 2`,
+		`coevo_http_errors_total{route="/jobs",tenant="alice"} 1`,
+		`coevo_http_requests_total{route="/jobs/{id}",tenant="bob"} 1`,
+		`coevo_http_requests_total{route="/jobs",tenant="other"} 2`,
+		`coevo_http_request_seconds`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "mallory") || strings.Contains(text, "anonymous") {
+		t.Errorf("over-cap tenant leaked into the registry:\n%s", text)
+	}
+
+	snap := red.Snapshot()
+	if snap.WindowSeconds != redWindowSeconds {
+		t.Errorf("WindowSeconds = %d", snap.WindowSeconds)
+	}
+	if snap.Requests != 5 || snap.Errors != 1 {
+		t.Errorf("window totals = %d req / %d err, want 5 / 1", snap.Requests, snap.Errors)
+	}
+	if want := 1.0 / 5.0; snap.ErrorRate != want {
+		t.Errorf("ErrorRate = %v, want %v", snap.ErrorRate, want)
+	}
+	// Tenants come back bounded and sorted: alice, bob, other.
+	var names []string
+	for _, tr := range snap.Tenants {
+		names = append(names, tr.Tenant)
+	}
+	if got, want := strings.Join(names, ","), "alice,bob,other"; got != want {
+		t.Errorf("snapshot tenants = %q, want %q", got, want)
+	}
+	for _, tr := range snap.Tenants {
+		if tr.Tenant == "alice" {
+			if tr.Requests != 2 || tr.Errors != 1 || tr.ErrorRate != 0.5 {
+				t.Errorf("alice rate = %+v", tr)
+			}
+		}
+	}
+}
+
+func TestREDNilSafe(t *testing.T) {
+	var red *RED
+	red.Observe("/jobs", "a", 200, 0.1) // must not panic
+	if red.Snapshot() != nil {
+		t.Error("nil RED snapshot should be nil")
+	}
+	if red.Tenants() != nil {
+		t.Error("nil RED Tenants should be nil")
+	}
+	// Registry-less RED still windows.
+	r := NewRED(nil, nil)
+	r.Observe("/x", "t", 200, 0.1)
+	if s := r.Snapshot(); s.Requests != 1 {
+		t.Errorf("registry-less RED window = %+v", s)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 )
@@ -27,26 +28,42 @@ type ServeOptions struct {
 	// Registry backs /metrics. A nil registry serves an empty (still
 	// valid) exposition.
 	Registry *Registry
-	// Logger receives the server's lifecycle and error logs (nil = drop).
+	// Logger receives the server's lifecycle, access and error logs
+	// (nil = drop).
 	Logger *slog.Logger
 	// Handlers mounts extra routes (e.g. "/runs" → the run-ledger
 	// handler) on the server's mux.
 	Handlers map[string]http.Handler
+	// Tenant, when non-nil, extracts the request's tenant identity for
+	// the access log and the RED metrics ("" reads as anonymous).
+	Tenant func(*http.Request) string
+	// RED, when non-nil, records per-route/per-tenant request metrics
+	// for every served request.
+	RED *RED
+	// Flight, when non-nil, receives an event for every 5xx response —
+	// the HTTP layer's contribution to the black box.
+	Flight *FlightRecorder
 }
 
 // Server is the embedded HTTP observability plane of a run: /metrics in
 // the Prometheus text format, /healthz (liveness) and /readyz (flips once
-// the corpus is loaded), /debug/pprof/* and the /progress SSE stream fed
-// by Publish. Construct with Serve; a nil *Server is a valid no-op, so
-// pipeline code can publish unconditionally whether or not -listen was
-// given.
+// the corpus is loaded, and back off as soon as draining begins),
+// /debug/pprof/* and the /progress SSE stream fed by Publish. Construct
+// with Serve; a nil *Server is a valid no-op, so pipeline code can
+// publish unconditionally whether or not -listen was given.
+//
+// Every request passes through one middleware that accepts or mints a
+// W3C traceparent, threads the TraceContext through the request
+// context, echoes the header on the response, and emits the access log
+// line and RED metrics with the trace id attached.
 type Server struct {
-	ln    net.Listener
-	srv   *http.Server
-	hub   *sseHub
-	log   *slog.Logger
-	ready atomic.Bool
-	done  chan struct{}
+	ln       net.Listener
+	srv      *http.Server
+	hub      *sseHub
+	log      *slog.Logger
+	ready    atomic.Bool
+	draining atomic.Bool
+	done     chan struct{}
 }
 
 // Serve binds opts.Addr and starts serving in a background goroutine.
@@ -57,11 +74,27 @@ func Serve(opts ServeOptions) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", opts.Addr, err)
 	}
+	s := newServer(opts)
+	s.ln = ln
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal Shutdown signal, not a failure.
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.log.Error("obs: server stopped", "err", err)
+		}
+	}()
+	s.log.Info("obs: serving telemetry", "addr", s.Addr())
+	return s, nil
+}
+
+// newServer builds the server and its full handler chain without
+// binding a listener — the piece tests exercise directly with httptest.
+func newServer(opts ServeOptions) *Server {
 	log := opts.Logger
 	if log == nil {
 		log = discardLogger
 	}
-	s := &Server{ln: ln, hub: newSSEHub(), log: log, done: make(chan struct{})}
+	s := &Server{hub: newSSEHub(), log: log, done: make(chan struct{})}
 
 	mux := http.NewServeMux()
 	// Every route mounts twice: under the versioned /api/v1 prefix — the
@@ -80,6 +113,13 @@ func Serve(opts ServeOptions) (*Server, error) {
 	})
 	handleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Draining wins over ready: the instant shutdown begins, load
+		// balancers must stop routing here, before the listener closes.
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining: shutdown in progress")
+			return
+		}
 		if !s.ready.Load() {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			fmt.Fprintln(w, "not ready: corpus still loading")
@@ -124,21 +164,123 @@ func Serve(opts ServeOptions) (*Server, error) {
 		"Connected /progress SSE clients.",
 		func() float64 { return float64(s.hub.clientCount()) })
 
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go func() {
-		defer close(s.done)
-		// ErrServerClosed is the normal Shutdown signal, not a failure.
-		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			s.log.Error("obs: server stopped", "err", err)
+	s.srv = &http.Server{Handler: s.instrument(opts, mux), ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// instrument wraps the mux in the request-scoped observability
+// middleware: traceparent in, TraceContext through the context,
+// traceparent out, one access-log line and one RED observation per
+// request, and a flight-recorder event for every 5xx.
+func (s *Server) instrument(opts ServeOptions, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tc, ok := ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			tc = NewTraceContext()
 		}
-	}()
-	s.log.Info("obs: serving telemetry", "addr", s.Addr())
-	return s, nil
+		r = r.WithContext(WithTraceContext(r.Context(), tc))
+		w.Header().Set("traceparent", tc.Traceparent())
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+
+		next.ServeHTTP(sw, r)
+
+		elapsed := time.Since(start)
+		route := routeLabel(r.URL.Path)
+		tenant := ""
+		if opts.Tenant != nil {
+			tenant = opts.Tenant(r)
+		}
+		if tenant == "" {
+			tenant = "anonymous"
+		}
+		opts.RED.Observe(route, tenant, sw.status, elapsed.Seconds())
+		// Telemetry scrapes and probes log at debug — they recur every few
+		// seconds and would drown the API traffic at info.
+		level := slog.LevelInfo
+		switch route {
+		case "/metrics", "/healthz", "/readyz", "/progress", "/debug/pprof":
+			level = slog.LevelDebug
+		}
+		s.log.Log(r.Context(), level, "obs: http",
+			"method", r.Method, "route", route, "path", r.URL.Path,
+			"status", sw.status, "duration", elapsed,
+			"tenant", tenant, "trace_id", tc.TraceID)
+		if sw.status >= http.StatusInternalServerError {
+			opts.Flight.Record(FlightEvent{
+				Source: "http", Kind: "request-failed", TraceID: tc.TraceID,
+				Name: route, Detail: fmt.Sprintf("%s %s -> %d", r.Method, r.URL.Path, sw.status),
+			})
+		}
+	})
+}
+
+// statusWriter captures the response status for the access log and RED
+// metrics while passing streaming capabilities through.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush keeps SSE streaming working through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routeLabel collapses a request path onto a bounded route template —
+// ids become {id}, pprof sub-pages fold together, and anything
+// unrecognized lands in "other" — so the per-route metric label can
+// never explode with the URL space.
+func routeLabel(path string) string {
+	p := strings.TrimPrefix(path, APIPrefix)
+	if p == "" {
+		p = "/"
+	}
+	switch p {
+	case "/", "/healthz", "/readyz", "/metrics", "/progress", "/status", "/jobs", "/runs":
+		return p
+	}
+	switch {
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	case strings.HasPrefix(p, "/jobs/"):
+		rest := strings.Trim(strings.TrimPrefix(p, "/jobs/"), "/")
+		_, action, _ := strings.Cut(rest, "/")
+		switch action {
+		case "":
+			return "/jobs/{id}"
+		case "result", "events", "cancel", "flight":
+			return "/jobs/{id}/" + action
+		}
+		return overflowLabel
+	case strings.HasPrefix(p, "/runs/"):
+		return "/runs/{id}"
+	}
+	return overflowLabel
 }
 
 // Addr returns the server's bound address (host:port). Safe on nil.
 func (s *Server) Addr() string {
-	if s == nil {
+	if s == nil || s.ln == nil {
 		return ""
 	}
 	return s.ln.Addr().String()
@@ -162,6 +304,17 @@ func (s *Server) SetReady(ready bool) {
 	s.ready.Store(ready)
 }
 
+// BeginDrain flips /readyz to 503 immediately — before the queue stops
+// accepting and long before the listener closes — so load balancers
+// stop routing new work while in-flight requests finish. Safe on nil
+// and idempotent; Shutdown calls it implicitly.
+func (s *Server) BeginDrain() {
+	if s == nil {
+		return
+	}
+	s.draining.Store(true)
+}
+
 // Shutdown gracefully stops the server: SSE clients are disconnected,
 // in-flight requests get until ctx to finish, and the listener closes.
 // Safe on nil and idempotent.
@@ -169,10 +322,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s == nil {
 		return nil
 	}
+	s.BeginDrain()
 	s.ready.Store(false)
 	s.hub.close()
 	err := s.srv.Shutdown(ctx)
-	<-s.done
+	if s.ln != nil {
+		<-s.done
+	}
 	s.log.Info("obs: telemetry server stopped", "addr", s.Addr())
 	return err
 }

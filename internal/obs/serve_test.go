@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -298,5 +299,169 @@ func TestNilServerIsSafe(t *testing.T) {
 	s.Publish("event", map[string]int{"x": 1})
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Errorf("nil shutdown: %v", err)
+	}
+}
+
+// TestReadyzFlipsOnDrain exercises the drain transition against the
+// real handler chain via httptest: ready serves 200, and the moment
+// BeginDrain is called — before any listener closes — /readyz answers
+// 503 so load balancers stop routing.
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	s := newServer(ServeOptions{Registry: NewRegistry()})
+	ts := httptest.NewServer(s.srv.Handler)
+	defer ts.Close()
+
+	if code, _ := get(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready = %d, want 503", code)
+	}
+	s.SetReady(true)
+	if code, body := get(t, ts.URL+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz ready = %d %q", code, body)
+	}
+
+	s.BeginDrain()
+	code, body := get(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("/readyz draining = %d %q, want 503 draining", code, body)
+	}
+	// Draining wins even while ready is still set, and on the versioned
+	// mount too; liveness keeps answering 200 throughout the drain.
+	if code, _ := get(t, ts.URL+APIPrefix+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("%s/readyz draining = %d, want 503", APIPrefix, code)
+	}
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200", code)
+	}
+	s.BeginDrain() // idempotent
+}
+
+// TestInstrumentTraceparent asserts the middleware accepts a valid
+// incoming traceparent (same trace id through the request context and
+// the response header) and mints one otherwise.
+func TestInstrumentTraceparent(t *testing.T) {
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	var seenTraceID string
+	echo := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seenTraceID = TraceIDFrom(r.Context())
+	})
+	flight := NewFlightRecorder(64)
+	red := NewRED(NewRegistry(), nil)
+	s := newServer(ServeOptions{
+		Registry: NewRegistry(),
+		Handlers: map[string]http.Handler{"/runs": echo},
+		Tenant:   func(r *http.Request) string { return r.Header.Get("X-Coevo-Tenant") },
+		RED:      red,
+		Flight:   flight,
+	})
+	ts := httptest.NewServer(s.srv.Handler)
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/runs", nil)
+	req.Header.Set("traceparent", "00-"+trace+"-00f067aa0ba902b7-01")
+	req.Header.Set("X-Coevo-Tenant", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if seenTraceID != trace {
+		t.Errorf("handler saw trace id %q, want %q", seenTraceID, trace)
+	}
+	echoed, ok := ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok || echoed.TraceID != trace {
+		t.Errorf("response traceparent = %q, want trace %s", resp.Header.Get("traceparent"), trace)
+	}
+
+	// No (or malformed) header: a fresh valid trace is minted.
+	req2, _ := http.NewRequest("GET", ts.URL+"/runs", nil)
+	req2.Header.Set("traceparent", "not-a-traceparent")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	minted, ok := ParseTraceparent(resp2.Header.Get("traceparent"))
+	if !ok || minted.TraceID == trace {
+		t.Errorf("minted traceparent = %q", resp2.Header.Get("traceparent"))
+	}
+	if seenTraceID != minted.TraceID {
+		t.Errorf("handler saw %q, response says %q", seenTraceID, minted.TraceID)
+	}
+
+	// RED observed the tenant; no 5xx happened, so the flight ring stays
+	// free of request-failed events.
+	snap := red.Snapshot()
+	if snap.Requests < 2 {
+		t.Errorf("RED window = %+v, want >= 2 requests", snap)
+	}
+	found := false
+	for _, tr := range snap.Tenants {
+		if tr.Tenant == "alice" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("RED snapshot missing tenant alice: %+v", snap.Tenants)
+	}
+	if evs := flight.Correlated(trace, ""); len(evs) != 0 {
+		t.Errorf("2xx request left flight events: %+v", evs)
+	}
+}
+
+// TestInstrumentRecordsServerErrors asserts a 5xx response lands in the
+// flight ring, correlated by the request's trace id.
+func TestInstrumentRecordsServerErrors(t *testing.T) {
+	const trace = "aaaabbbbccccddddeeeeffff00001111"
+	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	flight := NewFlightRecorder(64)
+	s := newServer(ServeOptions{
+		Registry: NewRegistry(),
+		Handlers: map[string]http.Handler{"/runs": boom},
+		Flight:   flight,
+	})
+	ts := httptest.NewServer(s.srv.Handler)
+	defer ts.Close()
+
+	req, _ := http.NewRequest("GET", ts.URL+"/runs", nil)
+	req.Header.Set("traceparent", "00-"+trace+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	evs := flight.Correlated(trace, "")
+	if len(evs) != 1 || evs[0].Source != "http" || evs[0].Kind != "request-failed" {
+		t.Fatalf("flight events for failed request = %+v, want one http/request-failed", evs)
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/":                          "/",
+		"/healthz":                   "/healthz",
+		"/metrics":                   "/metrics",
+		"/status":                    "/status",
+		"/jobs":                      "/jobs",
+		"/jobs/abc123":               "/jobs/{id}",
+		"/jobs/abc123/result":        "/jobs/{id}/result",
+		"/jobs/abc123/events":        "/jobs/{id}/events",
+		"/jobs/abc123/cancel":        "/jobs/{id}/cancel",
+		"/jobs/abc123/flight":        "/jobs/{id}/flight",
+		"/jobs/abc123/nonsense":      overflowLabel,
+		"/runs":                      "/runs",
+		"/runs/2024-01-01T00":        "/runs/{id}",
+		"/debug/pprof/":              "/debug/pprof",
+		"/debug/pprof/heap":          "/debug/pprof",
+		"/anything/else":             overflowLabel,
+		APIPrefix + "/jobs/x/result": "/jobs/{id}/result",
+		APIPrefix + "/status":        "/status",
+		APIPrefix:                    "/",
+	}
+	for path, want := range cases {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
 	}
 }

@@ -80,6 +80,11 @@ func (o *Observer) StartSpan(ctx context.Context, name string) (context.Context,
 		lane = parent.lane
 	}
 	s := &Span{o: o, name: name, lane: lane, start: time.Now()}
+	// Correlated requests stamp their trace id on every span, so the
+	// exported timeline can be filtered down to one submission.
+	if id := TraceIDFrom(ctx); id != "" {
+		s.SetArg("trace_id", id)
+	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 

@@ -1,0 +1,149 @@
+package obs
+
+// W3C trace context: the correlation identity that links an HTTP
+// submission, its queued job, the engine workers that stream it, and the
+// sealed runlog manifest into one trace. The server accepts an incoming
+// `traceparent` header (or mints one), the job queue persists the trace
+// id with the job record, and every span recorded on the job's behalf
+// carries it — so "what happened to this request" is one grep, one
+// Perfetto timeline, one flight-recorder slice.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceContext is one request's correlation identity in the W3C trace
+// context model: a 32-hex-digit trace id shared by every participant,
+// and a 16-hex-digit span id naming the current hop.
+type TraceContext struct {
+	TraceID string
+	SpanID  string
+	Flags   byte
+}
+
+// Valid reports whether the context carries a well-formed, non-zero
+// trace id and span id.
+func (tc TraceContext) Valid() bool {
+	return isHexID(tc.TraceID, 32) && isHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context as a version-00 traceparent header
+// value: 00-<trace-id>-<span-id>-<flags>.
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", tc.TraceID, tc.SpanID, tc.Flags)
+}
+
+// Child returns a context in the same trace with a fresh span id — the
+// identity of the next hop (handler → job → executor).
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: randHex(8), Flags: tc.Flags}
+}
+
+// NewTraceContext mints a fresh sampled trace.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randHex(16), SpanID: randHex(8), Flags: 0x01}
+}
+
+// ResumeTrace rebuilds a context from a stored trace id (a persisted
+// job record, say) with a fresh span id. An invalid or empty id starts
+// a new trace instead, so resuming never produces an unusable identity.
+func ResumeTrace(traceID string) TraceContext {
+	if !isHexID(traceID, 32) {
+		return NewTraceContext()
+	}
+	return TraceContext{TraceID: traceID, SpanID: randHex(8), Flags: 0x01}
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// non-ff version whose first four fields are well-formed (per the spec,
+// higher versions must be readable as version 00) and rejects all-zero
+// ids, which the spec reserves as "no trace".
+func ParseTraceparent(s string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || version == "ff" {
+		return TraceContext{}, false
+	}
+	if !isHexID(traceID, 32) || !isHexID(spanID, 16) {
+		return TraceContext{}, false
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return TraceContext{}, false
+	}
+	var f byte
+	raw, err := hex.DecodeString(flags)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	f = raw[0]
+	return TraceContext{TraceID: traceID, SpanID: spanID, Flags: f}, true
+}
+
+// isHexID reports whether s is exactly n lowercase hex digits and not
+// all zeros.
+func isHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	return strings.Trim(s, "0") != ""
+}
+
+// isHex reports whether s is entirely lowercase hex digits.
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// randHex returns 2n cryptographically random hex digits, never all
+// zero (the spec's reserved value).
+func randHex(n int) string {
+	buf := make([]byte, n)
+	for {
+		if _, err := rand.Read(buf); err != nil {
+			// The clock-free fallback: a fixed pattern beats an invalid id.
+			for i := range buf {
+				buf[i] = byte(i + 1)
+			}
+		}
+		for _, b := range buf {
+			if b != 0 {
+				return hex.EncodeToString(buf)
+			}
+		}
+	}
+}
+
+// traceCtxKey carries the TraceContext through a context.Context.
+type traceCtxKey struct{}
+
+// WithTraceContext returns a context carrying tc.
+func WithTraceContext(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceContextFrom extracts the trace context, if any.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// TraceIDFrom returns the context's trace id, or "" — the cheap form
+// for call sites that only stamp the id into telemetry.
+func TraceIDFrom(ctx context.Context) string {
+	if tc, ok := TraceContextFrom(ctx); ok {
+		return tc.TraceID
+	}
+	return ""
+}

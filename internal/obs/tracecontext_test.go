@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	const trace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	const span = "00f067aa0ba902b7"
+	valid := "00-" + trace + "-" + span + "-01"
+
+	tc, ok := ParseTraceparent(valid)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a valid header", valid)
+	}
+	if tc.TraceID != trace || tc.SpanID != span || tc.Flags != 0x01 {
+		t.Errorf("parsed %+v", tc)
+	}
+	if got := tc.Traceparent(); got != valid {
+		t.Errorf("roundtrip = %q, want %q", got, valid)
+	}
+
+	// Per the spec, higher versions must still be readable as version 00,
+	// and may carry trailing fields.
+	if _, ok := ParseTraceparent("cc-" + trace + "-" + span + "-01-extra-stuff"); !ok {
+		t.Error("future version with extra fields should parse")
+	}
+	if tc, ok := ParseTraceparent("  " + valid + "  "); !ok || tc.TraceID != trace {
+		t.Error("surrounding whitespace should be tolerated")
+	}
+
+	invalid := []string{
+		"",
+		"garbage",
+		"00-" + trace + "-" + span,         // missing flags
+		"ff-" + trace + "-" + span + "-01", // version ff reserved
+		"00-" + strings.Repeat("0", 32) + "-" + span + "-01",  // all-zero trace id
+		"00-" + trace + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
+		"00-" + strings.ToUpper(trace) + "-" + span + "-01",   // uppercase hex
+		"00-" + trace[:31] + "-" + span + "-01",               // short trace id
+		"00-" + trace + "-" + span + "-1",                     // short flags
+		"0-" + trace + "-" + span + "-01",                     // short version
+	}
+	for _, s := range invalid {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted an invalid header", s)
+		}
+	}
+}
+
+func TestNewChildResume(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("NewTraceContext produced invalid context %+v", tc)
+	}
+	if other := NewTraceContext(); other.TraceID == tc.TraceID {
+		t.Error("two fresh traces share a trace id")
+	}
+
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Error("Child changed the trace id")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Error("Child kept the parent span id")
+	}
+	if !child.Valid() {
+		t.Errorf("child invalid: %+v", child)
+	}
+
+	resumed := ResumeTrace(tc.TraceID)
+	if resumed.TraceID != tc.TraceID || !resumed.Valid() {
+		t.Errorf("ResumeTrace(%q) = %+v", tc.TraceID, resumed)
+	}
+	// An unusable stored id must still yield a working identity.
+	if fresh := ResumeTrace("not-a-trace-id"); !fresh.Valid() {
+		t.Errorf("ResumeTrace on garbage = %+v, want a fresh valid trace", fresh)
+	}
+}
+
+func TestTraceContextThroughContext(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceContextFrom(ctx); ok {
+		t.Error("empty context should carry no trace")
+	}
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Errorf("TraceIDFrom(empty) = %q", got)
+	}
+	tc := NewTraceContext()
+	ctx = WithTraceContext(ctx, tc)
+	got, ok := TraceContextFrom(ctx)
+	if !ok || got != tc {
+		t.Errorf("TraceContextFrom = %+v, %v", got, ok)
+	}
+	if id := TraceIDFrom(ctx); id != tc.TraceID {
+		t.Errorf("TraceIDFrom = %q, want %q", id, tc.TraceID)
+	}
+}

@@ -1,6 +1,7 @@
 package runlog
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -32,16 +33,45 @@ func (d Direction) String() string {
 	}
 }
 
+// MarshalJSON renders the direction by name, so the structured report
+// (`coevo runs diff -json`) is readable without this package's enum.
+func (d Direction) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON accepts the named form (and the legacy integer one).
+func (d *Direction) UnmarshalJSON(raw []byte) error {
+	var name string
+	if err := json.Unmarshal(raw, &name); err != nil {
+		var n int
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return err
+		}
+		*d = Direction(n)
+		return nil
+	}
+	switch name {
+	case "higher-worse":
+		*d = HigherWorse
+	case "higher-better":
+		*d = HigherBetter
+	default:
+		*d = Neutral
+	}
+	return nil
+}
+
 // Delta is one compared metric between two runs.
 type Delta struct {
-	Metric    string
-	Old, New  float64
-	Diff      float64 // New - Old
-	Pct       float64 // relative change vs Old (0 when Old is 0)
-	Direction Direction
+	Metric    string    `json:"metric"`
+	Old       float64   `json:"old"`
+	New       float64   `json:"new"`
+	Diff      float64   `json:"diff"` // New - Old
+	Pct       float64   `json:"pct"`  // relative change vs Old (0 when Old is 0)
+	Direction Direction `json:"direction"`
 	// Regression is set when the metric moved in its bad direction by
 	// more than the diff threshold.
-	Regression bool
+	Regression bool `json:"regression,omitempty"`
 }
 
 // DiffOptions tunes the regression detector.
@@ -54,12 +84,15 @@ type DiffOptions struct {
 // DefaultThreshold is the relative drift flagged without -threshold.
 const DefaultThreshold = 0.10
 
-// DiffReport is the comparison of two ledger entries.
+// DiffReport is the comparison of two ledger entries — the structured
+// document behind `coevo runs diff -json`, which the perf gate parses
+// instead of scraping the rendered table.
 type DiffReport struct {
-	OldID, NewID string
-	Threshold    float64
-	Deltas       []Delta
-	Regressions  int
+	OldID       string  `json:"old_id"`
+	NewID       string  `json:"new_id"`
+	Threshold   float64 `json:"threshold"`
+	Deltas      []Delta `json:"deltas"`
+	Regressions int     `json:"regressions"`
 }
 
 // Diff compares two manifests metric by metric: the latency and

@@ -16,6 +16,7 @@ type Summary struct {
 	Command         string    `json:"command"`
 	JobID           string    `json:"job_id,omitempty"`
 	Tenant          string    `json:"tenant,omitempty"`
+	TraceID         string    `json:"trace_id,omitempty"`
 	Start           time.Time `json:"start"`
 	DurationSeconds float64   `json:"duration_seconds"`
 	Outcome         string    `json:"outcome"`
@@ -28,7 +29,8 @@ type Summary struct {
 func Summarize(m *Manifest) Summary {
 	return Summary{
 		ID: m.ID, Command: m.Command, JobID: m.JobID, Tenant: m.Tenant,
-		Start: m.Start, DurationSeconds: m.DurationSeconds, Outcome: m.Outcome,
+		TraceID: m.TraceID,
+		Start:   m.Start, DurationSeconds: m.DurationSeconds, Outcome: m.Outcome,
 		Projects: m.Projects, Failed: m.Failed, P95Seconds: m.P95Seconds,
 	}
 }

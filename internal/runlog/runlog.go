@@ -42,6 +42,11 @@ type Manifest struct {
 	// job's sealed result fetchable and diffable over /runs.
 	JobID  string `json:"job_id,omitempty"`
 	Tenant string `json:"tenant,omitempty"`
+	// TraceID is the W3C trace id of the HTTP request that submitted the
+	// job — the same id stamped on the job record, its SSE events, the
+	// access log line and every exported span, so a manifest joins the
+	// full request-scoped trace.
+	TraceID string `json:"trace_id,omitempty"`
 
 	Start           time.Time `json:"start"`
 	End             time.Time `json:"end"`

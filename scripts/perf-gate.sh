@@ -39,16 +39,29 @@ go build -o /tmp/coevo-perf-gate ./cmd/coevo
 LEDGER=$(mktemp -d)
 trap 'rm -rf "$LEDGER"' EXIT
 
+# regressions_in reads the regression count out of a structured `runs
+# diff -json` report — the machine-readable contract, instead of
+# scraping the human-formatted table.
+regressions_in() {
+    sed -n 's/^  "regressions": \([0-9][0-9]*\).*$/\1/p' "$1"
+}
+
 if [ "$SELF_TEST" = "1" ]; then
     echo "perf-gate: self-test — importing baseline and a 1.5x-regressed copy"
     BASE_ID=$(/tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" import "$BASELINE")
     BAD_ID=$(/tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" -scale 1.5 import "$BASELINE")
     if /tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" -threshold "$THRESHOLD" \
-        diff "$BASE_ID" "$BAD_ID"; then
+        -json diff "$BASE_ID" "$BAD_ID" >"$LEDGER/diff.json"; then
         echo "perf-gate: SELF-TEST FAIL — a 1.5x uniform regression passed the gate" >&2
         exit 1
     fi
-    echo "perf-gate: self-test ok — the gate fails on a deliberate regression"
+    COUNT=$(regressions_in "$LEDGER/diff.json")
+    [ -n "$COUNT" ] && [ "$COUNT" -ge 1 ] || {
+        echo "perf-gate: SELF-TEST FAIL — diff report carries no regression count" >&2
+        cat "$LEDGER/diff.json" >&2
+        exit 1
+    }
+    echo "perf-gate: self-test ok — the gate fails on a deliberate regression ($COUNT metrics flagged)"
     exit 0
 fi
 
@@ -57,8 +70,10 @@ echo "perf-gate: baseline $BASELINE, threshold $THRESHOLD"
 /tmp/coevo-perf-gate bench -workers 1 -out "$LEDGER/bench-candidate.json" \
     -runlog-dir "$LEDGER"
 if ! /tmp/coevo-perf-gate runs -runlog-dir "$LEDGER" -threshold "$THRESHOLD" \
-    diff previous latest; then
-    echo "perf-gate: FAIL — candidate regressed against $BASELINE" >&2
+    -json diff previous latest >"$LEDGER/diff.json"; then
+    COUNT=$(regressions_in "$LEDGER/diff.json")
+    echo "perf-gate: FAIL — ${COUNT:-?} metric regression(s) against $BASELINE" >&2
+    cat "$LEDGER/diff.json" >&2
     exit 1
 fi
 echo "perf-gate: ok"

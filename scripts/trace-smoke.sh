@@ -1,0 +1,113 @@
+#!/bin/sh
+# Trace smoke test: prove one trace id travels end to end through the
+# analysis service. Start `coevo serve -trace`, submit a study with an
+# explicit W3C traceparent, and assert the SAME trace id shows up in the
+# job status document, the sealed run manifest served at /runs, and —
+# after a graceful shutdown — the exported Chrome trace file, including
+# its queue-wait span. Then submit a deliberately broken ingest job and
+# assert the failure left a non-empty correlated flight-recorder dump at
+# /jobs/{id}/flight (and through `coevo jobs flight`), plus a live
+# /api/v1/status summary along the way.
+#
+# Usage: scripts/trace-smoke.sh [addr] [workdir]
+set -eu
+
+ADDR="${1:-127.0.0.1:9289}"
+WORK="${2:-trace-smoke-work}"
+URL="http://$ADDR"
+TRACE="4bf92f3577b34da6a3ce929d0e0e4736"
+TRACEPARENT="00-$TRACE-00f067aa0ba902b7-01"
+
+go build -o /tmp/coevo-trace-smoke ./cmd/coevo
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+/tmp/coevo-trace-smoke serve -listen "$ADDR" -jobs-dir "$WORK/jobs" \
+    -runlog-dir "$WORK/runs" -trace "$WORK/trace.json" \
+    >"$WORK/serve-stdout.txt" 2>"$WORK/serve-stderr.txt" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+    if curl -fsS "$URL/readyz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fsS "$URL/readyz" | grep -q ready || {
+    echo "serve never became ready"; cat "$WORK/serve-stderr.txt"; exit 1; }
+
+# 1. Submit with an explicit traceparent: the job record must adopt the
+# caller's trace id, and the response must echo the header.
+SPEC='{"kind":"study","study":{"seed":7,"per_taxon":2}}'
+curl -fsS -D "$WORK/submit-headers.txt" -X POST \
+    -H 'X-Coevo-Tenant: alice' -H "traceparent: $TRACEPARENT" \
+    -d "$SPEC" "$URL/jobs" >"$WORK/submit.json"
+grep -qi "traceparent: 00-$TRACE-" "$WORK/submit-headers.txt" || {
+    echo "response did not echo the traceparent"; cat "$WORK/submit-headers.txt"; exit 1; }
+grep -q "\"trace_id\": \"$TRACE\"" "$WORK/submit.json" || {
+    echo "job record did not adopt the submitted trace id"; cat "$WORK/submit.json"; exit 1; }
+ID=$(sed -n 's/^  "id": "\(.*\)",$/\1/p' "$WORK/submit.json")
+[ -n "$ID" ] || { echo "submission returned no job id"; exit 1; }
+
+/tmp/coevo-trace-smoke jobs -server "$URL" wait "$ID" >/dev/null
+/tmp/coevo-trace-smoke jobs -server "$URL" -json status "$ID" >"$WORK/status.json"
+grep -q '"state": "done"' "$WORK/status.json" || {
+    echo "job $ID did not finish"; cat "$WORK/status.json"; exit 1; }
+grep -q "\"trace_id\": \"$TRACE\"" "$WORK/status.json" || {
+    echo "terminal status lost the trace id"; cat "$WORK/status.json"; exit 1; }
+
+# 2. The sealed run manifest carries the same trace id over /runs.
+curl -fsS "$URL/runs" >"$WORK/runs.json"
+grep -q "\"trace_id\": \"$TRACE\"" "$WORK/runs.json" || {
+    echo "/runs manifest lost the trace id"; cat "$WORK/runs.json"; exit 1; }
+
+# 3. The access log correlates the submission with the same id.
+grep -q "trace_id=$TRACE" "$WORK/serve-stderr.txt" || {
+    echo "access log lacks the trace id"; tail -20 "$WORK/serve-stderr.txt"; exit 1; }
+
+# 4. The versioned status summary is live and sees tenant alice's work
+# and the RED window.
+curl -fsS "$URL/api/v1/status" >"$WORK/service-status.json"
+grep -q '"uptime_seconds"' "$WORK/service-status.json" || {
+    echo "/api/v1/status lacks uptime"; cat "$WORK/service-status.json"; exit 1; }
+grep -q '"completed": 1' "$WORK/service-status.json" || {
+    echo "/api/v1/status does not count the finished job"; cat "$WORK/service-status.json"; exit 1; }
+grep -q '"tenant": "alice"' "$WORK/service-status.json" || {
+    echo "/api/v1/status lacks the per-tenant window"; cat "$WORK/service-status.json"; exit 1; }
+curl -fsS "$URL/metrics" >"$WORK/metrics.txt"
+grep -q 'coevo_http_requests_total{route="/jobs",tenant="alice"}' "$WORK/metrics.txt" || {
+    echo "RED metrics lack the per-tenant series"; grep coevo_http "$WORK/metrics.txt" || true; exit 1; }
+grep -q 'coevo_jobs_queue_wait_seconds' "$WORK/metrics.txt" || {
+    echo "metrics lack the queue-wait histogram"; exit 1; }
+
+# 5. A deliberately broken ingest (garbage git log, valid spec) fails
+# deterministically and must leave a correlated flight dump.
+BAD='{"kind":"ingest","ingest":{"git_log":"this is not a git log","ddl_versions":{"2020-01-01":"CREATE TABLE t (id INT);"}}}'
+ID2=$(curl -fsS -X POST -H 'X-Coevo-Tenant: alice' -d "$BAD" "$URL/jobs" \
+    | sed -n 's/^  "id": "\(.*\)",$/\1/p')
+[ -n "$ID2" ] || { echo "failure-path submission returned no job id"; exit 1; }
+/tmp/coevo-trace-smoke jobs -server "$URL" wait "$ID2" >/dev/null 2>&1 || true
+/tmp/coevo-trace-smoke jobs -server "$URL" -json status "$ID2" >"$WORK/status2.json"
+grep -q '"state": "failed"' "$WORK/status2.json" || {
+    echo "broken ingest did not fail"; cat "$WORK/status2.json"; exit 1; }
+curl -fsS "$URL/jobs/$ID2/flight" >"$WORK/flight.json"
+grep -q '"kind": "job-failed"' "$WORK/flight.json" || {
+    echo "flight dump lacks the failure event"; cat "$WORK/flight.json"; exit 1; }
+/tmp/coevo-trace-smoke jobs -server "$URL" flight "$ID2" >"$WORK/flight.txt"
+grep -q 'job-failed' "$WORK/flight.txt" || {
+    echo "coevo jobs flight shows no failure event"; cat "$WORK/flight.txt"; exit 1; }
+
+# 6. Graceful shutdown writes the trace export; the submitted trace id
+# and the queue-wait span must be on the timeline.
+kill -INT "$PID"
+wait "$PID" 2>/dev/null || true
+trap - EXIT
+[ -f "$WORK/trace.json" ] || {
+    echo "shutdown did not write the trace file"; cat "$WORK/serve-stderr.txt"; exit 1; }
+grep -q "$TRACE" "$WORK/trace.json" || {
+    echo "trace export lacks the submitted trace id"; exit 1; }
+grep -q '"queue-wait"' "$WORK/trace.json" || {
+    echo "trace export lacks the queue-wait span"; exit 1; }
+grep -q '"sealed"' "$WORK/trace.json" || {
+    echo "trace export lacks the sealed span"; exit 1; }
+
+echo "trace smoke OK: trace $TRACE followed $ID from submit to sealed manifest, and $ID2 left a flight dump"

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke trace-smoke parse-health-smoke perf-gate perf-gate-self-test
+.PHONY: build test verify bench microbench race vet fuzz-smoke smoke stream-smoke jobs-smoke trace-smoke shard-smoke parse-health-smoke perf-gate perf-gate-self-test
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,15 @@ verify:
 # (per-case peak heap, allocs/project, alloc bytes/project) CI archives
 # with every build, plus a ledger manifest 'coevo runs diff' can compare
 # across builds. The Go benchmark pass adds the streaming-vs-batch
-# allocation profile.
+# allocation profile. BENCH_SHARDS adds the sharded partition/merge
+# cell (the perf gate's own bench run omits it so its matrix shape
+# matches pre-shard baselines).
 BENCH_OUT ?= BENCH_pr7.json
+BENCH_SHARDS ?= 3
 RUNLOG_DIR ?= runs
 
 bench:
-	$(GO) run ./cmd/coevo bench -out $(BENCH_OUT) -runlog-dir $(RUNLOG_DIR)
+	$(GO) run ./cmd/coevo bench -shards $(BENCH_SHARDS) -out $(BENCH_OUT) -runlog-dir $(RUNLOG_DIR)
 	$(GO) test -run NONE -bench BenchmarkStudyStreaming -benchmem .
 
 # perf-gate is the hard CI performance gate: a fresh workers=1 bench run
@@ -87,6 +90,17 @@ STREAM_SMOKE_RUNLOG ?= stream-smoke-runs
 stream-smoke:
 	./scripts/stream-smoke.sh $(STREAM_SMOKE_PER_TAXON) $(STREAM_SMOKE_RUNLOG)
 
+# shard-smoke runs a ~2000-project study across 3 spawned worker
+# processes and asserts the merged figures and CSV are byte-identical to
+# the single-process reference (cold and warm cache), that the warm run
+# hits the remote cache tier, and that every shard manifest carries the
+# coordinator's trace id.
+SHARD_SMOKE_PER_TAXON ?= 334
+SHARD_SMOKE_WORK ?= shard-smoke-work
+
+shard-smoke:
+	./scripts/shard-smoke.sh $(SHARD_SMOKE_PER_TAXON) $(SHARD_SMOKE_WORK)
+
 # parse-health-smoke runs `coevo parse` over the messy per-dialect DDL
 # fixture corpus: every fixture must yield statements, every diagnostic
 # must carry a taxonomy code, and auto-detection must agree with the
@@ -108,7 +122,10 @@ FUZZTIME ?= 30s
 # FuzzParseLenient sweeps every dialect (plus Auto) per input;
 # FuzzParseValueCodec round-trips partial scripts through the versioned
 # parse-value codec.
+# FuzzPartialFiguresCodec hammers the sharded-study partial-figures
+# decoder: no panic on arbitrary bytes, canonical re-encoding idempotent.
 fuzz-smoke:
 	$(GO) test -run NONE -fuzz FuzzParseLenient -fuzztime $(FUZZTIME) ./internal/sqlddl
 	$(GO) test -run NONE -fuzz FuzzParseValueCodec -fuzztime $(FUZZTIME) ./internal/schema
 	$(GO) test -run NONE -fuzz FuzzCompare -fuzztime $(FUZZTIME) ./internal/schemadiff
+	$(GO) test -run NONE -fuzz FuzzPartialFiguresCodec -fuzztime $(FUZZTIME) ./internal/study

@@ -15,17 +15,22 @@ import (
 	"coevo/internal/engine"
 	"coevo/internal/obs"
 	"coevo/internal/runlog"
+	"coevo/internal/shard"
 	"coevo/internal/study"
 )
 
 // benchCase is one timed study run of the benchmark matrix.
 type benchCase struct {
 	Name string `json:"name"`
-	// Mode is "batch" (materialize the corpus, then analyze) or "stream"
-	// (fused generate→analyze with online aggregation).
+	// Mode is "batch" (materialize the corpus, then analyze), "stream"
+	// (fused generate→analyze with online aggregation) or "shard"
+	// (residue-class partitions folded separately, then merged through
+	// the sealed partial-figures codec — the scale-out data path minus
+	// the network).
 	Mode     string  `json:"mode"`
 	Cache    string  `json:"cache"` // "cold" or "warm"
 	Workers  int     `json:"workers"`
+	Shards   int     `json:"shards,omitempty"`
 	Projects int     `json:"projects"`
 	Seconds  float64 `json:"seconds"`
 	// CacheHits and CacheMisses are the result-cache deltas of this case
@@ -80,6 +85,7 @@ func runBench(ctx context.Context, args []string) error {
 	seed := fs.Int64("seed", 2023, "corpus generation seed")
 	perTaxon := fs.Int("per-taxon", 0, "shrink the corpus to N projects per taxon (0 = the full 195-project corpus)")
 	workers := fs.Int("workers", 0, "pin the matrix to exactly this worker count (0 = 1 plus NumCPU); the perf gate pins 1 so stage keys match across machines")
+	benchShards := fs.Int("shards", 0, "also time the sharded data path partitioned this many ways (0 = skip; the perf gate omits it so the matrix shape — total duration, cache totals — stays comparable to pre-shard baselines)")
 	runlogDir := fs.String("runlog-dir", "", "also record the bench run as a manifest in this ledger directory")
 	if ok, err := parseFlags(fs, args); !ok {
 		return err
@@ -120,7 +126,29 @@ func runBench(ctx context.Context, args []string) error {
 		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		var n int
-		if mode == "stream" {
+		if mode == "shard" {
+			// The full sharded data path, in process: each residue-class
+			// partition streams through its own fused pipeline, and the
+			// sealed partials round-trip the codec before merging — what
+			// a coordinator pays per shard, minus the network hop.
+			combined := study.NewFigures()
+			for k := 0; k < *benchShards; k++ {
+				w := &shard.Worker{Cache: c, Workers: workers}
+				resp, err := w.Run(ctx, &shard.RunRequest{Seed: *seed, PerTaxon: *perTaxon, Shard: k, Of: *benchShards})
+				if err != nil {
+					return caseRun{}, err
+				}
+				part, err := study.DecodePartialFigures(resp.Figures)
+				if err != nil {
+					return caseRun{}, err
+				}
+				if err := combined.Merge(part); err != nil {
+					return caseRun{}, err
+				}
+				n += resp.Projects
+				proc.Sample()
+			}
+		} else if mode == "stream" {
 			sum, err := study.StreamCorpus(ctx, corpus.NewSource(cfg), study.NewFigures(), opts)
 			if err != nil {
 				return caseRun{}, err
@@ -171,13 +199,22 @@ func runBench(ctx context.Context, args []string) error {
 	var totalHits, totalMisses int64
 	var peakHeap uint64
 	for _, workers := range workerSettings {
-		for _, mode := range []string{"batch", "stream"} {
+		modes := []string{"batch", "stream"}
+		if *benchShards > 0 {
+			modes = append(modes, "shard")
+		}
+		for _, mode := range modes {
 			// One shared in-memory cache per (mode, worker) cell: the first
-			// run is the cold measurement, the second replays it warm.
+			// run is the cold measurement, the second replays it warm. The
+			// shard cell shares one cache across its in-process workers, as
+			// the remote tier does across real ones.
 			c := cache.NewMemory()
 			prefix := "study"
-			if mode == "stream" {
+			switch mode {
+			case "stream":
 				prefix = "study-stream"
+			case "shard":
+				prefix = fmt.Sprintf("study-shard%d", *benchShards)
 			}
 			for _, phase := range []string{"cold", "warm"} {
 				before := c.Stats()
@@ -192,6 +229,9 @@ func runBench(ctx context.Context, args []string) error {
 					CacheHits:     after.Hits - before.Hits,
 					CacheMisses:   after.Misses - before.Misses,
 					PeakHeapBytes: run.peakHeap,
+				}
+				if mode == "shard" {
+					bc.Shards = *benchShards
 				}
 				if run.projects > 0 {
 					bc.AllocsPerProject = float64(run.allocs) / float64(run.projects)

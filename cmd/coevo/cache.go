@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
@@ -24,6 +25,7 @@ func attachCacheMetrics(m *engine.Metrics, c *cache.Cache) {
 func runCache(args []string) error {
 	fs := newFlagSet("cache")
 	dir := fs.String("cache-dir", "", "cache directory to administer (required)")
+	jsonOut := fs.Bool("json", false, "print 'cache stats' as a JSON document instead of the one-line summary")
 	fs.Usage = func() {
 		fmt.Fprint(os.Stderr, `usage: coevo cache -cache-dir DIR <stats|clear|verify>
 
@@ -54,6 +56,16 @@ func runCache(args []string) error {
 		rep, err := c.Size()
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			doc := struct {
+				Dir     string `json:"dir"`
+				Entries int    `json:"entries"`
+				Bytes   int64  `json:"bytes"`
+			}{Dir: c.Dir(), Entries: rep.Entries, Bytes: rep.Bytes}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
 		}
 		fmt.Printf("cache %s: %d entries, %d payload bytes\n", c.Dir(), rep.Entries, rep.Bytes)
 		return nil

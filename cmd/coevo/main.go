@@ -83,6 +83,8 @@ func main() {
 		err = runJobs(ctx, os.Args[2:])
 	case "runs":
 		err = runRuns(os.Args[2:])
+	case "shard":
+		err = runShard(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -115,6 +117,7 @@ subcommands:
   serve    run the analysis service (job queue at /jobs, metrics, pprof, /runs)
   jobs     submit, watch and fetch jobs on a running serve instance
   runs     browse the run ledger (list, show, diff with regression flags)
+  shard    run a shard worker for scaled-out studies (see study -shards)
 
 run 'coevo <subcommand> -h' for flags. The corpus-wide subcommands
 (study, gen, taxa) run on a concurrent execution engine and share the

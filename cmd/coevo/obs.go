@@ -14,6 +14,7 @@ import (
 	"coevo/internal/engine"
 	"coevo/internal/obs"
 	"coevo/internal/runlog"
+	"coevo/internal/shard"
 	"coevo/internal/study"
 )
 
@@ -116,6 +117,15 @@ func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
 				p.manifest.Options[f.Name] = f.Value.String()
 			})
 		}
+		// The cache opens before the telemetry server so the server can
+		// mount the remote tier route over it.
+		if *cacheDir != "" {
+			c, err := cache.New(cache.Options{Dir: *cacheDir, Obs: p.obs})
+			if err != nil {
+				return nil, err
+			}
+			p.cache = c
+		}
 		if *listen != "" {
 			handlers := map[string]http.Handler{}
 			if *runlogDir != "" {
@@ -123,6 +133,12 @@ func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
 				handlers["/runs"] = h
 				handlers["/runs/"] = h
 				runlog.RegisterMetrics(p.obs.Metrics(), *runlogDir)
+			}
+			if p.cache != nil {
+				// The remote cache tier: shard workers read and write this
+				// run's cache at /cache/{key}, so a sharded study dedups
+				// parse/diff/measure work across every worker process.
+				handlers["/cache/"] = cache.TierHandler(p.cache)
 			}
 			srv, err := obs.Serve(obs.ServeOptions{
 				Addr:     *listen,
@@ -162,13 +178,8 @@ func pipelineFlags(fs *flag.FlagSet) func() (*pipeline, error) {
 		if len(observers) > 0 {
 			p.exec.OnEvent = engine.Tee(observers...)
 		}
-		if *cacheDir != "" {
-			c, err := cache.New(cache.Options{Dir: *cacheDir, Obs: p.obs})
-			if err != nil {
-				return nil, err
-			}
-			p.cache = c
-			attachCacheMetrics(p.metrics, c)
+		if p.cache != nil {
+			attachCacheMetrics(p.metrics, p.cache)
 		}
 		// Register the cache counter family even for a cache-less run (nil
 		// *Cache samples as all-zero), so the unified report's schema is
@@ -246,6 +257,28 @@ func (p *pipeline) recordStream(s *study.StreamSummary) {
 	}
 }
 
+// recordSharded notes a coordinated sharded run in the manifest: the
+// whole-study coverage, the per-shard run summaries, and the
+// across-shard failure, cache and stage sums — so `coevo runs diff` and
+// the perf gate compare whole-study numbers, not the coordinator's
+// (empty) local view.
+func (p *pipeline) recordSharded(res *shard.Result, shards int) {
+	if p.manifest == nil || res == nil {
+		return
+	}
+	p.manifest.Projects = res.Projects
+	p.manifest.Failed = len(res.Failures)
+	for _, f := range res.Failures {
+		p.manifest.Failures = append(p.manifest.Failures,
+			runlog.FailureSummary{Name: f.Name, Err: f.Err.Error()})
+	}
+	p.manifest.Shards = shards
+	p.manifest.ShardRuns = res.Shards
+	p.manifest.TraceID = res.TraceID
+	p.manifest.Cache = res.Cache
+	p.manifest.StageSeconds = res.StageSeconds
+}
+
 // recordProjects notes a project count for runs without a Dataset (gen).
 func (p *pipeline) recordProjects(n int) {
 	if p.manifest != nil {
@@ -265,17 +298,23 @@ func (p *pipeline) sealManifest(runErr error) error {
 		m.P95Seconds = s.P95.Seconds()
 		m.MaxSeconds = s.Max.Seconds()
 		m.ThroughputPerSec = s.Throughput
-		if len(s.StageTotals) > 0 {
+		// A sharded run records the across-shard stage and cache sums up
+		// front (recordSharded); the local collector saw none of that work,
+		// so it only fills fields that are still empty.
+		if len(s.StageTotals) > 0 && m.StageSeconds == nil {
 			m.StageSeconds = make(map[string]float64, len(s.StageTotals))
 			for stage, d := range s.StageTotals {
 				m.StageSeconds[stage] = d.Seconds()
 			}
 		}
-		if c := s.Cache; c != nil {
+		if c := s.Cache; c != nil && m.Cache == nil {
 			cs := &runlog.CacheStats{
 				Hits: c.Hits, Misses: c.Misses, MemoryHits: c.MemoryHits,
-				DiskHits: c.DiskHits, Puts: c.Puts, Corrupt: c.Corrupt,
+				DiskHits: c.DiskHits, RemoteHits: c.RemoteHits,
+				RemoteMisses: c.RemoteMisses, Puts: c.Puts, Corrupt: c.Corrupt,
 				BytesRead: c.BytesRead, BytesWritten: c.BytesWritten,
+				RemoteBytesRead:    c.RemoteBytesRead,
+				RemoteBytesWritten: c.RemoteBytesWritten,
 			}
 			if total := c.Hits + c.Misses; total > 0 {
 				cs.HitRate = float64(c.Hits) / float64(total)

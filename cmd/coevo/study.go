@@ -70,6 +70,8 @@ func runStudy(ctx context.Context, args []string) error {
 	outDir := fs.String("out", "", "also write each figure to a file in this directory")
 	streamMode := fs.Bool("stream", true, "fuse generation and analysis into one bounded-memory stream (false: materialize the whole corpus, then analyze)")
 	perTaxon := fs.Int("per-taxon", 0, "override the per-taxon project count (0 = the paper's 195-project corpus)")
+	shards := fs.Int("shards", 0, "scale the study across this many worker processes (0 = single process); output is byte-identical to the unsharded run")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated base URLs of running `coevo shard serve` workers, one per shard (default: spawn local workers)")
 	dialect := dialectFlag(fs)
 	buildPipeline := pipelineFlags(fs)
 	if ok, err := parseFlags(fs, args); !ok {
@@ -79,9 +81,21 @@ func runStudy(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	if *shardAddrs != "" && *shards == 0 {
+		*shards = strings.Count(*shardAddrs, ",") + 1
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d: want a positive shard count", *shards)
+	}
 	p, err := buildPipeline()
 	if err != nil {
 		return err
+	}
+
+	if *shards > 0 {
+		fmt.Fprintf(os.Stderr, "generating and analyzing the corpus (seed %d, %s, %d shards)...\n",
+			*seed, workersLabel(p.exec.Workers), *shards)
+		return runStudySharded(ctx, p, *seed, *perTaxon, *dialect, *shards, *shardAddrs, *csvPath, *outDir)
 	}
 
 	opts := study.DefaultOptions()

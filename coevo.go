@@ -313,6 +313,28 @@ func StreamStudy(ctx context.Context, seed int64, opts Options, sink StudySink) 
 	return study.RunStream(ctx, seed, opts, sink)
 }
 
+// PartialFigures is a Figures accumulator viewed as a mergeable,
+// serializable partial fold: a shard streams its partition into one,
+// seals it with EncodePartial, and a coordinator folds sealed partials
+// with Merge. Any partition of the corpus and any merge order reproduce
+// the sequential fold exactly.
+type PartialFigures = study.PartialFigures
+
+// DecodePartialFigures reconstructs a sealed partial from EncodePartial
+// bytes, rejecting truncated, oversized or version-skewed payloads.
+func DecodePartialFigures(data []byte) (*PartialFigures, error) {
+	return study.DecodePartialFigures(data)
+}
+
+// PartitionCorpus returns the residue-class partition of src for shard
+// k of n: exactly the projects whose global corpus index ≡ k (mod n),
+// generated with the same per-index seeding as the full corpus. Feeding
+// every partition through StreamCorpus into PartialFigures and merging
+// them reproduces the whole-corpus run byte-for-byte.
+func PartitionCorpus(src *CorpusSource, shard, of int) (*CorpusSource, error) {
+	return src.Partition(shard, of)
+}
+
 // Rendering: every figure and export of the study is produced through one
 // entry point, Render, which dispatches an artifact and a format to the
 // matching encoder. The eleven Write* helpers below predate it and remain

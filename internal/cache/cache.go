@@ -48,11 +48,20 @@ type Cache struct {
 	disk *diskStore
 	log  *slog.Logger
 
+	// remote, when set, is the tier consulted after both local layers
+	// miss (see tier.go). Stored behind an atomic pointer so it can be
+	// attached while lookups are in flight.
+	remote atomic.Pointer[Tier]
+
 	hits, misses      atomic.Int64
 	memHits, diskHits atomic.Int64
+	remoteHits        atomic.Int64
 	puts, corrupt     atomic.Int64
 	bytesRead         atomic.Int64
 	bytesWritten      atomic.Int64
+	// per-tier fall-throughs: lookups that consulted the tier and missed.
+	memMisses, diskMisses, remoteMisses atomic.Int64
+	remoteBytesRead, remoteBytesWritten atomic.Int64
 }
 
 // New builds a cache from opts, creating the disk store's root directory
@@ -111,6 +120,32 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry) {
 		sample(func(s Stats) int64 { return s.BytesRead }))
 	reg.CounterFunc("coevo_cache_written_bytes_total", "Payload bytes written to the disk store.",
 		sample(func(s Stats) int64 { return s.BytesWritten }))
+
+	// Per-tier series: one hits/misses pair per tier under a shared
+	// metric name, the exposition shape dashboards aggregate across. The
+	// tier label set is fixed (memory, disk, remote), so cardinality is
+	// bounded by construction.
+	tier := func(name string, pick func(Stats) int64) {
+		reg.CounterFunc(name, "Cache lookups by tier outcome.", sample(pick))
+	}
+	tier(obs.Label("coevo_cache_tier_hits_total", "tier", "memory"),
+		func(s Stats) int64 { return s.MemoryHits })
+	tier(obs.Label("coevo_cache_tier_hits_total", "tier", "disk"),
+		func(s Stats) int64 { return s.DiskHits })
+	tier(obs.Label("coevo_cache_tier_hits_total", "tier", "remote"),
+		func(s Stats) int64 { return s.RemoteHits })
+	tier(obs.Label("coevo_cache_tier_misses_total", "tier", "memory"),
+		func(s Stats) int64 { return s.MemoryMisses })
+	tier(obs.Label("coevo_cache_tier_misses_total", "tier", "disk"),
+		func(s Stats) int64 { return s.DiskMisses })
+	tier(obs.Label("coevo_cache_tier_misses_total", "tier", "remote"),
+		func(s Stats) int64 { return s.RemoteMisses })
+	reg.CounterFunc(obs.Label("coevo_cache_tier_read_bytes_total", "tier", "remote"),
+		"Value bytes fetched from the remote tier.",
+		sample(func(s Stats) int64 { return s.RemoteBytesRead }))
+	reg.CounterFunc(obs.Label("coevo_cache_tier_written_bytes_total", "tier", "remote"),
+		"Value bytes written through to the remote tier.",
+		sample(func(s Stats) int64 { return s.RemoteBytesWritten }))
 }
 
 // NewMemory returns a memory-only cache with default bounds.
@@ -128,7 +163,9 @@ func (c *Cache) Dir() string {
 }
 
 // Get looks a key up, front layer first. A disk hit is promoted into the
-// memory layer. The returned slice must not be mutated.
+// memory layer; a remote-tier hit is backfilled into both local layers,
+// so a value crosses the network at most once per process. The returned
+// slice must not be mutated.
 func (c *Cache) Get(key Key) ([]byte, bool) {
 	if c == nil {
 		return nil, false
@@ -139,6 +176,7 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 			c.memHits.Add(1)
 			return v, true
 		}
+		c.memMisses.Add(1)
 	}
 	if c.disk != nil {
 		v, ok, corrupt := c.disk.get(key)
@@ -155,6 +193,24 @@ func (c *Cache) Get(key Key) ([]byte, bool) {
 			}
 			return v, true
 		}
+		c.diskMisses.Add(1)
+	}
+	if t := c.remoteTier(); t != nil {
+		if v, ok := t.Get(key); ok {
+			c.hits.Add(1)
+			c.remoteHits.Add(1)
+			c.remoteBytesRead.Add(int64(len(v)))
+			if c.mem != nil {
+				c.mem.put(key, v)
+			}
+			if c.disk != nil {
+				if err := c.disk.put(key, v); err == nil {
+					c.bytesWritten.Add(int64(len(v)))
+				}
+			}
+			return v, true
+		}
+		c.remoteMisses.Add(1)
 	}
 	c.misses.Add(1)
 	return nil, false
@@ -179,6 +235,10 @@ func (c *Cache) Put(key Key, value []byte) {
 			c.log.Warn("cache: disk write failed, entry degrades to memory-only",
 				"key", key.String(), "err", err)
 		}
+	}
+	if t := c.remoteTier(); t != nil {
+		t.Put(key, value)
+		c.remoteBytesWritten.Add(int64(len(value)))
 	}
 }
 
@@ -205,10 +265,21 @@ type Stats struct {
 	Misses       int64 // Get calls that found nothing
 	MemoryHits   int64 // hits served by the LRU front
 	DiskHits     int64 // hits served by the disk store
+	RemoteHits   int64 // hits served by the remote tier
 	Puts         int64 // stored values
 	Corrupt      int64 // corrupt disk entries healed (deleted) on read
 	BytesRead    int64 // payload bytes read from disk
 	BytesWritten int64 // payload bytes written to disk
+
+	// Per-tier fall-throughs: lookups that consulted the tier and missed
+	// (zero for a tier that is not configured, since it is never asked).
+	MemoryMisses int64
+	DiskMisses   int64
+	RemoteMisses int64
+	// Remote-tier transfer volume (network bytes, as opposed to the disk
+	// BytesRead/BytesWritten above).
+	RemoteBytesRead    int64
+	RemoteBytesWritten int64
 }
 
 // HitRate returns hits/(hits+misses), or 0 when nothing was looked up.
@@ -219,10 +290,17 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// String renders the snapshot as a single line.
+// String renders the snapshot as a single line. Remote-tier counters
+// appear only when a remote tier saw traffic, so untiered runs keep
+// their familiar shape.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d hits (%d mem, %d disk), %d misses (%.0f%% hit rate), %d puts, %d corrupt healed, %d B read, %d B written",
+	line := fmt.Sprintf("%d hits (%d mem, %d disk), %d misses (%.0f%% hit rate), %d puts, %d corrupt healed, %d B read, %d B written",
 		s.Hits, s.MemoryHits, s.DiskHits, s.Misses, 100*s.HitRate(), s.Puts, s.Corrupt, s.BytesRead, s.BytesWritten)
+	if s.RemoteHits+s.RemoteMisses+s.RemoteBytesRead+s.RemoteBytesWritten > 0 {
+		line += fmt.Sprintf(", remote: %d hits, %d misses, %d B in, %d B out",
+			s.RemoteHits, s.RemoteMisses, s.RemoteBytesRead, s.RemoteBytesWritten)
+	}
+	return line
 }
 
 // Stats snapshots the counters. Safe on nil (all-zero).
@@ -231,14 +309,20 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:         c.hits.Load(),
-		Misses:       c.misses.Load(),
-		MemoryHits:   c.memHits.Load(),
-		DiskHits:     c.diskHits.Load(),
-		Puts:         c.puts.Load(),
-		Corrupt:      c.corrupt.Load(),
-		BytesRead:    c.bytesRead.Load(),
-		BytesWritten: c.bytesWritten.Load(),
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		MemoryHits:         c.memHits.Load(),
+		DiskHits:           c.diskHits.Load(),
+		RemoteHits:         c.remoteHits.Load(),
+		Puts:               c.puts.Load(),
+		Corrupt:            c.corrupt.Load(),
+		BytesRead:          c.bytesRead.Load(),
+		BytesWritten:       c.bytesWritten.Load(),
+		MemoryMisses:       c.memMisses.Load(),
+		DiskMisses:         c.diskMisses.Load(),
+		RemoteMisses:       c.remoteMisses.Load(),
+		RemoteBytesRead:    c.remoteBytesRead.Load(),
+		RemoteBytesWritten: c.remoteBytesWritten.Load(),
 	}
 }
 

@@ -61,6 +61,37 @@ func NewSource(cfg Config) *Source {
 // Len is the total number of projects the source will produce.
 func (s *Source) Len() int { return len(s.specs) }
 
+// Partition narrows the source to shard k of n: exactly the projects
+// whose global corpus index ≡ k (mod n), in corpus order. Each project
+// keeps its global index — generation seeds from cfg.Seed + idx·7919,
+// so a partitioned project is bit-for-bit the one the full source
+// produces — while the partition presents its own dense 0-based local
+// indices to the engine (map them back with GlobalIndex). Partitions of
+// one source are disjoint and their union is the full corpus, which is
+// what makes sharded studies exactly mergeable.
+func (s *Source) Partition(shard, of int) (*Source, error) {
+	if of <= 0 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("corpus: invalid partition %d/%d", shard, of)
+	}
+	specs := make([]genSpec, 0, (len(s.specs)+of-1)/of)
+	for _, sp := range s.specs {
+		if sp.idx%of == shard {
+			specs = append(specs, sp)
+		}
+	}
+	return &Source{cfg: s.cfg, specs: specs}, nil
+}
+
+// GlobalIndex maps a local (dense) index of this source to the global
+// corpus index of the project it produces. For an unpartitioned source
+// the two coincide.
+func (s *Source) GlobalIndex(local int) int { return s.specs[local].idx }
+
+// ProjectName names the project at a local index by its global corpus
+// identity, so logs and failure reports from a partitioned run match
+// the full-corpus run's names.
+func (s *Source) ProjectName(local int) string { return ProjectName(s.GlobalIndex(local)) }
+
 // Next generates and returns the next project of the corpus, or (nil,
 // nil) when the corpus is exhausted. Safe for concurrent use; projects
 // come back in claim order per caller, with indices dense across
@@ -85,16 +116,21 @@ func (is indexedSource) Next(ctx context.Context) (*Project, int, bool, error) {
 	return is.s.claimAndGenerate(ctx)
 }
 
-// claimAndGenerate claims the next index under the lock and generates
-// outside it. Generation runs inside the caller's context, so under the
-// engine the work lands in the claiming task's "generate" stage timing.
+// claimAndGenerate claims the next local position under the lock and
+// generates outside it. Generation runs inside the caller's context, so
+// under the engine the work lands in the claiming task's "generate"
+// stage timing. The returned index is the source-local dense position —
+// the engine's re-sequencer requires dense 0-based indices — while the
+// project itself is seeded by its global corpus index, so a partitioned
+// source still generates globally-identical projects.
 func (s *Source) claimAndGenerate(ctx context.Context) (*Project, int, bool, error) {
 	s.mu.Lock()
 	if s.next >= len(s.specs) {
 		s.mu.Unlock()
 		return nil, 0, false, nil
 	}
-	sp := s.specs[s.next]
+	local := s.next
+	sp := s.specs[local]
 	s.next++
 	s.mu.Unlock()
 
@@ -106,7 +142,7 @@ func (s *Source) claimAndGenerate(ctx context.Context) (*Project, int, bool, err
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("corpus: project %d (%s): %w", sp.idx, sp.prof.Taxon, err)
 	}
-	return p, sp.idx, true, nil
+	return p, local, true, nil
 }
 
 // EachContext streams the corpus described by cfg through visit in
@@ -127,7 +163,9 @@ func (s *Source) each(ctx context.Context, window int, visit func(*Project) erro
 	// point materializing the rest of a corpus that cannot be studied.
 	eopts.Policy = engine.FailFast
 	if eopts.Name == nil {
-		eopts.Name = func(i int) string { return fmt.Sprintf("project-%03d", i) }
+		// Label by global corpus index, so a partitioned source's failure
+		// reports name the same projects the full corpus would.
+		eopts.Name = func(i int) string { return fmt.Sprintf("project-%03d", s.GlobalIndex(i)) }
 	}
 	eopts.Obs = s.cfg.Obs
 	eopts.Scope = "generate"

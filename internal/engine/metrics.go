@@ -56,10 +56,18 @@ type CacheStats struct {
 	Misses       int64
 	MemoryHits   int64
 	DiskHits     int64
+	RemoteHits   int64
 	Puts         int64
 	Corrupt      int64
 	BytesRead    int64
 	BytesWritten int64
+
+	MemoryMisses int64
+	DiskMisses   int64
+	RemoteMisses int64
+
+	RemoteBytesRead    int64
+	RemoteBytesWritten int64
 }
 
 // SetCacheSource registers a function sampled at Snapshot time to attach

@@ -23,6 +23,7 @@ import (
 	"coevo/internal/obs"
 	"coevo/internal/report"
 	"coevo/internal/runlog"
+	"coevo/internal/shard"
 	"coevo/internal/study"
 )
 
@@ -93,6 +94,9 @@ func (e *Executor) Run(ctx context.Context, j *Job, rep RunReport) (*Result, err
 // same sections `coevo study` writes.
 func (e *Executor) runStudy(ctx context.Context, j *Job, rep RunReport, metrics *engine.Metrics) (*Result, error) {
 	spec := j.Spec.Study
+	if spec.Shards > 1 {
+		return e.runStudySharded(ctx, j, rep)
+	}
 	eopts := engine.Options{Workers: e.Workers, Obs: e.Obs}
 	observers := []func(engine.Event){metrics.Observe}
 	if rep.Progress != nil {
@@ -149,6 +153,72 @@ func (e *Executor) runStudy(ctx context.Context, j *Job, rep RunReport, metrics 
 		JobID: j.ID, Kind: KindStudy, Sections: sections,
 		Projects: sum.Projects, FailedProjects: len(sum.Failures),
 		ParseHealth: figs.Health.Summary(),
+	}, nil
+}
+
+// runStudySharded executes a study spec as an in-process partition-and-
+// merge loop: each shard streams its residue class of the corpus through
+// a shard.Worker into a sealed PartialFigures, and the partials fold in
+// shard order — the same protocol a multi-process run speaks, minus the
+// network. Because every figure is an associative fold over global
+// corpus indices, the rendered sections are byte-identical to the
+// unsharded path, and the spec fingerprint treats both as one result.
+func (e *Executor) runStudySharded(ctx context.Context, j *Job, rep RunReport) (*Result, error) {
+	spec := j.Spec.Study
+	worker := &shard.Worker{Cache: e.Cache, Obs: e.Obs, Workers: e.Workers}
+
+	// The whole-corpus size, for progress reporting across shards.
+	cfg := corpus.DefaultConfig(spec.Seed)
+	if spec.PerTaxon > 0 {
+		for i := range cfg.Profiles {
+			cfg.Profiles[i].Count = spec.PerTaxon
+		}
+	}
+	total := corpus.NewSource(cfg).Len()
+
+	combined := study.NewFigures()
+	var rows []shard.CSVRow
+	projects, failed := 0, 0
+	for k := 0; k < spec.Shards; k++ {
+		resp, err := worker.Run(ctx, &shard.RunRequest{
+			Seed: spec.Seed, PerTaxon: spec.PerTaxon, Dialect: spec.Dialect,
+			Shard: k, Of: spec.Shards, CSV: spec.CSV,
+		})
+		if err != nil {
+			return nil, err
+		}
+		part, err := study.DecodePartialFigures(resp.Figures)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: shard %d: %w", k, err)
+		}
+		if err := combined.Merge(part); err != nil {
+			return nil, fmt.Errorf("jobs: shard %d: %w", k, err)
+		}
+		projects += resp.Projects
+		failed += len(resp.Failures)
+		rows = append(rows, resp.CSV...)
+		if rep.Progress != nil {
+			rep.Progress(projects, total)
+		}
+	}
+
+	sections, err := renderSections(report.FiguresArtifacts(combined, spec.Seed))
+	if err != nil {
+		return nil, err
+	}
+	if spec.CSV {
+		var b strings.Builder
+		b.WriteString(shard.CSVHeader())
+		sort.Slice(rows, func(a, b int) bool { return rows[a].Index < rows[b].Index })
+		for _, row := range rows {
+			b.WriteString(row.Line)
+		}
+		sections["dataset.csv"] = b.String()
+	}
+	return &Result{
+		JobID: j.ID, Kind: KindStudy, Sections: sections,
+		Projects: projects, FailedProjects: failed,
+		ParseHealth: combined.Health.Summary(),
 	}, nil
 }
 
@@ -343,6 +413,9 @@ func specOptions(s *Spec) map[string]string {
 		}
 		if s.Study.Dialect != "" {
 			opts["dialect"] = specDialect(s.Study.Dialect).String()
+		}
+		if s.Study.Shards > 1 {
+			opts["shards"] = fmt.Sprint(s.Study.Shards)
 		}
 	case KindIngest:
 		opts["ddl-versions"] = fmt.Sprint(len(s.Ingest.DDLVersions))

@@ -256,12 +256,15 @@ func routeLabel(path string) string {
 		p = "/"
 	}
 	switch p {
-	case "/", "/healthz", "/readyz", "/metrics", "/progress", "/status", "/jobs", "/runs":
+	case "/", "/healthz", "/readyz", "/metrics", "/progress", "/status", "/jobs", "/runs", "/shard/run":
 		return p
 	}
 	switch {
 	case strings.HasPrefix(p, "/debug/pprof"):
 		return "/debug/pprof"
+	case strings.HasPrefix(p, "/cache/"):
+		// Content-addressed cache keys: one label for the whole keyspace.
+		return "/cache/{key}"
 	case strings.HasPrefix(p, "/jobs/"):
 		rest := strings.Trim(strings.TrimPrefix(p, "/jobs/"), "/")
 		_, action, _ := strings.Cut(rest, "/")

@@ -233,6 +233,14 @@ func (d *DatasetCSVWriter) Add(p *study.ProjectResult) error {
 	})
 }
 
+// Flush forces buffered rows to the underlying writer and reports the
+// first buffered error. Shard workers flush after every Add to capture
+// each row individually; ordinary streaming runs can rely on Close.
+func (d *DatasetCSVWriter) Flush() error {
+	d.cw.Flush()
+	return d.cw.Error()
+}
+
 // Close flushes the writer and reports the first buffered error.
 func (d *DatasetCSVWriter) Close() error {
 	d.cw.Flush()

@@ -136,8 +136,20 @@ func Diff(oldRun, newRun *Manifest, opts DiffOptions) *DiffReport {
 	add("projects", float64(oldRun.Projects), float64(newRun.Projects), Neutral)
 	add("failed", float64(oldRun.Failed), float64(newRun.Failed), HigherWorse)
 
+	// Stages compare only where both runs measured them: a stage present
+	// in one run only (a renamed stage, or a new bench case against an
+	// older baseline) is reported but is not a regression.
 	for _, stage := range unionKeys(oldRun.StageSeconds, newRun.StageSeconds) {
-		add("stage_seconds/"+stage, oldRun.StageSeconds[stage], newRun.StageSeconds[stage], HigherWorse)
+		oldV, okOld := oldRun.StageSeconds[stage]
+		newV, okNew := newRun.StageSeconds[stage]
+		if !okOld || !okNew {
+			r.Deltas = append(r.Deltas, Delta{
+				Metric: "stage_seconds/" + stage, Old: oldV, New: newV,
+				Diff: newV - oldV, Direction: HigherWorse,
+			})
+			continue
+		}
+		add("stage_seconds/"+stage, oldV, newV, HigherWorse)
 	}
 	if oldRun.Cache != nil || newRun.Cache != nil {
 		oc, nc := oldRun.Cache, newRun.Cache

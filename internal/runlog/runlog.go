@@ -86,20 +86,44 @@ type Manifest struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Failures lists the projects the run could not measure.
 	Failures []FailureSummary `json:"failures,omitempty"`
+
+	// Shards is the shard count of a scaled-out run (0 for single-process
+	// runs); ShardRuns records each worker's contribution, so the combined
+	// manifest is the whole-study ledger entry and each shard's own
+	// manifest stays reachable through it.
+	Shards    int        `json:"shards,omitempty"`
+	ShardRuns []ShardRun `json:"shard_runs,omitempty"`
+}
+
+// ShardRun summarizes one worker's slice of a sharded study inside the
+// coordinator's combined manifest.
+type ShardRun struct {
+	Shard      int    `json:"shard"`
+	Addr       string `json:"addr,omitempty"`
+	ManifestID string `json:"manifest_id,omitempty"`
+	TraceID    string `json:"trace_id,omitempty"`
+	Projects   int    `json:"projects"`
+	Failed     int    `json:"failed,omitempty"`
 }
 
 // CacheStats mirrors the result cache's counter snapshot, plus the
-// derived hit rate the regression detector compares.
+// derived hit rate the regression detector compares. The remote fields
+// cover the optional remote tier of a sharded run; they stay zero (and
+// absent from the JSON) for purely local caches.
 type CacheStats struct {
-	Hits         int64   `json:"hits"`
-	Misses       int64   `json:"misses"`
-	MemoryHits   int64   `json:"memory_hits"`
-	DiskHits     int64   `json:"disk_hits"`
-	Puts         int64   `json:"puts"`
-	Corrupt      int64   `json:"corrupt"`
-	BytesRead    int64   `json:"bytes_read"`
-	BytesWritten int64   `json:"bytes_written"`
-	HitRate      float64 `json:"hit_rate"`
+	Hits               int64   `json:"hits"`
+	Misses             int64   `json:"misses"`
+	MemoryHits         int64   `json:"memory_hits"`
+	DiskHits           int64   `json:"disk_hits"`
+	RemoteHits         int64   `json:"remote_hits,omitempty"`
+	RemoteMisses       int64   `json:"remote_misses,omitempty"`
+	Puts               int64   `json:"puts"`
+	Corrupt            int64   `json:"corrupt"`
+	BytesRead          int64   `json:"bytes_read"`
+	BytesWritten       int64   `json:"bytes_written"`
+	RemoteBytesRead    int64   `json:"remote_bytes_read,omitempty"`
+	RemoteBytesWritten int64   `json:"remote_bytes_written,omitempty"`
+	HitRate            float64 `json:"hit_rate"`
 }
 
 // FailureSummary is one unmeasurable project.

@@ -151,6 +151,9 @@ func TestDiffFlagsInjectedRegressions(t *testing.T) {
 	newRun.Failed = 2
 	// And one improvement that must NOT be flagged.
 	newRun.ThroughputPerSec = 120
+	// A stage only the new run measured (a new bench case against an
+	// older baseline) must be reported but never flagged.
+	newRun.StageSeconds["study-shard3/cold"] = 0.5
 
 	r := Diff(oldRun, newRun, DiffOptions{Threshold: 0.20})
 	flagged := map[string]bool{}
@@ -166,7 +169,7 @@ func TestDiffFlagsInjectedRegressions(t *testing.T) {
 			t.Errorf("regression %s not flagged; report: %+v", want, flagged)
 		}
 	}
-	for _, never := range []string{"throughput_per_sec", "p50_seconds", "projects", `metrics/coevo_engine_tasks_total{run="analyze"}`} {
+	for _, never := range []string{"throughput_per_sec", "p50_seconds", "projects", "stage_seconds/study-shard3/cold", `metrics/coevo_engine_tasks_total{run="analyze"}`} {
 		if flagged[never] {
 			t.Errorf("%s wrongly flagged", never)
 		}

@@ -1,0 +1,115 @@
+package shard
+
+// Local scale-out: spawn N worker processes of this same binary
+// (`coevo shard serve`) on loopback ports and scrape each one's
+// announced base URL. This is the zero-configuration path behind
+// `coevo study -shards N`; pointing at long-lived remote workers via
+// -shard-addrs skips spawning entirely.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// spawnTimeout bounds how long a spawned worker may take to announce
+// its listen address before the spawn is abandoned.
+const spawnTimeout = 30 * time.Second
+
+// SpawnWorkers starts n worker processes of the current executable
+// (`coevo shard serve -listen 127.0.0.1:0` plus extraArgs), waits for
+// each to print its base URL, and returns the URLs with a stop function
+// that terminates every worker. Worker stderr streams to stderr so
+// their logs interleave with the coordinator's. On error, every
+// already-started worker is stopped before returning.
+func SpawnWorkers(ctx context.Context, n int, extraArgs []string, stderr io.Writer) (addrs []string, stop func(), err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("shard: cannot spawn %d workers", n)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: locate executable: %w", err)
+	}
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+	var procs []*exec.Cmd
+	stop = func() {
+		for _, cmd := range procs {
+			if cmd.Process != nil {
+				cmd.Process.Kill() //nolint:errcheck // already exited is fine
+			}
+		}
+		for _, cmd := range procs {
+			cmd.Wait() //nolint:errcheck // reaping only
+		}
+	}
+	defer func() {
+		if err != nil {
+			stop()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		args := append([]string{"shard", "serve", "-listen", "127.0.0.1:0"}, extraArgs...)
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = stderr
+		out, perr := cmd.StdoutPipe()
+		if perr != nil {
+			return nil, nil, fmt.Errorf("shard: worker %d: %w", i, perr)
+		}
+		if serr := cmd.Start(); serr != nil {
+			return nil, nil, fmt.Errorf("shard: start worker %d: %w", i, serr)
+		}
+		procs = append(procs, cmd)
+		addr, aerr := readAddr(ctx, out)
+		if aerr != nil {
+			return nil, nil, fmt.Errorf("shard: worker %d: %w", i, aerr)
+		}
+		addrs = append(addrs, addr)
+	}
+	return addrs, stop, nil
+}
+
+// readAddr scrapes the worker's first stdout line — its announced base
+// URL — bounded by spawnTimeout and ctx.
+func readAddr(ctx context.Context, out io.Reader) (string, error) {
+	type lineOrErr struct {
+		line string
+		err  error
+	}
+	ch := make(chan lineOrErr, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		if sc.Scan() {
+			ch <- lineOrErr{line: strings.TrimSpace(sc.Text())}
+			// Keep draining so the worker never blocks on a full pipe.
+			for sc.Scan() {
+			}
+			return
+		}
+		err := sc.Err()
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		ch <- lineOrErr{err: err}
+	}()
+	select {
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case <-time.After(spawnTimeout):
+		return "", fmt.Errorf("no listen address after %s", spawnTimeout)
+	case r := <-ch:
+		if r.err != nil {
+			return "", fmt.Errorf("read listen address: %w", r.err)
+		}
+		if !strings.HasPrefix(r.line, "http://") && !strings.HasPrefix(r.line, "https://") {
+			return "", fmt.Errorf("unexpected worker banner %q", r.line)
+		}
+		return r.line, nil
+	}
+}

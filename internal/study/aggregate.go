@@ -34,25 +34,63 @@ type SinkFunc func(*ProjectResult) error
 // Add implements Sink.
 func (f SinkFunc) Add(p *ProjectResult) error { return f(p) }
 
+// IndexedSink is a Sink that also wants each result's global corpus
+// index. A streaming study delivers results through AddAt when the sink
+// supports it, so order-sensitive aggregates (and shard partials, which
+// see only a subsequence of the corpus) can key their state by the true
+// corpus position rather than arrival order.
+type IndexedSink interface {
+	Sink
+	AddAt(seq int64, p *ProjectResult) error
+}
+
+// deliver routes one result to sink, through AddAt when the sink is
+// index-aware.
+func deliver(sink Sink, seq int64, p *ProjectResult) error {
+	if is, ok := sink.(IndexedSink); ok {
+		return is.AddAt(seq, p)
+	}
+	return sink.Add(p)
+}
+
 // AggregatorSink adapts any Aggregator to the (fallible) Sink interface.
 func AggregatorSink(a Aggregator) Sink {
 	return SinkFunc(func(p *ProjectResult) error { a.Add(p); return nil })
 }
 
 // MultiSink fans each result out to every sink in order, stopping at the
-// first error.
+// first error. The returned sink is index-aware: members that implement
+// IndexedSink receive the corpus index, plain Sinks just the result.
 func MultiSink(sinks ...Sink) Sink {
-	return SinkFunc(func(p *ProjectResult) error {
-		for _, s := range sinks {
-			if s == nil {
-				continue
-			}
-			if err := s.Add(p); err != nil {
-				return err
-			}
+	return multiSink(sinks)
+}
+
+type multiSink []Sink
+
+// Add implements Sink.
+func (m multiSink) Add(p *ProjectResult) error {
+	for _, s := range m {
+		if s == nil {
+			continue
 		}
-		return nil
-	})
+		if err := s.Add(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddAt implements IndexedSink.
+func (m multiSink) AddAt(seq int64, p *ProjectResult) error {
+	for _, s := range m {
+		if s == nil {
+			continue
+		}
+		if err := deliver(s, seq, p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // fold replays a collected dataset through an accumulator — how the
@@ -145,8 +183,12 @@ func (a *TaxonSyncHistogramAccumulator) ByTaxon() map[taxa.Taxon]*SyncHistogram 
 
 // ScatterAccumulator collects the Figure 5 point cloud online. Each
 // project contributes one point (name, taxon, two scalars); the
-// repositories themselves are not retained.
+// repositories themselves are not retained. Points carry their corpus
+// sequence number so partials from disjoint shards merge back into
+// corpus order (see partial.go) — the point cloud is the one figure
+// whose rendering is order-sensitive.
 type ScatterAccumulator struct {
+	seqs   []int64
 	points []ScatterPoint
 }
 
@@ -154,7 +196,11 @@ type ScatterAccumulator struct {
 func NewScatterAccumulator() *ScatterAccumulator { return &ScatterAccumulator{} }
 
 // Add implements Aggregator.
-func (a *ScatterAccumulator) Add(p *ProjectResult) {
+func (a *ScatterAccumulator) Add(p *ProjectResult) { a.addAt(int64(len(a.points)), p) }
+
+// addAt folds one project keyed by its corpus sequence number.
+func (a *ScatterAccumulator) addAt(seq int64, p *ProjectResult) {
+	a.seqs = append(a.seqs, seq)
 	a.points = append(a.points, ScatterPoint{
 		Name:     p.Name,
 		Taxon:    p.Taxon,
@@ -163,7 +209,7 @@ func (a *ScatterAccumulator) Add(p *ProjectResult) {
 	})
 }
 
-// Points returns the aggregate in fold order.
+// Points returns the aggregate in fold (= corpus sequence) order.
 func (a *ScatterAccumulator) Points() []ScatterPoint { return a.points }
 
 // SyncBandAccumulator counts the Figure 5 finding online: long-lived
@@ -330,9 +376,13 @@ func (a *AttainmentAccumulator) Breakdown() *AttainmentBreakdown {
 
 // LocalityAccumulator builds the change-locality summary online. It
 // keeps two floats per qualifying project (medians need the full
-// distributions), never the histories.
+// distributions), never the histories. Shares carry their corpus
+// sequence number so merged partials restore the exact sequential
+// vectors (the medians themselves are order-free, but byte-identity of
+// the serialized partial is not).
 type LocalityAccumulator struct {
 	minTables                  int
+	seqs                       []int64
 	topShares, unchangedShares []float64
 }
 
@@ -343,11 +393,15 @@ func NewLocalityAccumulator(minTables int) *LocalityAccumulator {
 }
 
 // Add implements Aggregator.
-func (a *LocalityAccumulator) Add(p *ProjectResult) {
+func (a *LocalityAccumulator) Add(p *ProjectResult) { a.addAt(int64(len(a.topShares)), p) }
+
+// addAt folds one project keyed by its corpus sequence number.
+func (a *LocalityAccumulator) addAt(seq int64, p *ProjectResult) {
 	loc := p.Locality
 	if loc.Tables < a.minTables || loc.TotalChanges == 0 {
 		return
 	}
+	a.seqs = append(a.seqs, seq)
 	a.topShares = append(a.topShares, loc.TopShare)
 	a.unchangedShares = append(a.unchangedShares, loc.UnchangedShare)
 }
@@ -361,85 +415,126 @@ func (a *LocalityAccumulator) Summary() *LocalitySummary {
 	}
 }
 
+// statsRow is the per-project scalar record StatsAccumulator keeps: one
+// small fixed-size struct per project instead of a dozen parallel
+// vectors. The test-input vectors are materialized in row order at
+// Report time, so the Section 7 output is byte-identical to the old
+// append-per-attribute fold — and rows keyed by corpus sequence number
+// make the accumulator mergeable across shards (see partial.go).
+type statsRow struct {
+	seq                 int64
+	taxon               taxa.Taxon
+	durationMonths      int
+	sync5, sync10       float64
+	advTime, advSource  float64
+	advanceDefined      bool
+	aheadTime           bool
+	aheadSource         bool
+	aheadBoth           bool
+	attain75            float64
+	totalSchemaActivity int
+	fileUpdates         int
+}
+
 // StatsAccumulator folds the per-project scalars the Section 7 tests
 // need — attribute vectors, per-taxon groups, contingency counts,
 // correlation pairs — without retaining the projects themselves.
 type StatsAccumulator struct {
-	count int
-	attrs map[string][]float64
-	// per-taxon groups in taxa order, appended in fold (= corpus) order
-	syncGroups, attainGroups [][]float64
-	// taxon × always-in-advance contingency counts
-	timeTbl, srcTbl, bothTbl stats.Table
-	s5, s10, advT, advS      []float64
+	// rows hold one scalar record per project, in corpus sequence order.
+	rows []statsRow
 }
 
 // NewStatsAccumulator prepares the Section 7 state.
 func NewStatsAccumulator() *StatsAccumulator {
-	return &StatsAccumulator{
-		attrs: map[string][]float64{
-			"duration_months":       {},
-			"sync_10":               {},
-			"sync_5":                {},
-			"advance_over_time":     {},
-			"advance_over_source":   {},
-			"attainment_75":         {},
-			"total_schema_activity": {},
-			"project_file_updates":  {},
-		},
-		syncGroups:   make([][]float64, taxa.Count),
-		attainGroups: make([][]float64, taxa.Count),
-		timeTbl:      stats.NewTable(taxa.Count, 2),
-		srcTbl:       stats.NewTable(taxa.Count, 2),
-		bothTbl:      stats.NewTable(taxa.Count, 2),
-	}
+	return &StatsAccumulator{}
 }
 
 // Add implements Aggregator.
-func (a *StatsAccumulator) Add(p *ProjectResult) {
-	a.count++
-	a.attrs["duration_months"] = append(a.attrs["duration_months"], float64(p.DurationMonths))
-	a.attrs["sync_10"] = append(a.attrs["sync_10"], p.Measures.Sync10)
-	a.attrs["sync_5"] = append(a.attrs["sync_5"], p.Measures.Sync5)
-	if p.Measures.AdvanceDefined {
-		a.attrs["advance_over_time"] = append(a.attrs["advance_over_time"], p.Measures.AdvanceTime)
-		a.attrs["advance_over_source"] = append(a.attrs["advance_over_source"], p.Measures.AdvanceSource)
-	}
-	a.attrs["attainment_75"] = append(a.attrs["attainment_75"], p.Measures.Attain75)
-	a.attrs["total_schema_activity"] = append(a.attrs["total_schema_activity"], float64(p.TotalSchemaActivity))
-	a.attrs["project_file_updates"] = append(a.attrs["project_file_updates"], float64(p.FileUpdates))
+func (a *StatsAccumulator) Add(p *ProjectResult) { a.addAt(int64(len(a.rows)), p) }
 
-	ti := int(p.Taxon)
-	a.syncGroups[ti] = append(a.syncGroups[ti], p.Measures.Sync10)
-	a.attainGroups[ti] = append(a.attainGroups[ti], p.Measures.Attain75)
-
-	mark := func(t stats.Table, ahead bool) {
-		col := 1
-		if ahead {
-			col = 0
-		}
-		t[ti][col]++
-	}
-	mark(a.timeTbl, p.Measures.AlwaysAheadOfTime)
-	mark(a.srcTbl, p.Measures.AlwaysAheadOfSource)
-	mark(a.bothTbl, p.Measures.AlwaysAheadOfBoth)
-
-	a.s5 = append(a.s5, p.Measures.Sync5)
-	a.s10 = append(a.s10, p.Measures.Sync10)
-	if p.Measures.AdvanceDefined {
-		a.advT = append(a.advT, p.Measures.AdvanceTime)
-		a.advS = append(a.advS, p.Measures.AdvanceSource)
-	}
+// addAt folds one project keyed by its corpus sequence number.
+func (a *StatsAccumulator) addAt(seq int64, p *ProjectResult) {
+	a.rows = append(a.rows, statsRow{
+		seq:                 seq,
+		taxon:               p.Taxon,
+		durationMonths:      p.DurationMonths,
+		sync5:               p.Measures.Sync5,
+		sync10:              p.Measures.Sync10,
+		advTime:             p.Measures.AdvanceTime,
+		advSource:           p.Measures.AdvanceSource,
+		advanceDefined:      p.Measures.AdvanceDefined,
+		aheadTime:           p.Measures.AlwaysAheadOfTime,
+		aheadSource:         p.Measures.AlwaysAheadOfSource,
+		aheadBoth:           p.Measures.AlwaysAheadOfBoth,
+		attain75:            p.Measures.Attain75,
+		totalSchemaActivity: p.TotalSchemaActivity,
+		fileUpdates:         p.FileUpdates,
+	})
 }
 
 // Report runs the Section 7 tests over the folded state. seed drives the
-// Monte-Carlo Fisher tests, exactly as Dataset.Statistics.
+// Monte-Carlo Fisher tests, exactly as Dataset.Statistics. The test
+// inputs are materialized from the rows in row (= corpus) order, so the
+// report matches the pre-refactor per-attribute fold exactly.
 func (a *StatsAccumulator) Report(seed int64) (*StatsReport, error) {
-	if a.count < 10 {
-		return nil, fmt.Errorf("study: statistics need a populated dataset, have %d projects", a.count)
+	if len(a.rows) < 10 {
+		return nil, fmt.Errorf("study: statistics need a populated dataset, have %d projects", len(a.rows))
 	}
+	n := len(a.rows)
+	attrs := map[string][]float64{
+		"duration_months":       make([]float64, 0, n),
+		"sync_10":               make([]float64, 0, n),
+		"sync_5":                make([]float64, 0, n),
+		"advance_over_time":     {},
+		"advance_over_source":   {},
+		"attainment_75":         make([]float64, 0, n),
+		"total_schema_activity": make([]float64, 0, n),
+		"project_file_updates":  make([]float64, 0, n),
+	}
+	syncGroups := make([][]float64, taxa.Count)
+	attainGroups := make([][]float64, taxa.Count)
+	timeTbl := stats.NewTable(taxa.Count, 2)
+	srcTbl := stats.NewTable(taxa.Count, 2)
+	bothTbl := stats.NewTable(taxa.Count, 2)
+	var s5, s10, advT, advS []float64
+	for i := range a.rows {
+		row := &a.rows[i]
+		attrs["duration_months"] = append(attrs["duration_months"], float64(row.durationMonths))
+		attrs["sync_10"] = append(attrs["sync_10"], row.sync10)
+		attrs["sync_5"] = append(attrs["sync_5"], row.sync5)
+		if row.advanceDefined {
+			attrs["advance_over_time"] = append(attrs["advance_over_time"], row.advTime)
+			attrs["advance_over_source"] = append(attrs["advance_over_source"], row.advSource)
+		}
+		attrs["attainment_75"] = append(attrs["attainment_75"], row.attain75)
+		attrs["total_schema_activity"] = append(attrs["total_schema_activity"], float64(row.totalSchemaActivity))
+		attrs["project_file_updates"] = append(attrs["project_file_updates"], float64(row.fileUpdates))
+
+		ti := int(row.taxon)
+		syncGroups[ti] = append(syncGroups[ti], row.sync10)
+		attainGroups[ti] = append(attainGroups[ti], row.attain75)
+
+		mark := func(t stats.Table, ahead bool) {
+			col := 1
+			if ahead {
+				col = 0
+			}
+			t[ti][col]++
+		}
+		mark(timeTbl, row.aheadTime)
+		mark(srcTbl, row.aheadSource)
+		mark(bothTbl, row.aheadBoth)
+
+		s5 = append(s5, row.sync5)
+		s10 = append(s10, row.sync10)
+		if row.advanceDefined {
+			advT = append(advT, row.advTime)
+			advS = append(advS, row.advSource)
+		}
+	}
+
 	r := &StatsReport{Normality: map[string]stats.ShapiroWilkResult{}, TaxaOrder: taxa.All()}
-	for name, xs := range a.attrs {
+	for name, xs := range attrs {
 		res, err := stats.ShapiroWilk(xs)
 		if err != nil {
 			return nil, fmt.Errorf("study: shapiro(%s): %w", name, err)
@@ -448,36 +543,36 @@ func (a *StatsAccumulator) Report(seed int64) (*StatsReport, error) {
 	}
 
 	var err error
-	if r.SyncByTaxon, err = stats.KruskalWallis(a.syncGroups...); err != nil {
+	if r.SyncByTaxon, err = stats.KruskalWallis(syncGroups...); err != nil {
 		return nil, fmt.Errorf("study: kruskal sync: %w", err)
 	}
-	if r.AttainByTaxon, err = stats.KruskalWallis(a.attainGroups...); err != nil {
+	if r.AttainByTaxon, err = stats.KruskalWallis(attainGroups...); err != nil {
 		return nil, fmt.Errorf("study: kruskal attain: %w", err)
 	}
 
-	if r.TimeLagChi2, err = stats.ChiSquareIndependence(a.timeTbl); err != nil {
+	if r.TimeLagChi2, err = stats.ChiSquareIndependence(timeTbl); err != nil {
 		return nil, fmt.Errorf("study: chi2 time lag: %w", err)
 	}
-	if r.SourceLagChi2, err = stats.ChiSquareIndependence(a.srcTbl); err != nil {
+	if r.SourceLagChi2, err = stats.ChiSquareIndependence(srcTbl); err != nil {
 		return nil, fmt.Errorf("study: chi2 source lag: %w", err)
 	}
-	if r.BothLagChi2, err = stats.ChiSquareIndependence(a.bothTbl); err != nil {
+	if r.BothLagChi2, err = stats.ChiSquareIndependence(bothTbl); err != nil {
 		return nil, fmt.Errorf("study: chi2 both lag: %w", err)
 	}
-	if r.TimeLagFisher, err = stats.FisherExactMC(a.timeTbl, fisherIterations, seed); err != nil {
+	if r.TimeLagFisher, err = stats.FisherExactMC(timeTbl, fisherIterations, seed); err != nil {
 		return nil, fmt.Errorf("study: fisher time lag: %w", err)
 	}
-	if r.SourceLagFisher, err = stats.FisherExactMC(a.srcTbl, fisherIterations, seed+1); err != nil {
+	if r.SourceLagFisher, err = stats.FisherExactMC(srcTbl, fisherIterations, seed+1); err != nil {
 		return nil, fmt.Errorf("study: fisher source lag: %w", err)
 	}
-	if r.BothLagFisher, err = stats.FisherExactMC(a.bothTbl, fisherIterations, seed+2); err != nil {
+	if r.BothLagFisher, err = stats.FisherExactMC(bothTbl, fisherIterations, seed+2); err != nil {
 		return nil, fmt.Errorf("study: fisher both lag: %w", err)
 	}
 
-	if r.SyncThetaCorr, err = stats.KendallTau(a.s5, a.s10); err != nil {
+	if r.SyncThetaCorr, err = stats.KendallTau(s5, s10); err != nil {
 		return nil, fmt.Errorf("study: kendall sync: %w", err)
 	}
-	if r.AdvanceCorr, err = stats.KendallTau(a.advT, a.advS); err != nil {
+	if r.AdvanceCorr, err = stats.KendallTau(advT, advS); err != nil {
 		return nil, fmt.Errorf("study: kendall advance: %w", err)
 	}
 	return r, nil
@@ -520,18 +615,29 @@ func NewFigures() *Figures {
 	}
 }
 
-// Add implements Sink, folding p into every aggregate.
+// Add implements Sink, folding p into every aggregate. Standalone use
+// numbers projects by arrival order; a streaming study routes through
+// AddAt with the true corpus index instead (see IndexedSink).
 func (f *Figures) Add(p *ProjectResult) error {
+	return f.AddAt(int64(f.count), p)
+}
+
+// AddAt implements IndexedSink, folding p into every aggregate keyed by
+// its corpus sequence number. The order-sensitive aggregates (scatter,
+// locality, statistics rows) record seq so partials built from disjoint
+// shards merge back into exactly the sequential fold; the commutative
+// counters ignore it.
+func (f *Figures) AddAt(seq int64, p *ProjectResult) error {
 	f.count++
 	f.Sync.Add(p)
 	f.SyncByTaxon.Add(p)
-	f.Scatter.Add(p)
+	f.Scatter.addAt(seq, p)
 	f.Band.Add(p)
 	f.Advance.Add(p)
 	f.Always.Add(p)
 	f.Attainment.Add(p)
-	f.Locality.Add(p)
-	f.Stats.Add(p)
+	f.Locality.addAt(seq, p)
+	f.Stats.addAt(seq, p)
 	f.Health.Add(p)
 	return nil
 }

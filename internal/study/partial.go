@@ -1,0 +1,557 @@
+package study
+
+// Mergeable figure partials: every accumulator behind Figures is an
+// associative fold, so a corpus can be split into disjoint shards, each
+// shard folded independently into a PartialFigures, and the partials
+// merged back into exactly the state a sequential fold would have built.
+//
+// Two kinds of state make that work:
+//
+//   - Commutative counters (histogram buckets, band/advance/attainment
+//     counts, parse-health sums) merge by element-wise addition; any
+//     merge order yields the same state.
+//   - Order-sensitive vectors (the scatter point cloud, the locality
+//     share distributions, the Section 7 statistics rows) carry each
+//     entry's global corpus sequence number, and merging interleaves
+//     them back into ascending sequence order. Any merge order of
+//     disjoint partials therefore reproduces the sequential vectors —
+//     the merge laws the property tests in partial_test.go check.
+//
+// Partials travel between processes through a versioned binary codec
+// built on the cache codec (internal/cache.Enc/Dec), the same idiom the
+// measure-bundle cache uses in cached.go: explicit field order, varint
+// framing, fail-stop decoding. Bump partialFiguresMagic whenever the
+// field layout changes — a coordinator refuses partials from a worker
+// built at a different codec version instead of mis-decoding them.
+
+import (
+	"fmt"
+
+	"coevo/internal/cache"
+	"coevo/internal/stats"
+	"coevo/internal/taxa"
+)
+
+// PartialFigures is a Figures built over one shard of a corpus: the
+// unit the coordinator/worker protocol ships and folds. It is the same
+// type — every Figures is mergeable — the alias just names the role.
+type PartialFigures = Figures
+
+// partialFiguresMagic versions the partial-figures wire format. v1:
+// initial layout (seq-keyed scatter/locality/stats vectors, commutative
+// counter sums, parse-health totals).
+const partialFiguresMagic = "coevo/partial-figures/v1"
+
+// decodeCap bounds length-prefixed preallocation while decoding, so a
+// corrupt or adversarial length cannot demand gigabytes up front; the
+// append loop below it still fail-stops on truncated input.
+const decodeCap = 4096
+
+// Merge folds o into f. Both must have been built with the same figure
+// configuration (θ, bucket counts, band, α thresholds, locality floor);
+// a mismatch is an error, not a silently wrong figure. Merging partials
+// built over disjoint corpus shards — in any order — reproduces the
+// state of one sequential fold over the union, because commutative
+// counters add and sequence-keyed vectors re-interleave into corpus
+// order. o is left in an unspecified state and must not be used again.
+func (f *Figures) Merge(o *Figures) error {
+	if o == nil {
+		return nil
+	}
+	if err := f.Sync.merge(o.Sync); err != nil {
+		return fmt.Errorf("study: merge figures: %w", err)
+	}
+	if err := f.SyncByTaxon.merge(o.SyncByTaxon); err != nil {
+		return fmt.Errorf("study: merge figures: %w", err)
+	}
+	f.Scatter.merge(o.Scatter)
+	if err := f.Band.merge(o.Band); err != nil {
+		return fmt.Errorf("study: merge figures: %w", err)
+	}
+	f.Advance.merge(o.Advance)
+	f.Always.merge(o.Always)
+	if err := f.Attainment.merge(o.Attainment); err != nil {
+		return fmt.Errorf("study: merge figures: %w", err)
+	}
+	if err := f.Locality.merge(o.Locality); err != nil {
+		return fmt.Errorf("study: merge figures: %w", err)
+	}
+	f.Stats.merge(o.Stats)
+	f.Health.merge(o.Health)
+	f.count += o.count
+	return nil
+}
+
+// EncodePartial serializes f through the versioned binary codec. The
+// result is self-contained: configuration travels with the state, so
+// DecodePartialFigures rebuilds an equivalent Figures without any
+// out-of-band agreement beyond the codec version.
+func (f *Figures) EncodePartial() []byte {
+	e := cache.GetEnc()
+	defer cache.PutEnc(e)
+	e.String(partialFiguresMagic)
+	e.Int(int64(f.count))
+
+	// Figure 4 histogram and its per-taxon view.
+	e.Float(f.Sync.h.Theta)
+	encodeIntsP(e, f.Sync.h.Buckets)
+	e.Int(int64(f.Sync.h.Skipped))
+	e.Float(f.SyncByTaxon.theta)
+	e.Uvarint(uint64(taxa.Count))
+	for _, taxon := range taxa.All() {
+		h := f.SyncByTaxon.byTax[taxon]
+		encodeIntsP(e, h.Buckets)
+		e.Int(int64(h.Skipped))
+	}
+
+	// Figure 5 point cloud, sequence-keyed.
+	e.Uvarint(uint64(len(f.Scatter.points)))
+	for i, p := range f.Scatter.points {
+		e.Int(f.Scatter.seqs[i])
+		e.String(p.Name)
+		e.Uvarint(uint64(p.Taxon))
+		e.Int(int64(p.Duration))
+		e.Float(p.Sync)
+	}
+
+	// Figure 5 band.
+	e.Int(int64(f.Band.thresholdMonths))
+	e.Float(f.Band.lo)
+	e.Float(f.Band.hi)
+	e.Int(int64(f.Band.inside))
+	e.Int(int64(f.Band.outside))
+
+	// Figure 6 advance breakdown.
+	encodeIntsP(e, f.Advance.srcCounts)
+	encodeIntsP(e, f.Advance.timeCounts)
+	e.Int(int64(f.Advance.blankSource))
+	e.Int(int64(f.Advance.blankTime))
+	e.Int(int64(f.Advance.total))
+
+	// Figure 7 always-in-advance cells.
+	e.Uvarint(uint64(len(f.Always.cells)))
+	for _, c := range f.Always.cells {
+		e.Int(int64(c.Projects))
+		e.Int(int64(c.Time))
+		e.Int(int64(c.Source))
+		e.Int(int64(c.Both))
+	}
+	e.Int(int64(f.Always.time))
+	e.Int(int64(f.Always.source))
+	e.Int(int64(f.Always.both))
+	e.Int(int64(f.Always.total))
+
+	// Figure 8 attainment breakdown.
+	encodeFloats(e, f.Attainment.alphas)
+	encodeFloats(e, f.Attainment.rangeEdges)
+	for _, row := range f.Attainment.counts {
+		encodeIntsP(e, row)
+	}
+	e.Int(int64(f.Attainment.total))
+
+	// Change locality, sequence-keyed.
+	e.Int(int64(f.Locality.minTables))
+	e.Uvarint(uint64(len(f.Locality.topShares)))
+	for i := range f.Locality.topShares {
+		e.Int(f.Locality.seqs[i])
+		e.Float(f.Locality.topShares[i])
+		e.Float(f.Locality.unchangedShares[i])
+	}
+
+	// Section 7 statistics rows, sequence-keyed.
+	e.Uvarint(uint64(len(f.Stats.rows)))
+	for i := range f.Stats.rows {
+		r := &f.Stats.rows[i]
+		e.Int(r.seq)
+		e.Uvarint(uint64(r.taxon))
+		e.Int(int64(r.durationMonths))
+		e.Float(r.sync5)
+		e.Float(r.sync10)
+		e.Float(r.advTime)
+		e.Float(r.advSource)
+		e.Bool(r.advanceDefined)
+		e.Bool(r.aheadTime)
+		e.Bool(r.aheadSource)
+		e.Bool(r.aheadBoth)
+		e.Float(r.attain75)
+		e.Int(int64(r.totalSchemaActivity))
+		e.Int(int64(r.fileUpdates))
+	}
+
+	// Parse health.
+	hs := f.Health.summary
+	e.String(hs.Total.Dialect)
+	e.Int(int64(hs.Total.Versions))
+	e.Int(int64(hs.Total.CleanVersions))
+	e.Int(int64(hs.Total.Stats.Attempted))
+	e.Int(int64(hs.Total.Stats.Parsed))
+	e.Int(int64(hs.Total.Stats.Recovered))
+	e.Int(int64(hs.Total.Stats.Dropped))
+	e.Int(int64(hs.Total.Lex))
+	e.Int(int64(hs.Total.Syntax))
+	e.Int(int64(hs.Total.Semantic))
+	e.Int(int64(hs.Total.Uncategorized))
+	e.Int(int64(hs.Total.MergesSkipped))
+	e.Int(int64(hs.Total.NoOpCommits))
+	e.Int(int64(hs.Projects))
+	e.Int(int64(hs.CleanProjects))
+
+	return e.Copy()
+}
+
+// DecodePartialFigures rebuilds a PartialFigures from its serialized
+// form. Any malformed input — wrong magic, truncated fields, trailing
+// bytes, impossible shapes — is an error, never a panic or a silently
+// partial decode.
+func DecodePartialFigures(data []byte) (*PartialFigures, error) {
+	d := cache.NewDec(data)
+	if magic := d.String(); magic != partialFiguresMagic {
+		return nil, fmt.Errorf("study: partial figures: bad magic %q (want %q)", magic, partialFiguresMagic)
+	}
+	f := &Figures{count: int(d.Int())}
+
+	theta := d.Float()
+	buckets := decodeIntsP(d)
+	h := &SyncHistogram{Theta: theta, Buckets: buckets, Labels: bucketLabels(len(buckets)), Skipped: int(d.Int())}
+	f.Sync = &SyncHistogramAccumulator{h: h}
+
+	taxTheta := d.Float()
+	if n := d.Uvarint(); !d.Failed() && n != uint64(taxa.Count) {
+		return nil, fmt.Errorf("study: partial figures: %d taxa histograms (want %d)", n, taxa.Count)
+	}
+	byTax := make(map[taxa.Taxon]*SyncHistogram, taxa.Count)
+	for _, taxon := range taxa.All() {
+		tb := decodeIntsP(d)
+		byTax[taxon] = &SyncHistogram{Theta: taxTheta, Buckets: tb, Labels: bucketLabels(len(tb)), Skipped: int(d.Int())}
+	}
+	f.SyncByTaxon = &TaxonSyncHistogramAccumulator{theta: taxTheta, byTax: byTax}
+
+	f.Scatter = NewScatterAccumulator()
+	nPoints := d.Uvarint()
+	capHint := min(nPoints, decodeCap)
+	f.Scatter.seqs = make([]int64, 0, capHint)
+	f.Scatter.points = make([]ScatterPoint, 0, capHint)
+	for i := uint64(0); i < nPoints && !d.Failed(); i++ {
+		f.Scatter.seqs = append(f.Scatter.seqs, d.Int())
+		f.Scatter.points = append(f.Scatter.points, ScatterPoint{
+			Name:     d.String(),
+			Taxon:    taxa.Taxon(d.Uvarint()),
+			Duration: int(d.Int()),
+			Sync:     d.Float(),
+		})
+	}
+
+	f.Band = NewSyncBandAccumulator(int(d.Int()), d.Float(), d.Float())
+	f.Band.inside = int(d.Int())
+	f.Band.outside = int(d.Int())
+
+	f.Advance = NewAdvanceAccumulator()
+	src, tim := decodeIntsP(d), decodeIntsP(d)
+	if !d.Failed() && (len(src) != f.Advance.n || len(tim) != f.Advance.n) {
+		return nil, fmt.Errorf("study: partial figures: advance breakdown has %d/%d ranges (want %d)", len(src), len(tim), f.Advance.n)
+	}
+	f.Advance.srcCounts, f.Advance.timeCounts = src, tim
+	f.Advance.blankSource = int(d.Int())
+	f.Advance.blankTime = int(d.Int())
+	f.Advance.total = int(d.Int())
+
+	f.Always = NewAlwaysAdvanceAccumulator()
+	if n := d.Uvarint(); !d.Failed() && n != uint64(len(f.Always.cells)) {
+		return nil, fmt.Errorf("study: partial figures: %d always-advance cells (want %d)", n, len(f.Always.cells))
+	}
+	for i := range f.Always.cells {
+		c := &f.Always.cells[i]
+		c.Projects = int(d.Int())
+		c.Time = int(d.Int())
+		c.Source = int(d.Int())
+		c.Both = int(d.Int())
+	}
+	f.Always.time = int(d.Int())
+	f.Always.source = int(d.Int())
+	f.Always.both = int(d.Int())
+	f.Always.total = int(d.Int())
+
+	alphas, edges := decodeFloats(d), decodeFloats(d)
+	f.Attainment = NewAttainmentAccumulator(alphas, edges)
+	for i := range f.Attainment.counts {
+		row := decodeIntsP(d)
+		if !d.Failed() && len(row) != len(edges) {
+			return nil, fmt.Errorf("study: partial figures: attainment row has %d ranges (want %d)", len(row), len(edges))
+		}
+		f.Attainment.counts[i] = row
+	}
+	f.Attainment.total = int(d.Int())
+
+	f.Locality = NewLocalityAccumulator(int(d.Int()))
+	nLoc := d.Uvarint()
+	capHint = min(nLoc, decodeCap)
+	f.Locality.seqs = make([]int64, 0, capHint)
+	f.Locality.topShares = make([]float64, 0, capHint)
+	f.Locality.unchangedShares = make([]float64, 0, capHint)
+	for i := uint64(0); i < nLoc && !d.Failed(); i++ {
+		f.Locality.seqs = append(f.Locality.seqs, d.Int())
+		f.Locality.topShares = append(f.Locality.topShares, d.Float())
+		f.Locality.unchangedShares = append(f.Locality.unchangedShares, d.Float())
+	}
+
+	f.Stats = NewStatsAccumulator()
+	nRows := d.Uvarint()
+	f.Stats.rows = make([]statsRow, 0, min(nRows, decodeCap))
+	for i := uint64(0); i < nRows && !d.Failed(); i++ {
+		f.Stats.rows = append(f.Stats.rows, statsRow{
+			seq:                 d.Int(),
+			taxon:               taxa.Taxon(d.Uvarint()),
+			durationMonths:      int(d.Int()),
+			sync5:               d.Float(),
+			sync10:              d.Float(),
+			advTime:             d.Float(),
+			advSource:           d.Float(),
+			advanceDefined:      d.Bool(),
+			aheadTime:           d.Bool(),
+			aheadSource:         d.Bool(),
+			aheadBoth:           d.Bool(),
+			attain75:            d.Float(),
+			totalSchemaActivity: int(d.Int()),
+			fileUpdates:         int(d.Int()),
+		})
+	}
+
+	f.Health = NewParseHealthAccumulator()
+	hs := &f.Health.summary
+	hs.Total.Dialect = d.String()
+	hs.Total.Versions = int(d.Int())
+	hs.Total.CleanVersions = int(d.Int())
+	hs.Total.Stats.Attempted = int(d.Int())
+	hs.Total.Stats.Parsed = int(d.Int())
+	hs.Total.Stats.Recovered = int(d.Int())
+	hs.Total.Stats.Dropped = int(d.Int())
+	hs.Total.Lex = int(d.Int())
+	hs.Total.Syntax = int(d.Int())
+	hs.Total.Semantic = int(d.Int())
+	hs.Total.Uncategorized = int(d.Int())
+	hs.Total.MergesSkipped = int(d.Int())
+	hs.Total.NoOpCommits = int(d.Int())
+	hs.Projects = int(d.Int())
+	hs.CleanProjects = int(d.Int())
+
+	// Err also rejects trailing bytes, so a value that decoded cleanly is
+	// exactly one partial, nothing more.
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("study: partial figures: %w", err)
+	}
+	return f, nil
+}
+
+// bucketLabels rebuilds a histogram's bucket labels from its width.
+func bucketLabels(n int) []string {
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		labels[i] = stats.BucketLabel(i, n)
+	}
+	return labels
+}
+
+// ---- per-accumulator merges ----
+
+func (a *SyncHistogramAccumulator) merge(b *SyncHistogramAccumulator) error {
+	if a.h.Theta != b.h.Theta || len(a.h.Buckets) != len(b.h.Buckets) {
+		return fmt.Errorf("sync histogram config mismatch (θ=%g/%d vs θ=%g/%d)",
+			a.h.Theta, len(a.h.Buckets), b.h.Theta, len(b.h.Buckets))
+	}
+	for i := range a.h.Buckets {
+		a.h.Buckets[i] += b.h.Buckets[i]
+	}
+	a.h.Skipped += b.h.Skipped
+	return nil
+}
+
+func (a *TaxonSyncHistogramAccumulator) merge(b *TaxonSyncHistogramAccumulator) error {
+	if a.theta != b.theta {
+		return fmt.Errorf("per-taxon histogram θ mismatch (%g vs %g)", a.theta, b.theta)
+	}
+	for _, taxon := range taxa.All() {
+		ah, bh := a.byTax[taxon], b.byTax[taxon]
+		if len(ah.Buckets) != len(bh.Buckets) {
+			return fmt.Errorf("per-taxon histogram bucket mismatch for %s (%d vs %d)",
+				taxon, len(ah.Buckets), len(bh.Buckets))
+		}
+		for i := range ah.Buckets {
+			ah.Buckets[i] += bh.Buckets[i]
+		}
+		ah.Skipped += bh.Skipped
+	}
+	return nil
+}
+
+func (a *ScatterAccumulator) merge(b *ScatterAccumulator) {
+	if len(b.points) == 0 {
+		return
+	}
+	if len(a.points) == 0 {
+		a.seqs = append(a.seqs[:0], b.seqs...)
+		a.points = append(a.points[:0], b.points...)
+		return
+	}
+	seqs := make([]int64, 0, len(a.seqs)+len(b.seqs))
+	points := make([]ScatterPoint, 0, len(a.points)+len(b.points))
+	i, j := 0, 0
+	for i < len(a.seqs) || j < len(b.seqs) {
+		if j >= len(b.seqs) || (i < len(a.seqs) && a.seqs[i] <= b.seqs[j]) {
+			seqs, points = append(seqs, a.seqs[i]), append(points, a.points[i])
+			i++
+		} else {
+			seqs, points = append(seqs, b.seqs[j]), append(points, b.points[j])
+			j++
+		}
+	}
+	a.seqs, a.points = seqs, points
+}
+
+func (a *SyncBandAccumulator) merge(b *SyncBandAccumulator) error {
+	if a.thresholdMonths != b.thresholdMonths || a.lo != b.lo || a.hi != b.hi {
+		return fmt.Errorf("sync band config mismatch (%dmo [%g,%g] vs %dmo [%g,%g])",
+			a.thresholdMonths, a.lo, a.hi, b.thresholdMonths, b.lo, b.hi)
+	}
+	a.inside += b.inside
+	a.outside += b.outside
+	return nil
+}
+
+func (a *AdvanceAccumulator) merge(b *AdvanceAccumulator) {
+	for i := range a.srcCounts {
+		a.srcCounts[i] += b.srcCounts[i]
+		a.timeCounts[i] += b.timeCounts[i]
+	}
+	a.blankSource += b.blankSource
+	a.blankTime += b.blankTime
+	a.total += b.total
+}
+
+func (a *AlwaysAdvanceAccumulator) merge(b *AlwaysAdvanceAccumulator) {
+	for i := range a.cells {
+		a.cells[i].Projects += b.cells[i].Projects
+		a.cells[i].Time += b.cells[i].Time
+		a.cells[i].Source += b.cells[i].Source
+		a.cells[i].Both += b.cells[i].Both
+	}
+	a.time += b.time
+	a.source += b.source
+	a.both += b.both
+	a.total += b.total
+}
+
+func (a *AttainmentAccumulator) merge(b *AttainmentAccumulator) error {
+	if !floatsEqual(a.alphas, b.alphas) || !floatsEqual(a.rangeEdges, b.rangeEdges) {
+		return fmt.Errorf("attainment config mismatch (α=%v/%v vs α=%v/%v)",
+			a.alphas, a.rangeEdges, b.alphas, b.rangeEdges)
+	}
+	for i := range a.counts {
+		for j := range a.counts[i] {
+			a.counts[i][j] += b.counts[i][j]
+		}
+	}
+	a.total += b.total
+	return nil
+}
+
+func (a *LocalityAccumulator) merge(b *LocalityAccumulator) error {
+	if a.minTables != b.minTables {
+		return fmt.Errorf("locality floor mismatch (%d vs %d tables)", a.minTables, b.minTables)
+	}
+	if len(b.topShares) == 0 {
+		return nil
+	}
+	if len(a.topShares) == 0 {
+		a.seqs = append(a.seqs[:0], b.seqs...)
+		a.topShares = append(a.topShares[:0], b.topShares...)
+		a.unchangedShares = append(a.unchangedShares[:0], b.unchangedShares...)
+		return nil
+	}
+	seqs := make([]int64, 0, len(a.seqs)+len(b.seqs))
+	tops := make([]float64, 0, len(a.topShares)+len(b.topShares))
+	unch := make([]float64, 0, len(a.unchangedShares)+len(b.unchangedShares))
+	i, j := 0, 0
+	for i < len(a.seqs) || j < len(b.seqs) {
+		if j >= len(b.seqs) || (i < len(a.seqs) && a.seqs[i] <= b.seqs[j]) {
+			seqs, tops, unch = append(seqs, a.seqs[i]), append(tops, a.topShares[i]), append(unch, a.unchangedShares[i])
+			i++
+		} else {
+			seqs, tops, unch = append(seqs, b.seqs[j]), append(tops, b.topShares[j]), append(unch, b.unchangedShares[j])
+			j++
+		}
+	}
+	a.seqs, a.topShares, a.unchangedShares = seqs, tops, unch
+	return nil
+}
+
+func (a *StatsAccumulator) merge(b *StatsAccumulator) {
+	if len(b.rows) == 0 {
+		return
+	}
+	if len(a.rows) == 0 {
+		a.rows = append(a.rows[:0], b.rows...)
+		return
+	}
+	rows := make([]statsRow, 0, len(a.rows)+len(b.rows))
+	i, j := 0, 0
+	for i < len(a.rows) || j < len(b.rows) {
+		if j >= len(b.rows) || (i < len(a.rows) && a.rows[i].seq <= b.rows[j].seq) {
+			rows = append(rows, a.rows[i])
+			i++
+		} else {
+			rows = append(rows, b.rows[j])
+			j++
+		}
+	}
+	a.rows = rows
+}
+
+// merge folds b's corpus-wide parse-health aggregate into a. An empty
+// side is the fold identity — skipped outright, because
+// history.ParseHealth.Add would read an all-zero Total as a project
+// with an unknown dialect and degrade the merged dialect to "mixed".
+func (a *ParseHealthAccumulator) merge(b *ParseHealthAccumulator) {
+	if b.summary.Projects == 0 {
+		return
+	}
+	if a.summary.Projects == 0 {
+		a.summary = b.summary
+		return
+	}
+	a.summary.Total.Add(b.summary.Total)
+	a.summary.Projects += b.summary.Projects
+	a.summary.CleanProjects += b.summary.CleanProjects
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeIntsP and decodeIntsP are the int-slice counterparts of the
+// float helpers in cached.go, with the same corrupt-length clamp.
+func encodeIntsP(e *cache.Enc, v []int) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.Int(int64(x))
+	}
+}
+
+func decodeIntsP(d *cache.Dec) []int {
+	n := d.Uvarint()
+	if d.Failed() || n == 0 {
+		return nil
+	}
+	v := make([]int, 0, min(n, decodeCap))
+	for i := uint64(0); i < n && !d.Failed(); i++ {
+		v = append(v, int(d.Int()))
+	}
+	return v
+}

@@ -57,7 +57,10 @@ func (s *DatasetSink) Dataset() *Dataset { return &s.d }
 func StreamCorpus(ctx context.Context, src *corpus.Source, sink Sink, opts Options) (*StreamSummary, error) {
 	eopts := opts.Exec
 	if eopts.Name == nil {
-		eopts.Name = corpus.ProjectName
+		// Name by the source, not the package-level convention: a
+		// partitioned source's local index i is global index src.
+		// GlobalIndex(i), and failure reports must name the real project.
+		eopts.Name = src.ProjectName
 	}
 	eopts.Obs = opts.Obs
 	eopts.Scope = "analyze"
@@ -77,13 +80,16 @@ func StreamCorpus(ctx context.Context, src *corpus.Source, sink Sink, opts Optio
 			res.IntendedTaxon = &intended
 			return res, nil
 		},
-		func(_ int, res *ProjectResult) error {
+		func(i int, res *ProjectResult) error {
 			sum.Projects++
-			return sink.Add(res)
+			// Index-aware sinks see the global corpus index, so shard
+			// partials key their order-sensitive state by true corpus
+			// position and merge back into the sequential fold.
+			return deliver(sink, int64(src.GlobalIndex(i)), res)
 		},
 		engine.StreamOptions{Options: eopts, Total: src.Len()})
 	for _, f := range failures {
-		sum.Failures = append(sum.Failures, Failure{Name: f.Name, Err: f.Err})
+		sum.Failures = append(sum.Failures, Failure{Name: f.Name, Index: src.GlobalIndex(f.Index), Err: f.Err})
 	}
 	if err != nil {
 		// Surface the corpus's own (already project-labelled) cause; the

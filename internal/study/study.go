@@ -264,7 +264,11 @@ func analyze(ctx context.Context, name, ddlPath string, sh *history.SchemaHistor
 // *engine.PanicError).
 type Failure struct {
 	Name string
-	Err  error
+	// Index is the project's global corpus index when known (streaming
+	// runs fill it; batch paths may leave it zero). Shard coordinators
+	// sort merged failure lists by it to restore corpus order.
+	Index int
+	Err   error
 }
 
 // Dataset is the full per-project result collection of one study run.

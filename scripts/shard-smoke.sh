@@ -1,0 +1,104 @@
+#!/bin/sh
+# Sharded scale-out smoke: run a ~2000-project synthetic study (6 taxa x
+# PER_TAXON) once single-process and once as `study -shards 3`, which
+# spawns three worker processes, streams one residue-class partition of
+# the corpus through each, and folds the sealed partial figures on the
+# coordinator. The figures directory and per-project CSV must be
+# byte-identical to the single-process reference — the merge is exact,
+# not approximate. A second sharded run against the same cache directory
+# proves the remote cache tier works across processes: the workers'
+# remote hits must show up in the combined manifest. Finally, every
+# shard manifest must carry the coordinator's trace id, so one trace
+# spans the whole fan-out.
+#
+# Usage: scripts/shard-smoke.sh [per-taxon] [work-dir]
+set -eu
+
+PER_TAXON="${1:-334}"
+WORK="${2:-shard-smoke-work}"
+SHARDS=3
+
+go build -o /tmp/coevo-shard-smoke ./cmd/coevo
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+echo "shard-smoke: single-process reference study of $((PER_TAXON * 6)) projects"
+/tmp/coevo-shard-smoke study -per-taxon "$PER_TAXON" \
+    -csv "$WORK/ref.csv" -out "$WORK/ref-out" \
+    -runlog-dir "$WORK/ref-runs" >/dev/null
+
+echo "shard-smoke: same study across $SHARDS worker processes (cold cache)"
+/tmp/coevo-shard-smoke study -per-taxon "$PER_TAXON" -shards "$SHARDS" \
+    -csv "$WORK/cold.csv" -out "$WORK/cold-out" \
+    -cache-dir "$WORK/cache" -runlog-dir "$WORK/cold-runs" >/dev/null
+
+cmp "$WORK/ref.csv" "$WORK/cold.csv" || {
+    echo "shard-smoke: FAIL — sharded CSV diverges from the single-process reference" >&2
+    exit 1
+}
+diff -r "$WORK/ref-out" "$WORK/cold-out" >/dev/null || {
+    echo "shard-smoke: FAIL — sharded figures diverge from the single-process reference" >&2
+    exit 1
+}
+
+# combined_of <ledger-dir> prints the coordinator's sealed manifest path.
+combined_of() {
+    manifest=$(grep -l '"command": "study"' "$1"/*.json | head -1)
+    [ -n "$manifest" ] || { echo "no study manifest in $1" >&2; exit 1; }
+    grep -q '"outcome": "ok"' "$manifest" || { echo "run in $manifest did not finish ok" >&2; exit 1; }
+    echo "$manifest"
+}
+
+COMBINED=$(combined_of "$WORK/cold-runs")
+grep -q "\"shards\": $SHARDS" "$COMBINED" || {
+    echo "shard-smoke: FAIL — combined manifest $COMBINED does not record $SHARDS shards" >&2
+    exit 1
+}
+TRACE=$(sed -n 's/.*"trace_id": *"\([0-9a-f]*\)".*/\1/p' "$COMBINED" | head -1)
+[ -n "$TRACE" ] || {
+    echo "shard-smoke: FAIL — combined manifest $COMBINED lacks a trace id" >&2
+    exit 1
+}
+
+# Every spawned worker seals its own shard manifest into the same
+# ledger, and each must echo the coordinator's trace id.
+SHARD_MANIFESTS=$(grep -l '"command": "shard"' "$WORK/cold-runs"/*.json)
+COUNT=0
+for m in $SHARD_MANIFESTS; do
+    grep -q "\"trace_id\": \"$TRACE\"" "$m" || {
+        echo "shard-smoke: FAIL — shard manifest $m does not carry trace id $TRACE" >&2
+        exit 1
+    }
+    COUNT=$((COUNT + 1))
+done
+if [ "$COUNT" -ne "$SHARDS" ]; then
+    echo "shard-smoke: FAIL — expected $SHARDS shard manifests, found $COUNT" >&2
+    exit 1
+fi
+echo "shard-smoke: $COUNT shard manifests share trace id $TRACE"
+
+echo "shard-smoke: sharded study again against the warm cache"
+/tmp/coevo-shard-smoke study -per-taxon "$PER_TAXON" -shards "$SHARDS" \
+    -csv "$WORK/warm.csv" -out "$WORK/warm-out" \
+    -cache-dir "$WORK/cache" -runlog-dir "$WORK/warm-runs" >/dev/null
+
+cmp "$WORK/ref.csv" "$WORK/warm.csv" || {
+    echo "shard-smoke: FAIL — warm-cache sharded CSV diverges from the reference" >&2
+    exit 1
+}
+diff -r "$WORK/ref-out" "$WORK/warm-out" >/dev/null || {
+    echo "shard-smoke: FAIL — warm-cache sharded figures diverge from the reference" >&2
+    exit 1
+}
+
+# Warm workers are fresh processes with cold local tiers; every hit they
+# get comes over the remote tier from the coordinator's disk cache.
+WARM=$(combined_of "$WORK/warm-runs")
+REMOTE_HITS=$(sed -n 's/.*"remote_hits": *\([0-9]*\).*/\1/p' "$WARM" | head -1)
+if [ -z "$REMOTE_HITS" ] || [ "$REMOTE_HITS" -eq 0 ]; then
+    echo "shard-smoke: FAIL — warm manifest $WARM records no remote cache hits" >&2
+    exit 1
+fi
+echo "shard-smoke: warm run served $REMOTE_HITS remote cache hits across shards"
+
+echo "shard-smoke: ok"
